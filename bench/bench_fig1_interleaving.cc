@@ -1,0 +1,109 @@
+// Experiment FIG1 (DESIGN.md): paper Figures 1-2 at scale. Repeatedly
+// stage the search/split race — a searcher memorizes the global counter
+// and the target pointer, a concurrent insert splits the node moving the
+// searched key right — and measure the committed-key miss rate with the
+// link protocol on vs off. Expected: 100% misses without split detection,
+// 0% with NSN + rightlink compensation.
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "bench/bench_util.h"
+
+namespace gistcr {
+namespace bench {
+namespace {
+
+/// One staged race; returns true if the searcher found the key.
+bool RunOneRace(ConcurrencyProtocol protocol, const std::string& path) {
+  RemoveDbFiles(path);
+  DatabaseOptions opts;
+  opts.path = path;
+  opts.buffer_pool_pages = 256;
+  opts.sync_commit = false;
+  auto db_or = Database::Create(opts);
+  BENCH_CHECK_OK(db_or.status());
+  auto db = db_or.MoveValue();
+  BtreeExtension ext;
+  GistOptions gopts;
+  gopts.protocol = protocol;
+  gopts.max_entries = 4;
+  BENCH_CHECK_OK(db->CreateIndex(1, &ext, gopts));
+  Gist* gist = db->GetIndex(1).value();
+
+  {
+    Transaction* txn = db->Begin(IsolationLevel::kReadCommitted);
+    for (int64_t k : {1000, 900, 910, 920}) {
+      BENCH_CHECK_OK(
+          db->InsertRecord(txn, gist, BtreeExtension::MakeKey(k), "v")
+              .status());
+    }
+    BENCH_CHECK_OK(db->Commit(txn));
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool paused = false, resume = false;
+  gist->test_hooks().after_root_push = [&] {
+    std::unique_lock<std::mutex> l(mu);
+    paused = true;
+    cv.notify_all();
+    cv.wait(l, [&] { return resume; });
+  };
+
+  std::vector<SearchResult> results;
+  std::thread searcher([&] {
+    Transaction* txn = db->Begin(IsolationLevel::kReadCommitted);
+    BENCH_CHECK_OK(
+        gist->Search(txn, BtreeExtension::MakeRange(1000, 1000), &results));
+    BENCH_CHECK_OK(db->Commit(txn));
+  });
+  {
+    std::unique_lock<std::mutex> l(mu);
+    cv.wait(l, [&] { return paused; });
+  }
+  gist->test_hooks().after_root_push = nullptr;
+  {
+    Transaction* txn = db->Begin(IsolationLevel::kReadCommitted);
+    BENCH_CHECK_OK(
+        db->InsertRecord(txn, gist, BtreeExtension::MakeKey(930), "v")
+            .status());
+    BENCH_CHECK_OK(db->Commit(txn));
+  }
+  {
+    std::lock_guard<std::mutex> l(mu);
+    resume = true;
+    cv.notify_all();
+  }
+  searcher.join();
+  db.reset();
+  RemoveDbFiles(path);
+  return !results.empty();
+}
+
+void BM_Fig1Race(benchmark::State& state) {
+  const ConcurrencyProtocol protocol =
+      state.range(0) == 0 ? ConcurrencyProtocol::kLink
+                          : ConcurrencyProtocol::kUnsafeNoLink;
+  uint64_t races = 0, lost = 0;
+  for (auto _ : state) {
+    if (!RunOneRace(protocol, "/tmp/gistcr_bench_fig1")) lost++;
+    races++;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(races));
+  state.counters["lost_key_rate"] =
+      races == 0 ? 0.0 : static_cast<double>(lost) / static_cast<double>(races);
+  state.SetLabel(protocol == ConcurrencyProtocol::kLink
+                     ? "link-protocol (Figure 2 fix)"
+                     : "no-link (Figure 1 anomaly)");
+}
+
+BENCHMARK(BM_Fig1Race)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->Iterations(25);
+
+}  // namespace
+}  // namespace bench
+}  // namespace gistcr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Experiment C4 (DESIGN.md): logical deletion + deferred garbage
+// collection (paper section 7). Deletes only mark entries; a GC sweep
+// reclaims committed-deleted entries and retires empty nodes. Series:
+// steady-state delete+insert churn throughput and space amplification
+// (physical entries / live entries) under different GC cadences.
+// Expected shape: without GC, space amplification grows with churn and
+// scans slow down; periodic GC bounds both at a small sweep cost.
+
+#include <deque>
+
+#include "bench/bench_util.h"
+
+namespace gistcr {
+namespace bench {
+namespace {
+
+constexpr int64_t kPreload = 20000;
+BenchEnv g_env;
+
+void BM_ChurnWithGc(benchmark::State& state) {
+  const int gc_every = static_cast<int>(state.range(0));  // 0 = never
+  g_env.BuildBtree("/tmp/gistcr_bench_c4", ConcurrencyProtocol::kLink,
+                   PredicateMode::kHybrid, NsnSource::kLsn, kPreload);
+  Database* db = g_env.db.get();
+  Gist* gist = g_env.gist;
+
+  // Track live rids so deletes hit real entries.
+  std::deque<std::pair<int64_t, Rid>> live;
+  {
+    Transaction* txn = db->Begin(IsolationLevel::kReadCommitted);
+    std::vector<SearchResult> results;
+    BENCH_CHECK_OK(gist->Search(
+        txn, BtreeExtension::MakeRange(0, kPreload), &results));
+    BENCH_CHECK_OK(db->Commit(txn));
+    for (const auto& r : results) {
+      live.emplace_back(BtreeExtension::Lo(r.key), r.rid);
+    }
+  }
+
+  int64_t next_key = kPreload;
+  int64_t ops = 0;
+  for (auto _ : state) {
+    // One churn op = delete the oldest live key + insert a fresh one +
+    // a 100-wide scan (so dead entries' scan cost shows up).
+    auto [dk, drid] = live.front();
+    live.pop_front();
+    Rid new_rid;
+    RunTxnWithRetry(db, IsolationLevel::kReadCommitted,
+                    [&](Transaction* txn) {
+                      GISTCR_RETURN_IF_ERROR(db->DeleteRecord(
+                          txn, gist, BtreeExtension::MakeKey(dk), drid));
+                      auto rid = db->InsertRecord(
+                          txn, gist, BtreeExtension::MakeKey(next_key), "v");
+                      GISTCR_RETURN_IF_ERROR(rid.status());
+                      new_rid = rid.value();
+                      std::vector<SearchResult> results;
+                      return gist->Search(
+                          txn,
+                          BtreeExtension::MakeRange(next_key - 100,
+                                                    next_key),
+                          &results);
+                    });
+    live.emplace_back(next_key, new_rid);
+    next_key++;
+    ops++;
+    if (gc_every != 0 && ops % gc_every == 0) {
+      RunTxnWithRetry(db, IsolationLevel::kReadCommitted,
+                      [&](Transaction* txn) {
+                        uint64_t r = 0, n = 0;
+                        return gist->GarbageCollect(txn, &r, &n);
+                      });
+    }
+  }
+  state.SetItemsProcessed(ops);
+
+  // Space amplification: physical (incl. marked) entries vs live.
+  std::vector<IndexEntry> entries;
+  BENCH_CHECK_OK(gist->DumpEntries(&entries));
+  state.counters["space_amp"] =
+      static_cast<double>(entries.size()) / static_cast<double>(kPreload);
+  state.counters["gc_reclaimed"] =
+      static_cast<double>(gist->stats().gc_removed.load());
+  state.counters["nodes_deleted"] =
+      static_cast<double>(gist->stats().nodes_deleted.load());
+  state.SetLabel(gc_every == 0 ? "gc-never"
+                               : "gc-every-" + std::to_string(gc_every));
+}
+
+BENCHMARK(BM_ChurnWithGc)->Arg(0)->Arg(2000)->Arg(500)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace gistcr
+
+BENCHMARK_MAIN();

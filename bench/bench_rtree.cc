@@ -1,0 +1,86 @@
+// Experiment C6 (DESIGN.md): GiST generality — the same protocol over
+// R-tree (2-D rectangle) data, where the concurrency techniques of
+// B-trees fundamentally do not apply (paper sections 3, 11: no key order,
+// no key-space partitioning). Series: window-query and point-insert
+// throughput over 50k uniform points, threads x {link, coarse}.
+// Expected shape: same as C1 — the protocol is key-semantics-free.
+
+#include <atomic>
+
+#include "bench/bench_util.h"
+
+namespace gistcr {
+namespace bench {
+namespace {
+
+constexpr int64_t kPreload = 50000;
+BenchEnv g_env;
+std::atomic<uint64_t> g_seed{1};
+
+ConcurrencyProtocol ProtocolArg(const benchmark::State& state) {
+  return state.range(0) == 0 ? ConcurrencyProtocol::kLink
+                             : ConcurrencyProtocol::kCoarse;
+}
+
+void BM_WindowQuery(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_env.BuildRtree("/tmp/gistcr_bench_c6", ProtocolArg(state), kPreload);
+  }
+  Random rng(static_cast<uint64_t>(state.thread_index()) * 131 + 17);
+  int64_t items = 0;
+  for (auto _ : state) {
+    const double x = rng.NextDouble() * 950.0;
+    const double y = rng.NextDouble() * 950.0;
+    RunTxnWithRetry(g_env.db.get(), IsolationLevel::kReadCommitted,
+                    [&](Transaction* txn) {
+                      std::vector<SearchResult> results;
+                      return g_env.gist->Search(
+                          txn,
+                          RtreeExtension::MakeWindowQuery(
+                              Rect{x, y, x + 50, y + 50}),
+                          &results);
+                    });
+    items++;
+  }
+  state.SetItemsProcessed(items);
+  if (state.thread_index() == 0) {
+    state.SetLabel(state.range(0) == 0 ? "link" : "coarse");
+  }
+}
+
+void BM_PointInsert(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_env.BuildRtree("/tmp/gistcr_bench_c6", ProtocolArg(state), kPreload);
+  }
+  Random rng(g_seed.fetch_add(0x9E3779B9) + 1);
+  int64_t items = 0;
+  for (auto _ : state) {
+    const Rect pt =
+        Rect::Point(rng.NextDouble() * 1000.0, rng.NextDouble() * 1000.0);
+    RunTxnWithRetry(g_env.db.get(), IsolationLevel::kReadCommitted,
+                    [&](Transaction* txn) {
+                      return g_env.db
+                          ->InsertRecord(txn, g_env.gist,
+                                         RtreeExtension::MakeKey(pt), "v")
+                          .status();
+                    });
+    items++;
+  }
+  state.SetItemsProcessed(items);
+  if (state.thread_index() == 0) {
+    state.counters["splits"] =
+        static_cast<double>(g_env.gist->stats().splits.load());
+    state.SetLabel(state.range(0) == 0 ? "link" : "coarse");
+  }
+}
+
+BENCHMARK(BM_WindowQuery)->Arg(0)->Arg(1)->ThreadRange(1, 8)
+    ->UseRealTime()->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PointInsert)->Arg(0)->Arg(1)->ThreadRange(1, 8)
+    ->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace gistcr
+
+BENCHMARK_MAIN();

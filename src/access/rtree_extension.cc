@@ -1,0 +1,143 @@
+#include "access/rtree_extension.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "util/macros.h"
+
+namespace gistcr {
+
+Rect Rect::UnionWith(const Rect& o) const {
+  Rect r;
+  r.xlo = std::min(xlo, o.xlo);
+  r.ylo = std::min(ylo, o.ylo);
+  r.xhi = std::max(xhi, o.xhi);
+  r.yhi = std::max(yhi, o.yhi);
+  return r;
+}
+
+std::string Rect::Encode() const {
+  std::string s(32, '\0');
+  std::memcpy(s.data(), &xlo, 8);
+  std::memcpy(s.data() + 8, &ylo, 8);
+  std::memcpy(s.data() + 16, &xhi, 8);
+  std::memcpy(s.data() + 24, &yhi, 8);
+  return s;
+}
+
+Rect Rect::Decode(Slice s) {
+  GISTCR_CHECK(s.size() == 32);
+  Rect r;
+  std::memcpy(&r.xlo, s.data(), 8);
+  std::memcpy(&r.ylo, s.data() + 8, 8);
+  std::memcpy(&r.xhi, s.data() + 16, 8);
+  std::memcpy(&r.yhi, s.data() + 24, 8);
+  return r;
+}
+
+bool RtreeExtension::Consistent(Slice pred, Slice query) const {
+  if (pred.empty() || query.empty()) return false;
+  return Rect::Decode(pred).Overlaps(Rect::Decode(query));
+}
+
+double RtreeExtension::Penalty(Slice bp, Slice key) const {
+  if (bp.empty()) return std::numeric_limits<double>::max() / 2;
+  const Rect b = Rect::Decode(bp);
+  const Rect k = Rect::Decode(key);
+  return b.UnionWith(k).Area() - b.Area();
+}
+
+std::string RtreeExtension::Union(Slice a, Slice b) const {
+  if (a.empty()) return b.ToString();
+  if (b.empty()) return a.ToString();
+  return Rect::Decode(a).UnionWith(Rect::Decode(b)).Encode();
+}
+
+bool RtreeExtension::Contains(Slice bp, Slice pred) const {
+  if (pred.empty()) return true;
+  if (bp.empty()) return false;
+  return Rect::Decode(bp).ContainsRect(Rect::Decode(pred));
+}
+
+void RtreeExtension::PickSplit(const std::vector<IndexEntry>& entries,
+                               std::vector<bool>* to_right) const {
+  // Guttman's quadratic split [Gut84]: pick the pair of entries whose
+  // combined rectangle wastes the most area as seeds, then assign each
+  // remaining entry to the group whose MBR grows least.
+  const size_t n = entries.size();
+  GISTCR_CHECK(n >= 2);
+  std::vector<Rect> rects(n);
+  for (size_t i = 0; i < n; i++) rects[i] = Rect::Decode(entries[i].key);
+
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::max();
+  for (size_t i = 0; i < n; i++) {
+    for (size_t j = i + 1; j < n; j++) {
+      const double waste =
+          rects[i].UnionWith(rects[j]).Area() - rects[i].Area() -
+          rects[j].Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  to_right->assign(n, false);
+  (*to_right)[seed_b] = true;
+  Rect mbr_a = rects[seed_a];
+  Rect mbr_b = rects[seed_b];
+  size_t count_a = 1, count_b = 1;
+  const size_t min_fill = std::max<size_t>(1, n / 4);
+
+  for (size_t i = 0; i < n; i++) {
+    if (i == seed_a || i == seed_b) continue;
+    const size_t remaining = n - count_a - count_b;
+    // Force-assign to honour minimum fill.
+    if (count_a + remaining <= min_fill) {
+      (*to_right)[i] = false;
+      mbr_a = mbr_a.UnionWith(rects[i]);
+      count_a++;
+      continue;
+    }
+    if (count_b + remaining <= min_fill) {
+      (*to_right)[i] = true;
+      mbr_b = mbr_b.UnionWith(rects[i]);
+      count_b++;
+      continue;
+    }
+    const double grow_a = mbr_a.UnionWith(rects[i]).Area() - mbr_a.Area();
+    const double grow_b = mbr_b.UnionWith(rects[i]).Area() - mbr_b.Area();
+    bool right;
+    if (grow_a != grow_b) {
+      right = grow_b < grow_a;
+    } else if (mbr_a.Area() != mbr_b.Area()) {
+      right = mbr_b.Area() < mbr_a.Area();
+    } else {
+      right = count_b < count_a;
+    }
+    if (right) {
+      (*to_right)[i] = true;
+      mbr_b = mbr_b.UnionWith(rects[i]);
+      count_b++;
+    } else {
+      mbr_a = mbr_a.UnionWith(rects[i]);
+      count_a++;
+    }
+  }
+}
+
+std::string RtreeExtension::EqQuery(Slice key) const {
+  return key.ToString();  // overlap with the key's own rect
+}
+
+std::string RtreeExtension::Describe(Slice pred) const {
+  if (pred.empty()) return "[empty]";
+  const Rect r = Rect::Decode(pred);
+  return "[(" + std::to_string(r.xlo) + "," + std::to_string(r.ylo) +
+         ")-(" + std::to_string(r.xhi) + "," + std::to_string(r.yhi) + ")]";
+}
+
+}  // namespace gistcr

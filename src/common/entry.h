@@ -1,0 +1,56 @@
+#ifndef GISTCR_COMMON_ENTRY_H_
+#define GISTCR_COMMON_ENTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "util/coding.h"
+
+namespace gistcr {
+
+/// One index entry, decoupled from any on-page representation. In internal
+/// nodes `value` is a child PageId and `del_txn` is unused; in leaves
+/// `value` is a packed Rid and `del_txn` is the transaction that logically
+/// deleted the entry (kInvalidTxnId when live), per the paper's logical
+/// deletion scheme (section 7).
+struct IndexEntry {
+  std::string key;        ///< Bounding predicate (internal) or key (leaf).
+  uint64_t value = 0;     ///< Child PageId or packed Rid.
+  TxnId del_txn = kInvalidTxnId;
+
+  bool deleted() const { return del_txn != kInvalidTxnId; }
+
+  void EncodeTo(std::string* dst) const {
+    PutLengthPrefixed(dst, key);
+    PutFixed64(dst, value);
+    PutFixed64(dst, del_txn);
+  }
+  bool DecodeFrom(Decoder* dec) {
+    return dec->GetLengthPrefixed(&key) && dec->GetFixed64(&value) &&
+           dec->GetFixed64(&del_txn);
+  }
+};
+
+inline void EncodeEntryList(std::string* dst,
+                            const std::vector<IndexEntry>& entries) {
+  PutFixed32(dst, static_cast<uint32_t>(entries.size()));
+  for (const IndexEntry& e : entries) e.EncodeTo(dst);
+}
+
+inline bool DecodeEntryList(Decoder* dec, std::vector<IndexEntry>* out) {
+  uint32_t n;
+  if (!dec->GetFixed32(&n)) return false;
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    IndexEntry e;
+    if (!e.DecodeFrom(dec)) return false;
+    out->push_back(std::move(e));
+  }
+  return true;
+}
+
+}  // namespace gistcr
+
+#endif  // GISTCR_COMMON_ENTRY_H_

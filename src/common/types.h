@@ -1,0 +1,65 @@
+#ifndef GISTCR_COMMON_TYPES_H_
+#define GISTCR_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace gistcr {
+
+/// Identifier of an 8 KiB page within the database file.
+using PageId = uint32_t;
+constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Log sequence number: byte offset of a record in the log file (classic
+/// ARIES choice; monotonically increasing, so usable as the tree-global
+/// node-sequence-number source, paper section 10.1).
+using Lsn = uint64_t;
+constexpr Lsn kInvalidLsn = 0;
+
+/// Transaction identifier. Id 0 is reserved for "no transaction" (e.g. the
+/// delete mark of a live leaf entry).
+using TxnId = uint64_t;
+constexpr TxnId kInvalidTxnId = 0;
+
+/// Node sequence number (paper section 3): drawn from a tree-global
+/// monotonically increasing counter and bumped on the node being split.
+using Nsn = uint64_t;
+
+/// Record identifier: locates a data record in the heap data store.
+/// Packed as (heap page id << 16) | slot. GiST leaf entries carry RIDs;
+/// two-phase data-record locking locks the RID value.
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(page_id) << 16) | slot;
+  }
+  static Rid Unpack(uint64_t v) {
+    Rid r;
+    r.page_id = static_cast<PageId>(v >> 16);
+    r.slot = static_cast<uint16_t>(v & 0xFFFF);
+    return r;
+  }
+
+  bool operator==(const Rid& o) const {
+    return page_id == o.page_id && slot == o.slot;
+  }
+  bool operator!=(const Rid& o) const { return !(*this == o); }
+  bool operator<(const Rid& o) const { return Pack() < o.Pack(); }
+};
+
+constexpr uint32_t kPageSize = 8192;
+
+}  // namespace gistcr
+
+namespace std {
+template <>
+struct hash<gistcr::Rid> {
+  size_t operator()(const gistcr::Rid& r) const {
+    return std::hash<uint64_t>()(r.Pack());
+  }
+};
+}  // namespace std
+
+#endif  // GISTCR_COMMON_TYPES_H_

@@ -1,0 +1,185 @@
+#include "db/data_store.h"
+
+#include "wal/log_payloads.h"
+
+namespace gistcr {
+
+StatusOr<PageId> DataStore::CreateFresh(PageId first_page) {
+  auto frame_or = pool_->NewPage(first_page);
+  GISTCR_RETURN_IF_ERROR(frame_or.status());
+  PageGuard guard(pool_, frame_or.value());
+  guard.WLatch();
+  HeapPageView(guard.view().data()).Init(first_page);
+  guard.frame()->MarkDirty(kInvalidLsn + 1);
+  head_ = tail_ = first_page;
+  return first_page;
+}
+
+Status DataStore::Open(PageId head) {
+  head_ = head;
+  PageId cur = head;
+  PageId last = head;
+  while (cur != kInvalidPageId) {
+    auto frame_or = pool_->Fetch(cur);
+    GISTCR_RETURN_IF_ERROR(frame_or.status());
+    PageGuard guard(pool_, frame_or.value());
+    guard.RLatch();
+    HeapPageView hv(guard.view().data());
+    last = cur;
+    cur = hv.IsFormatted() ? hv.next() : kInvalidPageId;
+  }
+  tail_ = last;
+  return Status::OK();
+}
+
+Status DataStore::GrowChain(Transaction* txn) {
+  // Nested top action: allocate + link are committed atomically and survive
+  // a later abort of the surrounding transaction.
+  const Lsn nta_begin = txns_->NtaBegin(txn);
+  auto pid_or = alloc_->Allocate(txn);
+  GISTCR_RETURN_IF_ERROR(pid_or.status());
+  const PageId new_pid = pid_or.value();
+
+  auto old_tail_or = pool_->Fetch(tail_);
+  GISTCR_RETURN_IF_ERROR(old_tail_or.status());
+  PageGuard old_guard(pool_, old_tail_or.value());
+  old_guard.WLatch();
+
+  LogRecord rec;
+  rec.type = LogRecordType::kRightlinkUpdate;
+  RightlinkUpdatePayload pl;
+  pl.page = tail_;
+  pl.old_rightlink = kInvalidPageId;
+  pl.new_rightlink = new_pid;
+  pl.EncodeTo(&rec.payload);
+  GISTCR_RETURN_IF_ERROR(txns_->AppendTxnLog(txn, &rec));
+  HeapPageView(old_guard.view().data()).set_next(new_pid);
+  old_guard.view().set_page_lsn(rec.lsn);
+  old_guard.frame()->MarkDirty(rec.lsn);
+  old_guard.Drop();
+
+  // Format the new tail in memory; redo reformats lazily if needed.
+  auto frame_or = pool_->NewPage(new_pid);
+  GISTCR_RETURN_IF_ERROR(frame_or.status());
+  PageGuard guard(pool_, frame_or.value());
+  guard.WLatch();
+  HeapPageView(guard.view().data()).Init(new_pid);
+  guard.frame()->MarkDirty(rec.lsn);
+  guard.Drop();
+
+  GISTCR_RETURN_IF_ERROR(txns_->NtaEnd(txn, nta_begin));
+  tail_ = new_pid;
+  return Status::OK();
+}
+
+StatusOr<Rid> DataStore::Insert(Transaction* txn, Slice record) {
+  if (record.size() > kPageSize / 4) {
+    return Status::InvalidArgument("record too large");
+  }
+  std::lock_guard<std::mutex> l(mu_);
+  for (;;) {
+    auto frame_or = pool_->Fetch(tail_);
+    GISTCR_RETURN_IF_ERROR(frame_or.status());
+    PageGuard guard(pool_, frame_or.value());
+    guard.WLatch();
+    HeapPageView hv(guard.view().data());
+    if (!hv.IsFormatted()) {
+      // Chain was grown but the fresh tail never reached disk formatted
+      // (crash between link and first use); format it now.
+      hv.Init(tail_);
+    }
+    if (!hv.HasSpaceFor(record.size())) {
+      guard.Drop();
+      GISTCR_RETURN_IF_ERROR(GrowChain(txn));
+      continue;
+    }
+    const uint16_t slot = hv.count();
+    LogRecord rec;
+    rec.type = LogRecordType::kHeapInsert;
+    HeapOpPayload pl;
+    pl.page = tail_;
+    pl.slot = slot;
+    pl.record = record.ToString();
+    pl.EncodeTo(&rec.payload);
+    GISTCR_RETURN_IF_ERROR(txns_->AppendTxnLog(txn, &rec));
+    hv.Append(record);
+    guard.view().set_page_lsn(rec.lsn);
+    guard.frame()->MarkDirty(rec.lsn);
+    Rid rid;
+    rid.page_id = tail_;
+    rid.slot = slot;
+    return rid;
+  }
+}
+
+Status DataStore::Delete(Transaction* txn, Rid rid) {
+  auto frame_or = pool_->Fetch(rid.page_id);
+  GISTCR_RETURN_IF_ERROR(frame_or.status());
+  PageGuard guard(pool_, frame_or.value());
+  guard.WLatch();
+  HeapPageView hv(guard.view().data());
+  if (!hv.IsFormatted() || !hv.SlotExists(rid.slot)) {
+    return Status::NotFound("heap record");
+  }
+  if (hv.IsDeleted(rid.slot)) {
+    return Status::NotFound("heap record already deleted");
+  }
+  LogRecord rec;
+  rec.type = LogRecordType::kHeapDelete;
+  HeapOpPayload pl;
+  pl.page = rid.page_id;
+  pl.slot = rid.slot;
+  pl.EncodeTo(&rec.payload);
+  GISTCR_RETURN_IF_ERROR(txns_->AppendTxnLog(txn, &rec));
+  hv.SetDeleted(rid.slot, true);
+  guard.view().set_page_lsn(rec.lsn);
+  guard.frame()->MarkDirty(rec.lsn);
+  return Status::OK();
+}
+
+StatusOr<std::string> DataStore::Read(Rid rid) {
+  auto frame_or = pool_->Fetch(rid.page_id);
+  GISTCR_RETURN_IF_ERROR(frame_or.status());
+  PageGuard guard(pool_, frame_or.value());
+  guard.RLatch();
+  HeapPageView hv(guard.view().data());
+  if (!hv.IsFormatted() || !hv.SlotExists(rid.slot) ||
+      hv.IsDeleted(rid.slot)) {
+    return Status::NotFound("heap record");
+  }
+  return hv.Record(rid.slot).ToString();
+}
+
+Status DataStore::ApplyInsert(PageId page, uint16_t slot, Slice record,
+                              Lsn lsn, bool check_page_lsn) {
+  auto frame_or = pool_->Fetch(page);
+  GISTCR_RETURN_IF_ERROR(frame_or.status());
+  PageGuard guard(pool_, frame_or.value());
+  guard.WLatch();
+  HeapPageView hv(guard.view().data());
+  if (!hv.IsFormatted()) hv.Init(page);
+  if (check_page_lsn && guard.view().page_lsn() >= lsn) return Status::OK();
+  hv.AppendAt(slot, record);
+  guard.view().set_page_lsn(lsn);
+  guard.frame()->MarkDirty(lsn);
+  return Status::OK();
+}
+
+Status DataStore::ApplyDeleteMark(PageId page, uint16_t slot, bool deleted,
+                                  Lsn lsn, bool check_page_lsn) {
+  auto frame_or = pool_->Fetch(page);
+  GISTCR_RETURN_IF_ERROR(frame_or.status());
+  PageGuard guard(pool_, frame_or.value());
+  guard.WLatch();
+  HeapPageView hv(guard.view().data());
+  if (!hv.IsFormatted() || !hv.SlotExists(slot)) {
+    return Status::Corruption("heap redo: missing slot");
+  }
+  if (check_page_lsn && guard.view().page_lsn() >= lsn) return Status::OK();
+  hv.SetDeleted(slot, deleted);
+  guard.view().set_page_lsn(lsn);
+  guard.frame()->MarkDirty(lsn);
+  return Status::OK();
+}
+
+}  // namespace gistcr

@@ -1,0 +1,70 @@
+#ifndef GISTCR_DB_DATA_STORE_H_
+#define GISTCR_DB_DATA_STORE_H_
+
+#include <mutex>
+#include <string>
+
+#include "db/heap_page.h"
+#include "db/page_allocator.h"
+#include "storage/buffer_pool.h"
+#include "txn/transaction_manager.h"
+#include "util/status.h"
+
+namespace gistcr {
+
+/// Heap file of data records. The GiST is a secondary index: leaf entries
+/// carry Rids pointing here, and the hybrid locking protocol two-phase
+/// locks these Rids (paper section 4.3). Inserts append; deletes set a
+/// tombstone (undo clears it; undo of an insert sets it) — both logged as
+/// Heap-Insert / Heap-Delete records with page-oriented redo/undo.
+class DataStore {
+ public:
+  DataStore(BufferPool* pool, TransactionManager* txns, PageAllocator* alloc)
+      : pool_(pool), txns_(txns), alloc_(alloc) {}
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(DataStore);
+
+  /// mkfs: allocates and formats the first heap page. Returns its id for
+  /// the meta page (unlogged; runs before the first log record).
+  StatusOr<PageId> CreateFresh(PageId first_page);
+
+  /// Opens an existing store: walks the chain from \p head to find the
+  /// tail.
+  Status Open(PageId head);
+
+  /// Appends a record on behalf of \p txn. Does not lock the Rid (the
+  /// Database facade X-locks it *before* initiating the index insertion,
+  /// paper section 6 step 1).
+  StatusOr<Rid> Insert(Transaction* txn, Slice record);
+
+  /// Tombstones the record.
+  Status Delete(Transaction* txn, Rid rid);
+
+  /// Reads a record; NotFound for tombstoned or never-written slots.
+  StatusOr<std::string> Read(Rid rid);
+
+  /// Physical appliers shared by forward execution, redo and CLR redo.
+  /// When \p check_page_lsn, the update is skipped if page_lsn >= lsn.
+  Status ApplyInsert(PageId page, uint16_t slot, Slice record, Lsn lsn,
+                     bool check_page_lsn);
+  Status ApplyDeleteMark(PageId page, uint16_t slot, bool deleted, Lsn lsn,
+                         bool check_page_lsn);
+
+  PageId head() const { return head_; }
+
+ private:
+  /// Extends the chain with a freshly allocated page (runs as a nested top
+  /// action: Get-Page + Rightlink-Update + NTA-End).
+  Status GrowChain(Transaction* txn);
+
+  BufferPool* pool_;
+  TransactionManager* txns_;
+  PageAllocator* alloc_;
+
+  std::mutex mu_;  ///< Serializes tail maintenance.
+  PageId head_ = kInvalidPageId;
+  PageId tail_ = kInvalidPageId;
+};
+
+}  // namespace gistcr
+
+#endif  // GISTCR_DB_DATA_STORE_H_

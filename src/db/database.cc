@@ -1,0 +1,304 @@
+#include "db/database.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "db/meta_page.h"
+
+namespace gistcr {
+
+Database::Database(const DatabaseOptions& opts) : opts_(opts) {}
+
+Database::~Database() {
+  StopMaintenance();
+  if (!crashed_) {
+    (void)FlushAll();
+  }
+  indexes_.clear();
+  log_.Close();
+  disk_.Close();
+}
+
+GistContext Database::MakeContext() {
+  GistContext ctx;
+  ctx.pool = pool_.get();
+  ctx.log = &log_;
+  ctx.txns = txns_.get();
+  ctx.locks = &locks_;
+  ctx.preds = &preds_;
+  ctx.alloc = alloc_.get();
+  ctx.nsn = nsn_.get();
+  return ctx;
+}
+
+Status Database::InitCommon() {
+  // A floor on the frame count: concurrent structure modifications pin up
+  // to ~2*height+4 frames each; starving them mid-modification is not a
+  // recoverable condition (rollback itself needs frames).
+  if (opts_.buffer_pool_pages < 64) {
+    return Status::InvalidArgument("buffer_pool_pages must be >= 64");
+  }
+  GISTCR_RETURN_IF_ERROR(disk_.Open(opts_.path + ".db"));
+  GISTCR_RETURN_IF_ERROR(log_.Open(opts_.path + ".wal"));
+  log_.SetSyncOnFlush(opts_.sync_commit);
+  pool_ = std::make_unique<BufferPool>(
+      &disk_, opts_.buffer_pool_pages,
+      [this](Lsn lsn) { return log_.Flush(lsn); });
+  txns_ = std::make_unique<TransactionManager>(&log_, &locks_, &preds_);
+  nsn_ = std::make_unique<GlobalNsn>(opts_.nsn_source, &log_);
+  alloc_ = std::make_unique<PageAllocator>(pool_.get(), txns_.get());
+  data_ = std::make_unique<DataStore>(pool_.get(), txns_.get(), alloc_.get());
+  recovery_ = std::make_unique<RecoveryManager>(
+      pool_.get(), &log_, txns_.get(), alloc_.get(), data_.get(), nsn_.get());
+  txns_->SetUndoApplier(recovery_.get());
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<Database>> Database::Create(
+    const DatabaseOptions& opts) {
+  // Truncate any previous incarnation.
+  std::remove((opts.path + ".db").c_str());
+  std::remove((opts.path + ".wal").c_str());
+  std::remove((opts.path + ".ckpt").c_str());
+
+  std::unique_ptr<Database> db(new Database(opts));
+  GISTCR_RETURN_IF_ERROR(db->InitCommon());
+
+  // Format the meta page and the allocation bitmaps (mkfs; flushed below,
+  // so restart recovery never needs to reconstruct them from scratch).
+  {
+    auto frame_or = db->pool_->NewPage(MetaView::kMetaPageId);
+    GISTCR_RETURN_IF_ERROR(frame_or.status());
+    PageGuard guard(db->pool_.get(), frame_or.value());
+    guard.WLatch();
+    MetaView meta(guard.view().data());
+    meta.Format(PageAllocator::kNumBitmapPages);
+    guard.frame()->MarkDirty(kInvalidLsn + 1);
+  }
+  GISTCR_RETURN_IF_ERROR(db->alloc_->FormatFresh());
+
+  // First heap page, through a bootstrap transaction (the Get-Page record
+  // is logged and harmless to redo).
+  {
+    Transaction* boot = db->txns_->Begin(IsolationLevel::kReadCommitted);
+    auto pid_or = db->alloc_->Allocate(boot);
+    GISTCR_RETURN_IF_ERROR(pid_or.status());
+    auto head_or = db->data_->CreateFresh(pid_or.value());
+    GISTCR_RETURN_IF_ERROR(head_or.status());
+    {
+      auto frame_or = db->pool_->Fetch(MetaView::kMetaPageId);
+      GISTCR_RETURN_IF_ERROR(frame_or.status());
+      PageGuard guard(db->pool_.get(), frame_or.value());
+      guard.WLatch();
+      MetaView(guard.view().data()).set_heap_head(head_or.value());
+      guard.frame()->MarkDirty(boot->last_lsn());
+    }
+    GISTCR_RETURN_IF_ERROR(db->txns_->Commit(boot));
+  }
+  GISTCR_RETURN_IF_ERROR(db->FlushAll());
+  db->StartMaintenance();
+  return db;
+}
+
+StatusOr<std::unique_ptr<Database>> Database::Open(
+    const DatabaseOptions& opts) {
+  std::unique_ptr<Database> db(new Database(opts));
+  GISTCR_RETURN_IF_ERROR(db->InitCommon());
+
+  Lsn ckpt = kInvalidLsn;
+  GISTCR_RETURN_IF_ERROR(db->ReadMasterPointer(&ckpt));
+  GISTCR_RETURN_IF_ERROR(db->recovery_->Restart(ckpt));
+
+  // Attach the heap store.
+  {
+    auto frame_or = db->pool_->Fetch(MetaView::kMetaPageId);
+    GISTCR_RETURN_IF_ERROR(frame_or.status());
+    PageGuard guard(db->pool_.get(), frame_or.value());
+    guard.RLatch();
+    MetaView meta(guard.view().data());
+    if (!meta.valid()) return Status::Corruption("bad meta page");
+    const PageId head = meta.heap_head();
+    guard.Drop();
+    if (head != kInvalidPageId) {
+      GISTCR_RETURN_IF_ERROR(db->data_->Open(head));
+    }
+  }
+  db->StartMaintenance();
+  return db;
+}
+
+Status Database::RunMaintenancePass() {
+  GISTCR_RETURN_IF_ERROR(Checkpoint());
+  std::vector<Gist*> gists;
+  {
+    std::lock_guard<std::mutex> l(indexes_mu_);
+    for (auto& [id, g] : indexes_) {
+      (void)id;
+      gists.push_back(g.get());
+    }
+  }
+  for (Gist* gist : gists) {
+    Transaction* txn = Begin(IsolationLevel::kReadCommitted);
+    uint64_t removed = 0, nodes = 0;
+    Status st = gist->GarbageCollect(txn, &removed, &nodes);
+    if (st.ok()) {
+      st = Commit(txn);
+      if (!st.ok()) continue;
+    } else {
+      (void)Abort(txn);  // contention; the next pass retries
+    }
+  }
+  return Status::OK();
+}
+
+void Database::StartMaintenance() {
+  if (opts_.maintenance_interval_ms == 0) return;
+  maint_stop_ = false;
+  maint_thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> l(maint_mu_);
+    while (!maint_stop_) {
+      maint_cv_.wait_for(
+          l, std::chrono::milliseconds(opts_.maintenance_interval_ms));
+      if (maint_stop_) break;
+      l.unlock();
+      (void)RunMaintenancePass();  // best effort
+      l.lock();
+    }
+  });
+}
+
+void Database::StopMaintenance() {
+  {
+    std::lock_guard<std::mutex> l(maint_mu_);
+    if (!maint_thread_.joinable()) return;
+    maint_stop_ = true;
+    maint_cv_.notify_all();
+  }
+  maint_thread_.join();
+}
+
+Status Database::CreateIndex(uint32_t index_id, const GistExtension* ext,
+                             GistOptions opts) {
+  opts.index_id = index_id;
+  auto gist = std::make_unique<Gist>(MakeContext(), ext, opts);
+  GISTCR_RETURN_IF_ERROR(gist->Create());
+  GISTCR_RETURN_IF_ERROR(FlushAll());  // make the formatted root durable
+  std::lock_guard<std::mutex> l(indexes_mu_);
+  indexes_[index_id] = std::move(gist);
+  return Status::OK();
+}
+
+Status Database::OpenIndex(uint32_t index_id, const GistExtension* ext,
+                           GistOptions opts) {
+  opts.index_id = index_id;
+  auto gist = std::make_unique<Gist>(MakeContext(), ext, opts);
+  GISTCR_RETURN_IF_ERROR(gist->Open());
+  std::lock_guard<std::mutex> l(indexes_mu_);
+  indexes_[index_id] = std::move(gist);
+  return Status::OK();
+}
+
+StatusOr<Gist*> Database::GetIndex(uint32_t index_id) {
+  std::lock_guard<std::mutex> l(indexes_mu_);
+  auto it = indexes_.find(index_id);
+  if (it == indexes_.end()) {
+    return Status::NotFound("index " + std::to_string(index_id));
+  }
+  return it->second.get();
+}
+
+Transaction* Database::Begin(IsolationLevel iso) { return txns_->Begin(iso); }
+Status Database::Commit(Transaction* txn) { return txns_->Commit(txn); }
+Status Database::Abort(Transaction* txn) { return txns_->Abort(txn); }
+
+StatusOr<Rid> Database::InsertRecord(Transaction* txn, Gist* index, Slice key,
+                                     Slice record, bool unique) {
+  if (unique) {
+    GISTCR_RETURN_IF_ERROR(txns_->Savepoint(txn, "__insert_record"));
+  }
+  auto rid_or = data_->Insert(txn, record);
+  GISTCR_RETURN_IF_ERROR(rid_or.status());
+  const Rid rid = rid_or.value();
+  // X lock before the index insertion begins (paper section 6, phase 1).
+  GISTCR_RETURN_IF_ERROR(
+      locks_.Lock(txn->id(), LockName{LockSpace::kRecord, rid.Pack()},
+                  LockMode::kExclusive));
+  Status st = unique ? index->InsertUnique(txn, key, rid)
+                     : index->Insert(txn, key, rid);
+  if (st.IsDuplicateKey()) {
+    // Roll the heap insert back; the transaction stays usable and the
+    // duplicate error is repeatable (S lock on the existing record).
+    GISTCR_RETURN_IF_ERROR(
+        txns_->RollbackToSavepoint(txn, "__insert_record"));
+    return st;
+  }
+  GISTCR_RETURN_IF_ERROR(st);
+  return rid;
+}
+
+Status Database::DeleteRecord(Transaction* txn, Gist* index, Slice key,
+                              Rid rid) {
+  GISTCR_RETURN_IF_ERROR(
+      locks_.Lock(txn->id(), LockName{LockSpace::kRecord, rid.Pack()},
+                  LockMode::kExclusive));
+  GISTCR_RETURN_IF_ERROR(index->Delete(txn, key, rid));
+  return data_->Delete(txn, rid);
+}
+
+Status Database::Checkpoint() {
+  auto lsn_or = recovery_->Checkpoint();
+  GISTCR_RETURN_IF_ERROR(lsn_or.status());
+  GISTCR_RETURN_IF_ERROR(WriteMasterPointer(lsn_or.value()));
+  // With the master pointer durable, everything below the redo/undo
+  // horizon is dead weight: reclaim its disk space. The horizon is the
+  // minimum of the checkpoint LSN, every dirty page's rec_lsn, and every
+  // active transaction's first LSN (its undo backchain must stay
+  // readable).
+  Lsn keep = lsn_or.value();
+  for (const auto& [pid, rec_lsn] : pool_->DirtyPageTable()) {
+    (void)pid;
+    if (rec_lsn != kInvalidLsn && rec_lsn < keep) keep = rec_lsn;
+  }
+  const Lsn oldest = txns_->OldestActiveFirstLsn();
+  if (oldest != kInvalidLsn && oldest < keep) keep = oldest;
+  (void)log_.ReclaimBefore(keep);  // best effort
+  return Status::OK();
+}
+
+Status Database::FlushAll() {
+  GISTCR_RETURN_IF_ERROR(log_.FlushAll());
+  return pool_->FlushAll();
+}
+
+void Database::SimulateCrash() {
+  StopMaintenance();
+  log_.DiscardTail();
+  pool_->DiscardAll();
+  crashed_ = true;
+}
+
+Status Database::ReadMasterPointer(Lsn* lsn) {
+  *lsn = kInvalidLsn;
+  FILE* f = std::fopen((opts_.path + ".ckpt").c_str(), "r");
+  if (f == nullptr) return Status::OK();  // no checkpoint yet
+  unsigned long long v = 0;
+  const int n = std::fscanf(f, "%llu", &v);
+  std::fclose(f);
+  if (n == 1) *lsn = static_cast<Lsn>(v);
+  return Status::OK();
+}
+
+Status Database::WriteMasterPointer(Lsn lsn) {
+  const std::string tmp = opts_.path + ".ckpt.tmp";
+  FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return Status::IOError("open master pointer");
+  std::fprintf(f, "%llu\n", static_cast<unsigned long long>(lsn));
+  std::fflush(f);
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), (opts_.path + ".ckpt").c_str()) != 0) {
+    return Status::IOError("rename master pointer");
+  }
+  return Status::OK();
+}
+
+}  // namespace gistcr

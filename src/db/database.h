@@ -1,0 +1,156 @@
+#ifndef GISTCR_DB_DATABASE_H_
+#define GISTCR_DB_DATABASE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "db/data_store.h"
+#include "db/page_allocator.h"
+#include "gist/gist.h"
+#include "recovery/recovery_manager.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "txn/lock_manager.h"
+#include "txn/predicate_manager.h"
+#include "txn/transaction_manager.h"
+#include "wal/log_manager.h"
+
+namespace gistcr {
+
+struct DatabaseOptions {
+  std::string path;  ///< Base path: <path>.db, <path>.wal, <path>.ckpt.
+  size_t buffer_pool_pages = 4096;
+  NsnSource nsn_source = NsnSource::kLsn;
+  /// fdatasync the log on commit/flush. Benchmarks measuring protocol
+  /// scaling may disable it; anything testing durability must not.
+  bool sync_commit = true;
+  /// When non-zero, a background maintenance thread runs every this many
+  /// milliseconds: fuzzy checkpoint (+ WAL space reclamation) and a
+  /// garbage-collection sweep over every open index (paper section 7.1:
+  /// physical removal "performed as garbage collection by other
+  /// operations" — here, a dedicated daemon, like PostgreSQL's vacuum).
+  uint32_t maintenance_interval_ms = 0;
+};
+
+/// The engine facade: wires disk, buffer pool, WAL, transactions, locks,
+/// predicates, recovery and the heap data store; owns the GiST indexes.
+///
+/// Lifecycle:
+///   auto db = Database::Create(opts);            // mkfs
+///   db->CreateIndex(1, &ext);                    // register + format
+///   ... workload ...
+///   db->Checkpoint(); db.reset();                // clean shutdown
+///   auto db2 = Database::Open(opts);             // restart recovery runs
+///   db2->OpenIndex(1, &ext);
+///
+/// Crash testing: SimulateCrash() drops all volatile state (buffer pool
+/// contents and the unflushed log tail) exactly as a power failure would;
+/// the Database object is then dead and must be re-Opened.
+class Database {
+ public:
+  ~Database();
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(Database);
+
+  /// Creates a fresh database (truncating any existing files at the path).
+  static StatusOr<std::unique_ptr<Database>> Create(
+      const DatabaseOptions& opts);
+
+  /// Opens an existing database and runs restart recovery.
+  static StatusOr<std::unique_ptr<Database>> Open(
+      const DatabaseOptions& opts);
+
+  /// Formats a new GiST index. The extension must outlive the Database.
+  Status CreateIndex(uint32_t index_id, const GistExtension* ext,
+                     GistOptions opts = GistOptions());
+
+  /// Attaches to an index that exists on disk.
+  Status OpenIndex(uint32_t index_id, const GistExtension* ext,
+                   GistOptions opts = GistOptions());
+
+  StatusOr<Gist*> GetIndex(uint32_t index_id);
+
+  Transaction* Begin(IsolationLevel iso = IsolationLevel::kRepeatableRead);
+  Status Commit(Transaction* txn);
+  Status Abort(Transaction* txn);
+
+  /// Inserts a data record and indexes it: heap insert, X lock on the new
+  /// Rid (paper section 6 step 1), then the GiST insertion. With \p unique
+  /// a DuplicateKey rolls the heap insert back to a savepoint and leaves
+  /// the transaction usable.
+  StatusOr<Rid> InsertRecord(Transaction* txn, Gist* index, Slice key,
+                             Slice record, bool unique = false);
+
+  /// Logically deletes the index entry and tombstones the data record.
+  Status DeleteRecord(Transaction* txn, Gist* index, Slice key, Rid rid);
+
+  /// Reads a data record (no locking; use inside a transaction that
+  /// S-locked the rid via Search for repeatable reads).
+  StatusOr<std::string> ReadRecord(Rid rid) { return data_->Read(rid); }
+
+  /// Fuzzy checkpoint + master-pointer update.
+  Status Checkpoint();
+
+  /// Flush everything (clean shutdown aid).
+  Status FlushAll();
+
+  /// Drops all volatile state — simulates a crash. The object becomes
+  /// unusable except for destruction; re-Open to recover.
+  void SimulateCrash();
+
+  /// One maintenance pass (what the background thread runs): checkpoint,
+  /// reclaim WAL space, garbage-collect every open index. Callable
+  /// directly when no daemon is configured.
+  Status RunMaintenancePass();
+
+  // Component access (tests, benchmarks).
+  BufferPool* pool() { return pool_.get(); }
+  LogManager* log() { return &log_; }
+  TransactionManager* txns() { return txns_.get(); }
+  LockManager* locks() { return &locks_; }
+  PredicateManager* preds() { return &preds_; }
+  PageAllocator* allocator() { return alloc_.get(); }
+  DataStore* data() { return data_.get(); }
+  RecoveryManager* recovery() { return recovery_.get(); }
+  GlobalNsn* nsn() { return nsn_.get(); }
+
+ private:
+  explicit Database(const DatabaseOptions& opts);
+
+  Status InitCommon();
+  Status ReadMasterPointer(Lsn* lsn);
+  Status WriteMasterPointer(Lsn lsn);
+  GistContext MakeContext();
+
+  DatabaseOptions opts_;
+  DiskManager disk_;
+  LogManager log_;
+  std::unique_ptr<BufferPool> pool_;
+  LockManager locks_;
+  PredicateManager preds_;
+  std::unique_ptr<TransactionManager> txns_;
+  std::unique_ptr<GlobalNsn> nsn_;
+  std::unique_ptr<PageAllocator> alloc_;
+  std::unique_ptr<DataStore> data_;
+  std::unique_ptr<RecoveryManager> recovery_;
+
+  void StartMaintenance();
+  void StopMaintenance();
+
+  std::mutex indexes_mu_;
+  std::unordered_map<uint32_t, std::unique_ptr<Gist>> indexes_;
+
+  std::thread maint_thread_;
+  std::mutex maint_mu_;
+  std::condition_variable maint_cv_;
+  bool maint_stop_ = false;
+
+  bool crashed_ = false;
+};
+
+}  // namespace gistcr
+
+#endif  // GISTCR_DB_DATABASE_H_

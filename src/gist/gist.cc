@@ -1,0 +1,303 @@
+#include "gist/gist.h"
+
+#include <algorithm>
+
+#include "db/meta_page.h"
+#include "gist/tree_latch.h"
+
+namespace gistcr {
+
+using internal::TreeLatch;
+
+Gist::Gist(const GistContext& ctx, const GistExtension* ext, GistOptions opts)
+    : ctx_(ctx), ext_(ext), opts_(opts) {
+  GISTCR_CHECK(ctx_.pool != nullptr && ctx_.txns != nullptr &&
+               ctx_.locks != nullptr && ctx_.preds != nullptr &&
+               ctx_.alloc != nullptr && ctx_.nsn != nullptr);
+}
+
+Status Gist::Create() {
+  // Index creation is unlogged: it runs at database-creation time and the
+  // caller flushes before the first logged operation (see Database).
+  // Allocate the root without logging by reserving through a throwaway
+  // transaction would log; instead use the allocator's bitmap directly via
+  // a bootstrap transaction whose records are harmless to redo.
+  Transaction* boot = ctx_.txns->Begin(IsolationLevel::kReadCommitted);
+  auto pid_or = ctx_.alloc->Allocate(boot);
+  if (!pid_or.ok()) {
+    (void)ctx_.txns->Abort(boot);
+    return pid_or.status();
+  }
+  const PageId root = pid_or.value();
+  {
+    auto frame_or = ctx_.pool->NewPage(root);
+    GISTCR_RETURN_IF_ERROR(frame_or.status());
+    PageGuard guard(ctx_.pool, frame_or.value());
+    guard.WLatch();
+    NodeView node(guard.view().data());
+    node.Init(root, /*level=*/0);
+    guard.view().set_page_lsn(boot->last_lsn());
+    guard.frame()->MarkDirty(boot->last_lsn());
+  }
+  {
+    auto frame_or = ctx_.pool->Fetch(MetaView::kMetaPageId);
+    GISTCR_RETURN_IF_ERROR(frame_or.status());
+    PageGuard guard(ctx_.pool, frame_or.value());
+    guard.WLatch();
+    MetaView meta(guard.view().data());
+    GISTCR_CHECK(meta.GetRoot(opts_.index_id) == kInvalidPageId);
+    meta.SetRoot(opts_.index_id, root);
+    guard.view().set_page_lsn(boot->last_lsn());
+    guard.frame()->MarkDirty(boot->last_lsn());
+  }
+  return ctx_.txns->Commit(boot);
+}
+
+Status Gist::Open() {
+  auto root_or = GetRoot();
+  GISTCR_RETURN_IF_ERROR(root_or.status());
+  if (root_or.value() == kInvalidPageId) {
+    return Status::NotFound("index " + std::to_string(opts_.index_id));
+  }
+  return Status::OK();
+}
+
+StatusOr<PageId> Gist::GetRoot() {
+  auto frame_or = ctx_.pool->Fetch(MetaView::kMetaPageId);
+  GISTCR_RETURN_IF_ERROR(frame_or.status());
+  PageGuard guard(ctx_.pool, frame_or.value());
+  guard.RLatch();
+  MetaView meta(guard.view().data());
+  if (!meta.valid()) return Status::Corruption("bad meta page");
+  return meta.GetRoot(opts_.index_id);
+}
+
+PageId Gist::root_hint() {
+  auto r = GetRoot();
+  return r.ok() ? r.value() : kInvalidPageId;
+}
+
+Status Gist::FetchLatched(PageId pid, bool exclusive, PageGuard* out) {
+  auto frame_or = ctx_.pool->Fetch(pid);
+  GISTCR_RETURN_IF_ERROR(frame_or.status());
+  *out = PageGuard(ctx_.pool, frame_or.value());
+  if (exclusive) {
+    out->WLatch();
+  } else {
+    out->RLatch();
+  }
+  return Status::OK();
+}
+
+bool Gist::NodeIsFull(NodeView& node, const IndexEntry& e) const {
+  if (opts_.max_entries != 0 && node.count() >= opts_.max_entries) {
+    return true;
+  }
+  return !node.HasSpaceFor(e);
+}
+
+Status Gist::SignalLock(Transaction* txn, PageId node) {
+  return ctx_.locks->Lock(txn->id(), LockName{LockSpace::kNode, node},
+                          LockMode::kShared, /*wait=*/true);
+}
+
+void Gist::SignalUnlock(Transaction* txn, PageId node) {
+  ctx_.locks->Unlock(txn->id(), LockName{LockSpace::kNode, node});
+}
+
+Status Gist::Search(Transaction* txn, Slice query,
+                    std::vector<SearchResult>* out) {
+  stats_.searches.fetch_add(1, std::memory_order_relaxed);
+  const bool attach =
+      txn->isolation() == IsolationLevel::kRepeatableRead;
+  return SearchInternal(txn, query, PredKind::kSearch, attach,
+                        /*lock_rids=*/true, txn->NextOpId(), out);
+}
+
+Status Gist::SearchInternal(Transaction* txn, Slice query,
+                            PredKind attach_kind, bool attach, bool lock_rids,
+                            uint64_t op_id, std::vector<SearchResult>* out) {
+  // Pure predicate locking (section 4.2, ablation mode): one tree-global
+  // check-then-register step before the traversal starts.
+  if (attach && opts_.pred_mode == PredicateMode::kGlobal) {
+    for (;;) {
+      auto conflicts = ctx_.preds->FindConflicts(
+          PredicateManager::kGlobalTable, txn->id(),
+          [&](const PredAttachment& a) {
+            // Scans conflict with registered insert/delete keys.
+            return a.kind == PredKind::kInsert &&
+                   ext_->Consistent(a.pred, query);
+          });
+      if (conflicts.empty()) {
+        ctx_.preds->Attach(PredicateManager::kGlobalTable, txn->id(), op_id,
+                           attach_kind, query);
+        break;
+      }
+      stats_.predicate_waits.fetch_add(1, std::memory_order_relaxed);
+      for (TxnId owner : conflicts) {
+        GISTCR_RETURN_IF_ERROR(ctx_.locks->WaitForTxn(txn->id(), owner));
+      }
+    }
+  }
+  const bool hybrid_attach =
+      attach && opts_.pred_mode == PredicateMode::kHybrid;
+
+  TreeLatch tree(&tree_latch_, /*exclusive=*/false,
+                 opts_.protocol == ConcurrencyProtocol::kCoarse);
+
+  auto root_or = GetRoot();
+  GISTCR_RETURN_IF_ERROR(root_or.status());
+  const PageId root = root_or.value();
+  if (root == kInvalidPageId) return Status::NotFound("index has no root");
+
+  std::vector<StackEntry> stack;
+  GISTCR_RETURN_IF_ERROR(SignalLock(txn, root));
+  stack.push_back({root, ctx_.nsn->Current()});
+  if (hooks_.after_root_push) hooks_.after_root_push();
+
+  std::unordered_set<uint64_t> seen;
+
+  while (!stack.empty()) {
+    const StackEntry e = stack.back();
+    stack.pop_back();
+    if (hooks_.before_visit_node) hooks_.before_visit_node(e.page);
+    GISTCR_RETURN_IF_ERROR(ProcessStackEntry(
+        txn, e.page, e.nsn, query, attach_kind, hybrid_attach, lock_rids,
+        op_id, &stack, &seen, out, &tree));
+  }
+  return Status::OK();
+}
+
+
+Status Gist::ProcessStackEntry(Transaction* txn, PageId page, Nsn memorized,
+                               Slice query, PredKind attach_kind,
+                               bool hybrid_attach, bool lock_rids,
+                               uint64_t op_id,
+                               std::vector<StackEntry>* stack,
+                               std::unordered_set<uint64_t>* seen,
+                               std::vector<SearchResult>* out,
+                               internal::TreeLatch* tree) {
+  PageGuard g;
+  GISTCR_RETURN_IF_ERROR(FetchLatched(page, /*exclusive=*/false, &g));
+
+  for (;;) {
+    NodeView node(g.view().data());
+    // Split detection (Figure 2): the node split after the pointer was
+    // memorized; its right sibling(s) must also be examined, with the
+    // same memorized counter value.
+    if (LinkProtocol() && node.nsn() > memorized &&
+        node.rightlink() != kInvalidPageId) {
+      bool already = false;
+      for (const auto& s : *stack) {
+        if (s.page == node.rightlink() && s.nsn == memorized) already = true;
+      }
+      if (!already) {
+        GISTCR_RETURN_IF_ERROR(SignalLock(txn, node.rightlink()));
+        stack->push_back({node.rightlink(), memorized});
+        stats_.rightlink_follows.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    if (!node.is_leaf()) {
+      const Nsn cur = ctx_.nsn->Current();  // memorize before reading ptrs
+      const uint16_t n = node.count();
+      for (uint16_t i = 0; i < n; i++) {
+        if (!ext_->Consistent(node.entry_key(i), query)) continue;
+        const PageId child = static_cast<PageId>(node.entry_value(i));
+        GISTCR_RETURN_IF_ERROR(SignalLock(txn, child));
+        stack->push_back({child, cur});
+      }
+      if (hybrid_attach) {
+        ctx_.preds->Attach(page, txn->id(), op_id, attach_kind, query);
+      }
+      break;
+    }
+
+    // Leaf: collect qualifying entries under the hybrid protocol.
+    bool rescan = false;
+    const uint16_t n = node.count();
+    for (uint16_t i = 0; i < n && !rescan; i++) {
+      if (!ext_->Consistent(node.entry_key(i), query)) continue;
+      const TxnId del_txn = node.entry_del_txn(i);
+      if (del_txn == txn->id()) continue;  // own logical delete
+      const uint64_t rid = node.entry_value(i);
+      if (seen->count(rid) != 0) continue;
+      if (lock_rids) {
+        Status st = ctx_.locks->Lock(txn->id(),
+                                     LockName{LockSpace::kRecord, rid},
+                                     LockMode::kShared, /*wait=*/false);
+        if (st.IsBusy()) {
+          // Blocking with a latch held could deadlock against the lock
+          // owner; release the latch, wait, re-position (section 5).
+          stats_.rid_lock_waits.fetch_add(1, std::memory_order_relaxed);
+          const Nsn mem = node.nsn();
+          g.Unlatch();
+          if (tree != nullptr) tree->Release();
+          st = ctx_.locks->Lock(txn->id(),
+                                LockName{LockSpace::kRecord, rid},
+                                LockMode::kShared, /*wait=*/true);
+          GISTCR_RETURN_IF_ERROR(st);
+          if (tree != nullptr) tree->Acquire();
+          g.RLatch();
+          NodeView renode(g.view().data());
+          if (LinkProtocol() && renode.nsn() > mem &&
+              renode.rightlink() != kInvalidPageId) {
+            GISTCR_RETURN_IF_ERROR(SignalLock(txn, renode.rightlink()));
+            stack->push_back({renode.rightlink(), mem});
+            stats_.rightlink_follows.fetch_add(1, std::memory_order_relaxed);
+          }
+          rescan = true;  // restart the slot loop; `seen` prevents dupes
+          break;
+        }
+        GISTCR_RETURN_IF_ERROR(st);
+      }
+      if (node.entry_del_txn(i) != kInvalidTxnId) {
+        // Still marked after we obtained the S lock: the deleter
+        // committed; the entry is logically gone.
+        continue;
+      }
+      seen->insert(rid);
+      out->push_back({node.entry_key(i).ToString(), Rid::Unpack(rid)});
+    }
+    if (rescan) continue;
+
+    if (hybrid_attach) {
+      // Attach the search predicate; FIFO fairness (section 10.3): block
+      // behind conflicting insert predicates attached ahead of us.
+      auto conflicts = ctx_.preds->AttachAndFindConflicts(
+          page, txn->id(), op_id, attach_kind, query,
+          [&](const PredAttachment& a) {
+            return a.kind == PredKind::kInsert &&
+                   ext_->Consistent(a.pred, query);
+          });
+      if (!conflicts.empty()) {
+        stats_.predicate_waits.fetch_add(1, std::memory_order_relaxed);
+        const Nsn mem = node.nsn();
+        g.Unlatch();
+        if (tree != nullptr) tree->Release();
+        for (TxnId owner : conflicts) {
+          GISTCR_RETURN_IF_ERROR(ctx_.locks->WaitForTxn(txn->id(), owner));
+        }
+        if (tree != nullptr) tree->Acquire();
+        g.RLatch();
+        NodeView renode(g.view().data());
+        if (LinkProtocol() && renode.nsn() > mem &&
+            renode.rightlink() != kInvalidPageId) {
+          GISTCR_RETURN_IF_ERROR(SignalLock(txn, renode.rightlink()));
+          stack->push_back({renode.rightlink(), mem});
+          stats_.rightlink_follows.fetch_add(1, std::memory_order_relaxed);
+        }
+        continue;  // rescan the leaf (the insert's entry is now visible)
+      }
+    }
+    break;
+  }
+
+  g.Drop();
+  // Visited: the signaling lock protecting this stacked pointer can go
+  // (section 7.2).
+  SignalUnlock(txn, page);
+  return Status::OK();
+}
+
+}  // namespace gistcr\n

@@ -1,0 +1,307 @@
+#ifndef GISTCR_GIST_GIST_H_
+#define GISTCR_GIST_GIST_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "db/page_allocator.h"
+#include "gist/extension.h"
+#include "gist/node.h"
+#include "gist/nsn.h"
+#include "gist/tree_latch.h"
+#include "storage/buffer_pool.h"
+#include "txn/lock_manager.h"
+#include "txn/predicate_manager.h"
+#include "txn/transaction_manager.h"
+#include "util/status.h"
+#include "wal/log_payloads.h"
+
+namespace gistcr {
+
+/// Which concurrency protocol the tree runs (benchmark C1 / Figure 1):
+///  - kLink:   the paper's protocol — NSNs + rightlinks, no latch coupling,
+///             no latches across I/O or lock waits.
+///  - kCoarse: baseline — a tree-wide latch held for the whole operation
+///             (search shared, updates exclusive), standing in for the
+///             subtree-locking protocols of [BS77]. The NSN machinery stays
+///             on (it is what lets operations re-position after releasing
+///             the tree latch to block on locks).
+///  - kUnsafeNoLink: test-only — concurrent access *without* split
+///             detection, reproducing the lost-key anomaly of Figure 1.
+enum class ConcurrencyProtocol : uint8_t { kLink, kCoarse, kUnsafeNoLink };
+
+/// Where search predicates live (benchmark C2):
+///  - kHybrid: the paper's mechanism — predicates attached to visited
+///    nodes; inserts check only their target leaf (section 4.3).
+///  - kGlobal: pure predicate locking (section 4.2) — one tree-global
+///    list checked before any traversal starts.
+enum class PredicateMode : uint8_t { kHybrid, kGlobal };
+
+struct GistOptions {
+  uint32_t index_id = 1;
+  ConcurrencyProtocol protocol = ConcurrencyProtocol::kLink;
+  PredicateMode pred_mode = PredicateMode::kHybrid;
+  /// Test hook: cap live entries per node to force splits with few keys
+  /// (0 = page-capacity bound).
+  uint16_t max_entries = 0;
+};
+
+/// Shared engine components a Gist operates on.
+struct GistContext {
+  BufferPool* pool = nullptr;
+  LogManager* log = nullptr;
+  TransactionManager* txns = nullptr;
+  LockManager* locks = nullptr;
+  PredicateManager* preds = nullptr;
+  PageAllocator* alloc = nullptr;
+  GlobalNsn* nsn = nullptr;
+};
+
+struct SearchResult {
+  std::string key;
+  Rid rid;
+};
+
+/// Injection points for deterministic interleaving tests (Figure 1 / 2
+/// scenarios). All default to no-ops.
+struct GistTestHooks {
+  std::function<void(PageId leaf)> after_locate_leaf;
+  std::function<void(PageId node)> before_visit_node;
+  std::function<void()> after_root_push;
+  /// Crash injection: returning non-OK after the split's page updates but
+  /// before its NTA-End aborts the operation mid-structure-modification —
+  /// the restart-recovery scenario of paper section 9.
+  std::function<Status()> before_split_nta_end;
+};
+
+struct GistStats {
+  std::atomic<uint64_t> searches{0};
+  std::atomic<uint64_t> inserts{0};
+  std::atomic<uint64_t> deletes{0};
+  std::atomic<uint64_t> splits{0};
+  std::atomic<uint64_t> root_grows{0};
+  std::atomic<uint64_t> rightlink_follows{0};
+  std::atomic<uint64_t> predicate_waits{0};
+  std::atomic<uint64_t> rid_lock_waits{0};
+  std::atomic<uint64_t> gc_removed{0};
+  std::atomic<uint64_t> nodes_deleted{0};
+};
+
+/// A Generalized Search Tree with the paper's concurrency, isolation and
+/// recovery protocols:
+///   - search/insert/delete per Figures 3-4 (stack + memorized global NSN,
+///     rightlink compensation, no latch coupling, no latches across I/O or
+///     lock waits);
+///   - hybrid repeatable-read locking: 2PL on data-record RIDs + node-
+///     attached predicate locks with replication and percolation;
+///   - logical deletes with deferred garbage collection, drain-technique
+///     node deletion guarded by signaling locks;
+///   - all structure modifications logged as nested top actions with the
+///     Table 1 record set.
+///
+/// Thread-safe: any number of concurrent operations, one transaction per
+/// thread at a time.
+class Gist {
+ public:
+  Gist(const GistContext& ctx, const GistExtension* ext, GistOptions opts);
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(Gist);
+
+  /// Creates the index: allocates and formats an empty root leaf and
+  /// registers it on the meta page. Unlogged; the caller (Database) flushes
+  /// before the index is used. Call once per index id.
+  Status Create();
+
+  /// Opens an existing index (validates the root pointer).
+  Status Open();
+
+  /// SEARCH: all leaf entries consistent with \p query, S-locking result
+  /// RIDs and (at repeatable read) attaching the search predicate top-down
+  /// to every visited node.
+  Status Search(Transaction* txn, Slice query,
+                std::vector<SearchResult>* out);
+
+  /// INSERT of (key, rid). The caller must already hold the X lock on the
+  /// data record (paper section 6 step 1); Database::Insert does. Blocks on
+  /// conflicting search predicates attached to the target leaf.
+  Status Insert(Transaction* txn, Slice key, Rid rid);
+
+  /// Unique-index insert (section 8): search phase leaving "= key" probe
+  /// predicates, then the regular insert. Returns DuplicateKey (repeatably,
+  /// via the S lock on the existing record) if the key exists.
+  Status InsertUnique(Transaction* txn, Slice key, Rid rid);
+
+  /// DELETE: logical delete — the leaf entry is only marked (section 7);
+  /// garbage collection removes it after the deleter commits. The caller
+  /// must hold the X lock on the data record.
+  Status Delete(Transaction* txn, Slice key, Rid rid);
+
+  /// Maintenance sweep (section 7.1-7.2): removes committed-deleted leaf
+  /// entries, shrinks parent BPs, and retires empty nodes via the drain
+  /// technique. Runs in the caller's transaction (all actions are
+  /// individually committed NTAs; the surrounding txn carries no undo).
+  Status GarbageCollect(Transaction* txn, uint64_t* entries_removed,
+                        uint64_t* nodes_deleted);
+
+  /// Quiescent structural validation for tests: BP containment, level
+  /// sanity, rightlink acyclicity, RID uniqueness among live leaf entries.
+  Status CheckInvariants();
+
+  /// Collects every (key, rid, del_txn) in the tree (tests).
+  Status DumpEntries(std::vector<IndexEntry>* out);
+
+  /// Tree height (tests/benchmarks).
+  StatusOr<uint32_t> Height();
+
+  PageId root_hint();
+  uint32_t index_id() const { return opts_.index_id; }
+  const GistExtension* extension() const { return ext_; }
+  GistStats& stats() { return stats_; }
+  GistTestHooks& test_hooks() { return hooks_; }
+  const GistOptions& options() const { return opts_; }
+
+  /// One traversal-stack entry (Figure 3): a node pointer plus the global
+  /// counter value memorized when the pointer was read (or, on insert
+  /// parent stacks, the node's NSN when visited). Public for GistCursor's
+  /// saved positions.
+  struct StackEntry {
+    PageId page;
+    Nsn nsn;
+  };
+
+ private:
+
+  // --- shared helpers -------------------------------------------------
+  StatusOr<PageId> GetRoot();
+  Status FetchLatched(PageId pid, bool exclusive, PageGuard* out);
+  bool NodeIsFull(NodeView& node, const IndexEntry& e) const;
+  bool LinkProtocol() const {
+    return opts_.protocol != ConcurrencyProtocol::kUnsafeNoLink;
+  }
+
+  /// Consistency between a BP (or key) and an attached predicate.
+  /// Search/probe attachments carry query-domain bytes; insert attachments
+  /// carry the raw inserted key, wrapped into an equality query here.
+  bool PredConsistentWithBp(Slice bp, const PredAttachment& a) const {
+    if (a.kind == PredKind::kInsert) {
+      return ext_->Consistent(bp, ext_->EqQuery(a.pred));
+    }
+    return ext_->Consistent(bp, a.pred);
+  }
+
+  /// Signaling-lock helpers (paper section 7.2).
+  Status SignalLock(Transaction* txn, PageId node);
+  void SignalUnlock(Transaction* txn, PageId node);
+
+  // --- search ----------------------------------------------------------
+  /// Core traversal shared by Search, Delete-locate and unique probes.
+  /// \p attach_kind: predicate kind to attach (kSearch for scans at RR,
+  /// kUniqueProbe for unique-insert probes); pass kInsert to attach
+  /// nothing. \p lock_rids: S-lock result RIDs (2PL).
+  Status SearchInternal(Transaction* txn, Slice query, PredKind attach_kind,
+                        bool attach, bool lock_rids, uint64_t op_id,
+                        std::vector<SearchResult>* out);
+
+  /// Processes one popped stack entry per Figure 3: split compensation,
+  /// child pushes with signaling locks (internal) or qualifying-entry
+  /// collection with RID locks and predicate fairness (leaf). Shared by
+  /// SearchInternal and GistCursor. \p tree may be null (no coarse latch
+  /// re-acquisition around lock waits).
+  Status ProcessStackEntry(Transaction* txn, PageId page, Nsn memorized,
+                           Slice query, PredKind attach_kind,
+                           bool hybrid_attach, bool lock_rids,
+                           uint64_t op_id,
+                           std::vector<StackEntry>* stack,
+                           std::unordered_set<uint64_t>* seen,
+                           std::vector<SearchResult>* out,
+                           internal::TreeLatch* tree);
+
+  friend class GistCursor;
+
+  // --- insert ----------------------------------------------------------
+  /// Figure 4 locateLeaf: penalty descent with rightlink compensation;
+  /// fills the ancestor stack (bottom = root-most) and returns the leaf
+  /// X-latched. Signaling locks are taken on every stacked node and the
+  /// leaf; the caller releases stack locks at op end (the leaf lock is
+  /// kept to end of transaction, section 7.2).
+  Status LocateLeaf(Transaction* txn, Slice key,
+                    std::vector<StackEntry>* stack, PageGuard* leaf);
+
+  /// Figure 4 splitNode as one nested top action, splitting ancestors
+  /// recursively as needed. \p node stays valid (original page, still
+  /// X-latched) on return.
+  Status SplitNode(Transaction* txn, PageGuard* node,
+                   std::vector<StackEntry>* stack, size_t level_idx);
+
+  /// One split step inside an open NTA (no NtaBegin/End of its own).
+  Status SplitNodeInNta(Transaction* txn, PageGuard* node,
+                        std::vector<StackEntry>* stack, size_t level_idx);
+
+  /// Root growth (B-link upward split) inside an open NTA.
+  Status GrowRoot(Transaction* txn, PageGuard* root);
+
+  /// Figure 4 updateBP: recursive upward latching, top-down application on
+  /// unwind, one Parent-Entry-Update per level, predicate percolation.
+  Status UpdateBp(Transaction* txn, PageGuard* node, const std::string& bp,
+                  std::vector<StackEntry>* stack, size_t level_idx);
+
+  /// X-latches the parent of \p child using stack[idx], chasing the parent
+  /// rightlink chain if the parent split since it was visited; falls back
+  /// to an exhaustive descent when the root grew.
+  Status LatchParentForChild(Transaction* txn, std::vector<StackEntry>* stack,
+                             size_t idx, PageId child, PageGuard* out);
+  Status FindParentExhaustive(PageId child, PageGuard* out);
+
+  /// Re-locates the leaf holding (key,rid) after latches were released
+  /// (post lock wait), guided by the memorized NSN.
+  Status ChaseToEntry(Transaction* txn, PageId start, Nsn memorized,
+                      Slice key, uint64_t value, PageGuard* out, int* slot);
+
+  /// Opportunistic leaf GC (committed-deleted entries) to make room before
+  /// splitting. Leaf is X-latched.
+  Status LeafGc(Transaction* txn, PageGuard* leaf, uint64_t* removed);
+
+  Status InsertCore(Transaction* txn, Slice key, Rid rid, uint64_t op_id,
+                    internal::TreeLatch* tree);
+
+  /// Figure 4 rightlink-chain penalty chase: \p g holds a latched node
+  /// whose NSN exceeds \p delimiter; on return \p g holds the chain node
+  /// with the lowest insert penalty for \p key (latched in \p exclusive
+  /// mode). Signaling locks of rejected chain nodes are released; the
+  /// chosen node's is held.
+  Status ChaseForPenalty(Transaction* txn, PageGuard* g, Nsn delimiter,
+                         Slice key, bool exclusive);
+
+  // --- maintenance -----------------------------------------------------
+  Status GcRecurse(Transaction* txn, PageId node, uint64_t* removed,
+                   uint64_t* deleted_nodes);
+  Status TryDeleteChild(Transaction* txn, PageGuard* parent, PageId child,
+                        bool* deleted);
+  Status ShrinkChildBp(Transaction* txn, PageGuard* parent, PageGuard* child);
+
+  // --- invariant checking ----------------------------------------------
+  Status CheckNode(PageId pid, Slice parent_pred, uint32_t expected_level,
+                   bool has_expected_level,
+                   std::unordered_set<uint64_t>* rids,
+                   std::unordered_set<PageId>* visited);
+
+  GistContext ctx_;
+  const GistExtension* ext_;
+  GistOptions opts_;
+  GistStats stats_;
+  GistTestHooks hooks_;
+
+  /// kCoarse baseline: tree-wide latch.
+  std::shared_mutex tree_latch_;
+  /// One GarbageCollect sweep at a time (its rightlink-owner analysis
+  /// assumes it is the only deleter).
+  std::mutex gc_mu_;
+};
+
+}  // namespace gistcr
+
+#endif  // GISTCR_GIST_GIST_H_

@@ -1,0 +1,124 @@
+#include "gist/gist.h"
+#include "gist/tree_latch.h"
+
+namespace gistcr {
+
+using internal::TreeLatch;
+
+// DELETE (paper section 7): locate the (key, rid) leaf entry — a search
+// with an equality predicate — and mark it logically deleted. The entry
+// stays physically present (and the parent BPs untouched) so concurrent
+// Degree-3 searches still reach it and block on the record's X lock;
+// garbage collection removes it after this transaction terminates.
+Status Gist::Delete(Transaction* txn, Slice key, Rid rid) {
+  stats_.deletes.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t op_id = txn->NextOpId();
+
+  // Two-phase X lock on the data record before touching the tree.
+  GISTCR_RETURN_IF_ERROR(
+      ctx_.locks->Lock(txn->id(), LockName{LockSpace::kRecord, rid.Pack()},
+                       LockMode::kExclusive, /*wait=*/true));
+
+  // Pure predicate locking ablation: deletes register their key too
+  // (section 4.2) and wait out conflicting scans up front.
+  if (opts_.pred_mode == PredicateMode::kGlobal) {
+    for (;;) {
+      auto conflicts = ctx_.preds->FindConflicts(
+          PredicateManager::kGlobalTable, txn->id(),
+          [&](const PredAttachment& a) {
+            return a.kind != PredKind::kInsert &&
+                   ext_->Consistent(key, a.pred);
+          });
+      if (conflicts.empty()) {
+        ctx_.preds->Attach(PredicateManager::kGlobalTable, txn->id(), op_id,
+                           PredKind::kInsert, key);
+        break;
+      }
+      stats_.predicate_waits.fetch_add(1, std::memory_order_relaxed);
+      for (TxnId owner : conflicts) {
+        GISTCR_RETURN_IF_ERROR(ctx_.locks->WaitForTxn(txn->id(), owner));
+      }
+    }
+  }
+
+  TreeLatch tree(&tree_latch_, /*exclusive=*/true,
+                 opts_.protocol == ConcurrencyProtocol::kCoarse);
+
+  const std::string eq = ext_->EqQuery(key);
+  auto root_or = GetRoot();
+  GISTCR_RETURN_IF_ERROR(root_or.status());
+  const PageId root = root_or.value();
+  if (root == kInvalidPageId) return Status::NotFound("index has no root");
+
+  std::vector<StackEntry> stack;
+  GISTCR_RETURN_IF_ERROR(SignalLock(txn, root));
+  stack.push_back({root, ctx_.nsn->Current()});
+
+  auto release_stack = [&]() {
+    for (const StackEntry& s : stack) SignalUnlock(txn, s.page);
+    stack.clear();
+  };
+
+  while (!stack.empty()) {
+    const StackEntry e = stack.back();
+    stack.pop_back();
+
+    PageGuard g;
+    GISTCR_RETURN_IF_ERROR(FetchLatched(e.page, /*exclusive=*/false, &g));
+    {
+      NodeView probe(g.view().data());
+      if (probe.is_leaf()) {
+        // Need the X latch to mark; re-latch (split compensation below).
+        g.Unlatch();
+        g.WLatch();
+      }
+    }
+    NodeView node(g.view().data());
+    if (LinkProtocol() && node.nsn() > e.nsn &&
+        node.rightlink() != kInvalidPageId) {
+      GISTCR_RETURN_IF_ERROR(SignalLock(txn, node.rightlink()));
+      stack.push_back({node.rightlink(), e.nsn});
+      stats_.rightlink_follows.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    if (!node.is_leaf()) {
+      const Nsn cur = ctx_.nsn->Current();
+      for (uint16_t i = 0; i < node.count(); i++) {
+        if (!ext_->Consistent(node.entry_key(i), eq)) continue;
+        const PageId child = static_cast<PageId>(node.entry_value(i));
+        GISTCR_RETURN_IF_ERROR(SignalLock(txn, child));
+        stack.push_back({child, cur});
+      }
+      g.Drop();
+      SignalUnlock(txn, e.page);
+      continue;
+    }
+
+    const int idx = node.FindByKeyValue(key, rid.Pack());
+    if (idx >= 0 && node.entry_del_txn(static_cast<uint16_t>(idx)) ==
+                        kInvalidTxnId) {
+      // Found live: mark it (Mark-Leaf-Entry, logged in the transaction;
+      // undo unmarks, logically if the entry migrated right meanwhile).
+      LogRecord rec;
+      rec.type = LogRecordType::kMarkLeafEntry;
+      EntryOpPayload pl;
+      pl.page = e.page;
+      pl.nsn = node.nsn();
+      pl.entry = node.GetEntry(static_cast<uint16_t>(idx));
+      pl.EncodeTo(&rec.payload);
+      GISTCR_RETURN_IF_ERROR(ctx_.txns->AppendTxnLog(txn, &rec));
+      node.set_entry_del_txn(static_cast<uint16_t>(idx), txn->id());
+      g.view().set_page_lsn(rec.lsn);
+      g.frame()->MarkDirty(rec.lsn);
+      g.Drop();
+      SignalUnlock(txn, e.page);
+      release_stack();
+      return Status::OK();
+    }
+    g.Drop();
+    SignalUnlock(txn, e.page);
+  }
+  return Status::NotFound("key/rid not in index");
+}
+
+}  // namespace gistcr

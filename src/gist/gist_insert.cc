@@ -1,0 +1,878 @@
+#include <algorithm>
+#include <limits>
+
+#include "db/meta_page.h"
+#include "gist/gist.h"
+#include "gist/tree_latch.h"
+
+namespace gistcr {
+
+using internal::TreeLatch;
+
+namespace {
+
+double NodePenalty(const GistExtension* ext, NodeView& node, Slice key) {
+  Slice bp = node.bp();
+  if (bp.empty()) return std::numeric_limits<double>::max();
+  return ext->Penalty(bp, key);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Descent (Figure 4, locateLeaf)
+// ---------------------------------------------------------------------
+
+Status Gist::ChaseForPenalty(Transaction* txn, PageGuard* g, Nsn delimiter,
+                             Slice key, bool exclusive) {
+  // Hand-over-hand, strictly left-to-right: hold the best candidate and
+  // the walker; pick the chain node with the lowest insert penalty.
+  stats_.rightlink_follows.fetch_add(1, std::memory_order_relaxed);
+  PageGuard best = std::move(*g);
+  NodeView best_node(best.view().data());
+  double best_pen = NodePenalty(ext_, best_node, key);
+  Nsn cur_nsn = best_node.nsn();
+  PageId next = best_node.rightlink();
+  PageGuard walker;  // trails `best` or sits right of it
+
+  while (cur_nsn > delimiter && next != kInvalidPageId) {
+    GISTCR_RETURN_IF_ERROR(SignalLock(txn, next));
+    PageGuard cand;
+    GISTCR_RETURN_IF_ERROR(FetchLatched(next, exclusive, &cand));
+    NodeView cn(cand.view().data());
+    const double pen = NodePenalty(ext_, cn, key);
+    cur_nsn = cn.nsn();
+    const PageId after = cn.rightlink();
+    if (pen < best_pen) {
+      const PageId old_best = best.page_id();
+      best.Drop();
+      SignalUnlock(txn, old_best);
+      best = std::move(cand);
+      best_pen = pen;
+    } else {
+      // Keep `cand` latched as the walker only long enough to read its
+      // rightlink (done above); release it now.
+      const PageId cpid = cand.page_id();
+      cand.Drop();
+      SignalUnlock(txn, cpid);
+    }
+    next = after;
+  }
+  *g = std::move(best);
+  return Status::OK();
+}
+
+Status Gist::LocateLeaf(Transaction* txn, Slice key,
+                        std::vector<StackEntry>* stack, PageGuard* leaf) {
+  auto root_or = GetRoot();
+  GISTCR_RETURN_IF_ERROR(root_or.status());
+  PageId p = root_or.value();
+  if (p == kInvalidPageId) return Status::NotFound("index has no root");
+  GISTCR_RETURN_IF_ERROR(SignalLock(txn, p));
+  Nsn p_nsn = ctx_.nsn->Current();
+  int known_level = -1;  // unknown until the first latch
+
+  for (;;) {
+    const bool expect_leaf = known_level == 0;
+    PageGuard g;
+    GISTCR_RETURN_IF_ERROR(FetchLatched(p, /*exclusive=*/expect_leaf, &g));
+    {
+      NodeView node(g.view().data());
+      if (known_level < 0 && node.is_leaf()) {
+        // Root is a leaf: we latched S, need X. Re-latch; the NSN chase
+        // below compensates for any split in the window.
+        g.Unlatch();
+        g.WLatch();
+      }
+    }
+    NodeView node(g.view().data());
+    if (LinkProtocol() && node.nsn() > p_nsn) {
+      // Missed split: pick the lowest-penalty node in the rightlink chain
+      // delimited by the memorized counter (Figure 4).
+      GISTCR_RETURN_IF_ERROR(
+          ChaseForPenalty(txn, &g, p_nsn, key, node.is_leaf()));
+    }
+    NodeView cur(g.view().data());
+    if (cur.is_leaf()) {
+      *leaf = std::move(g);
+      return Status::OK();
+    }
+    // Internal: record on the parent stack with its NSN as of this visit.
+    stack->push_back({g.page_id(), cur.nsn()});
+    const uint16_t n = cur.count();
+    if (n == 0) return Status::Corruption("empty internal node");
+    uint16_t best = 0;
+    double best_pen = std::numeric_limits<double>::max();
+    for (uint16_t i = 0; i < n; i++) {
+      const double pen = ext_->Penalty(cur.entry_key(i), key);
+      if (pen < best_pen) {
+        best_pen = pen;
+        best = i;
+      }
+    }
+    const PageId child = static_cast<PageId>(cur.entry_value(best));
+    known_level = cur.level() - 1;
+    const Nsn next_nsn = ctx_.nsn->Current();  // memorize before unlatching
+    GISTCR_RETURN_IF_ERROR(SignalLock(txn, child));
+    g.Drop();
+    p = child;
+    p_nsn = next_nsn;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Parent location
+// ---------------------------------------------------------------------
+
+Status Gist::LatchParentForChild(Transaction* txn,
+                                 std::vector<StackEntry>* stack, size_t idx,
+                                 PageId child, PageGuard* out) {
+  (void)txn;
+  PageId pid = (*stack)[idx].page;
+  for (;;) {
+    PageGuard g;
+    GISTCR_RETURN_IF_ERROR(FetchLatched(pid, /*exclusive=*/true, &g));
+    NodeView node(g.view().data());
+    if (PageView(g.view().data()).page_type() == PageType::kGistNode &&
+        node.FindByValue(child) >= 0) {
+      *out = std::move(g);
+      return Status::OK();
+    }
+    const PageId rl = node.rightlink();
+    g.Drop();
+    if (rl == kInvalidPageId) {
+      // The entry is not in this chain: the root grew past this level (or
+      // the parent's entry migrated in a way the stack cannot see).
+      return FindParentExhaustive(child, out);
+    }
+    pid = rl;
+  }
+}
+
+Status Gist::FindParentExhaustive(PageId child, PageGuard* out) {
+  for (int attempt = 0; attempt < 16; attempt++) {
+    auto root_or = GetRoot();
+    GISTCR_RETURN_IF_ERROR(root_or.status());
+    std::vector<PageId> frontier{root_or.value()};
+    std::unordered_set<PageId> visited;
+    PageId found = kInvalidPageId;
+    while (!frontier.empty() && found == kInvalidPageId) {
+      const PageId pid = frontier.back();
+      frontier.pop_back();
+      if (!visited.insert(pid).second) continue;
+      PageGuard g;
+      GISTCR_RETURN_IF_ERROR(FetchLatched(pid, /*exclusive=*/false, &g));
+      if (PageView(g.view().data()).page_type() != PageType::kGistNode) {
+        continue;
+      }
+      NodeView node(g.view().data());
+      if (node.rightlink() != kInvalidPageId) {
+        frontier.push_back(node.rightlink());
+      }
+      if (node.is_leaf()) continue;
+      if (node.FindByValue(child) >= 0) {
+        found = pid;
+        break;
+      }
+      for (uint16_t i = 0; i < node.count(); i++) {
+        frontier.push_back(static_cast<PageId>(node.entry_value(i)));
+      }
+    }
+    if (found == kInvalidPageId) continue;
+    PageGuard g;
+    GISTCR_RETURN_IF_ERROR(FetchLatched(found, /*exclusive=*/true, &g));
+    NodeView node(g.view().data());
+    if (PageView(g.view().data()).page_type() == PageType::kGistNode &&
+        node.FindByValue(child) >= 0) {
+      *out = std::move(g);
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("parent of node not found");
+}
+
+// ---------------------------------------------------------------------
+// Split (Figure 4, splitNode) — one nested top action
+// ---------------------------------------------------------------------
+
+Status Gist::SplitNode(Transaction* txn, PageGuard* node,
+                       std::vector<StackEntry>* stack, size_t ancestors) {
+  const Lsn nta = ctx_.txns->NtaBegin(txn);
+  GISTCR_RETURN_IF_ERROR(SplitNodeInNta(txn, node, stack, ancestors));
+  if (hooks_.before_split_nta_end) {
+    GISTCR_RETURN_IF_ERROR(hooks_.before_split_nta_end());
+  }
+  return ctx_.txns->NtaEnd(txn, nta);
+}
+
+Status Gist::SplitNodeInNta(Transaction* txn, PageGuard* g,
+                            std::vector<StackEntry>* stack,
+                            size_t ancestors) {
+  stats_.splits.fetch_add(1, std::memory_order_relaxed);
+  NodeView node(g->view().data());
+  const PageId orig_pid = g->page_id();
+
+  // Root handling: if this node is the current root, grow upward instead
+  // of splitting sideways (a root has no rightlink to inherit).
+  if (ancestors == 0) {
+    auto root_or = GetRoot();
+    GISTCR_RETURN_IF_ERROR(root_or.status());
+    if (root_or.value() == orig_pid) {
+      return GrowRoot(txn, g);
+    }
+    // The root grew during our descent: find the real parent path.
+    PageGuard parent;
+    GISTCR_RETURN_IF_ERROR(FindParentExhaustive(orig_pid, &parent));
+    // Build a one-entry stack for the recursion.
+    std::vector<StackEntry> pstack{{parent.page_id(),
+                                    NodeView(parent.view().data()).nsn()}};
+    parent.Drop();  // LatchParentForChild will re-latch (and chase)
+    return SplitNodeInNta(txn, g, &pstack, 1);
+  }
+
+  PageGuard parent;
+  GISTCR_RETURN_IF_ERROR(
+      LatchParentForChild(txn, stack, ancestors - 1, orig_pid, &parent));
+  // Allocate the right sibling.
+  auto new_pid_or = ctx_.alloc->Allocate(txn);
+  GISTCR_RETURN_IF_ERROR(new_pid_or.status());
+  const PageId new_pid = new_pid_or.value();
+  auto frame_or = ctx_.pool->NewPage(new_pid);
+  GISTCR_RETURN_IF_ERROR(frame_or.status());
+  PageGuard ng(ctx_.pool, frame_or.value());
+  ng.WLatch();
+
+  // Distribute entries.
+  std::vector<IndexEntry> entries = node.GetAllEntries(true);
+  GISTCR_CHECK(entries.size() >= 2);
+  std::vector<bool> to_right;
+  ext_->PickSplit(entries, &to_right);
+  GISTCR_CHECK(to_right.size() == entries.size());
+  SplitPayload pl;
+  pl.orig_page = orig_pid;
+  pl.new_page = new_pid;
+  pl.level = node.level();
+  pl.old_nsn = node.nsn();
+  pl.old_rightlink = node.rightlink();
+  std::vector<IndexEntry> kept;
+  for (size_t i = 0; i < entries.size(); i++) {
+    if (to_right[i]) {
+      pl.moved.push_back(entries[i]);
+    } else {
+      kept.push_back(entries[i]);
+    }
+  }
+  GISTCR_CHECK(!pl.moved.empty() && !kept.empty());
+  pl.orig_bp_before = node.bp().ToString();
+  pl.orig_bp_after = ext_->UnionAll(kept, Slice());
+  pl.new_bp = ext_->UnionAll(pl.moved, Slice());
+
+  // NSN: dedicated counter bumps before logging; LSN mode uses the split
+  // record's own LSN (encoded as 0; redo substitutes rec.lsn).
+  if (ctx_.nsn->source() == NsnSource::kCounter) {
+    pl.new_nsn = ctx_.nsn->BumpCounter();
+  } else {
+    pl.new_nsn = 0;
+  }
+
+  LogRecord rec;
+  rec.type = LogRecordType::kSplit;
+  pl.EncodeTo(&rec.payload);
+  GISTCR_RETURN_IF_ERROR(ctx_.txns->AppendTxnLog(txn, &rec));
+  const Nsn new_nsn = pl.new_nsn != 0 ? pl.new_nsn : rec.lsn;
+
+  // Apply to the original node: drop moved entries, shrink BP, bump NSN,
+  // point the rightlink at the new sibling.
+  for (const IndexEntry& m : pl.moved) {
+    const int idx = node.FindByKeyValue(m.key, m.value);
+    GISTCR_CHECK(idx >= 0);
+    node.RemoveEntry(static_cast<uint16_t>(idx));
+  }
+  GISTCR_RETURN_IF_ERROR(node.SetBp(pl.orig_bp_after));
+  node.set_nsn(new_nsn);
+  node.set_rightlink(new_pid);
+  g->view().set_page_lsn(rec.lsn);
+  g->frame()->MarkDirty(rec.lsn);
+
+  // Apply to the new sibling: it inherits the original's prior NSN and
+  // rightlink (Figure 2).
+  NodeView nn(ng.view().data());
+  nn.Init(new_pid, pl.level);
+  for (const IndexEntry& m : pl.moved) {
+    GISTCR_RETURN_IF_ERROR(nn.InsertEntry(m));
+  }
+  GISTCR_RETURN_IF_ERROR(nn.SetBp(pl.new_bp));
+  nn.set_nsn(pl.old_nsn);
+  nn.set_rightlink(pl.old_rightlink);
+  ng.view().set_page_lsn(rec.lsn);
+  ng.frame()->MarkDirty(rec.lsn);
+
+  // Hybrid locking bookkeeping (section 4.3 case 1): predicates consistent
+  // with the new sibling's BP are replicated there; signaling locks are
+  // copied so indirectly referenced nodes stay deletion-protected
+  // (section 7.2).
+  Slice new_bp(pl.new_bp);
+  ctx_.preds->ReplicateOnSplit(orig_pid, new_pid,
+                               [&](const PredAttachment& a) {
+                                 return PredConsistentWithBp(new_bp, a);
+                               });
+  ctx_.locks->ReplicateSharedHolders(LockName{LockSpace::kNode, orig_pid},
+                                     LockName{LockSpace::kNode, new_pid});
+
+  // Install the new sibling's parent entry and refresh the original's.
+  IndexEntry parent_entry;
+  parent_entry.key = pl.new_bp;
+  parent_entry.value = new_pid;
+
+  for (;;) {
+    NodeView pn(parent.view().data());
+    if (!NodeIsFull(pn, parent_entry)) break;
+    const size_t parent_ancestors = ancestors - 1;
+    GISTCR_RETURN_IF_ERROR(
+        SplitNodeInNta(txn, &parent, stack, parent_ancestors));
+    // Our child's entry may have moved to the parent's new sibling; chase.
+    for (;;) {
+      NodeView cur(parent.view().data());
+      if (cur.FindByValue(orig_pid) >= 0) break;
+      const PageId rl = cur.rightlink();
+      GISTCR_CHECK(rl != kInvalidPageId);
+      PageGuard next;
+      GISTCR_RETURN_IF_ERROR(FetchLatched(rl, /*exclusive=*/true, &next));
+      parent.Drop();
+      parent = std::move(next);
+    }
+  }
+
+  {
+    NodeView pn(parent.view().data());
+    LogRecord add;
+    add.type = LogRecordType::kInternalEntryAdd;
+    EntryOpPayload ap;
+    ap.page = parent.page_id();
+    ap.entry = parent_entry;
+    ap.EncodeTo(&add.payload);
+    GISTCR_RETURN_IF_ERROR(ctx_.txns->AppendTxnLog(txn, &add));
+    GISTCR_RETURN_IF_ERROR(pn.InsertEntry(parent_entry));
+    parent.view().set_page_lsn(add.lsn);
+    parent.frame()->MarkDirty(add.lsn);
+
+    const int idx = pn.FindByValue(orig_pid);
+    GISTCR_CHECK(idx >= 0);
+    LogRecord upd;
+    upd.type = LogRecordType::kInternalEntryUpdate;
+    EntryOpPayload up;
+    up.page = parent.page_id();
+    up.entry.key = pl.orig_bp_after;
+    up.entry.value = orig_pid;
+    up.old_bp = pn.entry_key(static_cast<uint16_t>(idx)).ToString();
+    up.EncodeTo(&upd.payload);
+    GISTCR_RETURN_IF_ERROR(ctx_.txns->AppendTxnLog(txn, &upd));
+    GISTCR_RETURN_IF_ERROR(
+        pn.SetEntryKey(static_cast<uint16_t>(idx), pl.orig_bp_after));
+    parent.view().set_page_lsn(upd.lsn);
+    parent.frame()->MarkDirty(upd.lsn);
+  }
+  return Status::OK();
+}
+
+Status Gist::GrowRoot(Transaction* txn, PageGuard* g) {
+  stats_.root_grows.fetch_add(1, std::memory_order_relaxed);
+  NodeView node(g->view().data());
+  const PageId old_root = g->page_id();
+
+  // Split the root's content sideways first (ordinary Split record; the
+  // old root keeps its page id and gains a rightlink to the sibling), then
+  // hang both under a brand-new root and move the meta pointer up.
+  auto sib_or = ctx_.alloc->Allocate(txn);
+  GISTCR_RETURN_IF_ERROR(sib_or.status());
+  const PageId sib_pid = sib_or.value();
+  auto sib_frame_or = ctx_.pool->NewPage(sib_pid);
+  GISTCR_RETURN_IF_ERROR(sib_frame_or.status());
+  PageGuard sg(ctx_.pool, sib_frame_or.value());
+  sg.WLatch();
+
+  std::vector<IndexEntry> entries = node.GetAllEntries(true);
+  GISTCR_CHECK(entries.size() >= 2);
+  std::vector<bool> to_right;
+  ext_->PickSplit(entries, &to_right);
+  GISTCR_CHECK(to_right.size() == entries.size());
+
+  SplitPayload pl;
+  pl.orig_page = old_root;
+  pl.new_page = sib_pid;
+  pl.level = node.level();
+  pl.old_nsn = node.nsn();
+  pl.old_rightlink = node.rightlink();  // kInvalidPageId for a root
+  std::vector<IndexEntry> kept;
+  for (size_t i = 0; i < entries.size(); i++) {
+    if (to_right[i]) {
+      pl.moved.push_back(entries[i]);
+    } else {
+      kept.push_back(entries[i]);
+    }
+  }
+  GISTCR_CHECK(!pl.moved.empty() && !kept.empty());
+  pl.orig_bp_before = node.bp().ToString();
+  pl.orig_bp_after = ext_->UnionAll(kept, Slice());
+  pl.new_bp = ext_->UnionAll(pl.moved, Slice());
+  if (ctx_.nsn->source() == NsnSource::kCounter) {
+    pl.new_nsn = ctx_.nsn->BumpCounter();
+  }
+
+  LogRecord rec;
+  rec.type = LogRecordType::kSplit;
+  pl.EncodeTo(&rec.payload);
+  GISTCR_RETURN_IF_ERROR(ctx_.txns->AppendTxnLog(txn, &rec));
+  const Nsn new_nsn = pl.new_nsn != 0 ? pl.new_nsn : rec.lsn;
+
+  for (const IndexEntry& m : pl.moved) {
+    const int idx = node.FindByKeyValue(m.key, m.value);
+    GISTCR_CHECK(idx >= 0);
+    node.RemoveEntry(static_cast<uint16_t>(idx));
+  }
+  GISTCR_RETURN_IF_ERROR(node.SetBp(pl.orig_bp_after));
+  node.set_nsn(new_nsn);
+  node.set_rightlink(sib_pid);
+  g->view().set_page_lsn(rec.lsn);
+  g->frame()->MarkDirty(rec.lsn);
+
+  NodeView sn(sg.view().data());
+  sn.Init(sib_pid, pl.level);
+  for (const IndexEntry& m : pl.moved) {
+    GISTCR_RETURN_IF_ERROR(sn.InsertEntry(m));
+  }
+  GISTCR_RETURN_IF_ERROR(sn.SetBp(pl.new_bp));
+  sn.set_nsn(pl.old_nsn);
+  sn.set_rightlink(pl.old_rightlink);
+  sg.view().set_page_lsn(rec.lsn);
+  sg.frame()->MarkDirty(rec.lsn);
+
+  Slice new_bp(pl.new_bp);
+  ctx_.preds->ReplicateOnSplit(old_root, sib_pid,
+                               [&](const PredAttachment& a) {
+                                 return PredConsistentWithBp(new_bp, a);
+                               });
+  ctx_.locks->ReplicateSharedHolders(LockName{LockSpace::kNode, old_root},
+                                     LockName{LockSpace::kNode, sib_pid});
+
+  // New root above both.
+  auto root_or = ctx_.alloc->Allocate(txn);
+  GISTCR_RETURN_IF_ERROR(root_or.status());
+  const PageId new_root = root_or.value();
+  auto root_frame_or = ctx_.pool->NewPage(new_root);
+  GISTCR_RETURN_IF_ERROR(root_frame_or.status());
+  PageGuard rg(ctx_.pool, root_frame_or.value());
+  rg.WLatch();
+
+  RootChangePayload rp;
+  rp.meta_page = MetaView::kMetaPageId;
+  rp.index_id = opts_.index_id;
+  rp.old_root = old_root;
+  rp.new_root = new_root;
+  rp.new_root_level = static_cast<uint16_t>(pl.level + 1);
+  rp.root_entries.push_back({pl.orig_bp_after, old_root, kInvalidTxnId});
+  rp.root_entries.push_back({pl.new_bp, sib_pid, kInvalidTxnId});
+  rp.root_bp = ext_->Union(pl.orig_bp_after, pl.new_bp);
+
+  LogRecord rrec;
+  rrec.type = LogRecordType::kRootChange;
+  rp.EncodeTo(&rrec.payload);
+  GISTCR_RETURN_IF_ERROR(ctx_.txns->AppendTxnLog(txn, &rrec));
+
+  NodeView rn(rg.view().data());
+  rn.Init(new_root, rp.new_root_level);
+  for (const IndexEntry& e : rp.root_entries) {
+    GISTCR_RETURN_IF_ERROR(rn.InsertEntry(e));
+  }
+  GISTCR_RETURN_IF_ERROR(rn.SetBp(rp.root_bp));
+  rg.view().set_page_lsn(rrec.lsn);
+  rg.frame()->MarkDirty(rrec.lsn);
+
+  {
+    auto meta_or = ctx_.pool->Fetch(MetaView::kMetaPageId);
+    GISTCR_RETURN_IF_ERROR(meta_or.status());
+    PageGuard mg(ctx_.pool, meta_or.value());
+    mg.WLatch();
+    MetaView meta(mg.view().data());
+    meta.SetRoot(opts_.index_id, new_root);
+    mg.view().set_page_lsn(rrec.lsn);
+    mg.frame()->MarkDirty(rrec.lsn);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// BP propagation (Figure 4, updateBP)
+// ---------------------------------------------------------------------
+
+Status Gist::UpdateBp(Transaction* txn, PageGuard* g, const std::string& bp,
+                      std::vector<StackEntry>* stack, size_t ancestors) {
+  NodeView node(g->view().data());
+  if (node.bp() == Slice(bp)) return Status::OK();
+  const std::string old_bp = node.bp().ToString();
+  const PageId pid = g->page_id();
+
+  PageGuard parent;
+  bool have_parent = false;
+  if (ancestors == 0) {
+    auto root_or = GetRoot();
+    GISTCR_RETURN_IF_ERROR(root_or.status());
+    if (root_or.value() != pid) {
+      // Root grew during descent: locate the true parent.
+      GISTCR_RETURN_IF_ERROR(FindParentExhaustive(pid, &parent));
+      have_parent = true;
+    }
+  } else {
+    GISTCR_RETURN_IF_ERROR(
+        LatchParentForChild(txn, stack, ancestors - 1, pid, &parent));
+    have_parent = true;
+  }
+
+  if (!have_parent) {
+    // The node is the root: only its own BP needs the update.
+    LogRecord rec;
+    rec.type = LogRecordType::kParentEntryUpdate;
+    ParentEntryUpdatePayload pp;
+    pp.child_page = pid;
+    pp.parent_page = kInvalidPageId;
+    pp.child_value = pid;
+    pp.new_bp = bp;
+    pp.EncodeTo(&rec.payload);
+    GISTCR_RETURN_IF_ERROR(ctx_.txns->AppendTxnLog(txn, &rec));
+    GISTCR_RETURN_IF_ERROR(node.SetBp(bp));
+    g->view().set_page_lsn(rec.lsn);
+    g->frame()->MarkDirty(rec.lsn);
+    return Status::OK();
+  }
+
+  // Recurse upward first (latches climb; updates apply on unwind, i.e.
+  // top-down, which is what makes per-level atomic actions loggable in
+  // order — paper sections 6 and 9).
+  {
+    NodeView pn(parent.view().data());
+    const std::string parent_bp = ext_->Union(pn.bp(), bp);
+    const size_t parent_ancestors = ancestors == 0 ? 0 : ancestors - 1;
+    GISTCR_RETURN_IF_ERROR(
+        UpdateBp(txn, &parent, parent_bp, stack, parent_ancestors));
+  }
+
+  // Apply this level: one redo-only Parent-Entry-Update covering the
+  // child's own BP and its slot in the parent.
+  NodeView pn(parent.view().data());
+  const int idx = pn.FindByValue(pid);
+  GISTCR_CHECK(idx >= 0);
+  LogRecord rec;
+  rec.type = LogRecordType::kParentEntryUpdate;
+  ParentEntryUpdatePayload pp;
+  pp.child_page = pid;
+  pp.parent_page = parent.page_id();
+  pp.child_value = pid;
+  pp.new_bp = bp;
+  pp.EncodeTo(&rec.payload);
+  GISTCR_RETURN_IF_ERROR(ctx_.txns->AppendTxnLog(txn, &rec));
+  GISTCR_RETURN_IF_ERROR(pn.SetEntryKey(static_cast<uint16_t>(idx), bp));
+  parent.view().set_page_lsn(rec.lsn);
+  parent.frame()->MarkDirty(rec.lsn);
+  GISTCR_RETURN_IF_ERROR(node.SetBp(bp));
+  g->view().set_page_lsn(rec.lsn);
+  g->frame()->MarkDirty(rec.lsn);
+
+  // Percolation (section 4.3 case 2): predicates on the parent that are
+  // consistent with the child's expanded BP but were not with the old one
+  // must come down to the child.
+  Slice new_bp_slice(bp);
+  Slice old_bp_slice(old_bp);
+  ctx_.preds->Percolate(parent.page_id(), pid, [&](const PredAttachment& a) {
+    if (a.kind == PredKind::kInsert) return false;  // leaf-only kind
+    return ext_->Consistent(new_bp_slice, a.pred) &&
+           (old_bp_slice.empty() ||
+            !ext_->Consistent(old_bp_slice, a.pred));
+  });
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Insert driver (paper section 6)
+// ---------------------------------------------------------------------
+
+Status Gist::ChaseToEntry(Transaction* txn, PageId start, Nsn memorized,
+                          Slice key, uint64_t value, PageGuard* out,
+                          int* slot) {
+  (void)txn;
+  PageId pid = start;
+  for (;;) {
+    PageGuard g;
+    GISTCR_RETURN_IF_ERROR(FetchLatched(pid, /*exclusive=*/true, &g));
+    NodeView node(g.view().data());
+    const int idx = node.FindByKeyValue(key, value);
+    if (idx >= 0) {
+      *out = std::move(g);
+      *slot = idx;
+      return Status::OK();
+    }
+    const PageId rl = node.rightlink();
+    const bool split_since = node.nsn() > memorized;
+    g.Drop();
+    if (!split_since || rl == kInvalidPageId) {
+      return Status::Corruption("leaf entry lost while re-positioning");
+    }
+    stats_.rightlink_follows.fetch_add(1, std::memory_order_relaxed);
+    pid = rl;
+  }
+}
+
+Status Gist::LeafGc(Transaction* txn, PageGuard* leaf, uint64_t* removed) {
+  NodeView node(leaf->view().data());
+  const Lsn oldest = ctx_.txns->OldestActiveFirstLsn();
+  const bool all_committed =
+      oldest != kInvalidLsn && leaf->view().page_lsn() < oldest;
+  GarbageCollectionPayload pl;
+  pl.page = leaf->page_id();
+  for (uint16_t i = 0; i < node.count(); i++) {
+    const TxnId d = node.entry_del_txn(i);
+    if (d == kInvalidTxnId) continue;
+    // Commit_LSN fast path (section 7.1 footnote 11): if the page was last
+    // touched before the oldest active transaction began, every mark on it
+    // belongs to a terminated transaction.
+    if (all_committed || !ctx_.txns->IsActive(d)) {
+      pl.removed.push_back(node.GetEntry(i));
+    }
+  }
+  if (pl.removed.empty()) return Status::OK();
+
+  const Lsn nta = ctx_.txns->NtaBegin(txn);
+  LogRecord rec;
+  rec.type = LogRecordType::kGarbageCollection;
+  pl.EncodeTo(&rec.payload);
+  GISTCR_RETURN_IF_ERROR(ctx_.txns->AppendTxnLog(txn, &rec));
+  for (const IndexEntry& e : pl.removed) {
+    const int idx = node.FindByKeyValue(e.key, e.value);
+    GISTCR_CHECK(idx >= 0);
+    node.RemoveEntry(static_cast<uint16_t>(idx));
+  }
+  leaf->view().set_page_lsn(rec.lsn);
+  leaf->frame()->MarkDirty(rec.lsn);
+  GISTCR_RETURN_IF_ERROR(ctx_.txns->NtaEnd(txn, nta));
+  *removed += pl.removed.size();
+  stats_.gc_removed.fetch_add(pl.removed.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Gist::Insert(Transaction* txn, Slice key, Rid rid) {
+  stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+  if (key.size() > NodeView::kMaxKeySize) {
+    return Status::InvalidArgument("key too large");
+  }
+  const uint64_t op_id = txn->NextOpId();
+
+  // Phase 1 (section 6): the data record is X-locked before the tree
+  // insertion is initiated. Reentrant if the Database facade already did.
+  GISTCR_RETURN_IF_ERROR(
+      ctx_.locks->Lock(txn->id(), LockName{LockSpace::kRecord, rid.Pack()},
+                       LockMode::kExclusive, /*wait=*/true));
+
+  // Pure predicate locking (ablation): verify against the global table and
+  // register the key before touching the tree (section 4.2).
+  if (opts_.pred_mode == PredicateMode::kGlobal) {
+    for (;;) {
+      auto conflicts = ctx_.preds->FindConflicts(
+          PredicateManager::kGlobalTable, txn->id(),
+          [&](const PredAttachment& a) {
+            return a.kind != PredKind::kInsert &&
+                   ext_->Consistent(key, a.pred);
+          });
+      if (conflicts.empty()) {
+        ctx_.preds->Attach(PredicateManager::kGlobalTable, txn->id(), op_id,
+                           PredKind::kInsert, key);
+        break;
+      }
+      stats_.predicate_waits.fetch_add(1, std::memory_order_relaxed);
+      for (TxnId owner : conflicts) {
+        GISTCR_RETURN_IF_ERROR(ctx_.locks->WaitForTxn(txn->id(), owner));
+      }
+    }
+  }
+
+  TreeLatch tree(&tree_latch_, /*exclusive=*/true,
+                 opts_.protocol == ConcurrencyProtocol::kCoarse);
+  return InsertCore(txn, key, rid, op_id, &tree);
+}
+
+Status Gist::InsertCore(Transaction* txn, Slice key, Rid rid, uint64_t op_id,
+                        TreeLatch* tree) {
+  std::vector<StackEntry> stack;
+  std::vector<PageId> extra_signal_locks;  // non-final leaves visited
+  PageGuard leaf;
+  GISTCR_RETURN_IF_ERROR(LocateLeaf(txn, key, &stack, &leaf));
+  if (hooks_.after_locate_leaf) hooks_.after_locate_leaf(leaf.page_id());
+
+  IndexEntry entry;
+  entry.key = key.ToString();
+  entry.value = rid.Pack();
+
+  // Phase 3: make room — first by collecting committed-deleted entries,
+  // then by splitting (possibly recursively).
+  {
+    NodeView node(leaf.view().data());
+    if (NodeIsFull(node, entry)) {
+      uint64_t removed = 0;
+      GISTCR_RETURN_IF_ERROR(LeafGc(txn, &leaf, &removed));
+    }
+  }
+  for (int guard = 0; guard < 64; guard++) {
+    NodeView node(leaf.view().data());
+    if (!NodeIsFull(node, entry)) break;
+    if (node.count() < 2) {
+      return Status::InvalidArgument("entry does not fit on an empty node");
+    }
+    GISTCR_RETURN_IF_ERROR(SplitNode(txn, &leaf, &stack, stack.size()));
+    // The split distributed only the pre-existing entries (Figure 4); the
+    // new key belongs on whichever side has the lower insert penalty —
+    // the same placement [HNP95]'s split-with-new-entry produces, and what
+    // the paper's Split record ("newly inserted key and which page it
+    // belongs on") encodes. Hop right when the fresh sibling wins;
+    // otherwise the original leaf (which now has room) takes it.
+    NodeView after(leaf.view().data());
+    if (after.rightlink() != kInvalidPageId) {
+      const double here = ext_->Penalty(after.bp(), key);
+      PageGuard sib;
+      GISTCR_RETURN_IF_ERROR(SignalLock(txn, after.rightlink()));
+      GISTCR_RETURN_IF_ERROR(
+          FetchLatched(after.rightlink(), /*exclusive=*/true, &sib));
+      NodeView sn(sib.view().data());
+      const double there = ext_->Penalty(sn.bp(), key);
+      if (!NodeIsFull(sn, entry) && there < here) {
+        const PageId old = leaf.page_id();
+        leaf.Drop();
+        extra_signal_locks.push_back(old);  // release at end of operation
+        leaf = std::move(sib);
+      } else {
+        const PageId spid = sib.page_id();
+        sib.Drop();
+        SignalUnlock(txn, spid);
+      }
+    }
+  }
+  {
+    NodeView node(leaf.view().data());
+    if (NodeIsFull(node, entry)) {
+      return Status::NoSpace("leaf still full after splits");
+    }
+  }
+
+  // Phase 4: expand BPs along the path so the new key is visible from the
+  // root (top-down application with percolation).
+  {
+    NodeView node(leaf.view().data());
+    if (node.bp().empty() || !ext_->Contains(node.bp(), key)) {
+      const std::string union_bp = ext_->Union(node.bp(), key);
+      GISTCR_RETURN_IF_ERROR(
+          UpdateBp(txn, &leaf, union_bp, &stack, stack.size()));
+    }
+  }
+
+  // Phase 5: the content change itself, logged in the transaction (this is
+  // what rollback logically undoes).
+  {
+    NodeView node(leaf.view().data());
+    LogRecord rec;
+    rec.type = LogRecordType::kAddLeafEntry;
+    EntryOpPayload pl;
+    pl.page = leaf.page_id();
+    pl.nsn = node.nsn();
+    pl.entry = entry;
+    pl.EncodeTo(&rec.payload);
+    GISTCR_RETURN_IF_ERROR(ctx_.txns->AppendTxnLog(txn, &rec));
+    GISTCR_RETURN_IF_ERROR(node.InsertEntry(entry));
+    leaf.view().set_page_lsn(rec.lsn);
+    leaf.frame()->MarkDirty(rec.lsn);
+  }
+
+  // Phase 6: check the predicates attached to the leaf; block until
+  // conflicting scan transactions terminate. Our own insert predicate is
+  // attached first so later scans queue fairly behind us (section 10.3).
+  if (opts_.pred_mode == PredicateMode::kHybrid) {
+    for (;;) {
+      NodeView node(leaf.view().data());
+      auto conflicts = ctx_.preds->AttachAndFindConflicts(
+          leaf.page_id(), txn->id(), op_id, PredKind::kInsert, key,
+          [&](const PredAttachment& a) {
+            return a.kind != PredKind::kInsert &&
+                   ext_->Consistent(key, a.pred);
+          });
+      if (conflicts.empty()) break;
+      stats_.predicate_waits.fetch_add(1, std::memory_order_relaxed);
+      const PageId lpid = leaf.page_id();
+      const Nsn mem = node.nsn();
+      leaf.Drop();
+      tree->Release();
+      for (TxnId owner : conflicts) {
+        GISTCR_RETURN_IF_ERROR(ctx_.locks->WaitForTxn(txn->id(), owner));
+      }
+      tree->Acquire();
+      int slot;
+      GISTCR_RETURN_IF_ERROR(
+          ChaseToEntry(txn, lpid, mem, key, rid.Pack(), &leaf, &slot));
+      // Loop: re-check the predicate list of wherever the entry lives now.
+    }
+  }
+
+  const PageId final_leaf = leaf.page_id();
+  leaf.Drop();
+
+  // Release ancestor signaling locks; the target leaf's stays until end of
+  // transaction (section 7.2: it anchors the recovery-relevant link chain).
+  for (const StackEntry& se : stack) {
+    if (se.page != final_leaf) SignalUnlock(txn, se.page);
+  }
+  for (PageId pid : extra_signal_locks) {
+    if (pid != final_leaf) SignalUnlock(txn, pid);
+  }
+  // Drop the insert predicate: once the insert has finished, later scans
+  // serialize against the physically present entry's record lock.
+  ctx_.preds->DetachOp(txn->id(), op_id);
+  return Status::OK();
+}
+
+Status Gist::InsertUnique(Transaction* txn, Slice key, Rid rid) {
+  const uint64_t op_id = txn->NextOpId();
+  const std::string eq = ext_->EqQuery(key);
+
+  // Search phase (section 8): S-lock any existing duplicate's data record
+  // so the error is repeatable; leave "= key" probe predicates on every
+  // visited node so racing unique inserts of the same value deadlock
+  // rather than both succeeding.
+  std::vector<SearchResult> results;
+  Status st = SearchInternal(txn, eq, PredKind::kUniqueProbe,
+                             /*attach=*/true, /*lock_rids=*/true, op_id,
+                             &results);
+  if (!st.ok()) {
+    return st;
+  }
+  for (const SearchResult& r : results) {
+    if (ext_->KeyEquals(r.key, key)) {
+      // Duplicate found: the S lock on its record makes the error
+      // repeatable; the probe predicates are no longer needed.
+      ctx_.preds->DetachOp(txn->id(), op_id);
+      (void)r;
+      return Status::DuplicateKey("unique index " +
+                                  std::to_string(opts_.index_id));
+    }
+  }
+
+  stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+  GISTCR_RETURN_IF_ERROR(
+      ctx_.locks->Lock(txn->id(), LockName{LockSpace::kRecord, rid.Pack()},
+                       LockMode::kExclusive, /*wait=*/true));
+  TreeLatch tree(&tree_latch_, /*exclusive=*/true,
+                 opts_.protocol == ConcurrencyProtocol::kCoarse);
+  st = InsertCore(txn, key, rid, op_id, &tree);
+  if (st.ok()) {
+    // Releases the probe predicates left by the search phase (the insert
+    // predicate shares the op id and was released by InsertCore already).
+    ctx_.preds->DetachOp(txn->id(), op_id);
+  }
+  return st;
+}
+
+}  // namespace gistcr

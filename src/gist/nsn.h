@@ -1,0 +1,69 @@
+#ifndef GISTCR_GIST_NSN_H_
+#define GISTCR_GIST_NSN_H_
+
+#include <atomic>
+
+#include "common/types.h"
+#include "util/macros.h"
+#include "wal/log_manager.h"
+
+namespace gistcr {
+
+/// Where node sequence numbers come from (paper section 10.1):
+///  - kLsn: the log manager's last LSN *is* the global counter. The split
+///    record's own LSN becomes the split node's new NSN; no extra
+///    synchronization and free recoverability.
+///  - kCounter: a dedicated atomic counter, persisted via checkpoint
+///    records and redo of splits. Kept as the ablation baseline for
+///    benchmark C3.
+enum class NsnSource : uint8_t { kLsn = 0, kCounter = 1 };
+
+/// The tree-global monotonically increasing counter of paper section 3.
+/// One instance is shared database-wide (the paper notes a single
+/// database-wide counter suffices).
+class GlobalNsn {
+ public:
+  GlobalNsn(NsnSource source, LogManager* log)
+      : source_(source), log_(log) {}
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(GlobalNsn);
+
+  NsnSource source() const { return source_; }
+
+  /// Current counter value — what a descending operation memorizes before
+  /// following a child pointer (Figure 3: "nsn = global NSN").
+  Nsn Current() const {
+    if (source_ == NsnSource::kLsn) return log_->last_lsn();
+    return counter_.load(std::memory_order_acquire);
+  }
+
+  /// Counter mode only: increments and returns the new value, assigned to
+  /// the original node during a split. In LSN mode the split record's LSN
+  /// plays this role and no call is needed.
+  Nsn BumpCounter() {
+    GISTCR_DCHECK(source_ == NsnSource::kCounter);
+    return counter_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  /// Recovery: raises the counter to at least \p n (from checkpoint
+  /// payloads and redone split records).
+  void EnsureAtLeast(Nsn n) {
+    Nsn cur = counter_.load(std::memory_order_acquire);
+    while (cur < n &&
+           !counter_.compare_exchange_weak(cur, n,
+                                           std::memory_order_acq_rel)) {
+    }
+  }
+
+  Nsn CounterValue() const {
+    return counter_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const NsnSource source_;
+  LogManager* log_;
+  std::atomic<Nsn> counter_{0};
+};
+
+}  // namespace gistcr
+
+#endif  // GISTCR_GIST_NSN_H_

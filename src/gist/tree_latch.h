@@ -1,0 +1,53 @@
+#ifndef GISTCR_GIST_TREE_LATCH_H_
+#define GISTCR_GIST_TREE_LATCH_H_
+
+#include <shared_mutex>
+
+#include "util/macros.h"
+
+namespace gistcr {
+namespace internal {
+
+/// RAII for the kCoarse baseline's tree-wide latch; can be dropped and
+/// re-acquired around lock waits (blocking while holding it would deadlock
+/// undetectably against the lock manager). A no-op when disabled (kLink /
+/// kUnsafeNoLink protocols).
+class TreeLatch {
+ public:
+  TreeLatch(std::shared_mutex* m, bool exclusive, bool enabled)
+      : m_(m), exclusive_(exclusive), enabled_(enabled) {
+    Acquire();
+  }
+  ~TreeLatch() { Release(); }
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(TreeLatch);
+
+  void Acquire() {
+    if (!enabled_ || held_) return;
+    if (exclusive_) {
+      m_->lock();
+    } else {
+      m_->lock_shared();
+    }
+    held_ = true;
+  }
+  void Release() {
+    if (!enabled_ || !held_) return;
+    if (exclusive_) {
+      m_->unlock();
+    } else {
+      m_->unlock_shared();
+    }
+    held_ = false;
+  }
+
+ private:
+  std::shared_mutex* m_;
+  bool exclusive_;
+  bool enabled_;
+  bool held_ = false;
+};
+
+}  // namespace internal
+}  // namespace gistcr
+
+#endif  // GISTCR_GIST_TREE_LATCH_H_

@@ -1,0 +1,623 @@
+#include "recovery/recovery_manager.h"
+
+#include <algorithm>
+#include <map>
+
+#include "db/heap_page.h"
+#include "db/meta_page.h"
+#include "gist/node.h"
+
+namespace gistcr {
+
+namespace {
+
+Status FetchX(BufferPool* pool, PageId pid, PageGuard* out) {
+  auto frame_or = pool->Fetch(pid);
+  GISTCR_RETURN_IF_ERROR(frame_or.status());
+  *out = PageGuard(pool, frame_or.value());
+  out->WLatch();
+  return Status::OK();
+}
+
+void Stamp(PageGuard* g, Lsn lsn) {
+  g->view().set_page_lsn(lsn);
+  g->frame()->MarkDirty(lsn);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------
+
+StatusOr<Lsn> RecoveryManager::Checkpoint() {
+  CheckpointPayload pl;
+  for (auto& [id, last] : txns_->ActiveTxns()) {
+    pl.active_txns.push_back({id, last});
+  }
+  for (auto& [pid, rec] : pool_->DirtyPageTable()) {
+    pl.dirty_pages.push_back({pid, rec});
+  }
+  pl.next_txn_id = txns_->NextTxnIdForCheckpoint();
+  pl.nsn_counter = nsn_->CounterValue();
+  LogRecord rec;
+  rec.type = LogRecordType::kCheckpoint;
+  pl.EncodeTo(&rec.payload);
+  GISTCR_RETURN_IF_ERROR(log_->Append(&rec));
+  GISTCR_RETURN_IF_ERROR(log_->Flush(rec.lsn));
+  return rec.lsn;
+}
+
+// ---------------------------------------------------------------------
+// Restart
+// ---------------------------------------------------------------------
+
+Status RecoveryManager::Restart(Lsn checkpoint_lsn) {
+  // --- Analysis ---------------------------------------------------------
+  std::map<TxnId, Lsn> att;  // loser candidates -> last_lsn
+  Lsn redo_start = checkpoint_lsn == kInvalidLsn ? LogManager::kFirstLsn
+                                                 : checkpoint_lsn;
+  TxnId max_txn = 0;
+
+  if (checkpoint_lsn != kInvalidLsn) {
+    LogRecord ckpt;
+    GISTCR_RETURN_IF_ERROR(log_->ReadRecord(checkpoint_lsn, &ckpt));
+    if (ckpt.type != LogRecordType::kCheckpoint) {
+      return Corrupt("master pointer does not reference a checkpoint");
+    }
+    CheckpointPayload pl;
+    if (!pl.DecodeFrom(ckpt.payload)) return Corrupt("bad checkpoint");
+    for (const auto& t : pl.active_txns) {
+      att[t.txn_id] = t.last_lsn;
+      max_txn = std::max(max_txn, t.txn_id);
+    }
+    for (const auto& d : pl.dirty_pages) {
+      if (d.rec_lsn != kInvalidLsn) redo_start = std::min(redo_start, d.rec_lsn);
+    }
+    nsn_->EnsureAtLeast(pl.nsn_counter);
+    max_txn = std::max(max_txn, pl.next_txn_id - 1);
+  }
+
+  Status scan_st = log_->Scan(
+      checkpoint_lsn == kInvalidLsn ? LogManager::kFirstLsn : checkpoint_lsn,
+      [&](const LogRecord& rec) {
+        stats_.records_analyzed++;
+        if (rec.txn_id != kInvalidTxnId) {
+          max_txn = std::max(max_txn, rec.txn_id);
+          switch (rec.type) {
+            case LogRecordType::kCommit:
+            case LogRecordType::kEnd:
+              att.erase(rec.txn_id);
+              break;
+            default:
+              att[rec.txn_id] = rec.lsn;
+              break;
+          }
+        }
+        if (rec.type == LogRecordType::kSplit) {
+          SplitPayload pl;
+          if (pl.DecodeFrom(rec.payload) && pl.new_nsn != 0) {
+            nsn_->EnsureAtLeast(pl.new_nsn);
+          }
+        }
+        return true;
+      });
+  GISTCR_RETURN_IF_ERROR(scan_st);
+  txns_->SetNextTxnId(max_txn + 1);
+
+  // --- Redo --------------------------------------------------------------
+  GISTCR_RETURN_IF_ERROR(log_->Scan(redo_start, [&](const LogRecord& rec) {
+    Status st = RedoRecord(rec);
+    if (!st.ok()) {
+      scan_st = st;
+      return false;
+    }
+    stats_.records_redone++;
+    return true;
+  }));
+  GISTCR_RETURN_IF_ERROR(scan_st);
+
+  // --- Undo of losers -----------------------------------------------------
+  for (const auto& [id, last] : att) {
+    stats_.loser_txns++;
+    Transaction* txn = txns_->ResurrectForUndo(id, last);
+    GISTCR_RETURN_IF_ERROR(txns_->Abort(txn));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Redo (page-oriented, page-LSN test)
+// ---------------------------------------------------------------------
+
+Status RecoveryManager::RedoRecord(const LogRecord& rec) {
+  const Lsn lsn = rec.lsn;
+  switch (rec.type) {
+    case LogRecordType::kSplit: {
+      SplitPayload pl;
+      if (!pl.DecodeFrom(rec.payload)) return Corrupt("split payload");
+      const Nsn new_nsn = pl.new_nsn != 0 ? pl.new_nsn : lsn;
+      {
+        PageGuard g;
+        GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.orig_page, &g));
+        if (g.view().page_lsn() < lsn) {
+          NodeView node(g.view().data());
+          for (const IndexEntry& m : pl.moved) {
+            const int idx = node.FindByKeyValue(m.key, m.value);
+            if (idx < 0) return Corrupt("split redo: moved entry missing");
+            node.RemoveEntry(static_cast<uint16_t>(idx));
+          }
+          GISTCR_RETURN_IF_ERROR(node.SetBp(pl.orig_bp_after));
+          node.set_nsn(new_nsn);
+          node.set_rightlink(pl.new_page);
+          Stamp(&g, lsn);
+        }
+      }
+      {
+        PageGuard g;
+        GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.new_page, &g));
+        if (g.view().page_lsn() < lsn) {
+          NodeView node(g.view().data());
+          node.Init(pl.new_page, pl.level);
+          for (const IndexEntry& m : pl.moved) {
+            GISTCR_RETURN_IF_ERROR(node.InsertEntry(m));
+          }
+          GISTCR_RETURN_IF_ERROR(node.SetBp(pl.new_bp));
+          node.set_nsn(pl.old_nsn);
+          node.set_rightlink(pl.old_rightlink);
+          Stamp(&g, lsn);
+        }
+      }
+      return Status::OK();
+    }
+    case LogRecordType::kRootChange: {
+      RootChangePayload pl;
+      if (!pl.DecodeFrom(rec.payload)) return Corrupt("rootchange payload");
+      {
+        PageGuard g;
+        GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.new_root, &g));
+        if (g.view().page_lsn() < lsn) {
+          NodeView node(g.view().data());
+          node.Init(pl.new_root, pl.new_root_level);
+          for (const IndexEntry& e : pl.root_entries) {
+            GISTCR_RETURN_IF_ERROR(node.InsertEntry(e));
+          }
+          GISTCR_RETURN_IF_ERROR(node.SetBp(pl.root_bp));
+          Stamp(&g, lsn);
+        }
+      }
+      {
+        PageGuard g;
+        GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.meta_page, &g));
+        if (g.view().page_lsn() < lsn) {
+          MetaView meta(g.view().data());
+          meta.SetRoot(pl.index_id, pl.new_root);
+          Stamp(&g, lsn);
+        }
+      }
+      return Status::OK();
+    }
+    case LogRecordType::kParentEntryUpdate: {
+      ParentEntryUpdatePayload pl;
+      if (!pl.DecodeFrom(rec.payload)) return Corrupt("peu payload");
+      {
+        PageGuard g;
+        GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.child_page, &g));
+        if (g.view().page_lsn() < lsn) {
+          NodeView node(g.view().data());
+          GISTCR_RETURN_IF_ERROR(node.SetBp(pl.new_bp));
+          Stamp(&g, lsn);
+        }
+      }
+      if (pl.parent_page != kInvalidPageId) {
+        PageGuard g;
+        GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.parent_page, &g));
+        if (g.view().page_lsn() < lsn) {
+          NodeView node(g.view().data());
+          const int idx = node.FindByValue(pl.child_value);
+          if (idx < 0) return Corrupt("peu redo: entry missing");
+          GISTCR_RETURN_IF_ERROR(
+              node.SetEntryKey(static_cast<uint16_t>(idx), pl.new_bp));
+          Stamp(&g, lsn);
+        }
+      }
+      return Status::OK();
+    }
+    case LogRecordType::kInternalEntryAdd:
+    case LogRecordType::kInternalEntryUpdate:
+    case LogRecordType::kInternalEntryDelete: {
+      EntryOpPayload pl;
+      if (!pl.DecodeFrom(rec.payload)) return Corrupt("entryop payload");
+      PageGuard g;
+      GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.page, &g));
+      if (g.view().page_lsn() >= lsn) return Status::OK();
+      NodeView node(g.view().data());
+      if (rec.type == LogRecordType::kInternalEntryAdd) {
+        GISTCR_RETURN_IF_ERROR(node.InsertEntry(pl.entry));
+      } else if (rec.type == LogRecordType::kInternalEntryUpdate) {
+        const int idx = node.FindByValue(pl.entry.value);
+        if (idx < 0) return Corrupt("ieu redo: entry missing");
+        GISTCR_RETURN_IF_ERROR(
+            node.SetEntryKey(static_cast<uint16_t>(idx), pl.entry.key));
+      } else {
+        const int idx = node.FindByValue(pl.entry.value);
+        if (idx < 0) return Corrupt("ied redo: entry missing");
+        node.RemoveEntry(static_cast<uint16_t>(idx));
+      }
+      Stamp(&g, lsn);
+      return Status::OK();
+    }
+    case LogRecordType::kAddLeafEntry: {
+      EntryOpPayload pl;
+      if (!pl.DecodeFrom(rec.payload)) return Corrupt("addleaf payload");
+      PageGuard g;
+      GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.page, &g));
+      if (g.view().page_lsn() >= lsn) return Status::OK();
+      NodeView node(g.view().data());
+      GISTCR_RETURN_IF_ERROR(node.InsertEntry(pl.entry));
+      Stamp(&g, lsn);
+      return Status::OK();
+    }
+    case LogRecordType::kMarkLeafEntry: {
+      EntryOpPayload pl;
+      if (!pl.DecodeFrom(rec.payload)) return Corrupt("markleaf payload");
+      PageGuard g;
+      GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.page, &g));
+      if (g.view().page_lsn() >= lsn) return Status::OK();
+      NodeView node(g.view().data());
+      const int idx = node.FindByKeyValue(pl.entry.key, pl.entry.value);
+      if (idx < 0) return Corrupt("markleaf redo: entry missing");
+      node.set_entry_del_txn(static_cast<uint16_t>(idx), rec.txn_id);
+      Stamp(&g, lsn);
+      return Status::OK();
+    }
+    case LogRecordType::kGarbageCollection: {
+      GarbageCollectionPayload pl;
+      if (!pl.DecodeFrom(rec.payload)) return Corrupt("gc payload");
+      PageGuard g;
+      GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.page, &g));
+      if (g.view().page_lsn() >= lsn) return Status::OK();
+      NodeView node(g.view().data());
+      for (const IndexEntry& e : pl.removed) {
+        const int idx = node.FindByKeyValue(e.key, e.value);
+        if (idx < 0) return Corrupt("gc redo: entry missing");
+        node.RemoveEntry(static_cast<uint16_t>(idx));
+      }
+      Stamp(&g, lsn);
+      return Status::OK();
+    }
+    case LogRecordType::kGetPage:
+    case LogRecordType::kFreePage: {
+      PageAllocPayload pl;
+      if (!pl.DecodeFrom(rec.payload)) return Corrupt("alloc payload");
+      return alloc_->ApplyBit(pl.target_page,
+                              rec.type == LogRecordType::kGetPage, lsn,
+                              /*check_page_lsn=*/true);
+    }
+    case LogRecordType::kRightlinkUpdate: {
+      RightlinkUpdatePayload pl;
+      if (!pl.DecodeFrom(rec.payload)) return Corrupt("rightlink payload");
+      PageGuard g;
+      GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.page, &g));
+      if (g.view().page_lsn() >= lsn) return Status::OK();
+      if (g.view().page_type() == PageType::kHeap) {
+        HeapPageView(g.view().data()).set_next(pl.new_rightlink);
+      } else if (g.view().page_type() == PageType::kGistNode) {
+        NodeView(g.view().data()).set_rightlink(pl.new_rightlink);
+      } else {
+        return Corrupt("rightlink redo: unexpected page type");
+      }
+      Stamp(&g, lsn);
+      return Status::OK();
+    }
+    case LogRecordType::kHeapInsert: {
+      HeapOpPayload pl;
+      if (!pl.DecodeFrom(rec.payload)) return Corrupt("heap payload");
+      return data_->ApplyInsert(pl.page, pl.slot, pl.record, lsn, true);
+    }
+    case LogRecordType::kHeapDelete: {
+      HeapOpPayload pl;
+      if (!pl.DecodeFrom(rec.payload)) return Corrupt("heap payload");
+      return data_->ApplyDeleteMark(pl.page, pl.slot, true, lsn, true);
+    }
+    case LogRecordType::kClr: {
+      ClrPayload pl;
+      if (!pl.DecodeFrom(rec.payload)) return Corrupt("clr payload");
+      return RedoClrAction(pl.compensated_type, pl.original,
+                           pl.override_page, lsn);
+    }
+    default:
+      return Status::OK();  // txn control, NTA-End, checkpoint: no page
+  }
+}
+
+// ---------------------------------------------------------------------
+// Undo (Table 1 right column); shared by live rollback and restart
+// ---------------------------------------------------------------------
+
+StatusOr<PageId> RecoveryManager::LocateLeafForUndo(PageId start, Nsn nsn,
+                                                    const IndexEntry& entry) {
+  PageId pid = start;
+  for (int guard = 0; guard < 1 << 20; guard++) {
+    PageGuard g;
+    GISTCR_RETURN_IF_ERROR(FetchX(pool_, pid, &g));
+    if (g.view().page_type() != PageType::kGistNode) {
+      return Corrupt("logical undo: lost leaf chain");
+    }
+    NodeView node(g.view().data());
+    if (node.FindByKeyValue(entry.key, entry.value) >= 0) {
+      return pid;
+    }
+    if (node.nsn() <= nsn || node.rightlink() == kInvalidPageId) {
+      return Corrupt("logical undo: entry not found");
+    }
+    pid = node.rightlink();
+  }
+  return Corrupt("logical undo: rightlink cycle");
+}
+
+Status RecoveryManager::ApplyRemoveLeafEntry(PageId page,
+                                             const EntryOpPayload& pl,
+                                             Lsn lsn, bool check_lsn) {
+  PageId pid = page;
+  for (int guard = 0; guard < 1 << 20; guard++) {
+    PageGuard g;
+    GISTCR_RETURN_IF_ERROR(FetchX(pool_, pid, &g));
+    if (check_lsn && g.view().page_lsn() >= lsn) return Status::OK();
+    NodeView node(g.view().data());
+    const int idx = node.FindByKeyValue(pl.entry.key, pl.entry.value);
+    if (idx >= 0) {
+      node.RemoveEntry(static_cast<uint16_t>(idx));
+      Stamp(&g, lsn);
+      return Status::OK();
+    }
+    // The entry migrated right between locate and apply (live rollback
+    // under concurrency); keep chasing.
+    if (node.nsn() <= pl.nsn || node.rightlink() == kInvalidPageId) {
+      return Corrupt("undo add-leaf: entry not found");
+    }
+    pid = node.rightlink();
+  }
+  return Corrupt("undo add-leaf: rightlink cycle");
+}
+
+Status RecoveryManager::ApplyUnmarkLeafEntry(PageId page,
+                                             const EntryOpPayload& pl,
+                                             Lsn lsn, bool check_lsn) {
+  PageId pid = page;
+  for (int guard = 0; guard < 1 << 20; guard++) {
+    PageGuard g;
+    GISTCR_RETURN_IF_ERROR(FetchX(pool_, pid, &g));
+    if (check_lsn && g.view().page_lsn() >= lsn) return Status::OK();
+    NodeView node(g.view().data());
+    const int idx = node.FindByKeyValue(pl.entry.key, pl.entry.value);
+    if (idx >= 0) {
+      node.set_entry_del_txn(static_cast<uint16_t>(idx), kInvalidTxnId);
+      Stamp(&g, lsn);
+      return Status::OK();
+    }
+    if (node.nsn() <= pl.nsn || node.rightlink() == kInvalidPageId) {
+      return Corrupt("undo mark-leaf: entry not found");
+    }
+    pid = node.rightlink();
+  }
+  return Corrupt("undo mark-leaf: rightlink cycle");
+}
+
+Status RecoveryManager::ApplyUndoSplit(const SplitPayload& pl, Lsn lsn,
+                                       bool check_lsn) {
+  PageGuard g;
+  GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.orig_page, &g));
+  if (check_lsn && g.view().page_lsn() >= lsn) return Status::OK();
+  NodeView node(g.view().data());
+  for (const IndexEntry& m : pl.moved) {
+    GISTCR_RETURN_IF_ERROR(node.InsertEntry(m));
+  }
+  GISTCR_RETURN_IF_ERROR(node.SetBp(pl.orig_bp_before));
+  node.set_nsn(pl.old_nsn);
+  node.set_rightlink(pl.old_rightlink);
+  Stamp(&g, lsn);
+  // New page: "no action necessary" (Table 1) — the preceding Get-Page's
+  // undo returns it to the allocator.
+  return Status::OK();
+}
+
+Status RecoveryManager::ApplyUndoInternal(LogRecordType t,
+                                          const EntryOpPayload& pl, Lsn lsn,
+                                          bool check_lsn) {
+  PageGuard g;
+  GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.page, &g));
+  if (check_lsn && g.view().page_lsn() >= lsn) return Status::OK();
+  NodeView node(g.view().data());
+  if (t == LogRecordType::kInternalEntryAdd) {
+    const int idx = node.FindByValue(pl.entry.value);
+    if (idx < 0) return Corrupt("undo iea: entry missing");
+    node.RemoveEntry(static_cast<uint16_t>(idx));
+  } else if (t == LogRecordType::kInternalEntryUpdate) {
+    const int idx = node.FindByValue(pl.entry.value);
+    if (idx < 0) return Corrupt("undo ieu: entry missing");
+    GISTCR_RETURN_IF_ERROR(
+        node.SetEntryKey(static_cast<uint16_t>(idx), pl.old_bp));
+  } else {  // kInternalEntryDelete
+    GISTCR_RETURN_IF_ERROR(node.InsertEntry(pl.entry));
+  }
+  Stamp(&g, lsn);
+  return Status::OK();
+}
+
+Status RecoveryManager::ApplyUndoRightlink(const RightlinkUpdatePayload& pl,
+                                           Lsn lsn, bool check_lsn) {
+  PageGuard g;
+  GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.page, &g));
+  if (check_lsn && g.view().page_lsn() >= lsn) return Status::OK();
+  if (g.view().page_type() == PageType::kHeap) {
+    HeapPageView(g.view().data()).set_next(pl.old_rightlink);
+  } else if (g.view().page_type() == PageType::kGistNode) {
+    NodeView(g.view().data()).set_rightlink(pl.old_rightlink);
+  } else {
+    return Corrupt("undo rightlink: unexpected page type");
+  }
+  Stamp(&g, lsn);
+  return Status::OK();
+}
+
+Status RecoveryManager::ApplyUndoRootChange(const RootChangePayload& pl,
+                                            Lsn lsn, bool check_lsn) {
+  PageGuard g;
+  GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.meta_page, &g));
+  if (check_lsn && g.view().page_lsn() >= lsn) return Status::OK();
+  MetaView meta(g.view().data());
+  meta.SetRoot(pl.index_id, pl.old_root);
+  Stamp(&g, lsn);
+  return Status::OK();
+}
+
+Status RecoveryManager::RedoClrAction(LogRecordType t, Slice original,
+                                      PageId override_page, Lsn lsn) {
+  switch (t) {
+    case LogRecordType::kAddLeafEntry: {
+      EntryOpPayload pl;
+      if (!pl.DecodeFrom(original)) return Corrupt("clr addleaf payload");
+      const PageId page =
+          override_page != kInvalidPageId ? override_page : pl.page;
+      return ApplyRemoveLeafEntry(page, pl, lsn, /*check_lsn=*/true);
+    }
+    case LogRecordType::kMarkLeafEntry: {
+      EntryOpPayload pl;
+      if (!pl.DecodeFrom(original)) return Corrupt("clr markleaf payload");
+      const PageId page =
+          override_page != kInvalidPageId ? override_page : pl.page;
+      return ApplyUnmarkLeafEntry(page, pl, lsn, /*check_lsn=*/true);
+    }
+    case LogRecordType::kSplit: {
+      SplitPayload pl;
+      if (!pl.DecodeFrom(original)) return Corrupt("clr split payload");
+      return ApplyUndoSplit(pl, lsn, true);
+    }
+    case LogRecordType::kInternalEntryAdd:
+    case LogRecordType::kInternalEntryUpdate:
+    case LogRecordType::kInternalEntryDelete: {
+      EntryOpPayload pl;
+      if (!pl.DecodeFrom(original)) return Corrupt("clr entryop payload");
+      return ApplyUndoInternal(t, pl, lsn, true);
+    }
+    case LogRecordType::kGetPage:
+    case LogRecordType::kFreePage: {
+      PageAllocPayload pl;
+      if (!pl.DecodeFrom(original)) return Corrupt("clr alloc payload");
+      return alloc_->ApplyBit(pl.target_page,
+                              t == LogRecordType::kFreePage, lsn, true);
+    }
+    case LogRecordType::kRightlinkUpdate: {
+      RightlinkUpdatePayload pl;
+      if (!pl.DecodeFrom(original)) return Corrupt("clr rightlink payload");
+      return ApplyUndoRightlink(pl, lsn, true);
+    }
+    case LogRecordType::kRootChange: {
+      RootChangePayload pl;
+      if (!pl.DecodeFrom(original)) return Corrupt("clr rootchange payload");
+      return ApplyUndoRootChange(pl, lsn, true);
+    }
+    case LogRecordType::kHeapInsert: {
+      HeapOpPayload pl;
+      if (!pl.DecodeFrom(original)) return Corrupt("clr heap payload");
+      return data_->ApplyDeleteMark(pl.page, pl.slot, true, lsn, true);
+    }
+    case LogRecordType::kHeapDelete: {
+      HeapOpPayload pl;
+      if (!pl.DecodeFrom(original)) return Corrupt("clr heap payload");
+      return data_->ApplyDeleteMark(pl.page, pl.slot, false, lsn, true);
+    }
+    default:
+      return Corrupt("clr: uncompensatable type");
+  }
+}
+
+Status RecoveryManager::UndoRecord(Transaction* txn, const LogRecord& rec) {
+  // Redo-only records (Table 1): nothing to undo, no CLR.
+  if (rec.type == LogRecordType::kParentEntryUpdate ||
+      rec.type == LogRecordType::kGarbageCollection) {
+    return Status::OK();
+  }
+  stats_.records_undone++;
+
+  ClrPayload clr;
+  clr.compensated_type = rec.type;
+  clr.override_page = kInvalidPageId;
+  clr.original = rec.payload;
+
+  // Logical undo needs the entry's *current* leaf for the CLR.
+  if (rec.type == LogRecordType::kAddLeafEntry ||
+      rec.type == LogRecordType::kMarkLeafEntry) {
+    EntryOpPayload pl;
+    if (!pl.DecodeFrom(rec.payload)) return Corrupt("undo payload");
+    auto where = LocateLeafForUndo(pl.page, pl.nsn, pl.entry);
+    GISTCR_RETURN_IF_ERROR(where.status());
+    clr.override_page = where.value();
+  }
+
+  LogRecord crec;
+  crec.type = LogRecordType::kClr;
+  crec.undo_next = rec.prev_lsn;
+  clr.EncodeTo(&crec.payload);
+  GISTCR_RETURN_IF_ERROR(txns_->AppendTxnLog(txn, &crec));
+
+  // Apply the undo action physically (no page-LSN test on the forward
+  // path; the pages are current).
+  switch (rec.type) {
+    case LogRecordType::kAddLeafEntry: {
+      EntryOpPayload pl;
+      pl.DecodeFrom(rec.payload);
+      return ApplyRemoveLeafEntry(clr.override_page, pl, crec.lsn, false);
+    }
+    case LogRecordType::kMarkLeafEntry: {
+      EntryOpPayload pl;
+      pl.DecodeFrom(rec.payload);
+      return ApplyUnmarkLeafEntry(clr.override_page, pl, crec.lsn, false);
+    }
+    case LogRecordType::kSplit: {
+      SplitPayload pl;
+      if (!pl.DecodeFrom(rec.payload)) return Corrupt("undo split payload");
+      return ApplyUndoSplit(pl, crec.lsn, false);
+    }
+    case LogRecordType::kInternalEntryAdd:
+    case LogRecordType::kInternalEntryUpdate:
+    case LogRecordType::kInternalEntryDelete: {
+      EntryOpPayload pl;
+      if (!pl.DecodeFrom(rec.payload)) return Corrupt("undo entry payload");
+      return ApplyUndoInternal(rec.type, pl, crec.lsn, false);
+    }
+    case LogRecordType::kGetPage:
+    case LogRecordType::kFreePage: {
+      PageAllocPayload pl;
+      if (!pl.DecodeFrom(rec.payload)) return Corrupt("undo alloc payload");
+      return alloc_->ApplyBit(pl.target_page,
+                              rec.type == LogRecordType::kFreePage, crec.lsn,
+                              false);
+    }
+    case LogRecordType::kRightlinkUpdate: {
+      RightlinkUpdatePayload pl;
+      if (!pl.DecodeFrom(rec.payload)) return Corrupt("undo rl payload");
+      return ApplyUndoRightlink(pl, crec.lsn, false);
+    }
+    case LogRecordType::kRootChange: {
+      RootChangePayload pl;
+      if (!pl.DecodeFrom(rec.payload)) return Corrupt("undo root payload");
+      return ApplyUndoRootChange(pl, crec.lsn, false);
+    }
+    case LogRecordType::kHeapInsert: {
+      HeapOpPayload pl;
+      if (!pl.DecodeFrom(rec.payload)) return Corrupt("undo heap payload");
+      return data_->ApplyDeleteMark(pl.page, pl.slot, true, crec.lsn, false);
+    }
+    case LogRecordType::kHeapDelete: {
+      HeapOpPayload pl;
+      if (!pl.DecodeFrom(rec.payload)) return Corrupt("undo heap payload");
+      return data_->ApplyDeleteMark(pl.page, pl.slot, false, crec.lsn, false);
+    }
+    default:
+      return Status::OK();
+  }
+}
+
+}  // namespace gistcr

@@ -1,0 +1,98 @@
+#ifndef GISTCR_RECOVERY_RECOVERY_MANAGER_H_
+#define GISTCR_RECOVERY_RECOVERY_MANAGER_H_
+
+#include "db/data_store.h"
+#include "db/page_allocator.h"
+#include "gist/nsn.h"
+#include "storage/buffer_pool.h"
+#include "txn/transaction_manager.h"
+#include "util/status.h"
+#include "wal/log_manager.h"
+#include "wal/log_payloads.h"
+
+namespace gistcr {
+
+/// ARIES-style restart recovery (paper section 9): analysis over the log
+/// tail, page-oriented redo with the page-LSN test, and undo of loser
+/// transactions. Structure modifications were logged as nested top actions,
+/// so completed ones survive loser rollback (their NTA-End records jump the
+/// undo backchain over them) while half-done ones are rolled back
+/// physically via the Table 1 undo actions.
+///
+/// Content changes (Add-Leaf-Entry / Mark-Leaf-Entry) are undone
+/// *logically*: the leaf is relocated by rightlink traversal guided by the
+/// logged NSN, because the tree may have been restructured since (section
+/// 9.2). The undo machinery is shared with live transaction rollback: this
+/// class is the TransactionManager's UndoApplier.
+class RecoveryManager : public UndoApplier {
+ public:
+  RecoveryManager(BufferPool* pool, LogManager* log, TransactionManager* txns,
+                  PageAllocator* alloc, DataStore* data, GlobalNsn* nsn)
+      : pool_(pool), log_(log), txns_(txns), alloc_(alloc), data_(data),
+        nsn_(nsn) {}
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(RecoveryManager);
+
+  /// Full restart: analysis from \p checkpoint_lsn (kInvalidLsn: scan from
+  /// the log start), redo, then undo of losers.
+  Status Restart(Lsn checkpoint_lsn);
+
+  /// Writes a fuzzy checkpoint record (ATT + DPT + NSN counter) and forces
+  /// it. Returns its LSN for the master pointer.
+  StatusOr<Lsn> Checkpoint();
+
+  /// Page-oriented redo of one record (public for targeted tests).
+  Status RedoRecord(const LogRecord& rec);
+
+  /// UndoApplier: undoes one record on behalf of a rollback, writing the
+  /// CLR. Used both by live aborts and restart undo.
+  Status UndoRecord(Transaction* txn, const LogRecord& rec) override;
+
+  struct RestartStats {
+    uint64_t records_analyzed = 0;
+    uint64_t records_redone = 0;
+    uint64_t loser_txns = 0;
+    uint64_t records_undone = 0;
+  };
+  const RestartStats& restart_stats() const { return stats_; }
+
+ private:
+  // Physical appliers shared by forward-undo and CLR redo. Each latches
+  // the target page; when \p check_lsn, skips if page_lsn >= lsn.
+  Status ApplyRemoveLeafEntry(PageId page, const EntryOpPayload& pl, Lsn lsn,
+                              bool check_lsn);
+  Status ApplyUnmarkLeafEntry(PageId page, const EntryOpPayload& pl, Lsn lsn,
+                              bool check_lsn);
+  Status ApplyUndoSplit(const SplitPayload& pl, Lsn lsn, bool check_lsn);
+  Status ApplyUndoInternal(LogRecordType t, const EntryOpPayload& pl,
+                           Lsn lsn, bool check_lsn);
+  Status ApplyUndoRightlink(const RightlinkUpdatePayload& pl, Lsn lsn,
+                            bool check_lsn);
+  Status ApplyUndoRootChange(const RootChangePayload& pl, Lsn lsn,
+                             bool check_lsn);
+
+  /// Applies the undo action of \p compensated_type (used when redoing a
+  /// CLR). \p override_page is where a logical undo found the entry.
+  Status RedoClrAction(LogRecordType compensated_type, Slice original,
+                       PageId override_page, Lsn lsn);
+
+  /// Locates the leaf currently holding (entry.key, entry.value), starting
+  /// at \p start and chasing rightlinks guided by \p nsn (section 9.2).
+  StatusOr<PageId> LocateLeafForUndo(PageId start, Nsn nsn,
+                                     const IndexEntry& entry);
+
+  Status Corrupt(const char* what) {
+    return Status::Corruption(std::string("recovery: ") + what);
+  }
+
+  BufferPool* pool_;
+  LogManager* log_;
+  TransactionManager* txns_;
+  PageAllocator* alloc_;
+  DataStore* data_;
+  GlobalNsn* nsn_;
+  RestartStats stats_;
+};
+
+}  // namespace gistcr
+
+#endif  // GISTCR_RECOVERY_RECOVERY_MANAGER_H_

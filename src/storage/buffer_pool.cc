@@ -1,0 +1,195 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+namespace gistcr {
+
+BufferPool::BufferPool(DiskManager* disk, size_t num_frames,
+                       WalFlushFn wal_flush)
+    : disk_(disk), wal_flush_(std::move(wal_flush)) {
+  GISTCR_CHECK(num_frames > 0);
+  arena_.reset(new char[num_frames * kPageSize]);
+  frames_.reserve(num_frames);
+  for (size_t i = 0; i < num_frames; i++) {
+    auto f = std::make_unique<Frame>();
+    f->data_ = arena_.get() + i * kPageSize;
+    frames_.push_back(std::move(f));
+  }
+}
+
+BufferPool::~BufferPool() = default;
+
+Frame* BufferPool::FindVictimLocked() {
+  // CLOCK: up to two sweeps; the first sweep clears reference bits.
+  const size_t n = frames_.size();
+  for (size_t step = 0; step < 2 * n; step++) {
+    Frame* f = frames_[clock_hand_].get();
+    clock_hand_ = (clock_hand_ + 1) % n;
+    if (f->pin_count_ != 0 || f->state_ != Frame::State::kReady) continue;
+    if (f->ref_) {
+      f->ref_ = false;
+      continue;
+    }
+    return f;
+  }
+  return nullptr;
+}
+
+StatusOr<Frame*> BufferPool::FetchInternal(PageId page_id, bool fresh) {
+  std::unique_lock<std::mutex> l(mu_);
+  for (;;) {
+    auto it = table_.find(page_id);
+    if (it != table_.end()) {
+      Frame* f = it->second;
+      if (f->state_ == Frame::State::kBusy) {
+        cv_.wait(l);
+        continue;
+      }
+      f->pin_count_++;
+      f->ref_ = true;
+      if (fresh) {
+        // Stale cached copy of a previously freed page: caller reformats.
+        std::memset(f->data_, 0, kPageSize);
+      }
+      return f;
+    }
+    Frame* victim = FindVictimLocked();
+    if (victim == nullptr) {
+      return Status::NoSpace("buffer pool: all frames pinned");
+    }
+    const PageId old_pid = victim->page_id_;
+    const bool was_dirty = victim->dirty();
+    if (old_pid != kInvalidPageId) table_.erase(old_pid);
+    victim->state_ = Frame::State::kBusy;
+    victim->page_id_ = page_id;
+    victim->ref_ = true;
+    victim->pin_count_ = 1;
+    table_[page_id] = victim;
+    l.unlock();
+
+    // No pins and no table entry: we have exclusive use of the frame.
+    Status st;
+    if (was_dirty) {
+      // WAL rule: force the log up to the victim's page_lsn before the data
+      // page reaches disk.
+      const Lsn page_lsn = PageView(victim->data_).page_lsn();
+      if (wal_flush_) st = wal_flush_(page_lsn);
+      if (st.ok()) st = disk_->WritePage(old_pid, victim->data_);
+    }
+    victim->ClearDirty();
+    if (st.ok()) {
+      if (fresh) {
+        std::memset(victim->data_, 0, kPageSize);
+      } else {
+        st = disk_->ReadPage(page_id, victim->data_);
+      }
+    }
+
+    l.lock();
+    victim->state_ = Frame::State::kReady;
+    if (!st.ok()) {
+      table_.erase(page_id);
+      victim->page_id_ = kInvalidPageId;
+      victim->pin_count_ = 0;
+      cv_.notify_all();
+      return st;
+    }
+    cv_.notify_all();
+    return victim;
+  }
+}
+
+StatusOr<Frame*> BufferPool::Fetch(PageId page_id) {
+  return FetchInternal(page_id, /*fresh=*/false);
+}
+
+StatusOr<Frame*> BufferPool::NewPage(PageId page_id) {
+  return FetchInternal(page_id, /*fresh=*/true);
+}
+
+void BufferPool::Unpin(Frame* frame) {
+  std::lock_guard<std::mutex> l(mu_);
+  GISTCR_CHECK(frame->pin_count_ > 0);
+  frame->pin_count_--;
+}
+
+Status BufferPool::FlushPage(PageId page_id) {
+  Frame* frame = nullptr;
+  {
+    std::unique_lock<std::mutex> l(mu_);
+    for (;;) {
+      auto it = table_.find(page_id);
+      if (it == table_.end()) return Status::OK();
+      frame = it->second;
+      if (frame->state_ == Frame::State::kBusy) {
+        cv_.wait(l);
+        continue;
+      }
+      if (!frame->dirty()) return Status::OK();
+      frame->pin_count_++;  // keep it resident while we write
+      break;
+    }
+  }
+  Status st;
+  {
+    // Shared latch yields a consistent page image (no concurrent modifier)
+    // and makes clearing the dirty flag race-free w.r.t. MarkDirty, which
+    // requires the X latch.
+    std::shared_lock<std::shared_mutex> sl(frame->latch_);
+    const Lsn page_lsn = frame->view().page_lsn();
+    if (wal_flush_) st = wal_flush_(page_lsn);
+    if (st.ok()) st = disk_->WritePage(page_id, frame->data_);
+    if (st.ok()) frame->ClearDirty();
+  }
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    frame->pin_count_--;
+  }
+  return st;
+}
+
+Status BufferPool::FlushAll() {
+  std::vector<PageId> dirty;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    for (auto& [pid, f] : table_) {
+      if (f->dirty()) dirty.push_back(pid);
+    }
+  }
+  for (PageId pid : dirty) {
+    GISTCR_RETURN_IF_ERROR(FlushPage(pid));
+  }
+  return disk_->Sync();
+}
+
+void BufferPool::DiscardAll() {
+  std::lock_guard<std::mutex> l(mu_);
+  for (auto& f : frames_) {
+    GISTCR_CHECK(f->pin_count_ == 0);
+    f->page_id_ = kInvalidPageId;
+    f->ClearDirty();
+    f->ref_ = false;
+    f->state_ = Frame::State::kReady;
+  }
+  table_.clear();
+  clock_hand_ = 0;
+}
+
+std::vector<std::pair<PageId, Lsn>> BufferPool::DirtyPageTable() {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<std::pair<PageId, Lsn>> out;
+  for (auto& [pid, f] : table_) {
+    if (f->dirty()) {
+      const Lsn rec = f->rec_lsn();
+      out.emplace_back(pid, rec == kInvalidLsn ? 0 : rec);
+    }
+  }
+  return out;
+}
+
+size_t BufferPool::ResidentCount() {
+  std::lock_guard<std::mutex> l(mu_);
+  return table_.size();
+}
+
+}  // namespace gistcr

@@ -1,0 +1,220 @@
+#ifndef GISTCR_STORAGE_BUFFER_POOL_H_
+#define GISTCR_STORAGE_BUFFER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace gistcr {
+
+class BufferPool;
+
+/// A buffer-pool frame: one in-memory page plus its latch. Latches are the
+/// paper's physical synchronization primitive (section 5 footnote 8): they
+/// protect the frame contents, are deadlock-unchecked, and are independent
+/// of logical locks on the node. Callers may only hold the latch while the
+/// frame is pinned.
+class Frame {
+ public:
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+  PageView view() { return PageView(data_); }
+  PageId page_id() const { return page_id_; }
+
+  std::shared_mutex& latch() { return latch_; }
+
+  /// Records that the caller (holding the X latch) applied the log record
+  /// with LSN \p lsn to this page. Sets the dirty flag and maintains
+  /// rec_lsn = LSN of the first update since the page was last clean, which
+  /// feeds the fuzzy-checkpoint dirty page table.
+  void MarkDirty(Lsn lsn) {
+    Lsn expected = rec_lsn_.load(std::memory_order_relaxed);
+    while (expected == kInvalidLsn || lsn < expected) {
+      if (rec_lsn_.compare_exchange_weak(expected, lsn,
+                                         std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    dirty_.store(true, std::memory_order_release);
+  }
+
+  bool dirty() const { return dirty_.load(std::memory_order_acquire); }
+  Lsn rec_lsn() const { return rec_lsn_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class BufferPool;
+
+  enum class State { kReady, kBusy };
+
+  void ClearDirty() {
+    dirty_.store(false, std::memory_order_release);
+    rec_lsn_.store(kInvalidLsn, std::memory_order_relaxed);
+  }
+
+  PageId page_id_ = kInvalidPageId;
+  uint32_t pin_count_ = 0;       // guarded by pool mutex
+  bool ref_ = false;             // clock reference bit, guarded by pool mutex
+  State state_ = State::kReady;  // kBusy while I/O in flight; pool mutex
+  std::atomic<bool> dirty_{false};
+  std::atomic<Lsn> rec_lsn_{kInvalidLsn};
+  char* data_ = nullptr;
+  std::shared_mutex latch_;
+};
+
+/// Fixed-size buffer pool with CLOCK replacement and the write-ahead-log
+/// flush rule: before a dirty page is written out (eviction or checkpoint
+/// flush), the log is forced up to the page's page_lsn via the wal_flush
+/// callback.
+///
+/// I/O never happens while the caller holds a node latch: a Fetch performs
+/// any disk read/write before the frame is handed out, and tree operations
+/// latch only resident, pinned frames (the paper's "no latches during I/O"
+/// property falls out of this split).
+class BufferPool {
+ public:
+  using WalFlushFn = std::function<Status(Lsn)>;
+
+  /// \p wal_flush may be empty (no WAL rule) for log-less unit tests.
+  BufferPool(DiskManager* disk, size_t num_frames, WalFlushFn wal_flush);
+  ~BufferPool();
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(BufferPool);
+
+  /// Pins the page, reading it from disk on a miss. The returned frame stays
+  /// valid until Unpin.
+  StatusOr<Frame*> Fetch(PageId page_id);
+
+  /// Pins a frame for a freshly allocated page without reading disk. The
+  /// buffer is zeroed; the caller formats it.
+  StatusOr<Frame*> NewPage(PageId page_id);
+
+  /// Releases a pin.
+  void Unpin(Frame* frame);
+
+  /// Forces the page to disk if resident and dirty (WAL rule applied).
+  Status FlushPage(PageId page_id);
+
+  /// Flushes every dirty page and syncs (clean shutdown).
+  Status FlushAll();
+
+  /// Drops all cached pages *without* writing them — simulates losing
+  /// volatile memory in a crash. All pins must have been released.
+  void DiscardAll();
+
+  /// Dirty page table snapshot for fuzzy checkpoints: page id -> rec_lsn
+  /// (LSN of the earliest update not yet on disk).
+  std::vector<std::pair<PageId, Lsn>> DirtyPageTable();
+
+  size_t num_frames() const { return frames_.size(); }
+
+  /// Number of pages currently resident (for tests).
+  size_t ResidentCount();
+
+ private:
+  StatusOr<Frame*> FetchInternal(PageId page_id, bool fresh);
+  Frame* FindVictimLocked();
+
+  DiskManager* disk_;
+  WalFlushFn wal_flush_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<PageId, Frame*> table_;
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::unique_ptr<char[]> arena_;
+  size_t clock_hand_ = 0;
+};
+
+/// RAII pin + latch management for one page. Move-only. On destruction,
+/// releases any held latch and then the pin (in that order; a latch may only
+/// be held while pinned).
+class PageGuard {
+ public:
+  PageGuard() : pool_(nullptr), frame_(nullptr) {}
+  PageGuard(BufferPool* pool, Frame* frame) : pool_(pool), frame_(frame) {}
+  ~PageGuard() { Drop(); }
+
+  PageGuard(PageGuard&& o) noexcept
+      : pool_(o.pool_), frame_(o.frame_), latch_(o.latch_) {
+    o.pool_ = nullptr;
+    o.frame_ = nullptr;
+    o.latch_ = LatchState::kNone;
+  }
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    if (this != &o) {
+      Drop();
+      pool_ = o.pool_;
+      frame_ = o.frame_;
+      latch_ = o.latch_;
+      o.pool_ = nullptr;
+      o.frame_ = nullptr;
+      o.latch_ = LatchState::kNone;
+    }
+    return *this;
+  }
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(PageGuard);
+
+  bool valid() const { return frame_ != nullptr; }
+  Frame* frame() { return frame_; }
+  PageView view() { return frame_->view(); }
+  PageId page_id() const { return frame_->page_id(); }
+
+  void RLatch() {
+    GISTCR_DCHECK(latch_ == LatchState::kNone);
+    frame_->latch().lock_shared();
+    latch_ = LatchState::kShared;
+  }
+  void WLatch() {
+    GISTCR_DCHECK(latch_ == LatchState::kNone);
+    frame_->latch().lock();
+    latch_ = LatchState::kExclusive;
+  }
+  /// Non-blocking X latch (used where blocking would invert the latch
+  /// order, e.g. garbage collection latching downward).
+  bool TryWLatch() {
+    GISTCR_DCHECK(latch_ == LatchState::kNone);
+    if (!frame_->latch().try_lock()) return false;
+    latch_ = LatchState::kExclusive;
+    return true;
+  }
+  void Unlatch() {
+    if (latch_ == LatchState::kShared) {
+      frame_->latch().unlock_shared();
+    } else if (latch_ == LatchState::kExclusive) {
+      frame_->latch().unlock();
+    }
+    latch_ = LatchState::kNone;
+  }
+  bool IsLatched() const { return latch_ != LatchState::kNone; }
+  bool IsWriteLatched() const { return latch_ == LatchState::kExclusive; }
+
+  /// Unlatches (if latched) and unpins.
+  void Drop() {
+    if (frame_ != nullptr) {
+      Unlatch();
+      pool_->Unpin(frame_);
+      frame_ = nullptr;
+      pool_ = nullptr;
+    }
+  }
+
+ private:
+  enum class LatchState { kNone, kShared, kExclusive };
+
+  BufferPool* pool_;
+  Frame* frame_;
+  LatchState latch_ = LatchState::kNone;
+};
+
+}  // namespace gistcr
+
+#endif  // GISTCR_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,70 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gistcr {
+
+DiskManager::~DiskManager() { Close(); }
+
+Status DiskManager::Open(const std::string& path) {
+  GISTCR_CHECK(fd_ < 0);
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+void DiskManager::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status DiskManager::ReadPage(PageId page_id, char* out) {
+  GISTCR_CHECK(fd_ >= 0);
+  const off_t offset = static_cast<off_t>(page_id) * kPageSize;
+  ssize_t n = ::pread(fd_, out, kPageSize, offset);
+  if (n < 0) {
+    return Status::IOError("pread: " + std::string(std::strerror(errno)));
+  }
+  if (n < static_cast<ssize_t>(kPageSize)) {
+    // Short read past EOF: treat the rest as zeroes (fresh page).
+    std::memset(out + n, 0, kPageSize - static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId page_id, const char* data) {
+  GISTCR_CHECK(fd_ >= 0);
+  const off_t offset = static_cast<off_t>(page_id) * kPageSize;
+  ssize_t n = ::pwrite(fd_, data, kPageSize, offset);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pwrite: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  GISTCR_CHECK(fd_ >= 0);
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError("fdatasync: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+uint64_t DiskManager::PageCountOnDisk() const {
+  if (fd_ < 0) return 0;
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size) / kPageSize;
+}
+
+}  // namespace gistcr

@@ -1,0 +1,51 @@
+#ifndef GISTCR_STORAGE_DISK_MANAGER_H_
+#define GISTCR_STORAGE_DISK_MANAGER_H_
+
+#include <mutex>
+#include <string>
+
+#include "common/types.h"
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace gistcr {
+
+/// File-backed page store. Pure I/O: page allocation policy lives above
+/// (allocation bitmap pages maintained through the buffer pool so that
+/// Get-Page / Free-Page log records can redo it, paper Table 1).
+///
+/// Thread-safe: reads/writes use pread/pwrite; file extension is serialized.
+class DiskManager {
+ public:
+  DiskManager() = default;
+  ~DiskManager();
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(DiskManager);
+
+  /// Opens (creating if absent) the database file.
+  Status Open(const std::string& path);
+  void Close();
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Reads page \p page_id into \p out (kPageSize bytes). Reading a page
+  /// beyond the current file size yields a zeroed buffer (fresh page).
+  Status ReadPage(PageId page_id, char* out);
+
+  /// Writes kPageSize bytes at the page's offset, extending the file if
+  /// needed. Does not sync; call Sync() for durability.
+  Status WritePage(PageId page_id, const char* data);
+
+  /// fdatasync the file.
+  Status Sync();
+
+  /// Number of whole pages currently in the file.
+  uint64_t PageCountOnDisk() const;
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace gistcr
+
+#endif  // GISTCR_STORAGE_DISK_MANAGER_H_

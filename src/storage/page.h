@@ -1,0 +1,68 @@
+#ifndef GISTCR_STORAGE_PAGE_H_
+#define GISTCR_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "util/coding.h"
+
+namespace gistcr {
+
+/// Page type tags stored in the common page header.
+enum class PageType : uint16_t {
+  kFree = 0,
+  kMeta = 1,      ///< Page 0: database metadata (root pointers, HWM).
+  kAllocMap = 2,  ///< Page allocation bitmap pages.
+  kGistNode = 3,  ///< GiST index node (internal or leaf).
+  kHeap = 4,      ///< Heap data-store page.
+};
+
+/// Every page starts with this 16-byte header:
+///   [0..7]   page_lsn  - LSN of the last log record applied to the page;
+///                        drives idempotent page-oriented redo.
+///   [8..11]  page_id   - self identifier (corruption check).
+///   [12..13] page_type
+///   [14..15] reserved
+/// PageView is a non-owning accessor over a kPageSize byte buffer.
+class PageView {
+ public:
+  static constexpr uint32_t kHeaderSize = 16;
+
+  explicit PageView(char* data) : data_(data) {}
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  /// Payload area after the common header.
+  char* payload() { return data_ + kHeaderSize; }
+  const char* payload() const { return data_ + kHeaderSize; }
+  static constexpr uint32_t payload_size() { return kPageSize - kHeaderSize; }
+
+  Lsn page_lsn() const { return DecodeFixed64(data_); }
+  void set_page_lsn(Lsn lsn) { EncodeFixed64(data_, lsn); }
+
+  PageId page_id() const { return DecodeFixed32(data_ + 8); }
+  void set_page_id(PageId id) { EncodeFixed32(data_ + 8, id); }
+
+  PageType page_type() const {
+    return static_cast<PageType>(DecodeFixed16(data_ + 12));
+  }
+  void set_page_type(PageType t) {
+    EncodeFixed16(data_ + 12, static_cast<uint16_t>(t));
+  }
+
+  /// Initializes a fresh page: zero body, header fields set.
+  void Format(PageId id, PageType type) {
+    for (uint32_t i = 0; i < kPageSize; i++) data_[i] = 0;
+    set_page_id(id);
+    set_page_type(type);
+    set_page_lsn(kInvalidLsn);
+  }
+
+ private:
+  char* data_;
+};
+
+}  // namespace gistcr
+
+#endif  // GISTCR_STORAGE_PAGE_H_

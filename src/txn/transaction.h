@@ -1,0 +1,73 @@
+#ifndef GISTCR_TXN_TRANSACTION_H_
+#define GISTCR_TXN_TRANSACTION_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "util/macros.h"
+
+namespace gistcr {
+
+/// Degrees of isolation offered to index operations.
+///  - kRepeatableRead: Degree 3 (paper section 4) — the full hybrid
+///    mechanism: 2PL on data records plus node-attached predicate locks.
+///  - kReadCommitted: Degree 2 — data-record locks are still taken (so
+///    uncommitted inserts/deletes block readers) but no search predicates
+///    are attached, admitting phantoms.
+enum class IsolationLevel : uint8_t { kReadCommitted, kRepeatableRead };
+
+enum class TxnState : uint8_t { kActive, kCommitted, kAborted };
+
+/// A transaction descriptor. Owned by TransactionManager; one thread drives
+/// a transaction at a time. Carries the ARIES backchain head (last_lsn) and
+/// savepoint bookkeeping for partial rollback (paper section 10.2).
+class Transaction {
+ public:
+  struct SavepointInfo {
+    std::string name;
+    Lsn lsn;  ///< last_lsn at the time the savepoint was established.
+  };
+
+  Transaction(TxnId id, IsolationLevel iso) : id_(id), iso_(iso) {}
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(Transaction);
+
+  TxnId id() const { return id_; }
+  IsolationLevel isolation() const { return iso_; }
+
+  TxnState state() const { return state_.load(std::memory_order_acquire); }
+  void set_state(TxnState s) { state_.store(s, std::memory_order_release); }
+
+  // The backchain head and first LSN are written only by the transaction's
+  // own thread but read cross-thread (checkpointing reads last_lsn; the
+  // Commit_LSN garbage-collection test reads first_lsn), hence atomics.
+  Lsn last_lsn() const { return last_lsn_.load(std::memory_order_acquire); }
+  void set_last_lsn(Lsn l) { last_lsn_.store(l, std::memory_order_release); }
+  Lsn first_lsn() const {
+    return first_lsn_.load(std::memory_order_acquire);
+  }
+  void set_first_lsn(Lsn l) {
+    first_lsn_.store(l, std::memory_order_release);
+  }
+
+  /// Operation ids scope insert predicates and unique-probe predicates to
+  /// one index operation (released when the operation completes, not at end
+  /// of transaction).
+  uint64_t NextOpId() { return next_op_id_++; }
+
+  std::vector<SavepointInfo>& savepoints() { return savepoints_; }
+
+ private:
+  const TxnId id_;
+  const IsolationLevel iso_;
+  std::atomic<TxnState> state_{TxnState::kActive};
+  std::atomic<Lsn> first_lsn_{kInvalidLsn};
+  std::atomic<Lsn> last_lsn_{kInvalidLsn};
+  uint64_t next_op_id_ = 1;
+  std::vector<SavepointInfo> savepoints_;
+};
+
+}  // namespace gistcr
+
+#endif  // GISTCR_TXN_TRANSACTION_H_

@@ -1,0 +1,193 @@
+#include "txn/transaction_manager.h"
+
+#include <algorithm>
+
+namespace gistcr {
+
+TransactionManager::TransactionManager(LogManager* log, LockManager* locks,
+                                       PredicateManager* preds)
+    : log_(log), locks_(locks), preds_(preds) {}
+
+Transaction* TransactionManager::Begin(IsolationLevel iso) {
+  TxnId id;
+  Transaction* txn;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    id = next_txn_id_++;
+    auto t = std::make_unique<Transaction>(id, iso);
+    txn = t.get();
+    table_[id] = std::move(t);
+  }
+  // Every transaction X-locks its own id at startup so that others can
+  // block on its termination (paper section 10.3).
+  Status st = locks_->Lock(id, LockName{LockSpace::kTxn, id},
+                           LockMode::kExclusive);
+  GISTCR_CHECK(st.ok());
+  LogRecord rec;
+  rec.type = LogRecordType::kBegin;
+  st = AppendTxnLog(txn, &rec);
+  GISTCR_CHECK(st.ok());
+  return txn;
+}
+
+Status TransactionManager::AppendTxnLog(Transaction* txn, LogRecord* rec) {
+  rec->txn_id = txn->id();
+  rec->prev_lsn = txn->last_lsn();
+  GISTCR_RETURN_IF_ERROR(log_->Append(rec));
+  txn->set_last_lsn(rec->lsn);
+  if (txn->first_lsn() == kInvalidLsn) txn->set_first_lsn(rec->lsn);
+  return Status::OK();
+}
+
+Status TransactionManager::NtaEnd(Transaction* txn, Lsn begin_lsn) {
+  LogRecord rec;
+  rec.type = LogRecordType::kNtaEnd;
+  rec.undo_next = begin_lsn;
+  return AppendTxnLog(txn, &rec);
+}
+
+void TransactionManager::ReleaseAllFor(Transaction* txn) {
+  preds_->ReleaseTxn(txn->id());
+  locks_->ReleaseAll(txn->id());
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  GISTCR_CHECK(txn->state() == TxnState::kActive);
+  LogRecord commit;
+  commit.type = LogRecordType::kCommit;
+  GISTCR_RETURN_IF_ERROR(AppendTxnLog(txn, &commit));
+  GISTCR_RETURN_IF_ERROR(log_->Flush(commit.lsn));  // force at commit
+  txn->set_state(TxnState::kCommitted);
+  ReleaseAllFor(txn);
+  LogRecord end;
+  end.type = LogRecordType::kEnd;
+  GISTCR_RETURN_IF_ERROR(AppendTxnLog(txn, &end));
+  std::lock_guard<std::mutex> l(mu_);
+  table_.erase(txn->id());
+  return Status::OK();
+}
+
+Status TransactionManager::UndoTo(Transaction* txn, Lsn stop_lsn) {
+  Lsn cur = txn->last_lsn();
+  while (cur != kInvalidLsn && cur > stop_lsn) {
+    LogRecord rec;
+    GISTCR_RETURN_IF_ERROR(log_->ReadRecord(cur, &rec));
+    switch (rec.type) {
+      case LogRecordType::kClr:
+      case LogRecordType::kNtaEnd:
+        // Already-compensated work / committed nested top action: jump the
+        // backchain over it.
+        cur = rec.undo_next;
+        break;
+      case LogRecordType::kBegin:
+        cur = kInvalidLsn;
+        break;
+      case LogRecordType::kAbort:
+      case LogRecordType::kCommit:
+      case LogRecordType::kEnd:
+        cur = rec.prev_lsn;
+        break;
+      default:
+        GISTCR_CHECK(applier_ != nullptr);
+        GISTCR_RETURN_IF_ERROR(applier_->UndoRecord(txn, rec));
+        cur = rec.prev_lsn;
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  GISTCR_CHECK(txn->state() == TxnState::kActive);
+  LogRecord abort_rec;
+  abort_rec.type = LogRecordType::kAbort;
+  GISTCR_RETURN_IF_ERROR(AppendTxnLog(txn, &abort_rec));
+  GISTCR_RETURN_IF_ERROR(UndoTo(txn, kInvalidLsn));
+  txn->set_state(TxnState::kAborted);
+  ReleaseAllFor(txn);
+  LogRecord end;
+  end.type = LogRecordType::kEnd;
+  GISTCR_RETURN_IF_ERROR(AppendTxnLog(txn, &end));
+  std::lock_guard<std::mutex> l(mu_);
+  table_.erase(txn->id());
+  return Status::OK();
+}
+
+Status TransactionManager::Savepoint(Transaction* txn,
+                                     const std::string& name) {
+  GISTCR_CHECK(txn->state() == TxnState::kActive);
+  txn->savepoints().push_back({name, txn->last_lsn()});
+  return Status::OK();
+}
+
+Status TransactionManager::RollbackToSavepoint(Transaction* txn,
+                                               const std::string& name) {
+  GISTCR_CHECK(txn->state() == TxnState::kActive);
+  auto& sps = txn->savepoints();
+  auto it = std::find_if(sps.rbegin(), sps.rend(),
+                         [&](const Transaction::SavepointInfo& s) {
+                           return s.name == name;
+                         });
+  if (it == sps.rend()) {
+    return Status::NotFound("savepoint " + name);
+  }
+  const Lsn target = it->lsn;
+  GISTCR_RETURN_IF_ERROR(UndoTo(txn, target));
+  // Later savepoints are invalidated; the target savepoint survives so the
+  // rollback can be repeated.
+  sps.erase(it.base(), sps.end());
+  return Status::OK();
+}
+
+bool TransactionManager::IsActive(TxnId txn_id) {
+  if (txn_id == kInvalidTxnId) return false;
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = table_.find(txn_id);
+  return it != table_.end() && it->second->state() == TxnState::kActive;
+}
+
+Lsn TransactionManager::OldestActiveFirstLsn() {
+  std::lock_guard<std::mutex> l(mu_);
+  Lsn oldest = kInvalidLsn;
+  for (auto& [id, txn] : table_) {
+    (void)id;
+    if (txn->state() != TxnState::kActive) continue;
+    const Lsn f = txn->first_lsn();
+    if (f == kInvalidLsn) continue;
+    if (oldest == kInvalidLsn || f < oldest) oldest = f;
+  }
+  return oldest;
+}
+
+std::vector<std::pair<TxnId, Lsn>> TransactionManager::ActiveTxns() {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<std::pair<TxnId, Lsn>> out;
+  for (auto& [id, txn] : table_) {
+    if (txn->state() == TxnState::kActive) {
+      out.emplace_back(id, txn->last_lsn());
+    }
+  }
+  return out;
+}
+
+Transaction* TransactionManager::ResurrectForUndo(TxnId id, Lsn last_lsn) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto t = std::make_unique<Transaction>(id, IsolationLevel::kRepeatableRead);
+  t->set_last_lsn(last_lsn);
+  Transaction* txn = t.get();
+  table_[id] = std::move(t);
+  if (id >= next_txn_id_) next_txn_id_ = id + 1;
+  return txn;
+}
+
+void TransactionManager::SetNextTxnId(TxnId next) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (next > next_txn_id_) next_txn_id_ = next;
+}
+
+TxnId TransactionManager::NextTxnIdForCheckpoint() {
+  std::lock_guard<std::mutex> l(mu_);
+  return next_txn_id_;
+}
+
+}  // namespace gistcr

@@ -1,0 +1,108 @@
+#ifndef GISTCR_TXN_TRANSACTION_MANAGER_H_
+#define GISTCR_TXN_TRANSACTION_MANAGER_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "txn/lock_manager.h"
+#include "txn/predicate_manager.h"
+#include "txn/transaction.h"
+#include "util/status.h"
+#include "wal/log_manager.h"
+
+namespace gistcr {
+
+/// Applies the *undo* action of a log record (Table 1 right column) on
+/// behalf of rollback, writing the corresponding CLR through the
+/// transaction's backchain. Implemented by the Database facade, which
+/// routes to the GiST / heap undo code.
+class UndoApplier {
+ public:
+  virtual ~UndoApplier() = default;
+  virtual Status UndoRecord(Transaction* txn, const LogRecord& rec) = 0;
+};
+
+/// Transaction lifecycle: begin / commit (log force) / abort (backchain
+/// rollback with CLRs) / savepoints with partial rollback. Owns the
+/// transaction table; coordinates the lock and predicate managers at end
+/// of transaction.
+class TransactionManager {
+ public:
+  TransactionManager(LogManager* log, LockManager* locks,
+                     PredicateManager* preds);
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(TransactionManager);
+
+  void SetUndoApplier(UndoApplier* applier) { applier_ = applier; }
+
+  /// Starts a transaction: assigns an id, X-locks the txn's own id (the
+  /// handle other operations block on when they "block on a predicate",
+  /// paper section 10.3), logs Begin.
+  Transaction* Begin(IsolationLevel iso = IsolationLevel::kRepeatableRead);
+
+  /// Commit: log Commit, force the log, release predicates and locks, log
+  /// End.
+  Status Commit(Transaction* txn);
+
+  /// Abort: log Abort, undo the backchain writing CLRs (logical undo for
+  /// leaf-entry records; NTAs are skipped via their NTA-End undo_next),
+  /// log End, release predicates and locks.
+  Status Abort(Transaction* txn);
+
+  /// Establishes / rolls back to a savepoint (partial rollback; the txn
+  /// stays active and keeps its locks, paper section 10.2).
+  Status Savepoint(Transaction* txn, const std::string& name);
+  Status RollbackToSavepoint(Transaction* txn, const std::string& name);
+
+  /// Appends \p rec on behalf of \p txn: fills txn_id/prev_lsn, maintains
+  /// the backchain head and first_lsn.
+  Status AppendTxnLog(Transaction* txn, LogRecord* rec);
+
+  /// Nested top action bracket (paper section 9.1): remember the backchain
+  /// head, run the structure modification, then close with an NTA-End
+  /// whose undo_next jumps over the action.
+  Lsn NtaBegin(Transaction* txn) const { return txn->last_lsn(); }
+  Status NtaEnd(Transaction* txn, Lsn begin_lsn);
+
+  /// True while \p txn_id is in the table and active. Unknown ids are
+  /// treated as terminated (their effects were resolved by recovery).
+  bool IsActive(TxnId txn_id);
+
+  /// first_lsn of the oldest active transaction, or kInvalidLsn if none —
+  /// the Commit_LSN test that lets garbage collection skip per-entry
+  /// checks (paper section 7.1, footnote 11).
+  Lsn OldestActiveFirstLsn();
+
+  /// Active transaction table snapshot for fuzzy checkpoints.
+  std::vector<std::pair<TxnId, Lsn>> ActiveTxns();
+
+  /// Restart support: recovery re-creates loser transactions to drive
+  /// their undo through the normal rollback machinery.
+  Transaction* ResurrectForUndo(TxnId id, Lsn last_lsn);
+
+  /// Restart support: analysis pass hands back the next fresh txn id.
+  void SetNextTxnId(TxnId next);
+  TxnId NextTxnIdForCheckpoint();
+
+  LockManager* locks() { return locks_; }
+  PredicateManager* preds() { return preds_; }
+  LogManager* log() { return log_; }
+
+ private:
+  /// Undoes txn's updates with LSN > stop_lsn (kInvalidLsn: all of them).
+  Status UndoTo(Transaction* txn, Lsn stop_lsn);
+  void ReleaseAllFor(Transaction* txn);
+
+  LogManager* log_;
+  LockManager* locks_;
+  PredicateManager* preds_;
+  UndoApplier* applier_ = nullptr;
+
+  std::mutex mu_;
+  std::unordered_map<TxnId, std::unique_ptr<Transaction>> table_;
+  TxnId next_txn_id_ = 1;
+};
+
+}  // namespace gistcr
+
+#endif  // GISTCR_TXN_TRANSACTION_MANAGER_H_

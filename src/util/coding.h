@@ -1,0 +1,99 @@
+#ifndef GISTCR_UTIL_CODING_H_
+#define GISTCR_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/slice.h"
+
+namespace gistcr {
+
+/// Little-endian fixed-width integer (de)serialization helpers used by the
+/// on-page layouts and the log-record wire format.
+
+inline void EncodeFixed16(char* dst, uint16_t v) { std::memcpy(dst, &v, 2); }
+inline void EncodeFixed32(char* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+
+inline uint16_t DecodeFixed16(const char* src) {
+  uint16_t v;
+  std::memcpy(&v, src, 2);
+  return v;
+}
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+inline void PutFixed16(std::string* dst, uint16_t v) {
+  char buf[2];
+  EncodeFixed16(buf, v);
+  dst->append(buf, 2);
+}
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(buf, v);
+  dst->append(buf, 4);
+}
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  dst->append(buf, 8);
+}
+
+/// Appends a length-prefixed byte string (u32 length + bytes).
+inline void PutLengthPrefixed(std::string* dst, Slice s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+/// Cursor-style reader over an encoded buffer; Get* return false on
+/// underflow so callers can surface Status::Corruption.
+class Decoder {
+ public:
+  explicit Decoder(Slice input) : p_(input.data()), end_(p_ + input.size()) {}
+
+  bool GetFixed16(uint16_t* v) {
+    if (end_ - p_ < 2) return false;
+    *v = DecodeFixed16(p_);
+    p_ += 2;
+    return true;
+  }
+  bool GetFixed32(uint32_t* v) {
+    if (end_ - p_ < 4) return false;
+    *v = DecodeFixed32(p_);
+    p_ += 4;
+    return true;
+  }
+  bool GetFixed64(uint64_t* v) {
+    if (end_ - p_ < 8) return false;
+    *v = DecodeFixed64(p_);
+    p_ += 8;
+    return true;
+  }
+  bool GetLengthPrefixed(std::string* out) {
+    uint32_t len;
+    if (!GetFixed32(&len)) return false;
+    if (end_ - p_ < static_cast<ptrdiff_t>(len)) return false;
+    out->assign(p_, len);
+    p_ += len;
+    return true;
+  }
+  bool Done() const { return p_ == end_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace gistcr
+
+#endif  // GISTCR_UTIL_CODING_H_

@@ -1,0 +1,36 @@
+#include "util/crc32.h"
+
+namespace gistcr {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t t[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; k++) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+
+const Crc32Table& Table() {
+  static const Crc32Table* table = new Crc32Table();
+  return *table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const char* data, size_t n, uint32_t init) {
+  const Crc32Table& table = Table();
+  uint32_t c = init ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; i++) {
+    c = table.t[(c ^ static_cast<unsigned char>(data[i])) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace gistcr

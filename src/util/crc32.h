@@ -1,0 +1,16 @@
+#ifndef GISTCR_UTIL_CRC32_H_
+#define GISTCR_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gistcr {
+
+/// CRC-32 (IEEE 802.3 polynomial) over \p n bytes starting at \p data,
+/// seeded with \p init. Used to detect torn/garbage log records at the log
+/// tail during restart.
+uint32_t Crc32(const char* data, size_t n, uint32_t init = 0);
+
+}  // namespace gistcr
+
+#endif  // GISTCR_UTIL_CRC32_H_

@@ -1,0 +1,63 @@
+#ifndef GISTCR_UTIL_RANDOM_H_
+#define GISTCR_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace gistcr {
+
+/// Small deterministic PRNG (xorshift64*) for workload generators and tests.
+/// Deterministic seeding keeps test failures and benchmark workloads
+/// reproducible across runs.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ull) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability num/den.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipfian generator over [0, n) with parameter theta, per the standard
+/// Gray et al. "quickly generating billion-record databases" method. Used by
+/// the skewed-workload benchmarks.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Random rng_;
+};
+
+}  // namespace gistcr
+
+#endif  // GISTCR_UTIL_RANDOM_H_

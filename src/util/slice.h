@@ -1,0 +1,55 @@
+#ifndef GISTCR_UTIL_SLICE_H_
+#define GISTCR_UTIL_SLICE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace gistcr {
+
+/// A non-owning view over a byte range. Keys, predicates and payloads flow
+/// through the GiST core as Slices; only the access-method extension knows
+/// how to interpret the bytes.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s)  // NOLINT: implicit by design
+      : data_(s.data()), size_(s.size()) {}
+  Slice(const char* cstr)  // NOLINT: implicit by design
+      : data_(cstr), size_(std::strlen(cstr)) {}
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  bool operator==(const Slice& other) const {
+    return size_ == other.size_ &&
+           (size_ == 0 || std::memcmp(data_, other.data_, size_) == 0);
+  }
+  bool operator!=(const Slice& other) const { return !(*this == other); }
+
+  int compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = min_len == 0 ? 0 : std::memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) return -1;
+      if (size_ > other.size_) return 1;
+    }
+    return r;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace gistcr
+
+#endif  // GISTCR_UTIL_SLICE_H_

@@ -1,0 +1,141 @@
+#ifndef GISTCR_UTIL_STATUS_H_
+#define GISTCR_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace gistcr {
+
+/// Error model for the whole library. The project does not use exceptions;
+/// every fallible operation returns a Status (or StatusOr<T>). Mirrors the
+/// RocksDB/Arrow idiom.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kInvalidArgument = 3,
+    kIOError = 4,
+    kDeadlock = 5,        ///< Transaction chosen as deadlock victim.
+    kDuplicateKey = 6,    ///< Unique-index violation (paper section 8).
+    kAborted = 7,         ///< Transaction no longer active.
+    kNoSpace = 8,         ///< Resource exhausted (pages, buffer frames).
+    kNotSupported = 9,
+    kBusy = 10,           ///< Conditional lock/latch not available.
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Deadlock(std::string msg = "") {
+    return Status(Code::kDeadlock, std::move(msg));
+  }
+  static Status DuplicateKey(std::string msg = "") {
+    return Status(Code::kDuplicateKey, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status NoSpace(std::string msg = "") {
+    return Status(Code::kNoSpace, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(Code::kBusy, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsDeadlock() const { return code_ == Code::kDeadlock; }
+  bool IsDuplicateKey() const { return code_ == Code::kDuplicateKey; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsNoSpace() const { return code_ == Code::kNoSpace; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable rendering, e.g. "Deadlock: victim txn 12".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string name;
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kNotFound: name = "NotFound"; break;
+      case Code::kCorruption: name = "Corruption"; break;
+      case Code::kInvalidArgument: name = "InvalidArgument"; break;
+      case Code::kIOError: name = "IOError"; break;
+      case Code::kDeadlock: name = "Deadlock"; break;
+      case Code::kDuplicateKey: name = "DuplicateKey"; break;
+      case Code::kAborted: name = "Aborted"; break;
+      case Code::kNoSpace: name = "NoSpace"; break;
+      case Code::kNotSupported: name = "NotSupported"; break;
+      case Code::kBusy: name = "Busy"; break;
+    }
+    return msg_.empty() ? name : name + ": " + msg_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// A Status plus a value; valid to access value() only when ok().
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status s) : status_(std::move(s)) {  // NOLINT: implicit by design
+    GISTCR_CHECK(!status_.ok());
+  }
+  StatusOr(T value)  // NOLINT: implicit by design
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  T& value() {
+    GISTCR_CHECK(status_.ok());
+    return value_;
+  }
+  const T& value() const {
+    GISTCR_CHECK(status_.ok());
+    return value_;
+  }
+  T&& MoveValue() {
+    GISTCR_CHECK(status_.ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace gistcr
+
+#endif  // GISTCR_UTIL_STATUS_H_

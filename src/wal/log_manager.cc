@@ -1,0 +1,207 @@
+#include "wal/log_manager.h"
+
+#include <fcntl.h>
+#include <linux/falloc.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "util/coding.h"
+
+namespace gistcr {
+
+namespace {
+constexpr char kMagic[8] = {'G', 'I', 'S', 'T', 'W', 'A', 'L', '1'};
+}  // namespace
+
+LogManager::~LogManager() { Close(); }
+
+Status LogManager::Open(const std::string& path) {
+  GISTCR_CHECK(fd_ < 0);
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  path_ = path;
+
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size == 0) {
+    if (::write(fd_, kMagic, sizeof(kMagic)) != sizeof(kMagic)) {
+      return Status::IOError("write log magic");
+    }
+    if (::fdatasync(fd_) != 0) return Status::IOError("fdatasync");
+    size = sizeof(kMagic);
+  } else {
+    char magic[8];
+    if (::pread(fd_, magic, 8, 0) != 8 ||
+        std::memcmp(magic, kMagic, 8) != 0) {
+      return Status::Corruption("bad log magic in " + path);
+    }
+  }
+  buffer_base_ = static_cast<Lsn>(size);
+  next_lsn_ = buffer_base_;
+  durable_lsn_.store(buffer_base_ > kFirstLsn ? buffer_base_ - 1 : kInvalidLsn,
+                     std::memory_order_release);
+  // last_lsn_ is refined by Scan during recovery; a conservative value (the
+  // end of the durable log) is fine for NSN purposes because it only has to
+  // be >= every NSN already assigned.
+  last_lsn_.store(buffer_base_ > kFirstLsn ? buffer_base_ - 1 : kInvalidLsn,
+                  std::memory_order_release);
+  return Status::OK();
+}
+
+void LogManager::Close() {
+  std::lock_guard<std::mutex> l(mu_);
+  if (fd_ >= 0) {
+    FlushLocked();
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status LogManager::Append(LogRecord* rec) {
+  std::lock_guard<std::mutex> l(mu_);
+  GISTCR_CHECK(fd_ >= 0);
+  rec->lsn = next_lsn_;
+  rec->EncodeTo(&buffer_);
+  next_lsn_ += rec->SerializedSize();
+  last_lsn_.store(rec->lsn, std::memory_order_release);
+  return Status::OK();
+}
+
+Status LogManager::FlushLocked() {
+  if (buffer_.empty()) return Status::OK();
+  const char* p = buffer_.data();
+  size_t remaining = buffer_.size();
+  off_t offset = static_cast<off_t>(buffer_base_);
+  while (remaining > 0) {
+    ssize_t n = ::pwrite(fd_, p, remaining, offset);
+    if (n <= 0) {
+      return Status::IOError("pwrite log: " + std::string(std::strerror(errno)));
+    }
+    p += n;
+    offset += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  if (sync_on_flush_.load(std::memory_order_relaxed) &&
+      ::fdatasync(fd_) != 0) {
+    return Status::IOError("fdatasync log");
+  }
+  buffer_base_ += buffer_.size();
+  buffer_.clear();
+  durable_lsn_.store(last_lsn_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+  return Status::OK();
+}
+
+Status LogManager::Flush(Lsn lsn) {
+  if (lsn != kInvalidLsn &&
+      durable_lsn_.load(std::memory_order_acquire) >= lsn) {
+    return Status::OK();
+  }
+  std::lock_guard<std::mutex> l(mu_);
+  return FlushLocked();
+}
+
+Status LogManager::ReadRecord(Lsn lsn, LogRecord* rec) {
+  std::lock_guard<std::mutex> l(mu_);
+  GISTCR_CHECK(fd_ >= 0);
+  if (lsn >= buffer_base_) {
+    const Lsn off = lsn - buffer_base_;
+    if (off >= buffer_.size()) {
+      return Status::NotFound("lsn beyond log end");
+    }
+    uint32_t consumed;
+    GISTCR_RETURN_IF_ERROR(rec->DecodeFrom(
+        Slice(buffer_.data() + off, buffer_.size() - off), &consumed));
+    rec->lsn = lsn;
+    return Status::OK();
+  }
+  // Durable region: read the header first to size the record.
+  char header[LogRecord::kHeaderSize];
+  ssize_t n = ::pread(fd_, header, sizeof(header), static_cast<off_t>(lsn));
+  if (n != static_cast<ssize_t>(sizeof(header))) {
+    return Status::NotFound("lsn beyond durable log");
+  }
+  const uint32_t total = DecodeFixed32(header);
+  if (total < LogRecord::kHeaderSize || total > (64u << 20)) {
+    return Status::Corruption("log record: implausible length");
+  }
+  std::vector<char> buf(total);
+  std::memcpy(buf.data(), header, sizeof(header));
+  if (total > sizeof(header)) {
+    n = ::pread(fd_, buf.data() + sizeof(header), total - sizeof(header),
+                static_cast<off_t>(lsn + sizeof(header)));
+    if (n != static_cast<ssize_t>(total - sizeof(header))) {
+      return Status::Corruption("log record: torn");
+    }
+  }
+  uint32_t consumed;
+  GISTCR_RETURN_IF_ERROR(rec->DecodeFrom(Slice(buf.data(), total), &consumed));
+  rec->lsn = lsn;
+  return Status::OK();
+}
+
+Status LogManager::Scan(Lsn from,
+                        const std::function<bool(const LogRecord&)>& fn) {
+  Lsn lsn = from == kInvalidLsn ? kFirstLsn : from;
+  for (;;) {
+    LogRecord rec;
+    Status st = ReadRecord(lsn, &rec);
+    if (st.IsNotFound()) break;           // clean end of log
+    if (st.IsCorruption()) break;         // torn tail after a crash
+    GISTCR_RETURN_IF_ERROR(st);
+    {
+      // Keep last_lsn_ monotone through recovery scans.
+      Lsn cur = last_lsn_.load(std::memory_order_acquire);
+      while (cur < rec.lsn &&
+             !last_lsn_.compare_exchange_weak(cur, rec.lsn)) {
+      }
+    }
+    if (!fn(rec)) break;
+    lsn += rec.SerializedSize();
+  }
+  return Status::OK();
+}
+
+uint64_t LogManager::TotalBytes() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return buffer_base_ + buffer_.size() - kFirstLsn;
+}
+
+StatusOr<uint64_t> LogManager::ReclaimBefore(Lsn lsn) {
+  std::lock_guard<std::mutex> l(mu_);
+  GISTCR_CHECK(fd_ >= 0);
+  // Never touch the magic header, the unflushed tail, or already-reclaimed
+  // space; punch only whole 4 KiB blocks so the filesystem can free them.
+  constexpr uint64_t kBlock = 4096;
+  const Lsn already = reclaimed_before_.load(std::memory_order_acquire);
+  Lsn limit = std::min<Lsn>(lsn, buffer_base_);
+  const uint64_t start = ((already + kBlock - 1) / kBlock) * kBlock;
+  const uint64_t end = (limit / kBlock) * kBlock;
+  if (end <= start) return static_cast<uint64_t>(0);
+#ifdef FALLOC_FL_PUNCH_HOLE
+  if (::fallocate(fd_, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                  static_cast<off_t>(start),
+                  static_cast<off_t>(end - start)) != 0) {
+    return static_cast<uint64_t>(0);  // unsupported filesystem: best effort
+  }
+  reclaimed_before_.store(end, std::memory_order_release);
+  return end - start;
+#else
+  return static_cast<uint64_t>(0);
+#endif
+}
+
+void LogManager::DiscardTail() {
+  std::lock_guard<std::mutex> l(mu_);
+  buffer_.clear();
+  next_lsn_ = buffer_base_;
+  last_lsn_.store(durable_lsn_.load(std::memory_order_acquire),
+                  std::memory_order_release);
+}
+
+}  // namespace gistcr

@@ -1,0 +1,108 @@
+#ifndef GISTCR_WAL_LOG_MANAGER_H_
+#define GISTCR_WAL_LOG_MANAGER_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/types.h"
+#include "util/status.h"
+#include "wal/log_record.h"
+
+namespace gistcr {
+
+/// Append-only write-ahead log. LSNs are byte offsets of record starts in
+/// the log file (the file begins with an 8-byte magic, so LSN 0 stays the
+/// invalid sentinel). Offsets make LSNs monotonically increasing, which is
+/// what lets them double as the tree-global NSN counter (paper section
+/// 10.1): `last_lsn()` *is* the global counter value a descending operation
+/// memorizes.
+///
+/// Thread-safe. Appends go to an in-memory tail buffer; Flush(lsn) forces
+/// the buffer through fdatasync (group commit: one flush covers every
+/// record appended before it).
+class LogManager {
+ public:
+  LogManager() = default;
+  ~LogManager();
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(LogManager);
+
+  /// Opens (creating if absent) the log file and positions at its end.
+  /// Scans backwards-compatible: an existing file is validated lazily by
+  /// Scan during recovery.
+  Status Open(const std::string& path);
+  void Close();
+
+  /// Appends \p rec, assigning rec->lsn. Does not flush.
+  Status Append(LogRecord* rec);
+
+  /// Forces the log to disk up to and including \p lsn (kInvalidLsn: all).
+  Status Flush(Lsn lsn);
+  Status FlushAll() { return Flush(last_lsn()); }
+
+  /// LSN of the most recently appended record — the paper's "global NSN"
+  /// counter value (section 10.1).
+  Lsn last_lsn() const { return last_lsn_.load(std::memory_order_acquire); }
+  Lsn durable_lsn() const {
+    return durable_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// Reads the record at \p lsn (from the durable file or the in-memory
+  /// tail). Sets rec->lsn.
+  Status ReadRecord(Lsn lsn, LogRecord* rec);
+
+  /// Iterates durable+buffered records with lsn >= from, in LSN order. The
+  /// callback may return false to stop. Stops cleanly at the first torn or
+  /// corrupt record (the crash-truncated tail).
+  Status Scan(Lsn from, const std::function<bool(const LogRecord&)>& fn);
+
+  /// First valid LSN in the log (just past the file magic).
+  static constexpr Lsn kFirstLsn = 8;
+
+  /// Total bytes appended so far (for benchmarks measuring log volume).
+  uint64_t TotalBytes() const;
+
+  /// Simulates a crash: drops the unflushed tail buffer. Records with LSN
+  /// beyond durable_lsn() are lost, exactly as after a power failure.
+  void DiscardTail();
+
+  /// When disabled, Flush writes to the OS but skips fdatasync. Benchmarks
+  /// measuring protocol scaling (not commit durability) turn this off so
+  /// fsync latency does not dominate; correctness-under-crash tests keep
+  /// it on (the default).
+  void SetSyncOnFlush(bool sync) {
+    sync_on_flush_.store(sync, std::memory_order_relaxed);
+  }
+
+  /// Reclaims the disk space of records below \p lsn by punching a hole in
+  /// the file (LSNs stay byte offsets, so nothing else changes). The caller
+  /// must guarantee no record below \p lsn can ever be needed again —
+  /// i.e., \p lsn <= min(checkpoint LSN, every DPT rec_lsn, every active
+  /// transaction's first_lsn). Best effort: returns the bytes reclaimed, 0
+  /// if the filesystem does not support hole punching.
+  StatusOr<uint64_t> ReclaimBefore(Lsn lsn);
+
+  /// Lowest LSN still readable (everything below was reclaimed).
+  Lsn reclaimed_before() const {
+    return reclaimed_before_.load(std::memory_order_acquire);
+  }
+
+ private:
+  Status FlushLocked();
+
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  std::string path_;
+  std::string buffer_;      ///< Unflushed tail; starts at LSN buffer_base_.
+  Lsn buffer_base_ = 0;     ///< File size == LSN of first buffered byte.
+  std::atomic<Lsn> last_lsn_{kInvalidLsn};
+  std::atomic<Lsn> durable_lsn_{kInvalidLsn};
+  Lsn next_lsn_ = kFirstLsn;
+  std::atomic<bool> sync_on_flush_{true};
+  std::atomic<Lsn> reclaimed_before_{LogManager::kFirstLsn};
+};
+
+}  // namespace gistcr
+
+#endif  // GISTCR_WAL_LOG_MANAGER_H_

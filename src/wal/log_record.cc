@@ -1,0 +1,88 @@
+#include "wal/log_record.h"
+
+#include "util/coding.h"
+#include "util/crc32.h"
+#include "util/macros.h"
+
+namespace gistcr {
+
+const char* LogRecordTypeName(LogRecordType t) {
+  switch (t) {
+    case LogRecordType::kInvalid: return "Invalid";
+    case LogRecordType::kParentEntryUpdate: return "Parent-Entry-Update";
+    case LogRecordType::kSplit: return "Split";
+    case LogRecordType::kGarbageCollection: return "Garbage-Collection";
+    case LogRecordType::kInternalEntryAdd: return "Internal-Entry-Add";
+    case LogRecordType::kInternalEntryUpdate: return "Internal-Entry-Update";
+    case LogRecordType::kInternalEntryDelete: return "Internal-Entry-Delete";
+    case LogRecordType::kAddLeafEntry: return "Add-Leaf-Entry";
+    case LogRecordType::kMarkLeafEntry: return "Mark-Leaf-Entry";
+    case LogRecordType::kGetPage: return "Get-Page";
+    case LogRecordType::kFreePage: return "Free-Page";
+    case LogRecordType::kBegin: return "Begin";
+    case LogRecordType::kCommit: return "Commit";
+    case LogRecordType::kAbort: return "Abort";
+    case LogRecordType::kEnd: return "End";
+    case LogRecordType::kClr: return "CLR";
+    case LogRecordType::kNtaEnd: return "NTA-End";
+    case LogRecordType::kRightlinkUpdate: return "Rightlink-Update";
+    case LogRecordType::kRootChange: return "Root-Change";
+    case LogRecordType::kHeapInsert: return "Heap-Insert";
+    case LogRecordType::kHeapDelete: return "Heap-Delete";
+    case LogRecordType::kCheckpoint: return "Checkpoint";
+  }
+  return "Unknown";
+}
+
+// Wire layout:
+//   [0..3]   total_len (header + payload)
+//   [4]      type
+//   [5]      reserved
+//   [6..13]  txn_id
+//   [14..21] prev_lsn
+//   [22..29] undo_next
+//   [30..33] crc32 over the whole record with this field zeroed
+//   [34..]   payload
+void LogRecord::EncodeTo(std::string* dst) const {
+  const size_t start = dst->size();
+  const uint32_t total = SerializedSize();
+  PutFixed32(dst, total);
+  dst->push_back(static_cast<char>(type));
+  dst->push_back(0);
+  PutFixed64(dst, txn_id);
+  PutFixed64(dst, prev_lsn);
+  PutFixed64(dst, undo_next);
+  PutFixed32(dst, 0);  // crc placeholder
+  dst->append(payload);
+  const uint32_t crc = Crc32(dst->data() + start, total);
+  EncodeFixed32(dst->data() + start + 30, crc);
+}
+
+Status LogRecord::DecodeFrom(Slice src, uint32_t* consumed) {
+  if (src.size() < kHeaderSize) {
+    return Status::Corruption("log record: short header");
+  }
+  const uint32_t total = DecodeFixed32(src.data());
+  if (total < kHeaderSize || total > src.size()) {
+    return Status::Corruption("log record: bad length");
+  }
+  // Verify CRC with the CRC field zeroed.
+  char header[kHeaderSize];
+  std::memcpy(header, src.data(), kHeaderSize);
+  const uint32_t stored_crc = DecodeFixed32(header + 30);
+  EncodeFixed32(header + 30, 0);
+  uint32_t crc = Crc32(header, kHeaderSize);
+  crc = Crc32(src.data() + kHeaderSize, total - kHeaderSize, crc);
+  if (crc != stored_crc) {
+    return Status::Corruption("log record: crc mismatch");
+  }
+  type = static_cast<LogRecordType>(static_cast<uint8_t>(src[4]));
+  txn_id = DecodeFixed64(src.data() + 6);
+  prev_lsn = DecodeFixed64(src.data() + 14);
+  undo_next = DecodeFixed64(src.data() + 22);
+  payload.assign(src.data() + kHeaderSize, total - kHeaderSize);
+  *consumed = total;
+  return Status::OK();
+}
+
+}  // namespace gistcr

@@ -1,0 +1,80 @@
+#ifndef GISTCR_WAL_LOG_RECORD_H_
+#define GISTCR_WAL_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace gistcr {
+
+/// Log record types. The middle block is exactly Table 1 of the paper; the
+/// trailing block is what our substrate additionally needs (transaction
+/// control, heap data store, root growth, node-deletion rightlink fix,
+/// checkpoints).
+enum class LogRecordType : uint8_t {
+  kInvalid = 0,
+
+  // --- Table 1 (paper section 9) ---
+  kParentEntryUpdate = 1,   ///< Redo-only: new BP in child + parent slot.
+  kSplit = 2,               ///< Node split (written during recursive split).
+  kGarbageCollection = 3,   ///< Redo-only: drop committed-deleted entries.
+  kInternalEntryAdd = 4,    ///< Written during recursive split.
+  kInternalEntryUpdate = 5, ///< Written during recursive split.
+  kInternalEntryDelete = 6, ///< Written during node deletion.
+  kAddLeafEntry = 7,        ///< Content change; logical undo.
+  kMarkLeafEntry = 8,       ///< Logical delete mark; logical undo.
+  kGetPage = 9,             ///< Page allocation (split / root grow).
+  kFreePage = 10,           ///< Page deallocation (node deletion).
+
+  // --- Substrate records ---
+  kBegin = 32,
+  kCommit = 33,
+  kAbort = 34,              ///< Rollback starts; undo follows.
+  kEnd = 35,                ///< Transaction fully finished.
+  kClr = 36,                ///< Compensation record (redo-only).
+  kNtaEnd = 37,             ///< Dummy CLR committing a nested top action.
+  kRightlinkUpdate = 38,    ///< Node deletion: left sibling rightlink fix.
+  kRootChange = 39,         ///< Root growth: meta-page root pointer update.
+  kHeapInsert = 40,         ///< Data record insert in the heap store.
+  kHeapDelete = 41,         ///< Data record delete mark in the heap store.
+  kCheckpoint = 42,         ///< Fuzzy checkpoint (ATT + DPT snapshot).
+};
+
+const char* LogRecordTypeName(LogRecordType t);
+
+/// In-memory form of a log record. `payload` is a type-specific encoded
+/// blob (see wal/log_payloads.h). `lsn` is assigned by LogManager::Append.
+///
+/// Nested top actions (paper section 9.1): records inside an NTA chain
+/// normally through prev_lsn; the closing kNtaEnd record's undo_next points
+/// at the LSN that preceded the NTA, so rollback skips the committed action.
+/// kClr records likewise carry undo_next = the next record to undo.
+struct LogRecord {
+  LogRecordType type = LogRecordType::kInvalid;
+  TxnId txn_id = kInvalidTxnId;
+  Lsn prev_lsn = kInvalidLsn;
+  Lsn undo_next = kInvalidLsn;  // CLR / NtaEnd only
+  std::string payload;
+
+  Lsn lsn = kInvalidLsn;  // out: set by Append / Read
+
+  /// Serialized size including header.
+  static constexpr uint32_t kHeaderSize = 4 + 1 + 1 + 8 + 8 + 8 + 4;
+  uint32_t SerializedSize() const {
+    return kHeaderSize + static_cast<uint32_t>(payload.size());
+  }
+
+  /// Appends the wire form (header + payload, CRC filled in) to \p dst.
+  void EncodeTo(std::string* dst) const;
+
+  /// Decodes a record starting at \p src (which must hold at least the full
+  /// record). Verifies the CRC. Does not set lsn.
+  Status DecodeFrom(Slice src, uint32_t* consumed);
+};
+
+}  // namespace gistcr
+
+#endif  // GISTCR_WAL_LOG_RECORD_H_

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "access/btree_extension.h"
+#include "access/rtree_extension.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace gistcr {
+namespace {
+
+// ---------------------------------------------------------------------
+// B-tree extension
+// ---------------------------------------------------------------------
+
+class BtreeExtTest : public ::testing::Test {
+ protected:
+  BtreeExtension ext_;
+};
+
+TEST_F(BtreeExtTest, ConsistentIsIntervalOverlap) {
+  const std::string a = BtreeExtension::MakeRange(10, 20);
+  EXPECT_TRUE(ext_.Consistent(a, BtreeExtension::MakeRange(15, 30)));
+  EXPECT_TRUE(ext_.Consistent(a, BtreeExtension::MakeRange(20, 25)));
+  EXPECT_FALSE(ext_.Consistent(a, BtreeExtension::MakeRange(21, 25)));
+  EXPECT_TRUE(ext_.Consistent(a, BtreeExtension::MakeKey(10)));
+  EXPECT_FALSE(ext_.Consistent(a, BtreeExtension::MakeKey(9)));
+}
+
+TEST_F(BtreeExtTest, EmptyPredNeverConsistent) {
+  EXPECT_FALSE(ext_.Consistent(Slice(), BtreeExtension::MakeKey(1)));
+}
+
+TEST_F(BtreeExtTest, PenaltyIsExpansionDistance) {
+  const std::string bp = BtreeExtension::MakeRange(10, 20);
+  EXPECT_EQ(ext_.Penalty(bp, BtreeExtension::MakeKey(15)), 0.0);
+  EXPECT_EQ(ext_.Penalty(bp, BtreeExtension::MakeKey(25)), 5.0);
+  EXPECT_EQ(ext_.Penalty(bp, BtreeExtension::MakeKey(2)), 8.0);
+  EXPECT_GT(ext_.Penalty(Slice(), BtreeExtension::MakeKey(2)), 1e17);
+}
+
+TEST_F(BtreeExtTest, UnionAndContains) {
+  const std::string a = BtreeExtension::MakeRange(5, 10);
+  const std::string b = BtreeExtension::MakeRange(8, 30);
+  const std::string u = ext_.Union(a, b);
+  EXPECT_EQ(BtreeExtension::Lo(u), 5);
+  EXPECT_EQ(BtreeExtension::Hi(u), 30);
+  EXPECT_TRUE(ext_.Contains(u, a));
+  EXPECT_TRUE(ext_.Contains(u, b));
+  EXPECT_FALSE(ext_.Contains(a, u));
+  EXPECT_EQ(ext_.Union(Slice(), a), a);
+  EXPECT_EQ(ext_.Union(a, Slice()), a);
+}
+
+TEST_F(BtreeExtTest, PickSplitIsMedianCut) {
+  std::vector<IndexEntry> entries;
+  for (int i = 0; i < 10; i++) {
+    entries.push_back({BtreeExtension::MakeKey(i * 10), 0, kInvalidTxnId});
+  }
+  std::vector<bool> to_right;
+  ext_.PickSplit(entries, &to_right);
+  int right = 0;
+  for (size_t i = 0; i < entries.size(); i++) {
+    if (to_right[i]) {
+      right++;
+      // Everything on the right has keys >= everything on the left.
+      EXPECT_GE(BtreeExtension::Lo(entries[i].key), 50);
+    }
+  }
+  EXPECT_EQ(right, 5);
+}
+
+TEST_F(BtreeExtTest, UnionAllProperty) {
+  Random rng(77);
+  std::vector<IndexEntry> entries;
+  for (int i = 0; i < 50; i++) {
+    entries.push_back({BtreeExtension::MakeKey(rng.UniformRange(-1000, 1000)),
+                       0, kInvalidTxnId});
+  }
+  const std::string u = ext_.UnionAll(entries, Slice());
+  for (const auto& e : entries) {
+    EXPECT_TRUE(ext_.Contains(u, e.key));
+  }
+}
+
+TEST_F(BtreeExtTest, DescribeReadable) {
+  EXPECT_EQ(ext_.Describe(BtreeExtension::MakeRange(3, 9)), "[3,9]");
+}
+
+// Property sweep: Consistent must never produce a false negative compared
+// with brute-force interval math.
+class BtreePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BtreePropertyTest, OverlapMatchesBruteForce) {
+  BtreeExtension ext;
+  Random rng(GetParam());
+  for (int i = 0; i < 500; i++) {
+    int64_t alo = rng.UniformRange(-100, 100);
+    int64_t ahi = alo + rng.UniformRange(0, 50);
+    int64_t blo = rng.UniformRange(-100, 100);
+    int64_t bhi = blo + rng.UniformRange(0, 50);
+    const bool expect = alo <= bhi && blo <= ahi;
+    EXPECT_EQ(ext.Consistent(BtreeExtension::MakeRange(alo, ahi),
+                             BtreeExtension::MakeRange(blo, bhi)),
+              expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BtreePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------
+// R-tree extension
+// ---------------------------------------------------------------------
+
+class RtreeExtTest : public ::testing::Test {
+ protected:
+  RtreeExtension ext_;
+};
+
+TEST_F(RtreeExtTest, RectEncodingRoundTrip) {
+  Rect r{1.5, -2.25, 3.75, 4.0};
+  Rect d = Rect::Decode(r.Encode());
+  EXPECT_EQ(d.xlo, 1.5);
+  EXPECT_EQ(d.ylo, -2.25);
+  EXPECT_EQ(d.xhi, 3.75);
+  EXPECT_EQ(d.yhi, 4.0);
+}
+
+TEST_F(RtreeExtTest, ConsistentIsOverlap) {
+  const std::string a = Rect{0, 0, 10, 10}.Encode();
+  EXPECT_TRUE(ext_.Consistent(a, Rect{5, 5, 15, 15}.Encode()));
+  EXPECT_TRUE(ext_.Consistent(a, Rect{10, 10, 20, 20}.Encode()));  // touch
+  EXPECT_FALSE(ext_.Consistent(a, Rect{11, 0, 20, 10}.Encode()));
+  EXPECT_TRUE(ext_.Consistent(a, Rect::Point(3, 3).Encode()));
+}
+
+TEST_F(RtreeExtTest, PenaltyIsAreaEnlargement) {
+  const std::string bp = Rect{0, 0, 10, 10}.Encode();
+  EXPECT_EQ(ext_.Penalty(bp, Rect::Point(5, 5).Encode()), 0.0);
+  // Extending to (20,10) doubles the area: +100.
+  EXPECT_EQ(ext_.Penalty(bp, Rect::Point(20, 10).Encode()), 100.0);
+}
+
+TEST_F(RtreeExtTest, UnionIsBoundingBox) {
+  const std::string u =
+      ext_.Union(Rect{0, 0, 1, 1}.Encode(), Rect{5, -2, 6, 3}.Encode());
+  Rect r = Rect::Decode(u);
+  EXPECT_EQ(r.xlo, 0);
+  EXPECT_EQ(r.ylo, -2);
+  EXPECT_EQ(r.xhi, 6);
+  EXPECT_EQ(r.yhi, 3);
+}
+
+TEST_F(RtreeExtTest, ContainsIsRectContainment) {
+  const std::string big = Rect{0, 0, 10, 10}.Encode();
+  EXPECT_TRUE(ext_.Contains(big, Rect{1, 1, 9, 9}.Encode()));
+  EXPECT_FALSE(ext_.Contains(big, Rect{1, 1, 11, 9}.Encode()));
+}
+
+TEST_F(RtreeExtTest, QuadraticSplitRespectsMinFill) {
+  Random rng(5);
+  std::vector<IndexEntry> entries;
+  for (int i = 0; i < 40; i++) {
+    const double x = rng.NextDouble() * 100;
+    const double y = rng.NextDouble() * 100;
+    entries.push_back({Rect::Point(x, y).Encode(), 0, kInvalidTxnId});
+  }
+  std::vector<bool> to_right;
+  ext_.PickSplit(entries, &to_right);
+  size_t right = 0;
+  for (bool b : to_right) right += b ? 1 : 0;
+  EXPECT_GE(right, entries.size() / 4);
+  EXPECT_GE(entries.size() - right, entries.size() / 4);
+}
+
+TEST_F(RtreeExtTest, SplitSeparatesClusters) {
+  // Two well separated clusters must not be mixed by a quadratic split.
+  std::vector<IndexEntry> entries;
+  for (int i = 0; i < 10; i++) {
+    entries.push_back(
+        {Rect::Point(i * 0.1, i * 0.1).Encode(), 0, kInvalidTxnId});
+  }
+  for (int i = 0; i < 10; i++) {
+    entries.push_back(
+        {Rect::Point(1000 + i * 0.1, 1000 + i * 0.1).Encode(), 0,
+         kInvalidTxnId});
+  }
+  std::vector<bool> to_right;
+  ext_.PickSplit(entries, &to_right);
+  // All of cluster 1 lands in one group, all of cluster 2 in the other.
+  for (int i = 1; i < 10; i++) {
+    EXPECT_EQ(to_right[i], to_right[0]);
+    EXPECT_EQ(to_right[10 + i], to_right[10]);
+  }
+  EXPECT_NE(to_right[0], to_right[10]);
+}
+
+class RtreePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RtreePropertyTest, UnionContainsBothOperands) {
+  RtreeExtension ext;
+  Random rng(GetParam());
+  for (int i = 0; i < 300; i++) {
+    Rect a{rng.NextDouble() * 100, rng.NextDouble() * 100, 0, 0};
+    a.xhi = a.xlo + rng.NextDouble() * 20;
+    a.yhi = a.ylo + rng.NextDouble() * 20;
+    Rect b{rng.NextDouble() * 100, rng.NextDouble() * 100, 0, 0};
+    b.xhi = b.xlo + rng.NextDouble() * 20;
+    b.yhi = b.ylo + rng.NextDouble() * 20;
+    const std::string u = ext.Union(a.Encode(), b.Encode());
+    EXPECT_TRUE(ext.Contains(u, a.Encode()));
+    EXPECT_TRUE(ext.Contains(u, b.Encode()));
+    // Penalty of re-adding either side into the union is zero.
+    EXPECT_EQ(ext.Penalty(u, a.Encode()), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtreePropertyTest,
+                         ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace gistcr

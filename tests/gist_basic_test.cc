@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "access/btree_extension.h"
+#include "access/rtree_extension.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace gistcr {
+namespace {
+
+/// Fixture: fresh database with one B-tree-emulating GiST. max_entries=8
+/// keeps trees deep with few keys so splits and root growth are exercised
+/// constantly.
+class GistBasicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TestPath("db");
+    RemoveDbFiles(path_);
+    DatabaseOptions opts;
+    opts.path = path_;
+    opts.buffer_pool_pages = 256;
+    auto db_or = Database::Create(opts);
+    ASSERT_OK(db_or.status());
+    db_ = db_or.MoveValue();
+    GistOptions gopts;
+    gopts.max_entries = 8;
+    ASSERT_OK(db_->CreateIndex(1, &ext_, gopts));
+    auto idx = db_->GetIndex(1);
+    ASSERT_OK(idx.status());
+    gist_ = idx.value();
+  }
+  void TearDown() override {
+    db_.reset();
+    RemoveDbFiles(path_);
+  }
+
+  Rid Insert(Transaction* txn, int64_t key) {
+    auto rid = db_->InsertRecord(txn, gist_, BtreeExtension::MakeKey(key),
+                                 "rec-" + std::to_string(key));
+    EXPECT_OK(rid.status());
+    return rid.value();
+  }
+
+  std::vector<int64_t> SearchRange(Transaction* txn, int64_t lo, int64_t hi) {
+    std::vector<SearchResult> results;
+    EXPECT_OK(gist_->Search(txn, BtreeExtension::MakeRange(lo, hi), &results));
+    std::vector<int64_t> keys;
+    for (const auto& r : results) keys.push_back(BtreeExtension::Lo(r.key));
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+  std::string path_;
+  std::unique_ptr<Database> db_;
+  BtreeExtension ext_;
+  Gist* gist_ = nullptr;
+};
+
+TEST_F(GistBasicTest, EmptyTreeSearchReturnsNothing) {
+  Transaction* txn = db_->Begin();
+  EXPECT_TRUE(SearchRange(txn, -1000, 1000).empty());
+  ASSERT_OK(db_->Commit(txn));
+}
+
+TEST_F(GistBasicTest, SingleInsertIsFound) {
+  Transaction* txn = db_->Begin();
+  const Rid rid = Insert(txn, 42);
+  auto keys = SearchRange(txn, 42, 42);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], 42);
+  auto rec = db_->ReadRecord(rid);
+  ASSERT_OK(rec.status());
+  EXPECT_EQ(rec.value(), "rec-42");
+  ASSERT_OK(db_->Commit(txn));
+}
+
+TEST_F(GistBasicTest, ManyInsertsSplitAndStayFindable) {
+  Transaction* txn = db_->Begin();
+  for (int64_t k = 0; k < 500; k++) Insert(txn, k);
+  ASSERT_OK(db_->Commit(txn));
+  ASSERT_OK(gist_->CheckInvariants());
+  auto h = gist_->Height();
+  ASSERT_OK(h.status());
+  EXPECT_GE(h.value(), 3u);  // max_entries=8 forces a deep tree
+  EXPECT_GT(gist_->stats().splits.load(), 50u);
+  EXPECT_GT(gist_->stats().root_grows.load(), 0u);
+
+  Transaction* txn2 = db_->Begin();
+  auto keys = SearchRange(txn2, 0, 499);
+  ASSERT_EQ(keys.size(), 500u);
+  for (int64_t k = 0; k < 500; k++) EXPECT_EQ(keys[k], k);
+  ASSERT_OK(db_->Commit(txn2));
+}
+
+TEST_F(GistBasicTest, RandomOrderInsertsFindable) {
+  Random rng(99);
+  std::set<int64_t> keys;
+  Transaction* txn = db_->Begin();
+  for (int i = 0; i < 400; i++) {
+    const int64_t k = rng.UniformRange(-100000, 100000);
+    if (keys.insert(k).second) Insert(txn, k);
+  }
+  ASSERT_OK(db_->Commit(txn));
+  ASSERT_OK(gist_->CheckInvariants());
+  Transaction* txn2 = db_->Begin();
+  auto found = SearchRange(txn2, -100000, 100000);
+  EXPECT_EQ(found.size(), keys.size());
+  ASSERT_OK(db_->Commit(txn2));
+}
+
+TEST_F(GistBasicTest, RangeSearchReturnsExactlyTheRange) {
+  Transaction* txn = db_->Begin();
+  for (int64_t k = 0; k < 200; k += 2) Insert(txn, k);
+  ASSERT_OK(db_->Commit(txn));
+  Transaction* txn2 = db_->Begin();
+  auto keys = SearchRange(txn2, 50, 99);
+  std::vector<int64_t> expect;
+  for (int64_t k = 50; k <= 99; k += 2) expect.push_back(k);
+  EXPECT_EQ(keys, expect);
+  ASSERT_OK(db_->Commit(txn2));
+}
+
+TEST_F(GistBasicTest, DeleteHidesKeyFromLaterTransactions) {
+  Transaction* t1 = db_->Begin();
+  const Rid rid = Insert(t1, 7);
+  ASSERT_OK(db_->Commit(t1));
+
+  Transaction* t2 = db_->Begin();
+  ASSERT_OK(db_->DeleteRecord(t2, gist_, BtreeExtension::MakeKey(7), rid));
+  ASSERT_OK(db_->Commit(t2));
+
+  Transaction* t3 = db_->Begin();
+  EXPECT_TRUE(SearchRange(t3, 7, 7).empty());
+  EXPECT_TRUE(db_->ReadRecord(rid).status().IsNotFound());
+  ASSERT_OK(db_->Commit(t3));
+}
+
+TEST_F(GistBasicTest, DeletedEntryIsLogicalUntilGc) {
+  Transaction* t1 = db_->Begin();
+  const Rid rid = Insert(t1, 7);
+  ASSERT_OK(db_->Commit(t1));
+  Transaction* t2 = db_->Begin();
+  ASSERT_OK(db_->DeleteRecord(t2, gist_, BtreeExtension::MakeKey(7), rid));
+  ASSERT_OK(db_->Commit(t2));
+
+  // The entry is still physically present (mark-only delete)...
+  std::vector<IndexEntry> entries;
+  ASSERT_OK(gist_->DumpEntries(&entries));
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_NE(entries[0].del_txn, kInvalidTxnId);
+
+  // ...until a GC sweep collects it.
+  Transaction* t3 = db_->Begin();
+  uint64_t removed = 0, deleted = 0;
+  ASSERT_OK(gist_->GarbageCollect(t3, &removed, &deleted));
+  ASSERT_OK(db_->Commit(t3));
+  EXPECT_EQ(removed, 1u);
+  entries.clear();
+  ASSERT_OK(gist_->DumpEntries(&entries));
+  EXPECT_TRUE(entries.empty());
+}
+
+TEST_F(GistBasicTest, DeleteNonexistentKeyIsNotFound) {
+  Transaction* txn = db_->Begin();
+  Rid fake;
+  fake.page_id = 5;
+  fake.slot = 0;
+  EXPECT_TRUE(
+      gist_->Delete(txn, BtreeExtension::MakeKey(123), fake).IsNotFound());
+  ASSERT_OK(db_->Abort(txn));
+}
+
+TEST_F(GistBasicTest, AbortRollsBackInsertions) {
+  Transaction* t1 = db_->Begin();
+  for (int64_t k = 0; k < 50; k++) Insert(t1, k);
+  ASSERT_OK(db_->Abort(t1));
+  ASSERT_OK(gist_->CheckInvariants());
+  Transaction* t2 = db_->Begin();
+  EXPECT_TRUE(SearchRange(t2, 0, 50).empty());
+  ASSERT_OK(db_->Commit(t2));
+}
+
+TEST_F(GistBasicTest, AbortRollsBackDeleteMark) {
+  Transaction* t1 = db_->Begin();
+  const Rid rid = Insert(t1, 7);
+  ASSERT_OK(db_->Commit(t1));
+  Transaction* t2 = db_->Begin();
+  ASSERT_OK(db_->DeleteRecord(t2, gist_, BtreeExtension::MakeKey(7), rid));
+  ASSERT_OK(db_->Abort(t2));
+  Transaction* t3 = db_->Begin();
+  auto keys = SearchRange(t3, 7, 7);
+  ASSERT_EQ(keys.size(), 1u);
+  auto rec = db_->ReadRecord(rid);
+  EXPECT_OK(rec.status());
+  ASSERT_OK(db_->Commit(t3));
+}
+
+TEST_F(GistBasicTest, UniqueInsertRejectsDuplicates) {
+  Transaction* t1 = db_->Begin();
+  auto r1 = db_->InsertRecord(t1, gist_, BtreeExtension::MakeKey(5), "a",
+                              /*unique=*/true);
+  ASSERT_OK(r1.status());
+  ASSERT_OK(db_->Commit(t1));
+  Transaction* t2 = db_->Begin();
+  auto r2 = db_->InsertRecord(t2, gist_, BtreeExtension::MakeKey(5), "b",
+                              /*unique=*/true);
+  EXPECT_TRUE(r2.status().IsDuplicateKey());
+  // The transaction is still usable and a different key succeeds.
+  auto r3 = db_->InsertRecord(t2, gist_, BtreeExtension::MakeKey(6), "c",
+                              /*unique=*/true);
+  EXPECT_OK(r3.status());
+  ASSERT_OK(db_->Commit(t2));
+  // The duplicate's heap record was rolled back to the savepoint.
+  Transaction* t3 = db_->Begin();
+  auto keys = SearchRange(t3, 5, 6);
+  EXPECT_EQ(keys.size(), 2u);
+  ASSERT_OK(db_->Commit(t3));
+}
+
+TEST_F(GistBasicTest, SavepointPartialRollback) {
+  Transaction* txn = db_->Begin();
+  Insert(txn, 1);
+  ASSERT_OK(db_->txns()->Savepoint(txn, "sp1"));
+  Insert(txn, 2);
+  Insert(txn, 3);
+  ASSERT_OK(db_->txns()->RollbackToSavepoint(txn, "sp1"));
+  Insert(txn, 4);
+  ASSERT_OK(db_->Commit(txn));
+  Transaction* t2 = db_->Begin();
+  auto keys = SearchRange(t2, 0, 10);
+  EXPECT_EQ(keys, (std::vector<int64_t>{1, 4}));
+  ASSERT_OK(db_->Commit(t2));
+}
+
+TEST_F(GistBasicTest, OwnDeleteInvisibleToOwnSearch) {
+  Transaction* t1 = db_->Begin();
+  const Rid rid = Insert(t1, 9);
+  ASSERT_OK(db_->Commit(t1));
+  Transaction* t2 = db_->Begin();
+  ASSERT_OK(db_->DeleteRecord(t2, gist_, BtreeExtension::MakeKey(9), rid));
+  EXPECT_TRUE(SearchRange(t2, 9, 9).empty());
+  ASSERT_OK(db_->Commit(t2));
+}
+
+TEST_F(GistBasicTest, OwnInsertVisibleToOwnSearch) {
+  Transaction* txn = db_->Begin();
+  Insert(txn, 11);
+  auto keys = SearchRange(txn, 11, 11);
+  EXPECT_EQ(keys.size(), 1u);
+  ASSERT_OK(db_->Commit(txn));
+}
+
+TEST_F(GistBasicTest, GcShrinksBoundingPredicates) {
+  Transaction* t1 = db_->Begin();
+  std::vector<Rid> rids;
+  for (int64_t k = 0; k < 100; k++) rids.push_back(Insert(t1, k));
+  ASSERT_OK(db_->Commit(t1));
+  // Delete the top half.
+  Transaction* t2 = db_->Begin();
+  for (int64_t k = 50; k < 100; k++) {
+    ASSERT_OK(db_->DeleteRecord(t2, gist_, BtreeExtension::MakeKey(k),
+                                rids[static_cast<size_t>(k)]));
+  }
+  ASSERT_OK(db_->Commit(t2));
+  Transaction* t3 = db_->Begin();
+  uint64_t removed = 0, deleted = 0;
+  ASSERT_OK(gist_->GarbageCollect(t3, &removed, &deleted));
+  ASSERT_OK(db_->Commit(t3));
+  EXPECT_EQ(removed, 50u);
+  ASSERT_OK(gist_->CheckInvariants());
+  Transaction* t4 = db_->Begin();
+  auto keys = SearchRange(t4, 0, 200);
+  EXPECT_EQ(keys.size(), 50u);
+  ASSERT_OK(db_->Commit(t4));
+}
+
+TEST_F(GistBasicTest, NodeDeletionReclaimsEmptyLeaves) {
+  Transaction* t1 = db_->Begin();
+  std::vector<Rid> rids;
+  for (int64_t k = 0; k < 200; k++) rids.push_back(Insert(t1, k));
+  ASSERT_OK(db_->Commit(t1));
+  Transaction* t2 = db_->Begin();
+  for (int64_t k = 0; k < 200; k++) {
+    ASSERT_OK(db_->DeleteRecord(t2, gist_, BtreeExtension::MakeKey(k),
+                                rids[static_cast<size_t>(k)]));
+  }
+  ASSERT_OK(db_->Commit(t2));
+  Transaction* t3 = db_->Begin();
+  uint64_t removed = 0, deleted = 0;
+  ASSERT_OK(gist_->GarbageCollect(t3, &removed, &deleted));
+  // A second sweep cascades deletions upward.
+  uint64_t removed2 = 0, deleted2 = 0;
+  ASSERT_OK(gist_->GarbageCollect(t3, &removed2, &deleted2));
+  ASSERT_OK(db_->Commit(t3));
+  EXPECT_EQ(removed, 200u);
+  EXPECT_GT(deleted + deleted2, 0u);
+  ASSERT_OK(gist_->CheckInvariants());
+  Transaction* t4 = db_->Begin();
+  EXPECT_TRUE(SearchRange(t4, 0, 200).empty());
+  ASSERT_OK(db_->Commit(t4));
+}
+
+// R-tree specialization: the same protocol over 2-D data.
+class RtreeBasicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TestPath("rtree");
+    RemoveDbFiles(path_);
+    DatabaseOptions opts;
+    opts.path = path_;
+    opts.buffer_pool_pages = 256;
+    auto db_or = Database::Create(opts);
+    ASSERT_OK(db_or.status());
+    db_ = db_or.MoveValue();
+    GistOptions gopts;
+    gopts.max_entries = 8;
+    ASSERT_OK(db_->CreateIndex(1, &ext_, gopts));
+    gist_ = db_->GetIndex(1).value();
+  }
+  void TearDown() override {
+    db_.reset();
+    RemoveDbFiles(path_);
+  }
+  std::string path_;
+  std::unique_ptr<Database> db_;
+  RtreeExtension ext_;
+  Gist* gist_ = nullptr;
+};
+
+TEST_F(RtreeBasicTest, WindowQueriesFindPoints) {
+  Transaction* txn = db_->Begin();
+  Random rng(3);
+  int in_window = 0;
+  for (int i = 0; i < 300; i++) {
+    const double x = rng.NextDouble() * 100;
+    const double y = rng.NextDouble() * 100;
+    if (x >= 25 && x <= 75 && y >= 25 && y <= 75) in_window++;
+    auto rid = db_->InsertRecord(txn, gist_,
+                                 RtreeExtension::MakeKey(Rect::Point(x, y)),
+                                 "pt");
+    ASSERT_OK(rid.status());
+  }
+  ASSERT_OK(db_->Commit(txn));
+  ASSERT_OK(gist_->CheckInvariants());
+  Transaction* t2 = db_->Begin();
+  std::vector<SearchResult> results;
+  ASSERT_OK(t2 != nullptr ? gist_->Search(
+                                t2,
+                                RtreeExtension::MakeWindowQuery(
+                                    Rect{25, 25, 75, 75}),
+                                &results)
+                          : Status::InvalidArgument(""));
+  EXPECT_EQ(results.size(), static_cast<size_t>(in_window));
+  ASSERT_OK(db_->Commit(t2));
+}
+
+TEST_F(RtreeBasicTest, DeleteAndGcOnRects) {
+  Transaction* txn = db_->Begin();
+  std::vector<Rid> rids;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 100; i++) {
+    keys.push_back(RtreeExtension::MakeKey(
+        Rect::Point(static_cast<double>(i), static_cast<double>(i))));
+    auto rid = db_->InsertRecord(txn, gist_, keys.back(), "pt");
+    ASSERT_OK(rid.status());
+    rids.push_back(rid.value());
+  }
+  ASSERT_OK(db_->Commit(txn));
+  Transaction* t2 = db_->Begin();
+  for (int i = 0; i < 100; i += 2) {
+    ASSERT_OK(db_->DeleteRecord(t2, gist_, keys[static_cast<size_t>(i)],
+                                rids[static_cast<size_t>(i)]));
+  }
+  ASSERT_OK(db_->Commit(t2));
+  Transaction* t3 = db_->Begin();
+  uint64_t removed = 0, deleted = 0;
+  ASSERT_OK(gist_->GarbageCollect(t3, &removed, &deleted));
+  ASSERT_OK(db_->Commit(t3));
+  EXPECT_EQ(removed, 50u);
+  ASSERT_OK(gist_->CheckInvariants());
+  Transaction* t4 = db_->Begin();
+  std::vector<SearchResult> results;
+  ASSERT_OK(gist_->Search(
+      t4, RtreeExtension::MakeWindowQuery(Rect{-1, -1, 101, 101}),
+      &results));
+  EXPECT_EQ(results.size(), 50u);
+  ASSERT_OK(db_->Commit(t4));
+}
+
+}  // namespace
+}  // namespace gistcr

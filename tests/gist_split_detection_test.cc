@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "access/btree_extension.h"
+#include "tests/test_util.h"
+
+namespace gistcr {
+namespace {
+
+/// Figure 2 semantics: NSN assignment during splits and how traversals
+/// detect missed splits and terminate their rightlink chains.
+class SplitDetectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TestPath("split");
+    RemoveDbFiles(path_);
+    DatabaseOptions opts;
+    opts.path = path_;
+    opts.buffer_pool_pages = 512;
+    auto db_or = Database::Create(opts);
+    ASSERT_OK(db_or.status());
+    db_ = db_or.MoveValue();
+    GistOptions gopts;
+    gopts.max_entries = 4;
+    ASSERT_OK(db_->CreateIndex(1, &ext_, gopts));
+    gist_ = db_->GetIndex(1).value();
+  }
+  void TearDown() override {
+    db_.reset();
+    RemoveDbFiles(path_);
+  }
+
+  void Insert(Transaction* txn, int64_t k) {
+    ASSERT_OK(db_->InsertRecord(txn, gist_, BtreeExtension::MakeKey(k), "v")
+                  .status());
+  }
+
+  struct NodeInfo {
+    Nsn nsn;
+    PageId rightlink;
+    uint16_t level;
+    uint16_t count;
+  };
+  NodeInfo ReadNode(PageId pid) {
+    auto fr = db_->pool()->Fetch(pid);
+    EXPECT_TRUE(fr.ok());
+    PageGuard g(db_->pool(), fr.value());
+    g.RLatch();
+    NodeView nv(g.view().data());
+    return {nv.nsn(), nv.rightlink(), nv.level(), nv.count()};
+  }
+
+  std::string path_;
+  std::unique_ptr<Database> db_;
+  BtreeExtension ext_;
+  Gist* gist_ = nullptr;
+};
+
+TEST_F(SplitDetectionTest, SplitAssignsNewNsnAndSiblingInheritsOld) {
+  // Figure 2: the split increments the global counter, assigns the new
+  // value to the ORIGINAL node; the new sibling receives the original's
+  // prior NSN and rightlink.
+  Transaction* txn = db_->Begin();
+  for (int64_t k : {10, 20, 30, 40}) Insert(txn, k);
+  const PageId orig = gist_->root_hint();
+  const NodeInfo before = ReadNode(orig);
+  const Nsn counter_before = db_->nsn()->Current();
+  Insert(txn, 50);  // forces the root-leaf to split (root grows)
+  ASSERT_OK(db_->Commit(txn));
+
+  const NodeInfo after = ReadNode(orig);
+  EXPECT_GT(after.nsn, before.nsn);
+  EXPECT_GT(after.nsn, counter_before)
+      << "NSN must exceed any counter value memorized before the split";
+  ASSERT_NE(after.rightlink, kInvalidPageId);
+  const NodeInfo sib = ReadNode(after.rightlink);
+  EXPECT_EQ(sib.nsn, before.nsn);              // inherited prior NSN
+  EXPECT_EQ(sib.rightlink, before.rightlink);  // inherited rightlink
+  EXPECT_EQ(sib.level, before.level);
+}
+
+TEST_F(SplitDetectionTest, MultiSplitChainTerminatesAtMemorizedNsn) {
+  // Split the same node repeatedly; a traverser holding the ORIGINAL
+  // memorized counter value must follow the chain until it reaches a node
+  // with NSN <= memorized (the chain end), and that walk must cover every
+  // split-off sibling.
+  Transaction* txn = db_->Begin();
+  for (int64_t k : {10, 20, 30, 40}) Insert(txn, k);
+  const PageId orig = gist_->root_hint();
+  const Nsn memorized = db_->nsn()->Current();
+  for (int64_t k = 100; k < 160; k++) Insert(txn, k);  // many splits
+  ASSERT_OK(db_->Commit(txn));
+
+  // Walk the chain from the original node as a traverser would.
+  size_t chain_nodes = 0;
+  size_t keys_seen = 0;
+  PageId cur = orig;
+  for (;;) {
+    const NodeInfo info = ReadNode(cur);
+    chain_nodes++;
+    keys_seen += info.count;
+    if (info.nsn <= memorized || info.rightlink == kInvalidPageId) break;
+    cur = info.rightlink;
+  }
+  EXPECT_GT(chain_nodes, 2u) << "expected a multi-node split chain";
+  // The chain from the original covers everything that ever lived there.
+  EXPECT_GE(keys_seen, 4u);
+}
+
+TEST_F(SplitDetectionTest, NsnsAreMonotonePerNodeHistory) {
+  Transaction* txn = db_->Begin();
+  for (int64_t k = 0; k < 200; k++) Insert(txn, k);
+  ASSERT_OK(db_->Commit(txn));
+  // Every node's NSN is <= the current global counter.
+  std::vector<IndexEntry> entries;
+  ASSERT_OK(gist_->DumpEntries(&entries));
+  const Nsn global = db_->nsn()->Current();
+  std::vector<PageId> frontier{gist_->root_hint()};
+  std::set<PageId> seen;
+  while (!frontier.empty()) {
+    const PageId pid = frontier.back();
+    frontier.pop_back();
+    if (!seen.insert(pid).second) continue;
+    auto fr = db_->pool()->Fetch(pid);
+    ASSERT_OK(fr.status());
+    PageGuard g(db_->pool(), fr.value());
+    g.RLatch();
+    NodeView nv(g.view().data());
+    EXPECT_LE(nv.nsn(), global);
+    if (nv.rightlink() != kInvalidPageId) frontier.push_back(nv.rightlink());
+    if (!nv.is_leaf()) {
+      for (uint16_t i = 0; i < nv.count(); i++) {
+        frontier.push_back(static_cast<PageId>(nv.entry_value(i)));
+      }
+    }
+  }
+}
+
+TEST_F(SplitDetectionTest, SearcherFollowsChainBuiltDuringPause) {
+  // Stronger Figure 2 variant: while the searcher is paused, the target
+  // node splits TWICE, so compensation requires following two rightlinks.
+  Transaction* setup = db_->Begin();
+  for (int64_t k : {900, 910, 920, 1000}) Insert(setup, k);
+  ASSERT_OK(db_->Commit(setup));
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool paused = false, resume = false;
+  gist_->test_hooks().after_root_push = [&] {
+    std::unique_lock<std::mutex> l(mu);
+    paused = true;
+    cv.notify_all();
+    cv.wait(l, [&] { return resume; });
+  };
+
+  std::vector<SearchResult> results;
+  std::thread searcher([&] {
+    Transaction* txn = db_->Begin(IsolationLevel::kReadCommitted);
+    ASSERT_OK(gist_->Search(txn, BtreeExtension::MakeRange(900, 1000),
+                            &results));
+    ASSERT_OK(db_->Commit(txn));
+  });
+  {
+    std::unique_lock<std::mutex> l(mu);
+    cv.wait(l, [&] { return paused; });
+  }
+  gist_->test_hooks().after_root_push = nullptr;
+
+  // Two waves of inserts: the original root leaf splits repeatedly.
+  Transaction* t2 = db_->Begin(IsolationLevel::kReadCommitted);
+  for (int64_t k : {930, 940, 950, 960, 970, 980}) Insert(t2, k);
+  ASSERT_OK(db_->Commit(t2));
+
+  {
+    std::lock_guard<std::mutex> l(mu);
+    resume = true;
+    cv.notify_all();
+  }
+  searcher.join();
+
+  std::set<int64_t> found;
+  for (const auto& r : results) found.insert(BtreeExtension::Lo(r.key));
+  // All four committed-before-scan keys must be found despite the splits.
+  for (int64_t k : {900, 910, 920, 1000}) {
+    EXPECT_TRUE(found.count(k)) << "lost key " << k;
+  }
+  EXPECT_GT(gist_->stats().rightlink_follows.load(), 1u);
+}
+
+}  // namespace
+}  // namespace gistcr

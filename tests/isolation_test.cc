@@ -1,0 +1,428 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "access/btree_extension.h"
+#include "tests/test_util.h"
+
+namespace gistcr {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Repeatable-read (Degree 3) isolation per paper section 4: 2PL on data
+/// records plus node-attached predicate locks. These tests exercise the
+/// blocking semantics directly with short, deterministic waits.
+class IsolationTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetUpMode(PredicateMode::kHybrid); }
+
+  void SetUpMode(PredicateMode mode) {
+    path_ = TestPath("iso");
+    RemoveDbFiles(path_);
+    DatabaseOptions opts;
+    opts.path = path_;
+    opts.buffer_pool_pages = 512;
+    auto db_or = Database::Create(opts);
+    ASSERT_OK(db_or.status());
+    db_ = db_or.MoveValue();
+    GistOptions gopts;
+    gopts.max_entries = 8;
+    gopts.pred_mode = mode;
+    ASSERT_OK(db_->CreateIndex(1, &ext_, gopts));
+    gist_ = db_->GetIndex(1).value();
+  }
+  void TearDown() override {
+    db_.reset();
+    RemoveDbFiles(path_);
+  }
+
+  Rid MustInsert(Transaction* txn, int64_t key) {
+    auto rid =
+        db_->InsertRecord(txn, gist_, BtreeExtension::MakeKey(key), "v");
+    EXPECT_OK(rid.status());
+    return rid.ok() ? rid.value() : Rid{};
+  }
+
+  std::vector<int64_t> Scan(Transaction* txn, int64_t lo, int64_t hi,
+                            Status* out_st = nullptr) {
+    std::vector<SearchResult> results;
+    Status st = gist_->Search(txn, BtreeExtension::MakeRange(lo, hi), &results);
+    if (out_st != nullptr) {
+      *out_st = st;
+    } else {
+      EXPECT_OK(st);
+    }
+    std::vector<int64_t> keys;
+    for (const auto& r : results) keys.push_back(BtreeExtension::Lo(r.key));
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+  std::string path_;
+  std::unique_ptr<Database> db_;
+  BtreeExtension ext_;
+  Gist* gist_ = nullptr;
+};
+
+TEST_F(IsolationTest, PhantomInsertBlocksUntilScannerEnds) {
+  // T1 (RR) scans an empty range; T2's insert into that range must block
+  // on T1's predicate until T1 terminates (section 4.3).
+  Transaction* t1 = db_->Begin(IsolationLevel::kRepeatableRead);
+  EXPECT_TRUE(Scan(t1, 10, 20).empty());
+
+  std::atomic<bool> insert_done{false};
+  std::thread inserter([&] {
+    Transaction* t2 = db_->Begin(IsolationLevel::kReadCommitted);
+    ASSERT_OK(db_->InsertRecord(t2, gist_, BtreeExtension::MakeKey(15), "v")
+                  .status());
+    insert_done = true;
+    ASSERT_OK(db_->Commit(t2));
+  });
+
+  std::this_thread::sleep_for(100ms);
+  EXPECT_FALSE(insert_done.load()) << "insert did not block on the predicate";
+  // (Re-scanning here would meet the inserter's X record lock — the
+  // paper's designed scan/insert deadlock, tested separately. The scan is
+  // repeatable because the insert cannot commit while T1 lives.)
+  ASSERT_OK(db_->Commit(t1));
+  inserter.join();
+  EXPECT_TRUE(insert_done.load());
+
+  Transaction* t3 = db_->Begin();
+  EXPECT_EQ(Scan(t3, 10, 20), (std::vector<int64_t>{15}));
+  ASSERT_OK(db_->Commit(t3));
+}
+
+TEST_F(IsolationTest, InsertOutsideScannedRangeDoesNotBlock) {
+  Transaction* t1 = db_->Begin(IsolationLevel::kRepeatableRead);
+  EXPECT_TRUE(Scan(t1, 10, 20).empty());
+  Transaction* t2 = db_->Begin(IsolationLevel::kReadCommitted);
+  // Disjoint key: no predicate conflict, completes immediately.
+  ASSERT_OK(db_->InsertRecord(t2, gist_, BtreeExtension::MakeKey(500), "v")
+                .status());
+  ASSERT_OK(db_->Commit(t2));
+  ASSERT_OK(db_->Commit(t1));
+}
+
+TEST_F(IsolationTest, ReadCommittedAdmitsPhantoms) {
+  Transaction* t1 = db_->Begin(IsolationLevel::kReadCommitted);
+  EXPECT_TRUE(Scan(t1, 10, 20).empty());
+  Transaction* t2 = db_->Begin(IsolationLevel::kReadCommitted);
+  ASSERT_OK(db_->InsertRecord(t2, gist_, BtreeExtension::MakeKey(15), "v")
+                .status());
+  ASSERT_OK(db_->Commit(t2));  // does not block: T1 left no predicates
+  EXPECT_EQ(Scan(t1, 10, 20), (std::vector<int64_t>{15}));  // phantom
+  ASSERT_OK(db_->Commit(t1));
+}
+
+TEST_F(IsolationTest, DeleteOfScannedRecordBlocksOnRecordLock) {
+  Transaction* t0 = db_->Begin();
+  const Rid rid = MustInsert(t0, 7);
+  ASSERT_OK(db_->Commit(t0));
+
+  Transaction* t1 = db_->Begin(IsolationLevel::kRepeatableRead);
+  EXPECT_EQ(Scan(t1, 0, 100), (std::vector<int64_t>{7}));  // S lock on rid
+
+  std::atomic<bool> delete_done{false};
+  std::thread deleter([&] {
+    Transaction* t2 = db_->Begin(IsolationLevel::kReadCommitted);
+    ASSERT_OK(db_->DeleteRecord(t2, gist_, BtreeExtension::MakeKey(7), rid));
+    delete_done = true;
+    ASSERT_OK(db_->Commit(t2));
+  });
+  std::this_thread::sleep_for(100ms);
+  EXPECT_FALSE(delete_done.load()) << "delete did not block on the S lock";
+  EXPECT_EQ(Scan(t1, 0, 100), (std::vector<int64_t>{7}));  // repeatable
+  ASSERT_OK(db_->Commit(t1));
+  deleter.join();
+}
+
+TEST_F(IsolationTest, ScanBlocksOnUncommittedInsert) {
+  Transaction* t1 = db_->Begin(IsolationLevel::kReadCommitted);
+  MustInsert(t1, 42);  // holds X on the record until commit
+
+  std::atomic<bool> scan_done{false};
+  std::vector<int64_t> scanned;
+  std::thread scanner([&] {
+    Transaction* t2 = db_->Begin(IsolationLevel::kRepeatableRead);
+    scanned = Scan(t2, 0, 100);
+    scan_done = true;
+    ASSERT_OK(db_->Commit(t2));
+  });
+  std::this_thread::sleep_for(100ms);
+  EXPECT_FALSE(scan_done.load()) << "scan did not block on uncommitted insert";
+  ASSERT_OK(db_->Commit(t1));
+  scanner.join();
+  EXPECT_EQ(scanned, (std::vector<int64_t>{42}));
+}
+
+TEST_F(IsolationTest, ScanBlocksOnUncommittedDeleteThenSkips) {
+  Transaction* t0 = db_->Begin();
+  const Rid rid = MustInsert(t0, 42);
+  ASSERT_OK(db_->Commit(t0));
+
+  Transaction* t1 = db_->Begin(IsolationLevel::kReadCommitted);
+  ASSERT_OK(db_->DeleteRecord(t1, gist_, BtreeExtension::MakeKey(42), rid));
+
+  std::atomic<bool> scan_done{false};
+  std::vector<int64_t> scanned;
+  std::thread scanner([&] {
+    Transaction* t2 = db_->Begin(IsolationLevel::kRepeatableRead);
+    scanned = Scan(t2, 0, 100);
+    scan_done = true;
+    ASSERT_OK(db_->Commit(t2));
+  });
+  std::this_thread::sleep_for(100ms);
+  // The logically deleted entry is physically present, so the scan blocks
+  // on the deleter's X lock (section 7).
+  EXPECT_FALSE(scan_done.load());
+  ASSERT_OK(db_->Commit(t1));
+  scanner.join();
+  EXPECT_TRUE(scanned.empty());  // delete committed: entry logically gone
+}
+
+TEST_F(IsolationTest, ScanSeesReinsertAfterDeleterAborts) {
+  Transaction* t0 = db_->Begin();
+  const Rid rid = MustInsert(t0, 42);
+  ASSERT_OK(db_->Commit(t0));
+
+  Transaction* t1 = db_->Begin(IsolationLevel::kReadCommitted);
+  ASSERT_OK(db_->DeleteRecord(t1, gist_, BtreeExtension::MakeKey(42), rid));
+
+  std::atomic<bool> scan_done{false};
+  std::vector<int64_t> scanned;
+  std::thread scanner([&] {
+    Transaction* t2 = db_->Begin(IsolationLevel::kRepeatableRead);
+    scanned = Scan(t2, 0, 100);
+    scan_done = true;
+    ASSERT_OK(db_->Commit(t2));
+  });
+  std::this_thread::sleep_for(100ms);
+  EXPECT_FALSE(scan_done.load());
+  ASSERT_OK(db_->Abort(t1));  // rollback unmarks the entry
+  scanner.join();
+  EXPECT_EQ(scanned, (std::vector<int64_t>{42}));
+}
+
+TEST_F(IsolationTest, ScanInsertScanDeadlockIsDetected) {
+  // T1 scans [10,20]; T2 inserts 15 (blocks on T1's predicate); T1 then
+  // rescans and hits T2's inserted entry's X lock -> cycle -> one victim.
+  Transaction* t1 = db_->Begin(IsolationLevel::kRepeatableRead);
+  EXPECT_TRUE(Scan(t1, 10, 20).empty());
+
+  std::atomic<int> t2_result{0};  // 1 ok, 2 deadlock
+  std::thread inserter([&] {
+    Transaction* t2 = db_->Begin(IsolationLevel::kRepeatableRead);
+    Status st =
+        db_->InsertRecord(t2, gist_, BtreeExtension::MakeKey(15), "v")
+            .status();
+    if (st.ok()) {
+      t2_result = 1;
+      ASSERT_OK(db_->Commit(t2));
+    } else {
+      t2_result = st.IsDeadlock() ? 2 : 3;
+      ASSERT_OK(db_->Abort(t2));
+    }
+  });
+  std::this_thread::sleep_for(100ms);
+
+  Status scan_st;
+  auto keys = Scan(t1, 10, 20, &scan_st);
+  if (scan_st.ok()) {
+    ASSERT_OK(db_->Commit(t1));
+  } else {
+    EXPECT_TRUE(scan_st.IsDeadlock()) << scan_st.ToString();
+    ASSERT_OK(db_->Abort(t1));
+  }
+  inserter.join();
+  // Exactly one side must have been the deadlock victim.
+  const bool t1_victim = !scan_st.ok();
+  const bool t2_victim = t2_result.load() == 2;
+  EXPECT_TRUE(t1_victim || t2_victim);
+  EXPECT_FALSE(t1_victim && t2_victim);
+}
+
+TEST_F(IsolationTest, UniqueInsertRaceYieldsOneWinner) {
+  std::atomic<int> winners{0}, losers{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; t++) {
+    threads.emplace_back([&] {
+      for (int attempt = 0; attempt < 50; attempt++) {
+        Transaction* txn = db_->Begin(IsolationLevel::kRepeatableRead);
+        auto rid = db_->InsertRecord(txn, gist_,
+                                     BtreeExtension::MakeKey(777), "v",
+                                     /*unique=*/true);
+        if (rid.ok()) {
+          winners++;
+          ASSERT_OK(db_->Commit(txn));
+          return;
+        }
+        if (rid.status().IsDuplicateKey()) {
+          losers++;
+          ASSERT_OK(db_->Commit(txn));
+          return;
+        }
+        // Deadlock victim: abort and retry.
+        ASSERT_OK(db_->Abort(txn));
+      }
+      FAIL() << "unique-insert retries exhausted";
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(winners.load(), 1);
+  EXPECT_EQ(losers.load(), 3);
+  Transaction* txn = db_->Begin();
+  EXPECT_EQ(Scan(txn, 777, 777).size(), 1u);
+  ASSERT_OK(db_->Commit(txn));
+}
+
+TEST_F(IsolationTest, DuplicateErrorIsRepeatable) {
+  Transaction* t0 = db_->Begin();
+  ASSERT_OK(db_->InsertRecord(t0, gist_, BtreeExtension::MakeKey(5), "a",
+                              true)
+                .status());
+  ASSERT_OK(db_->Commit(t0));
+
+  Transaction* t1 = db_->Begin(IsolationLevel::kRepeatableRead);
+  EXPECT_TRUE(db_->InsertRecord(t1, gist_, BtreeExtension::MakeKey(5), "b",
+                                true)
+                  .status()
+                  .IsDuplicateKey());
+
+  // A concurrent deleter of the existing record must block on T1's S lock,
+  // keeping the error repeatable.
+  std::atomic<bool> delete_done{false};
+  std::thread deleter([&] {
+    Transaction* t2 = db_->Begin(IsolationLevel::kReadCommitted);
+    std::vector<SearchResult> results;
+    ASSERT_OK(gist_->Search(t2, BtreeExtension::MakeRange(5, 5), &results));
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_OK(db_->DeleteRecord(t2, gist_, BtreeExtension::MakeKey(5),
+                                results[0].rid));
+    delete_done = true;
+    ASSERT_OK(db_->Commit(t2));
+  });
+  std::this_thread::sleep_for(100ms);
+  EXPECT_FALSE(delete_done.load());
+  EXPECT_TRUE(db_->InsertRecord(t1, gist_, BtreeExtension::MakeKey(5), "c",
+                                true)
+                  .status()
+                  .IsDuplicateKey());
+  ASSERT_OK(db_->Commit(t1));
+  deleter.join();
+}
+
+TEST_F(IsolationTest, PredicatesReplicatedAcrossSplits) {
+  // T1 scans [0, 10000] while the range is small; T2 then inserts many
+  // keys in [200,300] (outside nothing — all conflict!). Use a narrower
+  // scan instead: T1 scans [10,20]; T2 grows the tree with keys outside
+  // the range so the scanned leaf splits; then an insert INTO the range
+  // must still block (the predicate followed the split).
+  Transaction* t0 = db_->Begin();
+  for (int64_t k = 12; k <= 18; k += 2) MustInsert(t0, k);
+  ASSERT_OK(db_->Commit(t0));
+
+  Transaction* t1 = db_->Begin(IsolationLevel::kRepeatableRead);
+  EXPECT_EQ(Scan(t1, 10, 20).size(), 4u);
+
+  // Outside inserts proceed and split the leaves that hold [10,20].
+  Transaction* t2 = db_->Begin(IsolationLevel::kReadCommitted);
+  for (int64_t k = 100; k < 160; k++) MustInsert(t2, k);
+  for (int64_t k = 0; k < 10; k++) MustInsert(t2, k);
+  ASSERT_OK(db_->Commit(t2));
+  EXPECT_GT(gist_->stats().splits.load(), 0u);
+
+  // An insert into the scanned range must still block.
+  std::atomic<bool> insert_done{false};
+  std::thread inserter([&] {
+    Transaction* t3 = db_->Begin(IsolationLevel::kReadCommitted);
+    ASSERT_OK(db_->InsertRecord(t3, gist_, BtreeExtension::MakeKey(15), "v")
+                  .status());
+    insert_done = true;
+    ASSERT_OK(db_->Commit(t3));
+  });
+  std::this_thread::sleep_for(100ms);
+  EXPECT_FALSE(insert_done.load())
+      << "predicate was lost across node splits";
+  ASSERT_OK(db_->Commit(t1));
+  inserter.join();
+}
+
+TEST_F(IsolationTest, PredicatesPercolateOnBpExpansion) {
+  // T1 scans [100, 200] (empty region, predicate attached along the
+  // then-existing paths). T2 inserts key 150: the target leaf's BP must
+  // expand to cover 150, percolating T1's predicate down — and then T2
+  // must block on it.
+  Transaction* t0 = db_->Begin();
+  for (int64_t k = 0; k < 40; k++) MustInsert(t0, k);
+  ASSERT_OK(db_->Commit(t0));
+
+  Transaction* t1 = db_->Begin(IsolationLevel::kRepeatableRead);
+  EXPECT_TRUE(Scan(t1, 100, 200).empty());
+
+  std::atomic<bool> insert_done{false};
+  std::thread inserter([&] {
+    Transaction* t2 = db_->Begin(IsolationLevel::kReadCommitted);
+    ASSERT_OK(
+        db_->InsertRecord(t2, gist_, BtreeExtension::MakeKey(150), "v")
+            .status());
+    insert_done = true;
+    ASSERT_OK(db_->Commit(t2));
+  });
+  std::this_thread::sleep_for(100ms);
+  EXPECT_FALSE(insert_done.load()) << "phantom slipped past BP expansion";
+  ASSERT_OK(db_->Commit(t1));
+  inserter.join();
+}
+
+// The pure-predicate-locking mode (section 4.2 / ablation C2) must provide
+// the same isolation, checked before traversal.
+class GlobalPredicateTest : public IsolationTest {
+ protected:
+  void SetUp() override { SetUpMode(PredicateMode::kGlobal); }
+};
+
+TEST_F(GlobalPredicateTest, PhantomInsertBlocksGlobally) {
+  Transaction* t1 = db_->Begin(IsolationLevel::kRepeatableRead);
+  EXPECT_TRUE(Scan(t1, 10, 20).empty());
+  std::atomic<bool> insert_done{false};
+  std::thread inserter([&] {
+    Transaction* t2 = db_->Begin(IsolationLevel::kReadCommitted);
+    ASSERT_OK(db_->InsertRecord(t2, gist_, BtreeExtension::MakeKey(15), "v")
+                  .status());
+    insert_done = true;
+    ASSERT_OK(db_->Commit(t2));
+  });
+  std::this_thread::sleep_for(100ms);
+  EXPECT_FALSE(insert_done.load());
+  ASSERT_OK(db_->Commit(t1));
+  inserter.join();
+}
+
+TEST_F(GlobalPredicateTest, SearchBlocksOnRegisteredInsertKey) {
+  // Pure predicate locking: a scan must check registered insert keys
+  // before starting (section 4.2).
+  Transaction* t1 = db_->Begin(IsolationLevel::kReadCommitted);
+  MustInsert(t1, 15);  // key registered globally, X lock held
+
+  std::atomic<bool> scan_done{false};
+  std::thread scanner([&] {
+    Transaction* t2 = db_->Begin(IsolationLevel::kRepeatableRead);
+    std::vector<SearchResult> results;
+    ASSERT_OK(
+        gist_->Search(t2, BtreeExtension::MakeRange(10, 20), &results));
+    scan_done = true;
+    EXPECT_EQ(results.size(), 1u);
+    ASSERT_OK(db_->Commit(t2));
+  });
+  std::this_thread::sleep_for(100ms);
+  EXPECT_FALSE(scan_done.load());
+  ASSERT_OK(db_->Commit(t1));
+  scanner.join();
+}
+
+}  // namespace
+}  // namespace gistcr

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "tests/test_util.h"
+#include "txn/lock_manager.h"
+#include "util/random.h"
+
+namespace gistcr {
+namespace {
+
+LockName Rec(uint64_t k) { return LockName{LockSpace::kRecord, k}; }
+LockName Node(uint64_t k) { return LockName{LockSpace::kNode, k}; }
+LockName Txn(uint64_t k) { return LockName{LockSpace::kTxn, k}; }
+
+TEST(LockManagerTest, SharedLocksCompatible) {
+  LockManager lm;
+  ASSERT_OK(lm.Lock(1, Rec(5), LockMode::kShared));
+  ASSERT_OK(lm.Lock(2, Rec(5), LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(1, Rec(5), LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(2, Rec(5), LockMode::kShared));
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+  EXPECT_EQ(lm.TableSize(), 0u);
+}
+
+TEST(LockManagerTest, ExclusiveConflictsNoWait) {
+  LockManager lm;
+  ASSERT_OK(lm.Lock(1, Rec(5), LockMode::kExclusive));
+  EXPECT_TRUE(lm.Lock(2, Rec(5), LockMode::kShared, false).IsBusy());
+  EXPECT_TRUE(lm.Lock(2, Rec(5), LockMode::kExclusive, false).IsBusy());
+  lm.ReleaseAll(1);
+  EXPECT_OK(lm.Lock(2, Rec(5), LockMode::kExclusive, false));
+  lm.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, ReentrantCountsBalance) {
+  LockManager lm;
+  ASSERT_OK(lm.Lock(1, Rec(1), LockMode::kShared));
+  ASSERT_OK(lm.Lock(1, Rec(1), LockMode::kShared));
+  lm.Unlock(1, Rec(1));
+  EXPECT_TRUE(lm.Holds(1, Rec(1), LockMode::kShared));
+  lm.Unlock(1, Rec(1));
+  EXPECT_FALSE(lm.Holds(1, Rec(1), LockMode::kShared));
+}
+
+TEST(LockManagerTest, SharedUnderExclusiveIsNoOpGrant) {
+  LockManager lm;
+  ASSERT_OK(lm.Lock(1, Rec(1), LockMode::kExclusive));
+  ASSERT_OK(lm.Lock(1, Rec(1), LockMode::kShared));  // count=2, stays X
+  EXPECT_TRUE(lm.Holds(1, Rec(1), LockMode::kExclusive));
+  lm.Unlock(1, Rec(1));
+  EXPECT_TRUE(lm.Holds(1, Rec(1), LockMode::kExclusive));
+  lm.Unlock(1, Rec(1));
+  EXPECT_FALSE(lm.Holds(1, Rec(1), LockMode::kShared));
+}
+
+TEST(LockManagerTest, UpgradeWhenSoleHolder) {
+  LockManager lm;
+  ASSERT_OK(lm.Lock(1, Rec(2), LockMode::kShared));
+  ASSERT_OK(lm.Lock(1, Rec(2), LockMode::kExclusive));
+  EXPECT_TRUE(lm.Holds(1, Rec(2), LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, UpgradeWaitsForOtherReader) {
+  LockManager lm;
+  ASSERT_OK(lm.Lock(1, Rec(2), LockMode::kShared));
+  ASSERT_OK(lm.Lock(2, Rec(2), LockMode::kShared));
+  std::atomic<bool> upgraded{false};
+  std::thread t([&] {
+    ASSERT_OK(lm.Lock(1, Rec(2), LockMode::kExclusive));
+    upgraded = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(upgraded.load());
+  lm.ReleaseAll(2);
+  t.join();
+  EXPECT_TRUE(upgraded.load());
+  EXPECT_TRUE(lm.Holds(1, Rec(2), LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, BlockedWaiterWakesOnRelease) {
+  LockManager lm;
+  ASSERT_OK(lm.Lock(1, Rec(9), LockMode::kExclusive));
+  std::atomic<bool> got{false};
+  std::thread t([&] {
+    ASSERT_OK(lm.Lock(2, Rec(9), LockMode::kShared));
+    got = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(got.load());
+  lm.ReleaseAll(1);
+  t.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(LockManagerTest, DeadlockDetectedAndRequesterVictimized) {
+  LockManager lm;
+  ASSERT_OK(lm.Lock(1, Rec(1), LockMode::kExclusive));
+  ASSERT_OK(lm.Lock(2, Rec(2), LockMode::kExclusive));
+  std::atomic<bool> t1_done{false};
+  // Txn 1 blocks on rec 2 (held by 2).
+  std::thread t([&] {
+    Status st = lm.Lock(1, Rec(2), LockMode::kShared);
+    t1_done = true;
+    EXPECT_OK(st);  // eventually granted after 2 is victimized
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Txn 2 requesting rec 1 closes the cycle: 2 -> 1 -> 2.
+  Status st = lm.Lock(2, Rec(1), LockMode::kShared);
+  EXPECT_TRUE(st.IsDeadlock()) << st.ToString();
+  lm.ReleaseAll(2);  // victim aborts
+  t.join();
+  EXPECT_TRUE(t1_done.load());
+  lm.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, UpgradeDeadlockBetweenTwoUpgraders) {
+  LockManager lm;
+  ASSERT_OK(lm.Lock(1, Rec(3), LockMode::kShared));
+  ASSERT_OK(lm.Lock(2, Rec(3), LockMode::kShared));
+  std::atomic<int> outcome{0};
+  std::thread t([&] {
+    Status st = lm.Lock(1, Rec(3), LockMode::kExclusive);
+    outcome = st.ok() ? 1 : (st.IsDeadlock() ? 2 : 3);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Status st = lm.Lock(2, Rec(3), LockMode::kExclusive);
+  // One of the two upgraders must be told "deadlock".
+  if (st.IsDeadlock()) {
+    lm.ReleaseAll(2);
+    t.join();
+    EXPECT_EQ(outcome.load(), 1);
+  } else {
+    t.join();
+    EXPECT_EQ(outcome.load(), 2);
+    lm.ReleaseAll(1);
+  }
+}
+
+TEST(LockManagerTest, FifoFairnessWriterNotStarved) {
+  LockManager lm;
+  ASSERT_OK(lm.Lock(1, Rec(4), LockMode::kShared));
+  std::atomic<bool> writer_got{false};
+  std::thread writer([&] {
+    ASSERT_OK(lm.Lock(2, Rec(4), LockMode::kExclusive));
+    writer_got = true;
+    lm.ReleaseAll(2);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // A reader arriving after the writer must queue behind it.
+  std::thread reader([&] {
+    ASSERT_OK(lm.Lock(3, Rec(4), LockMode::kShared));
+    EXPECT_TRUE(writer_got.load());
+    lm.ReleaseAll(3);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  lm.ReleaseAll(1);
+  writer.join();
+  reader.join();
+}
+
+TEST(LockManagerTest, ReplicateSharedHoldersCopiesSignalingLocks) {
+  LockManager lm;
+  ASSERT_OK(lm.Lock(1, Node(10), LockMode::kShared));
+  ASSERT_OK(lm.Lock(2, Node(10), LockMode::kShared));
+  lm.ReplicateSharedHolders(Node(10), Node(11));
+  EXPECT_TRUE(lm.Holds(1, Node(11), LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(2, Node(11), LockMode::kShared));
+  // Node deleter's try-X fails while signaling locks exist.
+  EXPECT_TRUE(lm.Lock(3, Node(11), LockMode::kExclusive, false).IsBusy());
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+  EXPECT_OK(lm.Lock(3, Node(11), LockMode::kExclusive, false));
+  lm.ReleaseAll(3);
+}
+
+TEST(LockManagerTest, WaitForTxnBlocksUntilOwnerEnds) {
+  LockManager lm;
+  ASSERT_OK(lm.Lock(7, Txn(7), LockMode::kExclusive));  // owner startup
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    ASSERT_OK(lm.WaitForTxn(8, 7));
+    EXPECT_TRUE(released.load());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  released = true;
+  lm.ReleaseAll(7);
+  waiter.join();
+  // The waiter released its S immediately; table should be clean.
+  EXPECT_EQ(lm.TableSize(), 0u);
+}
+
+TEST(LockManagerTest, ReleaseAllDropsOnlyOwnLocks) {
+  LockManager lm;
+  ASSERT_OK(lm.Lock(1, Rec(1), LockMode::kShared));
+  ASSERT_OK(lm.Lock(2, Rec(1), LockMode::kShared));
+  ASSERT_OK(lm.Lock(1, Rec(2), LockMode::kExclusive));
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.Holds(2, Rec(1), LockMode::kShared));
+  EXPECT_FALSE(lm.Holds(1, Rec(2), LockMode::kExclusive));
+  lm.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, ManyConcurrentLockersStress) {
+  LockManager lm;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 300;
+  std::atomic<int> deadlocks{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      const TxnId me = static_cast<TxnId>(t + 1);
+      Random rng(static_cast<uint64_t>(t) * 7919 + 13);
+      for (int i = 0; i < kOps; i++) {
+        const uint64_t k1 = rng.Uniform(16);
+        const uint64_t k2 = rng.Uniform(16);
+        Status st = lm.Lock(me, Rec(k1), LockMode::kShared);
+        if (st.ok()) {
+          st = lm.Lock(me, Rec(k2), LockMode::kExclusive);
+          if (st.IsDeadlock()) deadlocks++;
+        } else if (st.IsDeadlock()) {
+          deadlocks++;
+        }
+        lm.ReleaseAll(me);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(lm.TableSize(), 0u);  // everything released, no hangs
+}
+
+}  // namespace
+}  // namespace gistcr

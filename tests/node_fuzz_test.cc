@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gist/node.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace gistcr {
+namespace {
+
+/// Property test: the slotted node layout against a shadow model under a
+/// random mix of inserts, removals, BP rewrites and entry-key rewrites of
+/// varying sizes (what splits, GC, parent-entry updates and BP expansion
+/// actually do to a page). Guards against slot-directory/heap collisions —
+/// the class of bug where growing the slot array tramples a blob that was
+/// allocated flush against it.
+struct ShadowEntry {
+  std::string key;
+  uint64_t value;
+  uint64_t del;
+};
+
+class NodeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NodeFuzzTest, MatchesShadowModel) {
+  Random rng(GetParam());
+  for (int round = 0; round < 300; round++) {
+    char buf[kPageSize] = {};
+    NodeView node(buf);
+    node.Init(1, 0);
+    std::vector<ShadowEntry> shadow;
+    std::string bp;
+    uint64_t next_val = 1;
+    for (int op = 0; op < 400; op++) {
+      const uint64_t dice = rng.Uniform(10);
+      if (dice < 4) {
+        IndexEntry e;
+        e.key.resize(8 + rng.Uniform(30));
+        for (auto& c : e.key) c = static_cast<char>('a' + rng.Uniform(26));
+        e.value = next_val++;
+        e.del_txn = rng.OneIn(3) ? rng.Uniform(100) : 0;
+        if (node.HasSpaceFor(e)) {
+          ASSERT_OK(node.InsertEntry(e));
+          shadow.push_back({e.key, e.value, e.del_txn});
+        }
+      } else if (dice < 6 && !shadow.empty()) {
+        const uint16_t i = static_cast<uint16_t>(rng.Uniform(shadow.size()));
+        node.RemoveEntry(i);
+        shadow.erase(shadow.begin() + i);
+      } else if (dice < 8) {
+        std::string nb(rng.Uniform(60), 0);
+        for (auto& c : nb) c = static_cast<char>('A' + rng.Uniform(26));
+        if (node.TotalFree() > nb.size() + 64) {
+          ASSERT_OK(node.SetBp(nb));
+          bp = nb;
+        }
+      } else if (!shadow.empty()) {
+        const uint16_t i = static_cast<uint16_t>(rng.Uniform(shadow.size()));
+        std::string nk(4 + rng.Uniform(40), 0);
+        for (auto& c : nk) c = static_cast<char>('0' + rng.Uniform(10));
+        if (node.TotalFree() > nk.size() + 64) {
+          ASSERT_OK(node.SetEntryKey(i, nk));
+          shadow[i].key = nk;
+        }
+      }
+      // Full-state comparison after every operation.
+      ASSERT_EQ(node.count(), shadow.size()) << "round " << round
+                                             << " op " << op;
+      ASSERT_TRUE(node.bp() == Slice(bp)) << "round " << round << " op "
+                                          << op;
+      for (size_t i = 0; i < shadow.size(); i++) {
+        ASSERT_TRUE(node.entry_key(i) == Slice(shadow[i].key))
+            << "round " << round << " op " << op << " slot " << i;
+        ASSERT_EQ(node.entry_value(i), shadow[i].value);
+        ASSERT_EQ(node.entry_del_txn(i), shadow[i].del);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NodeFuzzTest,
+                         ::testing::Values(12345, 999, 31337, 2026));
+
+}  // namespace
+}  // namespace gistcr

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gist/node.h"
+#include "tests/test_util.h"
+
+namespace gistcr {
+namespace {
+
+IndexEntry MakeEntry(const std::string& key, uint64_t value,
+                     TxnId del = kInvalidTxnId) {
+  IndexEntry e;
+  e.key = key;
+  e.value = value;
+  e.del_txn = del;
+  return e;
+}
+
+class NodeTest : public ::testing::Test {
+ protected:
+  NodeTest() : node_(buf_) { node_.Init(42, 0); }
+  char buf_[kPageSize] = {};
+  NodeView node_;
+};
+
+TEST_F(NodeTest, InitSetsHeader) {
+  EXPECT_EQ(PageView(buf_).page_id(), 42u);
+  EXPECT_EQ(PageView(buf_).page_type(), PageType::kGistNode);
+  EXPECT_EQ(node_.nsn(), 0u);
+  EXPECT_EQ(node_.rightlink(), kInvalidPageId);
+  EXPECT_TRUE(node_.is_leaf());
+  EXPECT_EQ(node_.count(), 0);
+  EXPECT_TRUE(node_.bp().empty());
+}
+
+TEST_F(NodeTest, InsertAndReadBack) {
+  ASSERT_OK(node_.InsertEntry(MakeEntry("alpha", 11)));
+  ASSERT_OK(node_.InsertEntry(MakeEntry("beta", 22, 7)));
+  ASSERT_EQ(node_.count(), 2);
+  EXPECT_EQ(node_.entry_key(0), Slice("alpha"));
+  EXPECT_EQ(node_.entry_value(0), 11u);
+  EXPECT_EQ(node_.entry_del_txn(0), kInvalidTxnId);
+  EXPECT_EQ(node_.entry_key(1), Slice("beta"));
+  EXPECT_EQ(node_.entry_del_txn(1), 7u);
+}
+
+TEST_F(NodeTest, DeleteMarkInPlace) {
+  ASSERT_OK(node_.InsertEntry(MakeEntry("k", 1)));
+  node_.set_entry_del_txn(0, 99);
+  EXPECT_EQ(node_.entry_del_txn(0), 99u);
+  node_.set_entry_del_txn(0, kInvalidTxnId);
+  EXPECT_EQ(node_.entry_del_txn(0), kInvalidTxnId);
+}
+
+TEST_F(NodeTest, RemoveShiftsSlots) {
+  ASSERT_OK(node_.InsertEntry(MakeEntry("a", 1)));
+  ASSERT_OK(node_.InsertEntry(MakeEntry("b", 2)));
+  ASSERT_OK(node_.InsertEntry(MakeEntry("c", 3)));
+  node_.RemoveEntry(1);
+  ASSERT_EQ(node_.count(), 2);
+  EXPECT_EQ(node_.entry_key(0), Slice("a"));
+  EXPECT_EQ(node_.entry_key(1), Slice("c"));
+  EXPECT_EQ(node_.entry_value(1), 3u);
+}
+
+TEST_F(NodeTest, FindByValueAndKeyValue) {
+  ASSERT_OK(node_.InsertEntry(MakeEntry("a", 1)));
+  ASSERT_OK(node_.InsertEntry(MakeEntry("b", 2)));
+  EXPECT_EQ(node_.FindByValue(2), 1);
+  EXPECT_EQ(node_.FindByValue(9), -1);
+  EXPECT_EQ(node_.FindByKeyValue(Slice("a"), 1), 0);
+  EXPECT_EQ(node_.FindByKeyValue(Slice("a"), 2), -1);
+}
+
+TEST_F(NodeTest, BpSetGrowShrink) {
+  ASSERT_OK(node_.SetBp(Slice("medium-bp")));
+  EXPECT_EQ(node_.bp(), Slice("medium-bp"));
+  ASSERT_OK(node_.SetBp(Slice("tiny")));  // shrink in place
+  EXPECT_EQ(node_.bp(), Slice("tiny"));
+  ASSERT_OK(node_.SetBp(Slice("a-considerably-longer-bounding-predicate")));
+  EXPECT_EQ(node_.bp(), Slice("a-considerably-longer-bounding-predicate"));
+}
+
+TEST_F(NodeTest, SetEntryKeyInPlaceAndGrow) {
+  ASSERT_OK(node_.InsertEntry(MakeEntry("abcdef", 5, 3)));
+  ASSERT_OK(node_.SetEntryKey(0, Slice("xyz")));
+  EXPECT_EQ(node_.entry_key(0), Slice("xyz"));
+  EXPECT_EQ(node_.entry_value(0), 5u);   // payload preserved
+  EXPECT_EQ(node_.entry_del_txn(0), 3u);
+  ASSERT_OK(node_.SetEntryKey(0, Slice("a-much-longer-key-than-before")));
+  EXPECT_EQ(node_.entry_key(0), Slice("a-much-longer-key-than-before"));
+  EXPECT_EQ(node_.entry_value(0), 5u);
+}
+
+TEST_F(NodeTest, FillUntilNoSpaceThenCompactionReclaims) {
+  const std::string key(100, 'k');
+  int inserted = 0;
+  while (true) {
+    IndexEntry e = MakeEntry(key, static_cast<uint64_t>(inserted));
+    if (!node_.HasSpaceFor(e)) break;
+    ASSERT_OK(node_.InsertEntry(e));
+    inserted++;
+  }
+  EXPECT_GT(inserted, 50);
+  IndexEntry extra = MakeEntry(key, 999999);
+  EXPECT_TRUE(node_.InsertEntry(extra).IsNoSpace());
+  // Remove half the entries; the space is fragmented but reusable.
+  const int before = node_.count();
+  for (int i = 0; i < before / 2; i++) node_.RemoveEntry(0);
+  for (int i = 0; i < before / 2; i++) {
+    ASSERT_OK(node_.InsertEntry(
+        MakeEntry(key, static_cast<uint64_t>(100000 + i))));
+  }
+}
+
+TEST_F(NodeTest, CompactPreservesContent) {
+  for (int i = 0; i < 20; i++) {
+    ASSERT_OK(node_.InsertEntry(
+        MakeEntry("key-" + std::to_string(i), static_cast<uint64_t>(i), i % 3 == 0 ? 5u : kInvalidTxnId)));
+  }
+  ASSERT_OK(node_.SetBp(Slice("some-bp")));
+  for (int i = 0; i < 5; i++) node_.RemoveEntry(3);
+  auto before = node_.GetAllEntries(true);
+  node_.Compact();
+  auto after = node_.GetAllEntries(true);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); i++) {
+    EXPECT_EQ(before[i].key, after[i].key);
+    EXPECT_EQ(before[i].value, after[i].value);
+    EXPECT_EQ(before[i].del_txn, after[i].del_txn);
+  }
+  EXPECT_EQ(node_.bp(), Slice("some-bp"));
+}
+
+TEST_F(NodeTest, GetAllEntriesFiltersDeleted) {
+  ASSERT_OK(node_.InsertEntry(MakeEntry("live", 1)));
+  ASSERT_OK(node_.InsertEntry(MakeEntry("dead", 2, 9)));
+  EXPECT_EQ(node_.GetAllEntries(true).size(), 2u);
+  EXPECT_EQ(node_.GetAllEntries(false).size(), 1u);
+  EXPECT_EQ(node_.GetAllEntries(false)[0].key, "live");
+}
+
+TEST_F(NodeTest, HeaderFieldsIndependent) {
+  node_.set_nsn(0xABCDEF);
+  node_.set_rightlink(77);
+  EXPECT_EQ(node_.nsn(), 0xABCDEFu);
+  EXPECT_EQ(node_.rightlink(), 77u);
+  char buf2[kPageSize];
+  NodeView internal(buf2);
+  internal.Init(5, 3);
+  EXPECT_FALSE(internal.is_leaf());
+  EXPECT_EQ(internal.level(), 3);
+}
+
+TEST_F(NodeTest, TotalFreeAccountsForEverything) {
+  const uint32_t before = node_.TotalFree();
+  ASSERT_OK(node_.InsertEntry(MakeEntry("12345", 1)));
+  const uint32_t after = node_.TotalFree();
+  EXPECT_EQ(before - after,
+            NodeView::kEntryOverhead + 5 + NodeView::kSlotSize);
+}
+
+}  // namespace
+}  // namespace gistcr

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include "access/btree_extension.h"
+#include "tests/test_util.h"
+#include "util/coding.h"
+#include "util/random.h"
+
+namespace gistcr {
+namespace {
+
+/// End-to-end isolation smoke test in the style of a bank-transfer
+/// workload: accounts are records keyed by account id; a "transfer" reads
+/// two balances at repeatable read, deletes both records and re-inserts
+/// them with updated balances, all in one transaction. Concurrent auditors
+/// sum every balance at repeatable read.
+///
+/// Invariants checked:
+///   - every auditor snapshot sums to the initial total (no partial
+///     transfers visible, no phantoms, no lost records);
+///   - the final state sums to the initial total;
+///   - account count is constant.
+/// Degree-3 isolation (paper section 4) is exactly what makes this hold.
+class SerializabilityTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kAccounts = 40;
+  static constexpr int64_t kInitialBalance = 1000;
+
+  void SetUp() override {
+    path_ = TestPath("bank");
+    RemoveDbFiles(path_);
+    DatabaseOptions opts;
+    opts.path = path_;
+    opts.buffer_pool_pages = 512;
+    auto db_or = Database::Create(opts);
+    ASSERT_OK(db_or.status());
+    db_ = db_or.MoveValue();
+    GistOptions gopts;
+    gopts.max_entries = 8;
+    ASSERT_OK(db_->CreateIndex(1, &ext_, gopts));
+    gist_ = db_->GetIndex(1).value();
+    Transaction* txn = db_->Begin();
+    for (int64_t a = 0; a < kAccounts; a++) {
+      ASSERT_OK(db_->InsertRecord(txn, gist_, BtreeExtension::MakeKey(a),
+                                  EncodeBalance(kInitialBalance))
+                    .status());
+    }
+    ASSERT_OK(db_->Commit(txn));
+  }
+  void TearDown() override {
+    db_.reset();
+    RemoveDbFiles(path_);
+  }
+
+  static std::string EncodeBalance(int64_t b) {
+    std::string s;
+    PutFixed64(&s, static_cast<uint64_t>(b));
+    return s;
+  }
+  static int64_t DecodeBalance(const std::string& s) {
+    return static_cast<int64_t>(DecodeFixed64(s.data()));
+  }
+
+  /// One transfer transaction; returns the final status (commit result or
+  /// the error that caused the abort).
+  Status TryTransfer(int64_t from, int64_t to, int64_t amount) {
+    Transaction* txn = db_->Begin(IsolationLevel::kRepeatableRead);
+    auto fail = [&](Status st) {
+      (void)db_->Abort(txn);
+      return st;
+    };
+    std::vector<SearchResult> src, dst;
+    Status st =
+        gist_->Search(txn, BtreeExtension::MakeRange(from, from), &src);
+    if (st.ok()) {
+      st = gist_->Search(txn, BtreeExtension::MakeRange(to, to), &dst);
+    }
+    if (!st.ok()) return fail(st);
+    if (src.size() != 1 || dst.size() != 1) {
+      return fail(Status::Corruption("account record count wrong"));
+    }
+    auto src_rec = db_->ReadRecord(src[0].rid);
+    auto dst_rec = db_->ReadRecord(dst[0].rid);
+    if (!src_rec.ok() || !dst_rec.ok()) {
+      return fail(Status::Corruption("account body missing"));
+    }
+    const int64_t src_bal = DecodeBalance(src_rec.value());
+    const int64_t dst_bal = DecodeBalance(dst_rec.value());
+    st = db_->DeleteRecord(txn, gist_, src[0].key, src[0].rid);
+    if (st.ok()) st = db_->DeleteRecord(txn, gist_, dst[0].key, dst[0].rid);
+    if (st.ok()) {
+      st = db_->InsertRecord(txn, gist_, BtreeExtension::MakeKey(from),
+                             EncodeBalance(src_bal - amount))
+               .status();
+    }
+    if (st.ok()) {
+      st = db_->InsertRecord(txn, gist_, BtreeExtension::MakeKey(to),
+                             EncodeBalance(dst_bal + amount))
+               .status();
+    }
+    if (!st.ok()) return fail(st);
+    return db_->Commit(txn);
+  }
+
+  /// Repeatable-read audit; returns the balance sum, or nullopt on
+  /// deadlock victimhood.
+  StatusOr<int64_t> Audit() {
+    Transaction* txn = db_->Begin(IsolationLevel::kRepeatableRead);
+    std::vector<SearchResult> all;
+    Status st = gist_->Search(
+        txn, BtreeExtension::MakeRange(0, kAccounts - 1), &all);
+    if (!st.ok()) {
+      (void)db_->Abort(txn);
+      return st;
+    }
+    int64_t sum = 0;
+    for (const auto& r : all) {
+      auto rec = db_->ReadRecord(r.rid);
+      if (!rec.ok()) {
+        (void)db_->Abort(txn);
+        return rec.status();
+      }
+      sum += DecodeBalance(rec.value());
+    }
+    if (all.size() != static_cast<size_t>(kAccounts)) {
+      (void)db_->Abort(txn);
+      return Status::Corruption("audit saw " + std::to_string(all.size()) +
+                                " accounts");
+    }
+    GISTCR_RETURN_IF_ERROR(db_->Commit(txn));
+    return sum;
+  }
+
+  std::string path_;
+  std::unique_ptr<Database> db_;
+  BtreeExtension ext_;
+  Gist* gist_ = nullptr;
+};
+
+TEST_F(SerializabilityTest, ConcurrentTransfersPreserveTotal) {
+  constexpr int kWorkers = 4;
+  constexpr int kTransfersPerWorker = 60;
+  std::atomic<int> committed{0};
+  std::atomic<int> audits_ok{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; w++) {
+    workers.emplace_back([&, w] {
+      Random rng(static_cast<uint64_t>(w) * 101 + 7);
+      int done = 0;
+      while (done < kTransfersPerWorker) {
+        const int64_t from = rng.UniformRange(0, kAccounts - 1);
+        int64_t to = rng.UniformRange(0, kAccounts - 1);
+        if (to == from) to = (to + 1) % kAccounts;
+        Status st = TryTransfer(from, to, rng.UniformRange(1, 10));
+        if (st.ok()) {
+          committed++;
+          done++;
+        } else if (!st.IsDeadlock() && !st.IsBusy()) {
+          ADD_FAILURE() << "transfer failed: " << st.ToString();
+          violation = true;
+          return;
+        }
+      }
+    });
+  }
+  std::thread auditor([&] {
+    while (!stop.load()) {
+      auto sum = Audit();
+      if (sum.ok()) {
+        audits_ok++;
+        if (sum.value() != kAccounts * kInitialBalance) {
+          ADD_FAILURE() << "audit saw inconsistent total " << sum.value();
+          violation = true;
+          return;
+        }
+      } else if (!sum.status().IsDeadlock() && !sum.status().IsBusy()) {
+        ADD_FAILURE() << "audit failed: " << sum.status().ToString();
+        violation = true;
+        return;
+      }
+    }
+  });
+  for (auto& t : workers) t.join();
+  stop = true;
+  auditor.join();
+  ASSERT_FALSE(violation.load());
+  EXPECT_EQ(committed.load(), kWorkers * kTransfersPerWorker);
+  EXPECT_GT(audits_ok.load(), 0);
+
+  // Final state: exact total, exact account count, invariants hold.
+  auto final_sum = Audit();
+  ASSERT_OK(final_sum.status());
+  EXPECT_EQ(final_sum.value(), kAccounts * kInitialBalance);
+  ASSERT_OK(gist_->CheckInvariants());
+
+  // GC after the churn keeps everything consistent.
+  Transaction* gc = db_->Begin(IsolationLevel::kReadCommitted);
+  uint64_t removed = 0, nodes = 0;
+  ASSERT_OK(gist_->GarbageCollect(gc, &removed, &nodes));
+  ASSERT_OK(db_->Commit(gc));
+  EXPECT_GT(removed, 0u);
+  auto after_gc = Audit();
+  ASSERT_OK(after_gc.status());
+  EXPECT_EQ(after_gc.value(), kAccounts * kInitialBalance);
+}
+
+TEST_F(SerializabilityTest, TransfersSurviveCrashAtomically) {
+  Random rng(17);
+  for (int i = 0; i < 40; i++) {
+    const int64_t from = rng.UniformRange(0, kAccounts - 1);
+    int64_t to = rng.UniformRange(0, kAccounts - 1);
+    if (to == from) to = (to + 1) % kAccounts;
+    Status st = TryTransfer(from, to, rng.UniformRange(1, 50));
+    ASSERT_TRUE(st.ok() || st.IsDeadlock()) << st.ToString();
+  }
+  // A transfer in flight when the lights go out...
+  Transaction* txn = db_->Begin(IsolationLevel::kRepeatableRead);
+  std::vector<SearchResult> src;
+  ASSERT_OK(gist_->Search(txn, BtreeExtension::MakeRange(0, 0), &src));
+  ASSERT_EQ(src.size(), 1u);
+  ASSERT_OK(db_->DeleteRecord(txn, gist_, src[0].key, src[0].rid));
+  // (debit applied, credit never written)
+  ASSERT_OK(db_->log()->FlushAll());
+  db_->SimulateCrash();
+  db_.reset();
+
+  DatabaseOptions opts;
+  opts.path = path_;
+  opts.buffer_pool_pages = 512;
+  auto db_or = Database::Open(opts);
+  ASSERT_OK(db_or.status());
+  db_ = db_or.MoveValue();
+  GistOptions gopts;
+  gopts.max_entries = 8;
+  ASSERT_OK(db_->OpenIndex(1, &ext_, gopts));
+  gist_ = db_->GetIndex(1).value();
+  ASSERT_OK(gist_->CheckInvariants());
+  auto sum = Audit();
+  ASSERT_OK(sum.status());
+  EXPECT_EQ(sum.value(), kAccounts * kInitialBalance);
+}
+
+}  // namespace
+}  // namespace gistcr

