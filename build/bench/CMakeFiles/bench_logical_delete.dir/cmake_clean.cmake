@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_logical_delete.dir/bench_logical_delete.cc.o"
+  "CMakeFiles/bench_logical_delete.dir/bench_logical_delete.cc.o.d"
+  "bench_logical_delete"
+  "bench_logical_delete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_logical_delete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

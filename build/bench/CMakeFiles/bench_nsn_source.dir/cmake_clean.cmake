@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nsn_source.dir/bench_nsn_source.cc.o"
+  "CMakeFiles/bench_nsn_source.dir/bench_nsn_source.cc.o.d"
+  "bench_nsn_source"
+  "bench_nsn_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nsn_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

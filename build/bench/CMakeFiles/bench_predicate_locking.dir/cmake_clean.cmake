@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_predicate_locking.dir/bench_predicate_locking.cc.o"
+  "CMakeFiles/bench_predicate_locking.dir/bench_predicate_locking.cc.o.d"
+  "bench_predicate_locking"
+  "bench_predicate_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_predicate_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_browser.dir/catalog_browser.cpp.o"
+  "CMakeFiles/catalog_browser.dir/catalog_browser.cpp.o.d"
+  "catalog_browser"
+  "catalog_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_search.dir/spatial_search.cpp.o"
+  "CMakeFiles/spatial_search.dir/spatial_search.cpp.o.d"
+  "spatial_search"
+  "spatial_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

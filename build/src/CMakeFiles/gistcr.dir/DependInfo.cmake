@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/access/btree_extension.cc" "src/CMakeFiles/gistcr.dir/access/btree_extension.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/access/btree_extension.cc.o.d"
+  "/root/repo/src/access/rtree_extension.cc" "src/CMakeFiles/gistcr.dir/access/rtree_extension.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/access/rtree_extension.cc.o.d"
+  "/root/repo/src/access/string_extension.cc" "src/CMakeFiles/gistcr.dir/access/string_extension.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/access/string_extension.cc.o.d"
+  "/root/repo/src/db/data_store.cc" "src/CMakeFiles/gistcr.dir/db/data_store.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/db/data_store.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/gistcr.dir/db/database.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/db/database.cc.o.d"
+  "/root/repo/src/db/page_allocator.cc" "src/CMakeFiles/gistcr.dir/db/page_allocator.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/db/page_allocator.cc.o.d"
+  "/root/repo/src/gist/cursor.cc" "src/CMakeFiles/gistcr.dir/gist/cursor.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/gist/cursor.cc.o.d"
+  "/root/repo/src/gist/gist.cc" "src/CMakeFiles/gistcr.dir/gist/gist.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/gist/gist.cc.o.d"
+  "/root/repo/src/gist/gist_delete.cc" "src/CMakeFiles/gistcr.dir/gist/gist_delete.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/gist/gist_delete.cc.o.d"
+  "/root/repo/src/gist/gist_insert.cc" "src/CMakeFiles/gistcr.dir/gist/gist_insert.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/gist/gist_insert.cc.o.d"
+  "/root/repo/src/gist/gist_maintenance.cc" "src/CMakeFiles/gistcr.dir/gist/gist_maintenance.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/gist/gist_maintenance.cc.o.d"
+  "/root/repo/src/gist/node.cc" "src/CMakeFiles/gistcr.dir/gist/node.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/gist/node.cc.o.d"
+  "/root/repo/src/recovery/recovery_manager.cc" "src/CMakeFiles/gistcr.dir/recovery/recovery_manager.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/recovery/recovery_manager.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/gistcr.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/gistcr.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/txn/lock_manager.cc" "src/CMakeFiles/gistcr.dir/txn/lock_manager.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/txn/lock_manager.cc.o.d"
+  "/root/repo/src/txn/predicate_manager.cc" "src/CMakeFiles/gistcr.dir/txn/predicate_manager.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/txn/predicate_manager.cc.o.d"
+  "/root/repo/src/txn/transaction_manager.cc" "src/CMakeFiles/gistcr.dir/txn/transaction_manager.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/txn/transaction_manager.cc.o.d"
+  "/root/repo/src/util/crc32.cc" "src/CMakeFiles/gistcr.dir/util/crc32.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/util/crc32.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/gistcr.dir/util/random.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/util/random.cc.o.d"
+  "/root/repo/src/wal/log_manager.cc" "src/CMakeFiles/gistcr.dir/wal/log_manager.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/wal/log_manager.cc.o.d"
+  "/root/repo/src/wal/log_record.cc" "src/CMakeFiles/gistcr.dir/wal/log_record.cc.o" "gcc" "src/CMakeFiles/gistcr.dir/wal/log_record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

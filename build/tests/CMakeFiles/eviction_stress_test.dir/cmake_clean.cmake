@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eviction_stress_test.dir/eviction_stress_test.cc.o"
+  "CMakeFiles/eviction_stress_test.dir/eviction_stress_test.cc.o.d"
+  "eviction_stress_test"
+  "eviction_stress_test.pdb"
+  "eviction_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eviction_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_basic_test.dir/gist_basic_test.cc.o"
+  "CMakeFiles/gist_basic_test.dir/gist_basic_test.cc.o.d"
+  "gist_basic_test"
+  "gist_basic_test.pdb"
+  "gist_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_split_detection_test.dir/gist_split_detection_test.cc.o"
+  "CMakeFiles/gist_split_detection_test.dir/gist_split_detection_test.cc.o.d"
+  "gist_split_detection_test"
+  "gist_split_detection_test.pdb"
+  "gist_split_detection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_split_detection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

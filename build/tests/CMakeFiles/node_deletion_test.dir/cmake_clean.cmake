@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_deletion_test.dir/node_deletion_test.cc.o"
+  "CMakeFiles/node_deletion_test.dir/node_deletion_test.cc.o.d"
+  "node_deletion_test"
+  "node_deletion_test.pdb"
+  "node_deletion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_deletion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

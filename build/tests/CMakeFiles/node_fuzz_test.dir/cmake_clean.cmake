@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_fuzz_test.dir/node_fuzz_test.cc.o"
+  "CMakeFiles/node_fuzz_test.dir/node_fuzz_test.cc.o.d"
+  "node_fuzz_test"
+  "node_fuzz_test.pdb"
+  "node_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

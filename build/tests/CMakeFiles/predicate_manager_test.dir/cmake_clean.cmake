@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_manager_test.dir/predicate_manager_test.cc.o"
+  "CMakeFiles/predicate_manager_test.dir/predicate_manager_test.cc.o.d"
+  "predicate_manager_test"
+  "predicate_manager_test.pdb"
+  "predicate_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redo_idempotence_test.dir/redo_idempotence_test.cc.o"
+  "CMakeFiles/redo_idempotence_test.dir/redo_idempotence_test.cc.o.d"
+  "redo_idempotence_test"
+  "redo_idempotence_test.pdb"
+  "redo_idempotence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redo_idempotence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

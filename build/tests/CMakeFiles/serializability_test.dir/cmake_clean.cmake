@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serializability_test.dir/serializability_test.cc.o"
+  "CMakeFiles/serializability_test.dir/serializability_test.cc.o.d"
+  "serializability_test"
+  "serializability_test.pdb"
+  "serializability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serializability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

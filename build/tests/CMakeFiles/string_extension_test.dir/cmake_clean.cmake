@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_extension_test.dir/string_extension_test.cc.o"
+  "CMakeFiles/string_extension_test.dir/string_extension_test.cc.o.d"
+  "string_extension_test"
+  "string_extension_test.pdb"
+  "string_extension_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_extension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

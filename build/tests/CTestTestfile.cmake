@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/node_test[1]_include.cmake")
+include("/root/repo/build/tests/wal_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/predicate_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/extension_test[1]_include.cmake")
+include("/root/repo/build/tests/gist_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/gist_concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/isolation_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/node_deletion_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_test[1]_include.cmake")
+include("/root/repo/build/tests/database_test[1]_include.cmake")
+include("/root/repo/build/tests/string_extension_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/gist_split_detection_test[1]_include.cmake")
+include("/root/repo/build/tests/eviction_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/node_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/cursor_test[1]_include.cmake")
+include("/root/repo/build/tests/data_store_test[1]_include.cmake")
+include("/root/repo/build/tests/redo_idempotence_test[1]_include.cmake")
+include("/root/repo/build/tests/maintenance_test[1]_include.cmake")
+include("/root/repo/build/tests/serializability_test[1]_include.cmake")
+include("/root/repo/build/tests/model_check_test[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[CrashFuzzTest.EveryLogPrefixRecoversConsistently]=]  /root/repo/build/tests/crash_fuzz_test [==[--gtest_filter=CrashFuzzTest.EveryLogPrefixRecoversConsistently]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[CrashFuzzTest.EveryLogPrefixRecoversConsistently]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  crash_fuzz_test_TESTS CrashFuzzTest.EveryLogPrefixRecoversConsistently)
