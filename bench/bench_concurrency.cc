@@ -48,6 +48,7 @@ void BM_SearchOnly(benchmark::State& state) {
   }
   state.SetItemsProcessed(items);
   if (state.thread_index() == 0) {
+    ReportRegistryMetrics(state, g_env.db.get());
     state.SetLabel(state.range(0) == 0 ? "link" : "coarse");
   }
 }
@@ -72,8 +73,7 @@ void BM_InsertOnly(benchmark::State& state) {
   }
   state.SetItemsProcessed(items);
   if (state.thread_index() == 0) {
-    state.counters["splits"] = static_cast<double>(
-        g_env.gist->stats().splits.load());
+    ReportRegistryMetrics(state, g_env.db.get());
     state.SetLabel(state.range(0) == 0 ? "link" : "coarse");
   }
 }
@@ -110,8 +110,7 @@ void BM_Mixed80_20(benchmark::State& state) {
   }
   state.SetItemsProcessed(items);
   if (state.thread_index() == 0) {
-    state.counters["rightlink_follows"] = static_cast<double>(
-        g_env.gist->stats().rightlink_follows.load());
+    ReportRegistryMetrics(state, g_env.db.get());
     state.SetLabel(state.range(0) == 0 ? "link" : "coarse");
   }
 }
@@ -162,6 +161,7 @@ void BM_InsertLatencyUnderScan(benchmark::State& state) {
   scanner.join();
   state.SetItemsProcessed(items);
   state.counters["max_insert_latency_us"] = max_us;
+  ReportRegistryMetrics(state, g_env.db.get());
   state.SetLabel(state.range(0) == 0 ? "link" : "coarse");
 }
 

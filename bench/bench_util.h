@@ -112,6 +112,37 @@ struct BenchEnv {
   }
 };
 
+/// Publishes the registry metrics most relevant to the paper's protocol
+/// claims as google-benchmark counters, so they land in the console table
+/// and --benchmark_out JSON next to the throughput numbers. Call from
+/// thread 0 after the timing loop, while the database is still alive.
+inline void ReportRegistryMetrics(benchmark::State& state, Database* db) {
+  obs::MetricsRegistry* reg = db->metrics();
+  const auto counter = [&](const char* bench_name, const char* metric) {
+    state.counters[bench_name] =
+        static_cast<double>(reg->GetCounter(metric)->value());
+  };
+  counter("rightlink_follows", "gist.rightlink_follows");
+  counter("splits", "gist.splits");
+  counter("predicate_waits", "gist.predicate_waits");
+  counter("deadlocks", "lock.deadlocks");
+
+  const double hits = static_cast<double>(reg->GetCounter("bp.hits")->value());
+  const double misses =
+      static_cast<double>(reg->GetCounter("bp.misses")->value());
+  state.counters["bp_hit_rate"] =
+      hits + misses == 0 ? 0.0 : hits / (hits + misses);
+
+  const auto p99_us = [&](const char* bench_name, const char* metric) {
+    const auto snap = reg->GetHistogram(metric)->GetSnapshot();
+    state.counters[bench_name] = snap.count == 0 ? 0.0
+                                                 : snap.Percentile(0.99) / 1e3;
+  };
+  p99_us("latch_wait_p99_us", "gist.latch_wait_ns");
+  p99_us("wal_flush_p99_us", "wal.fsync_ns");
+  p99_us("commit_p99_us", "txn.commit_ns");
+}
+
 /// Retry wrapper: runs \p fn in fresh transactions until it commits
 /// (deadlock victims retry). Returns number of retries.
 inline int RunTxnWithRetry(Database* db, IsolationLevel iso,

@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Runs the concurrency benchmark with registry metrics attached to every
+# series and writes the combined result to BENCH_observability.json (in the
+# current directory, or $1 if given). Each benchmark entry carries the
+# registry-derived counters from bench_util.h ReportRegistryMetrics:
+# rightlink_follows, splits, predicate_waits, deadlocks, bp_hit_rate,
+# latch_wait_p99_us, wal_flush_p99_us, commit_p99_us.
+#
+# Usage: run_observability.sh [out.json] (expects bench_concurrency on
+# PATH or next to this script's build tree: build/bench/bench_concurrency)
+set -e
+
+out="${1:-BENCH_observability.json}"
+here="$(dirname "$0")"
+
+for cand in ./bench_concurrency \
+            "$here/../build/bench/bench_concurrency" \
+            "$here/bench_concurrency"; do
+  if [ -x "$cand" ]; then
+    bin="$cand"
+    break
+  fi
+done
+if [ -z "${bin:-}" ] && command -v bench_concurrency > /dev/null 2>&1; then
+  bin=bench_concurrency
+fi
+if [ -z "${bin:-}" ]; then
+  echo "run_observability.sh: bench_concurrency binary not found" >&2
+  echo "build it first: cmake -B build -S . && cmake --build build" >&2
+  exit 1
+fi
+
+# Keep the sweep short: one rep, link protocol only, 1 and 4 threads of
+# the mixed workload (enough concurrency to populate the contention
+# metrics). Full sweeps stay with the EXPERIMENTS.md commands.
+"$bin" \
+  --benchmark_filter='BM_Mixed80_20/0/(real_time/)?threads:[14]$' \
+  --benchmark_repetitions=1 \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json
+
+echo "wrote $out"

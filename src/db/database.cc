@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "db/meta_page.h"
+#include "obs/trace.h"
 
 namespace gistcr {
 
@@ -28,6 +29,7 @@ GistContext Database::MakeContext() {
   ctx.preds = &preds_;
   ctx.alloc = alloc_.get();
   ctx.nsn = nsn_.get();
+  ctx.metrics = &metrics_;
   return ctx;
 }
 
@@ -51,7 +53,38 @@ Status Database::InitCommon() {
   recovery_ = std::make_unique<RecoveryManager>(
       pool_.get(), &log_, txns_.get(), alloc_.get(), data_.get(), nsn_.get());
   txns_->SetUndoApplier(recovery_.get());
+  // Re-point every component at this instance's registry (they start on
+  // the process fallback). Done before any worker thread exists, so the
+  // cached metric pointers are safely published.
+  log_.AttachMetrics(&metrics_);
+  locks_.AttachMetrics(&metrics_);
+  preds_.AttachMetrics(&metrics_);
+  pool_->AttachMetrics(&metrics_);
+  txns_->AttachMetrics(&metrics_);
+  recovery_->AttachMetrics(&metrics_);
   return Status::OK();
+}
+
+std::string Database::DumpMetrics(bool as_json) {
+  // Refresh derived gauges so a dump is self-contained.
+  const uint64_t hits = metrics_.GetCounter("bp.hits")->value();
+  const uint64_t misses = metrics_.GetCounter("bp.misses")->value();
+  const uint64_t accesses = hits + misses;
+  metrics_.GetGauge("bp.hit_rate")
+      ->Set(accesses == 0
+                ? 0.0
+                : static_cast<double>(hits) / static_cast<double>(accesses));
+  std::string out;
+  if (as_json) {
+    metrics_.DumpJson(&out);
+  } else {
+    metrics_.DumpText(&out);
+  }
+  return out;
+}
+
+Status Database::ExportTrace(const std::string& path) {
+  return obs::Tracer::Global().ExportJson(path);
 }
 
 StatusOr<std::unique_ptr<Database>> Database::Create(

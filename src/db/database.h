@@ -11,6 +11,7 @@
 #include "db/data_store.h"
 #include "db/page_allocator.h"
 #include "gist/gist.h"
+#include "obs/metrics.h"
 #include "recovery/recovery_manager.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -106,6 +107,18 @@ class Database {
   /// directly when no daemon is configured.
   Status RunMaintenancePass();
 
+  /// Snapshot of every metric this instance's components recorded — all
+  /// "gist.*", "bp.*", "wal.*", "lock.*", "pred.*", "txn.*" and
+  /// "recovery.*" names (DESIGN.md "Observability" has the catalogue).
+  /// Derived gauges (bp.hit_rate) are refreshed first. \p as_json selects
+  /// machine-readable output; the default is an aligned text table.
+  std::string DumpMetrics(bool as_json = false);
+
+  /// Writes every buffered trace event as a chrome://tracing JSON array.
+  /// Events are only recorded when built with -DGISTCR_TRACING=ON; without
+  /// it the file holds an empty array.
+  Status ExportTrace(const std::string& path);
+
   // Component access (tests, benchmarks).
   BufferPool* pool() { return pool_.get(); }
   LogManager* log() { return &log_; }
@@ -116,6 +129,7 @@ class Database {
   DataStore* data() { return data_.get(); }
   RecoveryManager* recovery() { return recovery_.get(); }
   GlobalNsn* nsn() { return nsn_.get(); }
+  obs::MetricsRegistry* metrics() { return &metrics_; }
 
  private:
   explicit Database(const DatabaseOptions& opts);
@@ -126,6 +140,9 @@ class Database {
   GistContext MakeContext();
 
   DatabaseOptions opts_;
+  /// Declared before the components so it outlives everything that caches
+  /// pointers into it.
+  obs::MetricsRegistry metrics_;
   DiskManager disk_;
   LogManager log_;
   std::unique_ptr<BufferPool> pool_;

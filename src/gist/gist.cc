@@ -4,13 +4,31 @@
 
 #include "db/meta_page.h"
 #include "gist/tree_latch.h"
+#include "obs/trace.h"
 
 namespace gistcr {
 
 using internal::TreeLatch;
 
+GistStats::GistStats(obs::MetricsRegistry* reg)
+    : searches(*reg->GetCounter("gist.searches")),
+      inserts(*reg->GetCounter("gist.inserts")),
+      deletes(*reg->GetCounter("gist.deletes")),
+      splits(*reg->GetCounter("gist.splits")),
+      root_grows(*reg->GetCounter("gist.root_grows")),
+      rightlink_follows(*reg->GetCounter("gist.rightlink_follows")),
+      predicate_waits(*reg->GetCounter("gist.predicate_waits")),
+      rid_lock_waits(*reg->GetCounter("gist.rid_lock_waits")),
+      gc_removed(*reg->GetCounter("gist.gc_removed")),
+      nodes_deleted(*reg->GetCounter("gist.nodes_deleted")) {}
+
 Gist::Gist(const GistContext& ctx, const GistExtension* ext, GistOptions opts)
-    : ctx_(ctx), ext_(ext), opts_(opts) {
+    : ctx_(ctx),
+      ext_(ext),
+      opts_(opts),
+      stats_(obs::MetricsRegistry::OrFallback(ctx.metrics)),
+      latch_wait_ns_(obs::MetricsRegistry::OrFallback(ctx.metrics)
+                         ->GetHistogram("gist.latch_wait_ns")) {
   GISTCR_CHECK(ctx_.pool != nullptr && ctx_.txns != nullptr &&
                ctx_.locks != nullptr && ctx_.preds != nullptr &&
                ctx_.alloc != nullptr && ctx_.nsn != nullptr);
@@ -81,11 +99,16 @@ Status Gist::FetchLatched(PageId pid, bool exclusive, PageGuard* out) {
   auto frame_or = ctx_.pool->Fetch(pid);
   GISTCR_RETURN_IF_ERROR(frame_or.status());
   *out = PageGuard(ctx_.pool, frame_or.value());
+  // Every acquisition is recorded (uncontended ones land in the low
+  // buckets), so the histogram doubles as a latch-traffic count and the
+  // tail quantifies contention.
+  const uint64_t t0 = obs::NowNanos();
   if (exclusive) {
     out->WLatch();
   } else {
     out->RLatch();
   }
+  latch_wait_ns_->Record(obs::NowNanos() - t0);
   return Status::OK();
 }
 
@@ -107,7 +130,8 @@ void Gist::SignalUnlock(Transaction* txn, PageId node) {
 
 Status Gist::Search(Transaction* txn, Slice query,
                     std::vector<SearchResult>* out) {
-  stats_.searches.fetch_add(1, std::memory_order_relaxed);
+  GISTCR_TRACE_SCOPE("gist.search");
+  stats_.searches.Add(1);
   const bool attach =
       txn->isolation() == IsolationLevel::kRepeatableRead;
   return SearchInternal(txn, query, PredKind::kSearch, attach,
@@ -133,7 +157,7 @@ Status Gist::SearchInternal(Transaction* txn, Slice query,
                            attach_kind, query);
         break;
       }
-      stats_.predicate_waits.fetch_add(1, std::memory_order_relaxed);
+      stats_.predicate_waits.Add(1);
       for (TxnId owner : conflicts) {
         GISTCR_RETURN_IF_ERROR(ctx_.locks->WaitForTxn(txn->id(), owner));
       }
@@ -194,7 +218,7 @@ Status Gist::ProcessStackEntry(Transaction* txn, PageId page, Nsn memorized,
       if (!already) {
         GISTCR_RETURN_IF_ERROR(SignalLock(txn, node.rightlink()));
         stack->push_back({node.rightlink(), memorized});
-        stats_.rightlink_follows.fetch_add(1, std::memory_order_relaxed);
+        stats_.rightlink_follows.Add(1);
       }
     }
 
@@ -229,7 +253,7 @@ Status Gist::ProcessStackEntry(Transaction* txn, PageId page, Nsn memorized,
         if (st.IsBusy()) {
           // Blocking with a latch held could deadlock against the lock
           // owner; release the latch, wait, re-position (section 5).
-          stats_.rid_lock_waits.fetch_add(1, std::memory_order_relaxed);
+          stats_.rid_lock_waits.Add(1);
           const Nsn mem = node.nsn();
           g.Unlatch();
           if (tree != nullptr) tree->Release();
@@ -244,7 +268,7 @@ Status Gist::ProcessStackEntry(Transaction* txn, PageId page, Nsn memorized,
               renode.rightlink() != kInvalidPageId) {
             GISTCR_RETURN_IF_ERROR(SignalLock(txn, renode.rightlink()));
             stack->push_back({renode.rightlink(), mem});
-            stats_.rightlink_follows.fetch_add(1, std::memory_order_relaxed);
+            stats_.rightlink_follows.Add(1);
           }
           rescan = true;  // restart the slot loop; `seen` prevents dupes
           break;
@@ -271,7 +295,7 @@ Status Gist::ProcessStackEntry(Transaction* txn, PageId page, Nsn memorized,
                    ext_->Consistent(a.pred, query);
           });
       if (!conflicts.empty()) {
-        stats_.predicate_waits.fetch_add(1, std::memory_order_relaxed);
+        stats_.predicate_waits.Add(1);
         const Nsn mem = node.nsn();
         g.Unlatch();
         if (tree != nullptr) tree->Release();
@@ -285,7 +309,7 @@ Status Gist::ProcessStackEntry(Transaction* txn, PageId page, Nsn memorized,
             renode.rightlink() != kInvalidPageId) {
           GISTCR_RETURN_IF_ERROR(SignalLock(txn, renode.rightlink()));
           stack->push_back({renode.rightlink(), mem});
-          stats_.rightlink_follows.fetch_add(1, std::memory_order_relaxed);
+          stats_.rightlink_follows.Add(1);
         }
         continue;  // rescan the leaf (the insert's entry is now visible)
       }

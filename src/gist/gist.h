@@ -60,6 +60,9 @@ struct GistContext {
   PredicateManager* preds = nullptr;
   PageAllocator* alloc = nullptr;
   GlobalNsn* nsn = nullptr;
+  /// Registry the tree's counters/histograms live in (null: process
+  /// fallback registry).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct SearchResult {
@@ -79,17 +82,24 @@ struct GistTestHooks {
   std::function<Status()> before_split_nta_end;
 };
 
+/// Per-tree operation counters. These are views onto "gist.*" counters in
+/// the owning registry (Database's, or the process fallback), so the same
+/// numbers appear in Database::DumpMetrics(); obs::Counter keeps the old
+/// std::atomic surface (load / fetch_add) so existing callers read them
+/// unchanged.
 struct GistStats {
-  std::atomic<uint64_t> searches{0};
-  std::atomic<uint64_t> inserts{0};
-  std::atomic<uint64_t> deletes{0};
-  std::atomic<uint64_t> splits{0};
-  std::atomic<uint64_t> root_grows{0};
-  std::atomic<uint64_t> rightlink_follows{0};
-  std::atomic<uint64_t> predicate_waits{0};
-  std::atomic<uint64_t> rid_lock_waits{0};
-  std::atomic<uint64_t> gc_removed{0};
-  std::atomic<uint64_t> nodes_deleted{0};
+  explicit GistStats(obs::MetricsRegistry* reg);
+
+  obs::Counter& searches;
+  obs::Counter& inserts;
+  obs::Counter& deletes;
+  obs::Counter& splits;
+  obs::Counter& root_grows;
+  obs::Counter& rightlink_follows;
+  obs::Counter& predicate_waits;
+  obs::Counter& rid_lock_waits;
+  obs::Counter& gc_removed;
+  obs::Counter& nodes_deleted;
 };
 
 /// A Generalized Search Tree with the paper's concurrency, isolation and
@@ -293,6 +303,7 @@ class Gist {
   const GistExtension* ext_;
   GistOptions opts_;
   GistStats stats_;
+  obs::Histogram* latch_wait_ns_;  ///< Per-acquisition latch wait time.
   GistTestHooks hooks_;
 
   /// kCoarse baseline: tree-wide latch.

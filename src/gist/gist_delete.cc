@@ -1,5 +1,6 @@
 #include "gist/gist.h"
 #include "gist/tree_latch.h"
+#include "obs/trace.h"
 
 namespace gistcr {
 
@@ -11,7 +12,8 @@ using internal::TreeLatch;
 // Degree-3 searches still reach it and block on the record's X lock;
 // garbage collection removes it after this transaction terminates.
 Status Gist::Delete(Transaction* txn, Slice key, Rid rid) {
-  stats_.deletes.fetch_add(1, std::memory_order_relaxed);
+  GISTCR_TRACE_SCOPE("gist.delete");
+  stats_.deletes.Add(1);
   const uint64_t op_id = txn->NextOpId();
 
   // Two-phase X lock on the data record before touching the tree.
@@ -34,7 +36,7 @@ Status Gist::Delete(Transaction* txn, Slice key, Rid rid) {
                            PredKind::kInsert, key);
         break;
       }
-      stats_.predicate_waits.fetch_add(1, std::memory_order_relaxed);
+      stats_.predicate_waits.Add(1);
       for (TxnId owner : conflicts) {
         GISTCR_RETURN_IF_ERROR(ctx_.locks->WaitForTxn(txn->id(), owner));
       }
@@ -78,7 +80,7 @@ Status Gist::Delete(Transaction* txn, Slice key, Rid rid) {
         node.rightlink() != kInvalidPageId) {
       GISTCR_RETURN_IF_ERROR(SignalLock(txn, node.rightlink()));
       stack.push_back({node.rightlink(), e.nsn});
-      stats_.rightlink_follows.fetch_add(1, std::memory_order_relaxed);
+      stats_.rightlink_follows.Add(1);
     }
 
     if (!node.is_leaf()) {

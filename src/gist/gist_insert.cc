@@ -4,6 +4,7 @@
 #include "db/meta_page.h"
 #include "gist/gist.h"
 #include "gist/tree_latch.h"
+#include "obs/trace.h"
 
 namespace gistcr {
 
@@ -27,7 +28,7 @@ Status Gist::ChaseForPenalty(Transaction* txn, PageGuard* g, Nsn delimiter,
                              Slice key, bool exclusive) {
   // Hand-over-hand, strictly left-to-right: hold the best candidate and
   // the walker; pick the chain node with the lowest insert penalty.
-  stats_.rightlink_follows.fetch_add(1, std::memory_order_relaxed);
+  stats_.rightlink_follows.Add(1);
   PageGuard best = std::move(*g);
   NodeView best_node(best.view().data());
   double best_pen = NodePenalty(ext_, best_node, key);
@@ -197,6 +198,7 @@ Status Gist::FindParentExhaustive(PageId child, PageGuard* out) {
 
 Status Gist::SplitNode(Transaction* txn, PageGuard* node,
                        std::vector<StackEntry>* stack, size_t ancestors) {
+  GISTCR_TRACE_SCOPE("gist.split");
   const Lsn nta = ctx_.txns->NtaBegin(txn);
   GISTCR_RETURN_IF_ERROR(SplitNodeInNta(txn, node, stack, ancestors));
   if (hooks_.before_split_nta_end) {
@@ -208,7 +210,7 @@ Status Gist::SplitNode(Transaction* txn, PageGuard* node,
 Status Gist::SplitNodeInNta(Transaction* txn, PageGuard* g,
                             std::vector<StackEntry>* stack,
                             size_t ancestors) {
-  stats_.splits.fetch_add(1, std::memory_order_relaxed);
+  stats_.splits.Add(1);
   NodeView node(g->view().data());
   const PageId orig_pid = g->page_id();
 
@@ -376,7 +378,7 @@ Status Gist::SplitNodeInNta(Transaction* txn, PageGuard* g,
 }
 
 Status Gist::GrowRoot(Transaction* txn, PageGuard* g) {
-  stats_.root_grows.fetch_add(1, std::memory_order_relaxed);
+  stats_.root_grows.Add(1);
   NodeView node(g->view().data());
   const PageId old_root = g->page_id();
 
@@ -616,7 +618,7 @@ Status Gist::ChaseToEntry(Transaction* txn, PageId start, Nsn memorized,
     if (!split_since || rl == kInvalidPageId) {
       return Status::Corruption("leaf entry lost while re-positioning");
     }
-    stats_.rightlink_follows.fetch_add(1, std::memory_order_relaxed);
+    stats_.rightlink_follows.Add(1);
     pid = rl;
   }
 }
@@ -654,12 +656,13 @@ Status Gist::LeafGc(Transaction* txn, PageGuard* leaf, uint64_t* removed) {
   leaf->frame()->MarkDirty(rec.lsn);
   GISTCR_RETURN_IF_ERROR(ctx_.txns->NtaEnd(txn, nta));
   *removed += pl.removed.size();
-  stats_.gc_removed.fetch_add(pl.removed.size(), std::memory_order_relaxed);
+  stats_.gc_removed.Add(pl.removed.size());
   return Status::OK();
 }
 
 Status Gist::Insert(Transaction* txn, Slice key, Rid rid) {
-  stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+  GISTCR_TRACE_SCOPE("gist.insert");
+  stats_.inserts.Add(1);
   if (key.size() > NodeView::kMaxKeySize) {
     return Status::InvalidArgument("key too large");
   }
@@ -686,7 +689,7 @@ Status Gist::Insert(Transaction* txn, Slice key, Rid rid) {
                            PredKind::kInsert, key);
         break;
       }
-      stats_.predicate_waits.fetch_add(1, std::memory_order_relaxed);
+      stats_.predicate_waits.Add(1);
       for (TxnId owner : conflicts) {
         GISTCR_RETURN_IF_ERROR(ctx_.locks->WaitForTxn(txn->id(), owner));
       }
@@ -801,7 +804,7 @@ Status Gist::InsertCore(Transaction* txn, Slice key, Rid rid, uint64_t op_id,
                    ext_->Consistent(key, a.pred);
           });
       if (conflicts.empty()) break;
-      stats_.predicate_waits.fetch_add(1, std::memory_order_relaxed);
+      stats_.predicate_waits.Add(1);
       const PageId lpid = leaf.page_id();
       const Nsn mem = node.nsn();
       leaf.Drop();
@@ -860,7 +863,7 @@ Status Gist::InsertUnique(Transaction* txn, Slice key, Rid rid) {
     }
   }
 
-  stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+  stats_.inserts.Add(1);
   GISTCR_RETURN_IF_ERROR(
       ctx_.locks->Lock(txn->id(), LockName{LockSpace::kRecord, rid.Pack()},
                        LockMode::kExclusive, /*wait=*/true));

@@ -3,6 +3,7 @@
 #include "db/meta_page.h"
 #include "gist/gist.h"
 #include "gist/tree_latch.h"
+#include "obs/trace.h"
 
 namespace gistcr {
 
@@ -175,13 +176,14 @@ Status Gist::TryDeleteChild(Transaction* txn, PageGuard* parent,
   ctx_.locks->Unlock(txn->id(), LockName{LockSpace::kNode, child});
   if (st.ok()) {
     *deleted = true;
-    stats_.nodes_deleted.fetch_add(1, std::memory_order_relaxed);
+    stats_.nodes_deleted.Add(1);
   }
   return st;
 }
 
 Status Gist::GarbageCollect(Transaction* txn, uint64_t* entries_removed,
                             uint64_t* nodes_deleted) {
+  GISTCR_TRACE_SCOPE("gist.gc");
   uint64_t removed = 0, deleted = 0;
   std::lock_guard<std::mutex> gc_guard(gc_mu_);
   TreeLatch tree(&tree_latch_, /*exclusive=*/true,

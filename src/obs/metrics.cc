@@ -1,0 +1,156 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace gistcr {
+namespace obs {
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, static_cast<size_t>(n));
+}
+
+}  // namespace
+
+double Histogram::Snapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kNumBuckets; i++) {
+    if (buckets[i] == 0) continue;
+    if (static_cast<double>(cum + buckets[i]) >= target) {
+      const double lo = static_cast<double>(BucketLowerBound(i));
+      const double hi = static_cast<double>(BucketUpperBound(i));
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(buckets[i]);
+      double v = lo + (hi - lo) * frac;
+      // Clamp to the observed range: interpolation cannot be more precise
+      // than the recorded extremes.
+      if (v < static_cast<double>(min)) v = static_cast<double>(min);
+      if (v > static_cast<double>(max)) v = static_cast<double>(max);
+      return v;
+    }
+    cum += buckets[i];
+  }
+  return static_cast<double>(max);
+}
+
+size_t Histogram::Snapshot::PopulatedBuckets() const {
+  size_t n = 0;
+  for (size_t i = 0; i < kNumBuckets; i++) {
+    if (buckets[i] != 0) n++;
+  }
+  return n;
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  Snapshot s;
+  for (size_t i = 0; i < kNumBuckets; i++) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.buckets[i];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  const uint64_t mn = min_.load(std::memory_order_relaxed);
+  s.min = (s.count == 0 || mn == UINT64_MAX) ? 0 : mn;
+  s.max = max_.load(std::memory_order_relaxed);
+  s.p50 = s.Percentile(0.50);
+  s.p95 = s.Percentile(0.95);
+  s.p99 = s.Percentile(0.99);
+  return s;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::DumpText(std::string* out) const {
+  std::lock_guard<std::mutex> l(mu_);
+  out->append("== counters ==\n");
+  for (const auto& [name, c] : counters_) {
+    AppendF(out, "%-36s = %" PRIu64 "\n", name.c_str(), c->value());
+  }
+  out->append("== gauges ==\n");
+  for (const auto& [name, g] : gauges_) {
+    AppendF(out, "%-36s = %.6g\n", name.c_str(), g->value());
+  }
+  out->append("== histograms ==\n");
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->GetSnapshot();
+    AppendF(out,
+            "%-36s count=%" PRIu64 " min=%" PRIu64 " mean=%.1f p50=%.0f"
+            " p95=%.0f p99=%.0f max=%" PRIu64 "\n",
+            name.c_str(), s.count, s.min, s.mean(), s.p50, s.p95, s.p99,
+            s.max);
+  }
+}
+
+void MetricsRegistry::DumpJson(std::string* out) const {
+  std::lock_guard<std::mutex> l(mu_);
+  out->append("{\"counters\":{");
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    AppendF(out, "%s\"%s\":%" PRIu64, first ? "" : ",", name.c_str(),
+            c->value());
+    first = false;
+  }
+  out->append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    AppendF(out, "%s\"%s\":%.6g", first ? "" : ",", name.c_str(), g->value());
+    first = false;
+  }
+  out->append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->GetSnapshot();
+    AppendF(out,
+            "%s\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+            ",\"min\":%" PRIu64 ",\"max\":%" PRIu64
+            ",\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f,\"buckets\":[",
+            first ? "" : ",", name.c_str(), s.count, s.sum, s.min, s.max,
+            s.p50, s.p95, s.p99);
+    bool bfirst = true;
+    for (size_t i = 0; i < Histogram::kNumBuckets; i++) {
+      if (s.buckets[i] == 0) continue;
+      AppendF(out, "%s{\"ge\":%" PRIu64 ",\"count\":%" PRIu64 "}",
+              bfirst ? "" : ",", Histogram::BucketLowerBound(i), s.buckets[i]);
+      bfirst = false;
+    }
+    out->append("]}");
+    first = false;
+  }
+  out->append("}}");
+}
+
+MetricsRegistry* MetricsRegistry::Fallback() {
+  static MetricsRegistry* fallback = new MetricsRegistry();
+  return fallback;
+}
+
+}  // namespace obs
+}  // namespace gistcr

@@ -1,0 +1,176 @@
+#ifndef GISTCR_OBS_METRICS_H_
+#define GISTCR_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace gistcr {
+namespace obs {
+
+/// Monotonic clock for latency measurement (nanoseconds).
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline uint64_t NowMicros() { return NowNanos() / 1000; }
+
+/// Monotonically increasing event count. Wait-free; relaxed ordering (the
+/// value is a statistic, not a synchronization point).
+class Counter {
+ public:
+  Counter() = default;
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(Counter);
+
+  void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  /// std::atomic-compatible read; GistStats call sites in tests, examples
+  /// and benchmarks predate the registry and use `.load()`.
+  uint64_t load() const { return value(); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// A point-in-time value (hit rates, resident counts).
+class Gauge {
+ public:
+  Gauge() = default;
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(Gauge);
+
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket latency histogram with exponential (power-of-two) bucket
+/// bounds. Bucket 0 holds the value 0; bucket i (i >= 1) holds values in
+/// [2^(i-1), 2^i); the last bucket is unbounded above. Recording is
+/// wait-free (one relaxed fetch_add per bucket plus sum/min/max updates);
+/// snapshots interpolate p50/p95/p99 within the resolved bucket.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 49;  ///< covers [0, 2^47ns ~ 1.6d)
+
+  Histogram() = default;
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(Histogram);
+
+  void Record(uint64_t value) {
+    buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !min_.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !max_.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  static size_t BucketFor(uint64_t v) {
+    if (v == 0) return 0;
+    const size_t b = static_cast<size_t>(std::bit_width(v));
+    return b < kNumBuckets ? b : kNumBuckets - 1;
+  }
+  static uint64_t BucketLowerBound(size_t i) {
+    return i == 0 ? 0 : (uint64_t{1} << (i - 1));
+  }
+  static uint64_t BucketUpperBound(size_t i) { return uint64_t{1} << i; }
+
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+    uint64_t buckets[kNumBuckets] = {};
+
+    double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+    /// Linear interpolation inside the bucket containing quantile \p q
+    /// (0 < q <= 1), clamped to the observed min/max.
+    double Percentile(double q) const;
+    size_t PopulatedBuckets() const;
+  };
+  Snapshot GetSnapshot() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// RAII timer recording elapsed nanoseconds into a histogram.
+class LatencyTimer {
+ public:
+  explicit LatencyTimer(Histogram* h) : h_(h), start_(NowNanos()) {}
+  ~LatencyTimer() { h_->Record(NowNanos() - start_); }
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(LatencyTimer);
+
+ private:
+  Histogram* h_;
+  uint64_t start_;
+};
+
+/// Thread-safe registry of named metrics. Registration (GetX) takes a
+/// mutex; the returned pointers are stable for the registry's lifetime, so
+/// hot paths resolve once and then update lock-free. Names are dotted
+/// ("bp.hits", "wal.fsync_ns"); see DESIGN.md "Observability" for the
+/// catalogue.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(MetricsRegistry);
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Human-readable dump, sorted by name.
+  void DumpText(std::string* out) const;
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void DumpJson(std::string* out) const;
+
+  /// Process-global registry used by components constructed without an
+  /// explicit one (standalone unit tests); a Database always supplies its
+  /// own so metrics reset with each instance.
+  static MetricsRegistry* Fallback();
+
+  /// Resolves null to the fallback registry.
+  static MetricsRegistry* OrFallback(MetricsRegistry* reg) {
+    return reg != nullptr ? reg : Fallback();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace gistcr
+
+#endif  // GISTCR_OBS_METRICS_H_

@@ -1,0 +1,118 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace gistcr {
+namespace obs {
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::ThreadRing* Tracer::RingForThisThread() {
+  // One ring per thread for the global tracer's lifetime; rings of exited
+  // threads are kept (their events remain exportable).
+  static thread_local ThreadRing* tls_ring = nullptr;
+  if (tls_ring == nullptr) {
+    auto ring = std::make_unique<ThreadRing>();
+    ring->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    tls_ring = ring.get();
+    std::lock_guard<std::mutex> l(mu_);
+    rings_.push_back(std::move(ring));
+  }
+  return tls_ring;
+}
+
+void Tracer::Record(const char* name, char ph, uint64_t ts_us,
+                    uint64_t dur_us) {
+  if (!enabled()) return;
+  ThreadRing* r = RingForThisThread();
+  const uint64_t i =
+      r->next.fetch_add(1, std::memory_order_relaxed) % kRingCapacity;
+  Slot& s = r->slots[i];
+  s.ph.store(ph, std::memory_order_relaxed);
+  s.ts_us.store(ts_us, std::memory_order_relaxed);
+  s.dur_us.store(dur_us, std::memory_order_relaxed);
+  // Name last: a null name marks an unwritten slot for the exporter.
+  s.name.store(name, std::memory_order_release);
+}
+
+void Tracer::RecordComplete(const char* name, uint64_t ts_us,
+                            uint64_t dur_us) {
+  Record(name, 'X', ts_us, dur_us);
+}
+
+void Tracer::RecordInstant(const char* name) {
+  Record(name, 'i', NowMicros(), 0);
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> l(mu_);
+  for (const auto& ring : rings_) {
+    const uint64_t written = ring->next.load(std::memory_order_relaxed);
+    const uint64_t n = std::min<uint64_t>(written, kRingCapacity);
+    // Oldest surviving event first.
+    const uint64_t start = written - n;
+    for (uint64_t k = 0; k < n; k++) {
+      const Slot& s = ring->slots[(start + k) % kRingCapacity];
+      const char* name = s.name.load(std::memory_order_acquire);
+      if (name == nullptr) continue;
+      out.push_back(TraceEvent{name, s.ph.load(std::memory_order_relaxed),
+                               ring->tid,
+                               s.ts_us.load(std::memory_order_relaxed),
+                               s.dur_us.load(std::memory_order_relaxed)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  return out;
+}
+
+std::string Tracer::ExportJsonString() {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out = "[";
+  char buf[256];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    const int n = std::snprintf(
+        buf, sizeof(buf),
+        "%s\n{\"name\":\"%s\",\"cat\":\"gistcr\",\"ph\":\"%c\","
+        "\"ts\":%" PRIu64 ",\"dur\":%" PRIu64 ",\"pid\":1,\"tid\":%u}",
+        first ? "" : ",", e.name, e.ph, e.ts_us, e.dur_us, e.tid);
+    if (n > 0) out.append(buf, static_cast<size_t>(n));
+    first = false;
+  }
+  out.append("\n]\n");
+  return out;
+}
+
+Status Tracer::ExportJson(const std::string& path) {
+  const std::string json = ExportJsonString();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("open trace file " + path);
+  const size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (n != json.size()) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> l(mu_);
+  for (auto& ring : rings_) {
+    for (auto& s : ring->slots) {
+      s.name.store(nullptr, std::memory_order_relaxed);
+    }
+    ring->next.store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t Tracer::EventCount() { return Snapshot().size(); }
+
+}  // namespace obs
+}  // namespace gistcr

@@ -1,0 +1,123 @@
+#ifndef GISTCR_OBS_TRACE_H_
+#define GISTCR_OBS_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace gistcr {
+namespace obs {
+
+/// One exported trace event (Chrome trace-event format:
+/// https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+struct TraceEvent {
+  const char* name;  ///< Static string (never owned).
+  char ph;           ///< 'X' complete, 'i' instant.
+  uint32_t tid;
+  uint64_t ts_us;    ///< Start timestamp, microseconds (steady clock).
+  uint64_t dur_us;   ///< Duration ('X' events).
+};
+
+/// Process-wide event tracer: one fixed-capacity ring buffer per thread,
+/// written lock-free by its owning thread (each slot field is a relaxed
+/// atomic, so a concurrent export tears at worst one event, never the
+/// process). The ring overwrites its oldest events when full, bounding
+/// memory for arbitrarily long runs. Export serializes every ring to the
+/// chrome://tracing JSON array format.
+///
+/// Recording calls are compiled out entirely unless GISTCR_TRACING is
+/// defined (see the macros below); the exporter always exists so
+/// Database::ExportTrace stays linkable in both configurations.
+class Tracer {
+ public:
+  static constexpr size_t kRingCapacity = 4096;  ///< events per thread
+
+  static Tracer& Global();
+
+  Tracer() = default;
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(Tracer);
+
+  void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records a complete ('X') event. \p name must be a string literal or
+  /// otherwise outlive the tracer.
+  void RecordComplete(const char* name, uint64_t ts_us, uint64_t dur_us);
+  /// Records an instant ('i') event at the current time.
+  void RecordInstant(const char* name);
+
+  /// Snapshot of all rings, oldest-first per thread.
+  std::vector<TraceEvent> Snapshot();
+  /// Chrome trace-event JSON: an array of {name, cat, ph, ts, dur, pid,
+  /// tid} objects, loadable in chrome://tracing and Perfetto.
+  std::string ExportJsonString();
+  Status ExportJson(const std::string& path);
+
+  /// Drops all recorded events (rings stay registered).
+  void Clear();
+  size_t EventCount();
+
+ private:
+  struct Slot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<uint64_t> ts_us{0};
+    std::atomic<uint64_t> dur_us{0};
+    std::atomic<char> ph{'X'};
+  };
+  struct ThreadRing {
+    uint32_t tid = 0;
+    std::atomic<uint64_t> next{0};  ///< total events written (mod = slot)
+    std::array<Slot, kRingCapacity> slots;
+  };
+
+  ThreadRing* RingForThisThread();
+  void Record(const char* name, char ph, uint64_t ts_us, uint64_t dur_us);
+
+  std::mutex mu_;  ///< guards rings_ registration and export iteration
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+  std::atomic<uint32_t> next_tid_{1};
+  std::atomic<bool> enabled_{true};
+};
+
+/// RAII scope producing one complete ('X') event spanning its lifetime.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name)
+      : name_(name), start_us_(NowMicros()) {}
+  ~TraceScope() {
+    Tracer::Global().RecordComplete(name_, start_us_,
+                                    NowMicros() - start_us_);
+  }
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(TraceScope);
+
+ private:
+  const char* name_;
+  uint64_t start_us_;
+};
+
+}  // namespace obs
+}  // namespace gistcr
+
+// Tracing macros: free when GISTCR_TRACING is undefined (the CMake option
+// of the same name controls it; default ON). With tracing compiled in, a
+// scope costs two steady_clock reads and ~4 relaxed stores.
+#ifdef GISTCR_TRACING
+#define GISTCR_TRACE_CONCAT2(a, b) a##b
+#define GISTCR_TRACE_CONCAT(a, b) GISTCR_TRACE_CONCAT2(a, b)
+#define GISTCR_TRACE_SCOPE(name)            \
+  ::gistcr::obs::TraceScope GISTCR_TRACE_CONCAT(gistcr_trace_scope_, \
+                                                __LINE__)(name)
+#define GISTCR_TRACE_INSTANT(name) \
+  ::gistcr::obs::Tracer::Global().RecordInstant(name)
+#else
+#define GISTCR_TRACE_SCOPE(name) ((void)0)
+#define GISTCR_TRACE_INSTANT(name) ((void)0)
+#endif
+
+#endif  // GISTCR_OBS_TRACE_H_

@@ -6,6 +6,7 @@
 #include "db/heap_page.h"
 #include "db/meta_page.h"
 #include "gist/node.h"
+#include "obs/trace.h"
 
 namespace gistcr {
 
@@ -26,11 +27,26 @@ void Stamp(PageGuard* g, Lsn lsn) {
 
 }  // namespace
 
+void RecoveryManager::AttachMetrics(obs::MetricsRegistry* reg) {
+  reg = obs::MetricsRegistry::OrFallback(reg);
+  m_analyzed_ = reg->GetCounter("recovery.records_analyzed");
+  m_redone_ = reg->GetCounter("recovery.records_redone");
+  m_losers_ = reg->GetCounter("recovery.loser_txns");
+  m_undone_ = reg->GetCounter("recovery.records_undone");
+  m_checkpoints_ = reg->GetCounter("recovery.checkpoints");
+  m_analysis_ns_ = reg->GetHistogram("recovery.analysis_ns");
+  m_redo_ns_ = reg->GetHistogram("recovery.redo_ns");
+  m_undo_ns_ = reg->GetHistogram("recovery.undo_ns");
+  m_checkpoint_ns_ = reg->GetHistogram("recovery.checkpoint_ns");
+}
+
 // ---------------------------------------------------------------------
 // Checkpointing
 // ---------------------------------------------------------------------
 
 StatusOr<Lsn> RecoveryManager::Checkpoint() {
+  GISTCR_TRACE_SCOPE("recovery.checkpoint");
+  const uint64_t t0 = obs::NowNanos();
   CheckpointPayload pl;
   for (auto& [id, last] : txns_->ActiveTxns()) {
     pl.active_txns.push_back({id, last});
@@ -45,6 +61,8 @@ StatusOr<Lsn> RecoveryManager::Checkpoint() {
   pl.EncodeTo(&rec.payload);
   GISTCR_RETURN_IF_ERROR(log_->Append(&rec));
   GISTCR_RETURN_IF_ERROR(log_->Flush(rec.lsn));
+  m_checkpoint_ns_->Record(obs::NowNanos() - t0);
+  m_checkpoints_->Add(1);
   return rec.lsn;
 }
 
@@ -53,7 +71,9 @@ StatusOr<Lsn> RecoveryManager::Checkpoint() {
 // ---------------------------------------------------------------------
 
 Status RecoveryManager::Restart(Lsn checkpoint_lsn) {
+  GISTCR_TRACE_SCOPE("recovery.restart");
   // --- Analysis ---------------------------------------------------------
+  uint64_t phase_t0 = obs::NowNanos();
   std::map<TxnId, Lsn> att;  // loser candidates -> last_lsn
   Lsn redo_start = checkpoint_lsn == kInvalidLsn ? LogManager::kFirstLsn
                                                  : checkpoint_lsn;
@@ -82,6 +102,7 @@ Status RecoveryManager::Restart(Lsn checkpoint_lsn) {
       checkpoint_lsn == kInvalidLsn ? LogManager::kFirstLsn : checkpoint_lsn,
       [&](const LogRecord& rec) {
         stats_.records_analyzed++;
+        m_analyzed_->Add(1);
         if (rec.txn_id != kInvalidTxnId) {
           max_txn = std::max(max_txn, rec.txn_id);
           switch (rec.type) {
@@ -104,8 +125,10 @@ Status RecoveryManager::Restart(Lsn checkpoint_lsn) {
       });
   GISTCR_RETURN_IF_ERROR(scan_st);
   txns_->SetNextTxnId(max_txn + 1);
+  m_analysis_ns_->Record(obs::NowNanos() - phase_t0);
 
   // --- Redo --------------------------------------------------------------
+  phase_t0 = obs::NowNanos();
   GISTCR_RETURN_IF_ERROR(log_->Scan(redo_start, [&](const LogRecord& rec) {
     Status st = RedoRecord(rec);
     if (!st.ok()) {
@@ -113,16 +136,21 @@ Status RecoveryManager::Restart(Lsn checkpoint_lsn) {
       return false;
     }
     stats_.records_redone++;
+    m_redone_->Add(1);
     return true;
   }));
   GISTCR_RETURN_IF_ERROR(scan_st);
+  m_redo_ns_->Record(obs::NowNanos() - phase_t0);
 
   // --- Undo of losers -----------------------------------------------------
+  phase_t0 = obs::NowNanos();
   for (const auto& [id, last] : att) {
     stats_.loser_txns++;
+    m_losers_->Add(1);
     Transaction* txn = txns_->ResurrectForUndo(id, last);
     GISTCR_RETURN_IF_ERROR(txns_->Abort(txn));
   }
+  m_undo_ns_->Record(obs::NowNanos() - phase_t0);
   return Status::OK();
 }
 
@@ -540,6 +568,7 @@ Status RecoveryManager::UndoRecord(Transaction* txn, const LogRecord& rec) {
     return Status::OK();
   }
   stats_.records_undone++;
+  m_undone_->Add(1);
 
   ClrPayload clr;
   clr.compensated_type = rec.type;

@@ -29,8 +29,14 @@ class RecoveryManager : public UndoApplier {
   RecoveryManager(BufferPool* pool, LogManager* log, TransactionManager* txns,
                   PageAllocator* alloc, DataStore* data, GlobalNsn* nsn)
       : pool_(pool), log_(log), txns_(txns), alloc_(alloc), data_(data),
-        nsn_(nsn) {}
+        nsn_(nsn) {
+    AttachMetrics(nullptr);
+  }
   GISTCR_DISALLOW_COPY_AND_ASSIGN(RecoveryManager);
+
+  /// Re-points restart/checkpoint metrics at \p reg (null: process
+  /// fallback). Call before Restart; the Database facade does so at init.
+  void AttachMetrics(obs::MetricsRegistry* reg);
 
   /// Full restart: analysis from \p checkpoint_lsn (kInvalidLsn: scan from
   /// the log start), redo, then undo of losers.
@@ -91,6 +97,16 @@ class RecoveryManager : public UndoApplier {
   DataStore* data_;
   GlobalNsn* nsn_;
   RestartStats stats_;
+
+  obs::Counter* m_analyzed_ = nullptr;
+  obs::Counter* m_redone_ = nullptr;
+  obs::Counter* m_losers_ = nullptr;
+  obs::Counter* m_undone_ = nullptr;
+  obs::Counter* m_checkpoints_ = nullptr;
+  obs::Histogram* m_analysis_ns_ = nullptr;
+  obs::Histogram* m_redo_ns_ = nullptr;
+  obs::Histogram* m_undo_ns_ = nullptr;
+  obs::Histogram* m_checkpoint_ns_ = nullptr;
 };
 
 }  // namespace gistcr

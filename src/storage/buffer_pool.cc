@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace gistcr {
 
 BufferPool::BufferPool(DiskManager* disk, size_t num_frames,
@@ -15,6 +17,16 @@ BufferPool::BufferPool(DiskManager* disk, size_t num_frames,
     f->data_ = arena_.get() + i * kPageSize;
     frames_.push_back(std::move(f));
   }
+  AttachMetrics(nullptr);
+}
+
+void BufferPool::AttachMetrics(obs::MetricsRegistry* reg) {
+  reg = obs::MetricsRegistry::OrFallback(reg);
+  m_hits_ = reg->GetCounter("bp.hits");
+  m_misses_ = reg->GetCounter("bp.misses");
+  m_evictions_ = reg->GetCounter("bp.evictions");
+  m_flushes_ = reg->GetCounter("bp.flushes");
+  m_pin_wait_ns_ = reg->GetHistogram("bp.pin_wait_ns");
 }
 
 BufferPool::~BufferPool() = default;
@@ -37,12 +49,15 @@ Frame* BufferPool::FindVictimLocked() {
 
 StatusOr<Frame*> BufferPool::FetchInternal(PageId page_id, bool fresh) {
   std::unique_lock<std::mutex> l(mu_);
+  uint64_t busy_wait_ns = 0;  // time spent parked on in-flight I/O
   for (;;) {
     auto it = table_.find(page_id);
     if (it != table_.end()) {
       Frame* f = it->second;
       if (f->state_ == Frame::State::kBusy) {
+        const uint64_t t0 = obs::NowNanos();
         cv_.wait(l);
+        busy_wait_ns += obs::NowNanos() - t0;
         continue;
       }
       f->pin_count_++;
@@ -50,7 +65,10 @@ StatusOr<Frame*> BufferPool::FetchInternal(PageId page_id, bool fresh) {
       if (fresh) {
         // Stale cached copy of a previously freed page: caller reformats.
         std::memset(f->data_, 0, kPageSize);
+      } else {
+        m_hits_->Add(1);
       }
+      if (busy_wait_ns != 0) m_pin_wait_ns_->Record(busy_wait_ns);
       return f;
     }
     Frame* victim = FindVictimLocked();
@@ -59,7 +77,11 @@ StatusOr<Frame*> BufferPool::FetchInternal(PageId page_id, bool fresh) {
     }
     const PageId old_pid = victim->page_id_;
     const bool was_dirty = victim->dirty();
-    if (old_pid != kInvalidPageId) table_.erase(old_pid);
+    if (old_pid != kInvalidPageId) {
+      table_.erase(old_pid);
+      m_evictions_->Add(1);
+    }
+    if (!fresh) m_misses_->Add(1);
     victim->state_ = Frame::State::kBusy;
     victim->page_id_ = page_id;
     victim->ref_ = true;
@@ -69,19 +91,22 @@ StatusOr<Frame*> BufferPool::FetchInternal(PageId page_id, bool fresh) {
 
     // No pins and no table entry: we have exclusive use of the frame.
     Status st;
-    if (was_dirty) {
-      // WAL rule: force the log up to the victim's page_lsn before the data
-      // page reaches disk.
-      const Lsn page_lsn = PageView(victim->data_).page_lsn();
-      if (wal_flush_) st = wal_flush_(page_lsn);
-      if (st.ok()) st = disk_->WritePage(old_pid, victim->data_);
-    }
-    victim->ClearDirty();
-    if (st.ok()) {
-      if (fresh) {
-        std::memset(victim->data_, 0, kPageSize);
-      } else {
-        st = disk_->ReadPage(page_id, victim->data_);
+    {
+      GISTCR_TRACE_SCOPE("bp.io");
+      if (was_dirty) {
+        // WAL rule: force the log up to the victim's page_lsn before the
+        // data page reaches disk.
+        const Lsn page_lsn = PageView(victim->data_).page_lsn();
+        if (wal_flush_) st = wal_flush_(page_lsn);
+        if (st.ok()) st = disk_->WritePage(old_pid, victim->data_);
+      }
+      victim->ClearDirty();
+      if (st.ok()) {
+        if (fresh) {
+          std::memset(victim->data_, 0, kPageSize);
+        } else {
+          st = disk_->ReadPage(page_id, victim->data_);
+        }
       }
     }
 
@@ -95,6 +120,7 @@ StatusOr<Frame*> BufferPool::FetchInternal(PageId page_id, bool fresh) {
       return st;
     }
     cv_.notify_all();
+    if (busy_wait_ns != 0) m_pin_wait_ns_->Record(busy_wait_ns);
     return victim;
   }
 }
@@ -136,10 +162,14 @@ Status BufferPool::FlushPage(PageId page_id) {
     // and makes clearing the dirty flag race-free w.r.t. MarkDirty, which
     // requires the X latch.
     std::shared_lock<std::shared_mutex> sl(frame->latch_);
+    GISTCR_TRACE_SCOPE("bp.flush");
     const Lsn page_lsn = frame->view().page_lsn();
     if (wal_flush_) st = wal_flush_(page_lsn);
     if (st.ok()) st = disk_->WritePage(page_id, frame->data_);
-    if (st.ok()) frame->ClearDirty();
+    if (st.ok()) {
+      frame->ClearDirty();
+      m_flushes_->Add(1);
+    }
   }
   {
     std::lock_guard<std::mutex> l(mu_);

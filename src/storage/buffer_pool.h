@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 #include "util/status.h"
@@ -89,6 +90,10 @@ class BufferPool {
   ~BufferPool();
   GISTCR_DISALLOW_COPY_AND_ASSIGN(BufferPool);
 
+  /// Re-points the pool's metrics at \p reg (null: process fallback).
+  /// Call before concurrent use; the Database facade does so at init.
+  void AttachMetrics(obs::MetricsRegistry* reg);
+
   /// Pins the page, reading it from disk on a miss. The returned frame stays
   /// valid until Unpin.
   StatusOr<Frame*> Fetch(PageId page_id);
@@ -125,6 +130,13 @@ class BufferPool {
 
   DiskManager* disk_;
   WalFlushFn wal_flush_;
+
+  // Registry-owned; stable pointers, updated lock-free on the hot path.
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
+  obs::Counter* m_flushes_ = nullptr;
+  obs::Histogram* m_pin_wait_ns_ = nullptr;
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -17,6 +17,19 @@ constexpr auto kWaitSlice = std::chrono::milliseconds(20);
 
 }  // namespace
 
+LockManager::LockManager() { AttachMetrics(nullptr); }
+
+void LockManager::AttachMetrics(obs::MetricsRegistry* reg) {
+  reg = obs::MetricsRegistry::OrFallback(reg);
+  m_wait_ns_[static_cast<size_t>(LockSpace::kRecord)] =
+      reg->GetHistogram("lock.record_wait_ns");
+  m_wait_ns_[static_cast<size_t>(LockSpace::kNode)] =
+      reg->GetHistogram("lock.node_wait_ns");
+  m_wait_ns_[static_cast<size_t>(LockSpace::kTxn)] =
+      reg->GetHistogram("lock.txn_wait_ns");
+  m_deadlocks_ = reg->GetCounter("lock.deadlocks");
+}
+
 void LockManager::TryGrantLocked(LockState* state) {
   auto& q = state->queue;
   // 1. Upgrade conversion: a granted S that wants X converts when it is
@@ -146,6 +159,8 @@ bool LockManager::WouldDeadlock(TxnId requester) {
 
 Status LockManager::Lock(TxnId txn, LockName name, LockMode mode, bool wait) {
   Shard& sh = ShardFor(name);
+  obs::Histogram* wait_hist = m_wait_ns_[static_cast<size_t>(name.space)];
+  uint64_t wait_start = 0;  // set when the request first fails to grant
   std::unique_lock<std::mutex> l(sh.mu);
   LockState* state = &sh.table[name];
 
@@ -171,6 +186,7 @@ Status LockManager::Lock(TxnId txn, LockName name, LockMode mode, bool wait) {
         mine->count++;
         ClearPending(txn);
         sh.cv.notify_all();
+        if (wait_start != 0) wait_hist->Record(obs::NowNanos() - wait_start);
         return Status::OK();
       }
       if (!wait) {
@@ -191,8 +207,11 @@ Status LockManager::Lock(TxnId txn, LockName name, LockMode mode, bool wait) {
         ClearPending(txn);
         TryGrantLocked(state);
         sh.cv.notify_all();
+        m_deadlocks_->Add(1);
+        if (wait_start != 0) wait_hist->Record(obs::NowNanos() - wait_start);
         return Status::Deadlock("lock upgrade would deadlock");
       }
+      if (wait_start == 0) wait_start = obs::NowNanos();
       sh.cv.wait_for(l, kWaitSlice);
     }
   }
@@ -208,6 +227,7 @@ Status LockManager::Lock(TxnId txn, LockName name, LockMode mode, bool wait) {
       l.unlock();
       RecordHeld(txn, name);
       sh.cv.notify_all();
+      if (wait_start != 0) wait_hist->Record(obs::NowNanos() - wait_start);
       return Status::OK();
     }
     if (!wait) {
@@ -224,6 +244,7 @@ Status LockManager::Lock(TxnId txn, LockName name, LockMode mode, bool wait) {
     if (!pending_set) {
       SetPending(txn, name);
       pending_set = true;
+      wait_start = obs::NowNanos();
     }
     l.unlock();
     const bool dl = WouldDeadlock(txn);
@@ -239,6 +260,8 @@ Status LockManager::Lock(TxnId txn, LockName name, LockMode mode, bool wait) {
       }
       TryGrantLocked(state);
       sh.cv.notify_all();
+      m_deadlocks_->Add(1);
+      if (wait_start != 0) wait_hist->Record(obs::NowNanos() - wait_start);
       return Status::Deadlock("lock wait would deadlock");
     }
     sh.cv.wait_for(l, kWaitSlice);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace gistcr {
@@ -66,9 +67,13 @@ struct LockNameHash {
 /// and re-position afterwards (sections 5 and 6).
 class LockManager {
  public:
-  LockManager() = default;
+  LockManager();
   ~LockManager() = default;
   GISTCR_DISALLOW_COPY_AND_ASSIGN(LockManager);
+
+  /// Re-points the manager's metrics at \p reg (null: process fallback).
+  /// Call before concurrent use; the Database facade does so at init.
+  void AttachMetrics(obs::MetricsRegistry* reg);
 
   /// Acquires \p name in \p mode for \p txn. Blocks unless \p wait is
   /// false, in which case a conflicting state yields Status::Busy.
@@ -149,6 +154,12 @@ class LockManager {
 
   Shard shards_[kShards];
   TxnShard txn_shards_[kTxnShards];
+
+  /// Blocked-acquisition wait time, per lock space (kRecord = RID 2PL
+  /// waits, kNode = signaling-lock waits, kTxn = predicate waits via
+  /// WaitForTxn). Only acquisitions that actually blocked are recorded.
+  obs::Histogram* m_wait_ns_[3] = {nullptr, nullptr, nullptr};
+  obs::Counter* m_deadlocks_ = nullptr;
 
   // The single name each blocked txn is waiting on (a txn runs on one
   // thread, so it waits on at most one name). Drives deadlock DFS.

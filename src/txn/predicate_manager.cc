@@ -4,6 +4,17 @@
 
 namespace gistcr {
 
+PredicateManager::PredicateManager() { AttachMetrics(nullptr); }
+
+void PredicateManager::AttachMetrics(obs::MetricsRegistry* reg) {
+  reg = obs::MetricsRegistry::OrFallback(reg);
+  m_attaches_ = reg->GetCounter("pred.attaches");
+  m_conflict_checks_ = reg->GetCounter("pred.conflict_checks");
+  m_predicates_scanned_ = reg->GetCounter("pred.predicates_scanned");
+  m_replications_ = reg->GetCounter("pred.replications");
+  m_percolations_ = reg->GetCounter("pred.percolations");
+}
+
 void PredicateManager::AttachLocked(PageId node, TxnId txn, uint64_t op_id,
                                     PredKind kind, Slice pred) {
   auto& lst = by_node_[node];
@@ -17,6 +28,7 @@ void PredicateManager::AttachLocked(PageId node, TxnId txn, uint64_t op_id,
   auto& nodes = by_txn_[txn];
   if (nodes.empty() || nodes.back() != node) nodes.push_back(node);
   stats_.attaches++;
+  m_attaches_->Add(1);
 }
 
 void PredicateManager::Attach(PageId node, TxnId txn, uint64_t op_id,
@@ -32,8 +44,10 @@ std::vector<TxnId> PredicateManager::AttachAndFindConflicts(
   std::vector<TxnId> owners;
   auto& lst = by_node_[node];
   stats_.conflict_checks++;
+  m_conflict_checks_->Add(1);
   for (const auto& a : lst) {
     stats_.predicates_scanned++;
+    m_predicates_scanned_->Add(1);
     if (a.txn == txn) continue;
     if (conflicts(a)) {
       if (std::find(owners.begin(), owners.end(), a.txn) == owners.end()) {
@@ -51,9 +65,11 @@ std::vector<TxnId> PredicateManager::FindConflicts(PageId node, TxnId self,
   std::vector<TxnId> owners;
   auto it = by_node_.find(node);
   stats_.conflict_checks++;
+  m_conflict_checks_->Add(1);
   if (it == by_node_.end()) return owners;
   for (const auto& a : it->second) {
     stats_.predicates_scanned++;
+    m_predicates_scanned_->Add(1);
     if (a.txn == self) continue;
     if (conflicts(a)) {
       if (std::find(owners.begin(), owners.end(), a.txn) == owners.end()) {
@@ -110,6 +126,7 @@ void PredicateManager::ReplicateOnSplit(
   for (const auto& a : copies) {
     AttachLocked(new_node, a.txn, a.op_id, a.kind, a.pred);
     stats_.replications++;
+    m_replications_->Add(1);
   }
 }
 
@@ -126,6 +143,7 @@ void PredicateManager::Percolate(
   for (const auto& a : copies) {
     AttachLocked(child, a.txn, a.op_id, a.kind, a.pred);
     stats_.percolations++;
+    m_percolations_->Add(1);
   }
 }
 

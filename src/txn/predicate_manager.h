@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "util/slice.h"
 #include "util/status.h"
 
@@ -50,8 +51,13 @@ class PredicateManager {
   /// Pseudo node id for the tree-global list (pure predicate locking mode).
   static constexpr PageId kGlobalTable = 0xFFFFFFFEu;
 
-  PredicateManager() = default;
+  PredicateManager();
   GISTCR_DISALLOW_COPY_AND_ASSIGN(PredicateManager);
+
+  /// Re-points the manager's metrics at \p reg (null: process fallback);
+  /// mirrors the Stats struct into registry counters. Call before
+  /// concurrent use; the Database facade does so at init.
+  void AttachMetrics(obs::MetricsRegistry* reg);
 
   using ConflictFn = std::function<bool(const PredAttachment&)>;
 
@@ -114,6 +120,12 @@ class PredicateManager {
  private:
   void AttachLocked(PageId node, TxnId txn, uint64_t op_id, PredKind kind,
                     Slice pred);
+
+  obs::Counter* m_attaches_ = nullptr;
+  obs::Counter* m_conflict_checks_ = nullptr;
+  obs::Counter* m_predicates_scanned_ = nullptr;
+  obs::Counter* m_replications_ = nullptr;
+  obs::Counter* m_percolations_ = nullptr;
 
   std::mutex mu_;
   uint64_t next_id_ = 1;

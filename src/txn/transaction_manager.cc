@@ -2,11 +2,23 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace gistcr {
 
 TransactionManager::TransactionManager(LogManager* log, LockManager* locks,
                                        PredicateManager* preds)
-    : log_(log), locks_(locks), preds_(preds) {}
+    : log_(log), locks_(locks), preds_(preds) {
+  AttachMetrics(nullptr);
+}
+
+void TransactionManager::AttachMetrics(obs::MetricsRegistry* reg) {
+  reg = obs::MetricsRegistry::OrFallback(reg);
+  m_begins_ = reg->GetCounter("txn.begins");
+  m_commits_ = reg->GetCounter("txn.commits");
+  m_aborts_ = reg->GetCounter("txn.aborts");
+  m_commit_ns_ = reg->GetHistogram("txn.commit_ns");
+}
 
 Transaction* TransactionManager::Begin(IsolationLevel iso) {
   TxnId id;
@@ -27,6 +39,7 @@ Transaction* TransactionManager::Begin(IsolationLevel iso) {
   rec.type = LogRecordType::kBegin;
   st = AppendTxnLog(txn, &rec);
   GISTCR_CHECK(st.ok());
+  m_begins_->Add(1);
   return txn;
 }
 
@@ -53,6 +66,8 @@ void TransactionManager::ReleaseAllFor(Transaction* txn) {
 
 Status TransactionManager::Commit(Transaction* txn) {
   GISTCR_CHECK(txn->state() == TxnState::kActive);
+  GISTCR_TRACE_SCOPE("txn.commit");
+  const uint64_t t0 = obs::NowNanos();
   LogRecord commit;
   commit.type = LogRecordType::kCommit;
   GISTCR_RETURN_IF_ERROR(AppendTxnLog(txn, &commit));
@@ -62,6 +77,8 @@ Status TransactionManager::Commit(Transaction* txn) {
   LogRecord end;
   end.type = LogRecordType::kEnd;
   GISTCR_RETURN_IF_ERROR(AppendTxnLog(txn, &end));
+  m_commit_ns_->Record(obs::NowNanos() - t0);
+  m_commits_->Add(1);
   std::lock_guard<std::mutex> l(mu_);
   table_.erase(txn->id());
   return Status::OK();
@@ -108,6 +125,7 @@ Status TransactionManager::Abort(Transaction* txn) {
   LogRecord end;
   end.type = LogRecordType::kEnd;
   GISTCR_RETURN_IF_ERROR(AppendTxnLog(txn, &end));
+  m_aborts_->Add(1);
   std::lock_guard<std::mutex> l(mu_);
   table_.erase(txn->id());
   return Status::OK();

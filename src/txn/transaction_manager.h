@@ -35,6 +35,10 @@ class TransactionManager {
 
   void SetUndoApplier(UndoApplier* applier) { applier_ = applier; }
 
+  /// Re-points lifecycle metrics at \p reg (null: process fallback). Call
+  /// before concurrent use; the Database facade does so at init.
+  void AttachMetrics(obs::MetricsRegistry* reg);
+
   /// Starts a transaction: assigns an id, X-locks the txn's own id (the
   /// handle other operations block on when they "block on a predicate",
   /// paper section 10.3), logs Begin.
@@ -97,6 +101,11 @@ class TransactionManager {
   LockManager* locks_;
   PredicateManager* preds_;
   UndoApplier* applier_ = nullptr;
+
+  obs::Counter* m_begins_ = nullptr;
+  obs::Counter* m_commits_ = nullptr;
+  obs::Counter* m_aborts_ = nullptr;
+  obs::Histogram* m_commit_ns_ = nullptr;  ///< includes the log force
 
   std::mutex mu_;
   std::unordered_map<TxnId, std::unique_ptr<Transaction>> table_;

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 #include "wal/log_record.h"
 
@@ -24,9 +25,13 @@ namespace gistcr {
 /// record appended before it).
 class LogManager {
  public:
-  LogManager() = default;
+  LogManager();
   ~LogManager();
   GISTCR_DISALLOW_COPY_AND_ASSIGN(LogManager);
+
+  /// Re-points the log's metrics at \p reg (null: process fallback). Call
+  /// before concurrent use; the Database facade does so at init.
+  void AttachMetrics(obs::MetricsRegistry* reg);
 
   /// Opens (creating if absent) the log file and positions at its end.
   /// Scans backwards-compatible: an existing file is validated lazily by
@@ -90,6 +95,13 @@ class LogManager {
 
  private:
   Status FlushLocked();
+
+  obs::Counter* m_appends_ = nullptr;
+  obs::Counter* m_append_bytes_ = nullptr;
+  obs::Counter* m_flushes_ = nullptr;
+  obs::Histogram* m_fsync_ns_ = nullptr;
+  obs::Histogram* m_batch_records_ = nullptr;
+  uint64_t pending_records_ = 0;  ///< appends since last flush; under mu_
 
   mutable std::mutex mu_;
   int fd_ = -1;

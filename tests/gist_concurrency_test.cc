@@ -2,12 +2,14 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <map>
 #include <mutex>
 #include <set>
 #include <thread>
 
 #include "access/btree_extension.h"
+#include "obs/trace.h"
 #include "tests/test_util.h"
 #include "util/random.h"
 
@@ -88,6 +90,99 @@ TEST_F(ConcurrencyTest, ParallelDisjointInsertsAllFound) {
   EXPECT_EQ(results.size(), static_cast<size_t>(kThreads * kPerThread));
   ASSERT_OK(db_->Commit(txn));
   EXPECT_GT(gist_->stats().splits.load(), 0u);
+}
+
+// End-to-end observability: a concurrent insert+scan workload must leave
+// its footprint in the database's metrics registry, and the trace export
+// must produce a chrome://tracing-loadable file.
+TEST_F(ConcurrencyTest, MetricsAndTraceCaptureConcurrentWorkload) {
+  SetUpDb(ConcurrencyProtocol::kLink, 8);
+  obs::Tracer::Global().Clear();
+  constexpr int kThreads = 4;
+  constexpr int kKeysPerRound = 800;
+  obs::MetricsRegistry* reg = db_->metrics();
+  // Interleaved keys from a shared counter keep all threads splitting the
+  // same leaves; a handful of rounds reliably produces at least one
+  // traversal that races a split and follows the rightlink.
+  std::atomic<int64_t> next_key{0};
+  for (int round = 0; round < 5; round++) {
+    const int64_t limit = next_key.load() + kKeysPerRound;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++) {
+      threads.emplace_back([&, t] {
+        Random rng(static_cast<uint64_t>(t) * 131 + 7);
+        for (;;) {
+          const int64_t key = next_key.fetch_add(1);
+          if (key >= limit) return;
+          WithTxnRetry(IsolationLevel::kReadCommitted,
+                       [&](Transaction* txn) {
+                         return db_
+                             ->InsertRecord(txn, gist_,
+                                            BtreeExtension::MakeKey(key), "v")
+                             .status();
+                       });
+          if (key % 8 == 0) {
+            const int64_t lo = rng.UniformRange(0, limit);
+            WithTxnRetry(IsolationLevel::kReadCommitted,
+                         [&](Transaction* txn) {
+                           std::vector<SearchResult> results;
+                           return gist_->Search(
+                               txn, BtreeExtension::MakeRange(lo, lo + 50),
+                               &results);
+                         });
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    if (reg->GetCounter("gist.rightlink_follows")->value() > 0) break;
+  }
+
+  // GistStats now lives in the registry: both views see the same numbers.
+  EXPECT_EQ(reg->GetCounter("gist.splits")->value(),
+            gist_->stats().splits.load());
+  EXPECT_GT(reg->GetCounter("gist.inserts")->value(),
+            static_cast<uint64_t>(kKeysPerRound) - 1);
+  EXPECT_GT(reg->GetCounter("gist.splits")->value(), 0u);
+  // With 4 threads splitting 8-entry nodes, some traversal must have hit a
+  // concurrent split and compensated via the rightlink.
+  EXPECT_GT(reg->GetCounter("gist.rightlink_follows")->value(), 0u);
+  // Every Fetch in the tree path records its latch acquisition.
+  EXPECT_GT(reg->GetHistogram("gist.latch_wait_ns")->GetSnapshot().count, 0u);
+  EXPECT_GT(reg->GetCounter("bp.hits")->value(), 0u);
+  EXPECT_GT(reg->GetCounter("wal.appends")->value(), 0u);
+  EXPECT_GT(reg->GetCounter("txn.commits")->value(), 0u);
+  // Thousands of commit-path flushes spread over several powers of two.
+  EXPECT_GE(reg->GetHistogram("wal.fsync_ns")->GetSnapshot().PopulatedBuckets(),
+            3u);
+
+  const std::string text = db_->DumpMetrics();
+  EXPECT_NE(text.find("gist.rightlink_follows"), std::string::npos);
+  EXPECT_NE(text.find("bp.hits"), std::string::npos);
+  EXPECT_NE(text.find("wal.fsync_ns"), std::string::npos);
+  const std::string json = db_->DumpMetrics(/*as_json=*/true);
+  EXPECT_NE(json.find("\"gist.splits\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp.hit_rate\""), std::string::npos);
+
+  const std::string trace_path = path_ + ".trace.json";
+  ASSERT_OK(db_->ExportTrace(trace_path));
+  std::string trace;
+  {
+    FILE* f = std::fopen(trace_path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) trace.append(buf, n);
+    std::fclose(f);
+  }
+  std::remove(trace_path.c_str());
+  EXPECT_EQ(trace.front(), '[');
+#ifdef GISTCR_TRACING
+  // With tracing compiled in, the workload's scopes must be present.
+  EXPECT_NE(trace.find("\"name\":\"gist.search\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"txn.commit\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+#endif
 }
 
 TEST_F(ConcurrencyTest, ConcurrentOverlappingInsertsNoLostKeys) {

@@ -1,0 +1,243 @@
+// Unit tests for the observability subsystem (src/obs): histogram bucket
+// boundaries and percentile math, concurrent counter/histogram recording
+// (run under TSan in CI), trace-ring wraparound and Chrome-JSON export.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gistcr {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------
+// Histogram buckets
+// ---------------------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds exactly the value 0; bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketFor(0), 0u);
+  EXPECT_EQ(Histogram::BucketFor(1), 1u);
+  EXPECT_EQ(Histogram::BucketFor(2), 2u);
+  EXPECT_EQ(Histogram::BucketFor(3), 2u);
+  EXPECT_EQ(Histogram::BucketFor(4), 3u);
+  EXPECT_EQ(Histogram::BucketFor(7), 3u);
+  EXPECT_EQ(Histogram::BucketFor(8), 4u);
+  EXPECT_EQ(Histogram::BucketFor(1023), 10u);
+  EXPECT_EQ(Histogram::BucketFor(1024), 11u);
+  // Everything past the last bound lands in the final bucket.
+  EXPECT_EQ(Histogram::BucketFor(UINT64_MAX), Histogram::kNumBuckets - 1);
+
+  for (size_t i = 1; i + 1 < Histogram::kNumBuckets; i++) {
+    const uint64_t lo = Histogram::BucketLowerBound(i);
+    const uint64_t hi = Histogram::BucketUpperBound(i);
+    EXPECT_EQ(hi, lo * 2) << "bucket " << i;
+    EXPECT_EQ(Histogram::BucketFor(lo), i);
+    EXPECT_EQ(Histogram::BucketFor(hi - 1), i);
+    EXPECT_EQ(Histogram::BucketFor(hi), i + 1);
+  }
+}
+
+TEST(HistogramTest, SnapshotCountsSumMinMax) {
+  Histogram h;
+  h.Record(0);
+  h.Record(5);
+  h.Record(5);
+  h.Record(1000);
+  const auto s = h.GetSnapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 1010u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_DOUBLE_EQ(s.mean(), 252.5);
+  EXPECT_EQ(s.buckets[0], 1u);                         // the 0
+  EXPECT_EQ(s.buckets[Histogram::BucketFor(5)], 2u);   // the 5s
+  EXPECT_EQ(s.buckets[Histogram::BucketFor(1000)], 1u);
+  EXPECT_EQ(s.PopulatedBuckets(), 3u);
+}
+
+TEST(HistogramTest, EmptySnapshotIsZero) {
+  Histogram h;
+  const auto s = h.GetSnapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(HistogramTest, PercentilesOnUniformData) {
+  // 1..1000 uniformly: every percentile estimate must stay within the
+  // resolution of a power-of-two bucket (a factor of two of the exact
+  // rank), and the defining quantile ordering must hold.
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; v++) h.Record(v);
+  const auto s = h.GetSnapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_GE(s.Percentile(0.5), 250.0);
+  EXPECT_LE(s.Percentile(0.5), 1000.0);
+  EXPECT_LE(s.Percentile(0.5), s.Percentile(0.95));
+  EXPECT_LE(s.Percentile(0.95), s.Percentile(0.99));
+  EXPECT_LE(s.Percentile(1.0), 1000.0);  // clamped to observed max
+  EXPECT_GE(s.Percentile(0.001), 1.0);   // clamped to observed min
+  // Snapshot pre-computes the common three.
+  EXPECT_DOUBLE_EQ(s.p50, s.Percentile(0.5));
+  EXPECT_DOUBLE_EQ(s.p95, s.Percentile(0.95));
+  EXPECT_DOUBLE_EQ(s.p99, s.Percentile(0.99));
+}
+
+TEST(HistogramTest, SingleValuePercentiles) {
+  Histogram h;
+  for (int i = 0; i < 100; i++) h.Record(42);
+  const auto s = h.GetSnapshot();
+  // With min == max == 42 the clamp pins every percentile to 42.
+  EXPECT_DOUBLE_EQ(s.p50, 42.0);
+  EXPECT_DOUBLE_EQ(s.p99, 42.0);
+}
+
+// ---------------------------------------------------------------------
+// Concurrency (meaningful under TSan; exact counts always checked)
+// ---------------------------------------------------------------------
+
+TEST(MetricsConcurrencyTest, CountersAndHistogramsAreExactUnderThreads) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&reg, t] {
+      Counter* c = reg.GetCounter("test.ops");
+      Histogram* h = reg.GetHistogram("test.lat_ns");
+      for (int i = 0; i < kPerThread; i++) {
+        c->Add(1);
+        h->Record(static_cast<uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.GetCounter("test.ops")->value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  const auto s = reg.GetHistogram("test.lat_ns")->GetSnapshot();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, static_cast<uint64_t>(kThreads) * kPerThread - 1);
+}
+
+TEST(MetricsRegistryTest, SameNameSameObjectDumpsContainEverything) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x.count");
+  Counter* b = reg.GetCounter("x.count");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  reg.GetGauge("x.rate")->Set(0.5);
+  reg.GetHistogram("x.lat_ns")->Record(7);
+
+  std::string text;
+  reg.DumpText(&text);
+  EXPECT_NE(text.find("x.count"), std::string::npos);
+  EXPECT_NE(text.find("x.rate"), std::string::npos);
+  EXPECT_NE(text.find("x.lat_ns"), std::string::npos);
+
+  std::string json;
+  reg.DumpJson(&json);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"x.count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"x.lat_ns\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------
+
+TEST(TracerTest, RingWrapsKeepingNewestEvents) {
+  Tracer& tr = Tracer::Global();
+  tr.Clear();
+  // Overfill this thread's ring: the first kRingCapacity/2 "early" events
+  // must be overwritten by the following "late" ones.
+  for (size_t i = 0; i < Tracer::kRingCapacity / 2; i++) {
+    tr.RecordComplete("early", /*ts_us=*/i, /*dur_us=*/1);
+  }
+  for (size_t i = 0; i < Tracer::kRingCapacity; i++) {
+    tr.RecordComplete("late", /*ts_us=*/Tracer::kRingCapacity + i,
+                      /*dur_us=*/1);
+  }
+  const auto events = tr.Snapshot();
+  ASSERT_EQ(events.size(), Tracer::kRingCapacity);
+  for (const auto& e : events) {
+    EXPECT_STREQ(e.name, "late");
+  }
+  tr.Clear();
+  EXPECT_EQ(tr.EventCount(), 0u);
+}
+
+TEST(TracerTest, ExportIsChromeTraceJson) {
+  Tracer& tr = Tracer::Global();
+  tr.Clear();
+  tr.RecordComplete("unit.scope", 100, 25);
+  tr.RecordInstant("unit.mark");
+  const std::string json = tr.ExportJsonString();
+  // An array of {"name", "cat", "ph", "ts", "dur", "pid", "tid"} objects.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\":\"unit.scope\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":25"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"unit.mark\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+
+  const std::string path = "/tmp/gistcr_obs_test_trace.json";
+  ASSERT_TRUE(tr.ExportJson(path).ok());
+  FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(contents, json);
+  tr.Clear();
+}
+
+TEST(TracerTest, EventsFromManyThreadsAllSurface) {
+  Tracer& tr = Tracer::Global();
+  tr.Clear();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 64;  // well under ring capacity
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&tr] {
+      for (int i = 0; i < kPerThread; i++) {
+        tr.RecordComplete("mt.event", static_cast<uint64_t>(i), 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tr.EventCount(), static_cast<size_t>(kThreads) * kPerThread);
+  tr.Clear();
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer& tr = Tracer::Global();
+  tr.Clear();
+  tr.SetEnabled(false);
+  tr.RecordComplete("off", 1, 1);
+  tr.RecordInstant("off");
+  EXPECT_EQ(tr.EventCount(), 0u);
+  tr.SetEnabled(true);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace gistcr
