@@ -5,6 +5,7 @@
 
 #include "db/meta_page.h"
 #include "obs/trace.h"
+#include "storage/fault_injector.h"
 
 namespace gistcr {
 
@@ -56,12 +57,16 @@ Status Database::InitCommon() {
   // Re-point every component at this instance's registry (they start on
   // the process fallback). Done before any worker thread exists, so the
   // cached metric pointers are safely published.
+  disk_.AttachMetrics(&metrics_);
   log_.AttachMetrics(&metrics_);
   locks_.AttachMetrics(&metrics_);
   preds_.AttachMetrics(&metrics_);
   pool_->AttachMetrics(&metrics_);
   txns_->AttachMetrics(&metrics_);
   recovery_->AttachMetrics(&metrics_);
+  if constexpr (kFaultInjectionCompiled) {
+    FaultInjector::Global().AttachMetrics(&metrics_);
+  }
   return Status::OK();
 }
 
@@ -281,6 +286,9 @@ Status Database::DeleteRecord(Transaction* txn, Gist* index, Slice key,
 Status Database::Checkpoint() {
   auto lsn_or = recovery_->Checkpoint();
   GISTCR_RETURN_IF_ERROR(lsn_or.status());
+  // Checkpoint record durable but the master pointer still names the
+  // previous one: restart must work from the older (valid) checkpoint.
+  GISTCR_CRASHPOINT("ckpt.before_master_update");
   GISTCR_RETURN_IF_ERROR(WriteMasterPointer(lsn_or.value()));
   // With the master pointer durable, everything below the redo/undo
   // horizon is dead weight: reclaim its disk space. The horizon is the

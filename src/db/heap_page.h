@@ -9,7 +9,7 @@
 
 namespace gistcr {
 
-/// Heap data-store page layout (after the common 16-byte page header):
+/// Heap data-store page layout (after the common page header):
 ///   [0..1] slot_count
 ///   [2..3] heap_begin (page offset of the low end of the record heap)
 ///   [4..7] next_page  (heap pages form a singly linked chain)

@@ -1,6 +1,7 @@
 #include "gist/gist.h"
 #include "gist/tree_latch.h"
 #include "obs/trace.h"
+#include "storage/fault_injector.h"
 
 namespace gistcr {
 
@@ -112,6 +113,8 @@ Status Gist::Delete(Transaction* txn, Slice key, Rid rid) {
       node.set_entry_del_txn(static_cast<uint16_t>(idx), txn->id());
       g.view().set_page_lsn(rec.lsn);
       g.frame()->MarkDirty(rec.lsn);
+      // Mark applied and logged inside a still-running transaction.
+      GISTCR_CRASHPOINT("delete.after_mark");
       g.Drop();
       SignalUnlock(txn, e.page);
       release_stack();

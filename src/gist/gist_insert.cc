@@ -5,6 +5,7 @@
 #include "gist/gist.h"
 #include "gist/tree_latch.h"
 #include "obs/trace.h"
+#include "storage/fault_injector.h"
 
 namespace gistcr {
 
@@ -204,6 +205,10 @@ Status Gist::SplitNode(Transaction* txn, PageGuard* node,
   if (hooks_.before_split_nta_end) {
     GISTCR_RETURN_IF_ERROR(hooks_.before_split_nta_end());
   }
+  // Full split applied and logged; the NTA-End that commits it is not.
+  // Recovery must roll the whole split back (or forward via redo + undo of
+  // the open NTA), never leave a half-installed sibling.
+  GISTCR_CRASHPOINT("split.before_nta_commit");
   return ctx_.txns->NtaEnd(txn, nta);
 }
 
@@ -281,6 +286,9 @@ Status Gist::SplitNodeInNta(Transaction* txn, PageGuard* g,
   rec.type = LogRecordType::kSplit;
   pl.EncodeTo(&rec.payload);
   GISTCR_RETURN_IF_ERROR(ctx_.txns->AppendTxnLog(txn, &rec));
+  // Split record logged, neither page touched yet (redo must reconstruct
+  // both halves from the record alone).
+  GISTCR_CRASHPOINT("split.after_log_append");
   const Nsn new_nsn = pl.new_nsn != 0 ? pl.new_nsn : rec.lsn;
 
   // Apply to the original node: drop moved entries, shrink BP, bump NSN,
@@ -325,6 +333,11 @@ Status Gist::SplitNodeInNta(Transaction* txn, PageGuard* g,
   IndexEntry parent_entry;
   parent_entry.key = pl.new_bp;
   parent_entry.value = new_pid;
+
+  // Both halves written and chained; the parent has no entry for the new
+  // sibling yet (reachable only via the rightlink — the B-link invariant
+  // recovery relies on).
+  GISTCR_CRASHPOINT("split.before_parent_install");
 
   for (;;) {
     NodeView pn(parent.view().data());
@@ -490,6 +503,8 @@ Status Gist::GrowRoot(Transaction* txn, PageGuard* g) {
   rg.view().set_page_lsn(rrec.lsn);
   rg.frame()->MarkDirty(rrec.lsn);
 
+  // New root built and logged; the meta page still points at the old root.
+  GISTCR_CRASHPOINT("root.before_meta_update");
   {
     auto meta_or = ctx_.pool->Fetch(MetaView::kMetaPageId);
     GISTCR_RETURN_IF_ERROR(meta_or.status());
@@ -654,6 +669,8 @@ Status Gist::LeafGc(Transaction* txn, PageGuard* leaf, uint64_t* removed) {
   }
   leaf->view().set_page_lsn(rec.lsn);
   leaf->frame()->MarkDirty(rec.lsn);
+  // GC removal applied and logged; the NTA-End committing it is not.
+  GISTCR_CRASHPOINT("gc.before_nta_end");
   GISTCR_RETURN_IF_ERROR(ctx_.txns->NtaEnd(txn, nta));
   *removed += pl.removed.size();
   stats_.gc_removed.Add(pl.removed.size());
@@ -778,6 +795,9 @@ Status Gist::InsertCore(Transaction* txn, Slice key, Rid rid, uint64_t op_id,
   // what rollback logically undoes).
   {
     NodeView node(leaf.view().data());
+    // Leaf chosen and room made (splits/BP updates possibly durable via
+    // their NTAs), but the Add-Leaf-Entry is not yet logged.
+    GISTCR_CRASHPOINT("insert.before_leaf_log");
     LogRecord rec;
     rec.type = LogRecordType::kAddLeafEntry;
     EntryOpPayload pl;
@@ -789,6 +809,8 @@ Status Gist::InsertCore(Transaction* txn, Slice key, Rid rid, uint64_t op_id,
     GISTCR_RETURN_IF_ERROR(node.InsertEntry(entry));
     leaf.view().set_page_lsn(rec.lsn);
     leaf.frame()->MarkDirty(rec.lsn);
+    // Entry applied and logged inside a still-running transaction.
+    GISTCR_CRASHPOINT("insert.after_leaf_apply");
   }
 
   // Phase 6: check the predicates attached to the leaf; block until

@@ -4,6 +4,7 @@
 #include "gist/gist.h"
 #include "gist/tree_latch.h"
 #include "obs/trace.h"
+#include "storage/fault_injector.h"
 
 namespace gistcr {
 
@@ -147,6 +148,14 @@ Status Gist::TryDeleteChild(Transaction* txn, PageGuard* parent,
     }
   }
   // 2. Rewire the owner's rightlink around the victim.
+  // Parent entry removed, chain still routed through the victim; the open
+  // NTA must undo the removal if we die here.
+  if constexpr (kFaultInjectionCompiled) {
+    if (st.ok()) {
+      st = FaultInjector::Global().CheckCrashPoint(
+          "gc.node_delete.before_rightlink_rewire");
+    }
+  }
   if (st.ok()) {
     NodeView on(owner.view().data());
     LogRecord rec;

@@ -13,7 +13,7 @@
 namespace gistcr {
 
 /// On-page layout of a GiST node (paper sections 2-3). After the common
-/// 16-byte page header:
+/// page header:
 ///
 ///   node header (24 bytes):
 ///     [0..7]   nsn        - node sequence number (split detection)
@@ -39,10 +39,10 @@ namespace gistcr {
 /// hold the frame's X latch.
 class NodeView {
  public:
-  static constexpr uint32_t kNodeHeaderOffset = PageView::kHeaderSize;  // 16
+  static constexpr uint32_t kNodeHeaderOffset = PageView::kHeaderSize;  // 24
   static constexpr uint32_t kNodeHeaderSize = 24;
   static constexpr uint32_t kSlotArrayOffset =
-      kNodeHeaderOffset + kNodeHeaderSize;  // 40
+      kNodeHeaderOffset + kNodeHeaderSize;  // 48
   static constexpr uint32_t kSlotSize = 4;
   static constexpr uint32_t kEntryOverhead = 2 + 8 + 8;
 

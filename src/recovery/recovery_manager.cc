@@ -7,6 +7,7 @@
 #include "db/meta_page.h"
 #include "gist/node.h"
 #include "obs/trace.h"
+#include "storage/fault_injector.h"
 
 namespace gistcr {
 
@@ -126,6 +127,9 @@ Status RecoveryManager::Restart(Lsn checkpoint_lsn) {
   GISTCR_RETURN_IF_ERROR(scan_st);
   txns_->SetNextTxnId(max_txn + 1);
   m_analysis_ns_->Record(obs::NowNanos() - phase_t0);
+  // ATT/DPT reconstructed, no page touched yet: a crash here makes the
+  // next restart re-run analysis from the same checkpoint (idempotence).
+  GISTCR_CRASHPOINT("recovery.after_analysis");
 
   // --- Redo --------------------------------------------------------------
   phase_t0 = obs::NowNanos();
@@ -141,6 +145,9 @@ Status RecoveryManager::Restart(Lsn checkpoint_lsn) {
   }));
   GISTCR_RETURN_IF_ERROR(scan_st);
   m_redo_ns_->Record(obs::NowNanos() - phase_t0);
+  // History repeated but losers not yet rolled back; the page-LSN test
+  // must make a second redo pass a no-op.
+  GISTCR_CRASHPOINT("recovery.after_redo");
 
   // --- Undo of losers -----------------------------------------------------
   phase_t0 = obs::NowNanos();
@@ -562,6 +569,9 @@ Status RecoveryManager::RedoClrAction(LogRecordType t, Slice original,
 }
 
 Status RecoveryManager::UndoRecord(Transaction* txn, const LogRecord& rec) {
+  // Fires once per record rolled back — crash-during-undo coverage (the
+  // CLR chain must let a second restart skip already-compensated work).
+  GISTCR_CRASHPOINT("recovery.mid_undo");
   // Redo-only records (Table 1): nothing to undo, no CLR.
   if (rec.type == LogRecordType::kParentEntryUpdate ||
       rec.type == LogRecordType::kGarbageCollection) {

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "obs/trace.h"
+#include "storage/fault_injector.h"
 
 namespace gistcr {
 
@@ -98,6 +99,14 @@ StatusOr<Frame*> BufferPool::FetchInternal(PageId page_id, bool fresh) {
         // data page reaches disk.
         const Lsn page_lsn = PageView(victim->data_).page_lsn();
         if (wal_flush_) st = wal_flush_(page_lsn);
+        // The frame is Busy and table-entered, so this must feed the error
+        // cleanup below rather than early-return.
+        if constexpr (kFaultInjectionCompiled) {
+          if (st.ok()) {
+            st = FaultInjector::Global().CheckCrashPoint(
+                "bp.before_evict_write");
+          }
+        }
         if (st.ok()) st = disk_->WritePage(old_pid, victim->data_);
       }
       victim->ClearDirty();

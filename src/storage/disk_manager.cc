@@ -6,10 +6,69 @@
 
 #include <cerrno>
 #include <cstring>
+#include <string>
+
+#include "storage/fault_injector.h"
+#include "storage/page.h"
 
 namespace gistcr {
 
+namespace {
+
+// pread with EINTR and short-read handling. Returns the number of bytes
+// read (less than n only at EOF) or a negative errno value.
+ssize_t PreadFully(int fd, char* buf, size_t n, off_t offset) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pread(fd, buf + done, n - done, offset + done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -errno;
+    }
+    if (r == 0) break;  // EOF
+    done += static_cast<size_t>(r);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+// pwrite with EINTR and short-write handling. Returns 0 or a negative
+// errno value.
+int PwriteFully(int fd, const char* buf, size_t n, off_t offset) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pwrite(fd, buf + done, n - done, offset + done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -errno;
+    }
+    if (r == 0) return -EIO;  // no forward progress
+    done += static_cast<size_t>(r);
+  }
+  return 0;
+}
+
+bool IsAllZero(const char* buf, size_t n) {
+  for (size_t i = 0; i < n; i++) {
+    if (buf[i] != 0) return false;
+  }
+  return true;
+}
+
+void RetryBackoff(int attempt) {
+  // Tiny linear backoff; transient faults in tests clear instantly, and a
+  // real EIO that persists across the budget surfaces anyway.
+  ::usleep(static_cast<useconds_t>(50 * (attempt + 1)));
+}
+
+}  // namespace
+
 DiskManager::~DiskManager() { Close(); }
+
+void DiskManager::AttachMetrics(obs::MetricsRegistry* reg) {
+  reg = obs::MetricsRegistry::OrFallback(reg);
+  m_io_retries_ = reg->GetCounter("storage.io_retries");
+  m_torn_detected_ = reg->GetCounter("storage.torn_pages_detected");
+}
 
 Status DiskManager::Open(const std::string& path) {
   GISTCR_CHECK(fd_ < 0);
@@ -31,29 +90,114 @@ void DiskManager::Close() {
 Status DiskManager::ReadPage(PageId page_id, char* out) {
   GISTCR_CHECK(fd_ >= 0);
   const off_t offset = static_cast<off_t>(page_id) * kPageSize;
-  ssize_t n = ::pread(fd_, out, kPageSize, offset);
-  if (n < 0) {
-    return Status::IOError("pread: " + std::string(std::strerror(errno)));
+
+  int injected = 0;
+  if constexpr (kFaultInjectionCompiled) {
+    if (FaultInjector::Global().io_faults_active()) {
+      injected = FaultInjector::Global().DrawTransientFaults(/*is_write=*/false);
+    }
   }
-  if (n < static_cast<ssize_t>(kPageSize)) {
-    // Short read past EOF: treat the rest as zeroes (fresh page).
-    std::memset(out + n, 0, kPageSize - static_cast<size_t>(n));
+
+  Status last;
+  for (int attempt = 0; attempt < kMaxIoAttempts; attempt++) {
+    if (attempt > 0) {
+      m_io_retries_->Add(1);
+      RetryBackoff(attempt);
+    }
+    if (attempt < injected) {
+      last = Status::IOError("injected transient read fault");
+      continue;
+    }
+    ssize_t n = PreadFully(fd_, out, kPageSize, offset);
+    if (n < 0) {
+      last = Status::IOError("pread page " + std::to_string(page_id) + ": " +
+                             std::strerror(static_cast<int>(-n)));
+      continue;
+    }
+    if (n < static_cast<ssize_t>(kPageSize)) {
+      // Short read past EOF: treat the rest as zeroes (fresh page).
+      std::memset(out + n, 0, kPageSize - static_cast<size_t>(n));
+    }
+    // Checksum verification. An all-zero page is valid: a never-written
+    // (fresh) page, or a zeroed lost write that WAL redo will repopulate
+    // (page_lsn 0 makes every record's redo applicable).
+    const uint32_t stored = PageView(out).checksum();
+    if (stored != ComputePageChecksum(out) && !IsAllZero(out, kPageSize)) {
+      m_torn_detected_->Add(1);
+      return Status::Corruption("page " + std::to_string(page_id) +
+                                ": checksum mismatch (torn write or bit rot)");
+    }
+    return Status::OK();
   }
-  return Status::OK();
+  return last;
 }
 
 Status DiskManager::WritePage(PageId page_id, const char* data) {
   GISTCR_CHECK(fd_ >= 0);
   const off_t offset = static_cast<off_t>(page_id) * kPageSize;
-  ssize_t n = ::pwrite(fd_, data, kPageSize, offset);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError("pwrite: " + std::string(std::strerror(errno)));
+
+  // Stamp the checksum into a local copy: callers hand us buffer-pool
+  // frames they may only hold shared latches on, so the source bytes must
+  // not be mutated here.
+  char buf[kPageSize];
+  std::memcpy(buf, data, kPageSize);
+  PageView(buf).set_checksum(ComputePageChecksum(buf));
+
+  size_t write_off = 0;
+  size_t write_len = kPageSize;
+  int injected = 0;
+  if constexpr (kFaultInjectionCompiled) {
+    FaultInjector& fi = FaultInjector::Global();
+    if (fi.io_faults_active()) {
+      FaultInjector::TornMode mode;
+      if (fi.TakeTornWrite(&mode)) {
+        switch (mode) {
+          case FaultInjector::TornMode::kFirstHalfOnly:
+            write_len = kPageSize / 2;
+            break;
+          case FaultInjector::TornMode::kLastHalfOnly:
+            write_off = kPageSize / 2;
+            write_len = kPageSize / 2;
+            break;
+          case FaultInjector::TornMode::kZeroPage:
+            std::memset(buf, 0, kPageSize);
+            break;
+        }
+      }
+      injected = fi.DrawTransientFaults(/*is_write=*/true);
+    }
   }
-  return Status::OK();
+
+  Status last;
+  for (int attempt = 0; attempt < kMaxIoAttempts; attempt++) {
+    if (attempt > 0) {
+      m_io_retries_->Add(1);
+      RetryBackoff(attempt);
+    }
+    if (attempt < injected) {
+      last = Status::IOError("injected transient write fault");
+      continue;
+    }
+    int rc = PwriteFully(fd_, buf + write_off, write_len,
+                         offset + static_cast<off_t>(write_off));
+    if (rc < 0) {
+      last = Status::IOError("pwrite page " + std::to_string(page_id) + ": " +
+                             std::strerror(-rc));
+      continue;
+    }
+    return Status::OK();
+  }
+  return last;
 }
 
 Status DiskManager::Sync() {
   GISTCR_CHECK(fd_ >= 0);
+  if constexpr (kFaultInjectionCompiled) {
+    if (FaultInjector::Global().io_faults_active() &&
+        FaultInjector::Global().TakeSyncFailure()) {
+      return Status::IOError("injected sync failure");
+    }
+  }
   if (::fdatasync(fd_) != 0) {
     return Status::IOError("fdatasync: " + std::string(std::strerror(errno)));
   }

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "util/macros.h"
 #include "util/status.h"
 
@@ -14,12 +15,21 @@ namespace gistcr {
 /// (allocation bitmap pages maintained through the buffer pool so that
 /// Get-Page / Free-Page log records can redo it, paper Table 1).
 ///
+/// Every WritePage stamps a CRC32 checksum into the page header; every
+/// ReadPage verifies it and returns Status::Corruption on mismatch (an
+/// all-zero page is a valid fresh page). Transient I/O errors — real
+/// (EINTR, short transfers) or injected — are absorbed by a bounded
+/// retry-and-backoff loop before surfacing as IOError.
+///
 /// Thread-safe: reads/writes use pread/pwrite; file extension is serialized.
 class DiskManager {
  public:
-  DiskManager() = default;
+  DiskManager() { AttachMetrics(nullptr); }
   ~DiskManager();
   GISTCR_DISALLOW_COPY_AND_ASSIGN(DiskManager);
+
+  /// Re-points counters at \p reg (null: process-global fallback).
+  void AttachMetrics(obs::MetricsRegistry* reg);
 
   /// Opens (creating if absent) the database file.
   Status Open(const std::string& path);
@@ -29,10 +39,13 @@ class DiskManager {
 
   /// Reads page \p page_id into \p out (kPageSize bytes). Reading a page
   /// beyond the current file size yields a zeroed buffer (fresh page).
+  /// Returns Status::Corruption when the stored checksum does not match
+  /// the page contents (torn write or bit rot).
   Status ReadPage(PageId page_id, char* out);
 
   /// Writes kPageSize bytes at the page's offset, extending the file if
-  /// needed. Does not sync; call Sync() for durability.
+  /// needed, stamping the header checksum (the caller's buffer is not
+  /// modified). Does not sync; call Sync() for durability.
   Status WritePage(PageId page_id, const char* data);
 
   /// fdatasync the file.
@@ -41,9 +54,15 @@ class DiskManager {
   /// Number of whole pages currently in the file.
   uint64_t PageCountOnDisk() const;
 
+  /// Attempt budget for the transient-fault retry loop (first try + 3
+  /// retries).
+  static constexpr int kMaxIoAttempts = 4;
+
  private:
   int fd_ = -1;
   std::string path_;
+  obs::Counter* m_io_retries_ = nullptr;
+  obs::Counter* m_torn_detected_ = nullptr;
 };
 
 }  // namespace gistcr

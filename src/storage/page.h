@@ -5,6 +5,7 @@
 
 #include "common/types.h"
 #include "util/coding.h"
+#include "util/crc32.h"
 
 namespace gistcr {
 
@@ -17,16 +18,21 @@ enum class PageType : uint16_t {
   kHeap = 4,      ///< Heap data-store page.
 };
 
-/// Every page starts with this 16-byte header:
+/// Every page starts with this 24-byte header:
 ///   [0..7]   page_lsn  - LSN of the last log record applied to the page;
 ///                        drives idempotent page-oriented redo.
 ///   [8..11]  page_id   - self identifier (corruption check).
 ///   [12..13] page_type
 ///   [14..15] reserved
+///   [16..19] checksum  - CRC32 of the page excluding this field, stamped
+///                        by DiskManager::WritePage and verified by
+///                        ReadPage (torn-write / bit-rot detection).
+///   [20..23] reserved
 /// PageView is a non-owning accessor over a kPageSize byte buffer.
 class PageView {
  public:
-  static constexpr uint32_t kHeaderSize = 16;
+  static constexpr uint32_t kHeaderSize = 24;
+  static constexpr uint32_t kChecksumOffset = 16;
 
   explicit PageView(char* data) : data_(data) {}
 
@@ -51,6 +57,9 @@ class PageView {
     EncodeFixed16(data_ + 12, static_cast<uint16_t>(t));
   }
 
+  uint32_t checksum() const { return DecodeFixed32(data_ + kChecksumOffset); }
+  void set_checksum(uint32_t c) { EncodeFixed32(data_ + kChecksumOffset, c); }
+
   /// Initializes a fresh page: zero body, header fields set.
   void Format(PageId id, PageType type) {
     for (uint32_t i = 0; i < kPageSize; i++) data_[i] = 0;
@@ -62,6 +71,14 @@ class PageView {
  private:
   char* data_;
 };
+
+/// CRC32 over a full page image, skipping the 4-byte checksum field itself
+/// so the stored value can be compared against a fresh computation.
+inline uint32_t ComputePageChecksum(const char* page) {
+  uint32_t c = Crc32(page, PageView::kChecksumOffset);
+  return Crc32(page + PageView::kChecksumOffset + 4,
+               kPageSize - PageView::kChecksumOffset - 4, c);
+}
 
 }  // namespace gistcr
 

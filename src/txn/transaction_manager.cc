@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.h"
+#include "storage/fault_injector.h"
 
 namespace gistcr {
 
@@ -71,7 +72,12 @@ Status TransactionManager::Commit(Transaction* txn) {
   LogRecord commit;
   commit.type = LogRecordType::kCommit;
   GISTCR_RETURN_IF_ERROR(AppendTxnLog(txn, &commit));
+  // Commit appended but not forced: recovery must treat the txn as a loser
+  // unless the record happens to be durable already.
+  GISTCR_CRASHPOINT("txn.commit.before_log_force");
   GISTCR_RETURN_IF_ERROR(log_->Flush(commit.lsn));  // force at commit
+  // Commit durable; End record and lock release still pending.
+  GISTCR_CRASHPOINT("txn.commit.after_log_force");
   txn->set_state(TxnState::kCommitted);
   ReleaseAllFor(txn);
   LogRecord end;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "storage/fault_injector.h"
 #include "util/coding.h"
 
 namespace gistcr {
@@ -100,6 +101,7 @@ Status LogManager::FlushLocked() {
   off_t offset = static_cast<off_t>(buffer_base_);
   while (remaining > 0) {
     ssize_t n = ::pwrite(fd_, p, remaining, offset);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) {
       return Status::IOError("pwrite log: " + std::string(std::strerror(errno)));
     }
@@ -107,10 +109,19 @@ Status LogManager::FlushLocked() {
     offset += n;
     remaining -= static_cast<size_t>(n);
   }
-  if (sync_on_flush_.load(std::memory_order_relaxed) &&
-      ::fdatasync(fd_) != 0) {
-    return Status::IOError("fdatasync log");
+  GISTCR_CRASHPOINT("wal.before_fsync");
+  if (sync_on_flush_.load(std::memory_order_relaxed)) {
+    if constexpr (kFaultInjectionCompiled) {
+      if (FaultInjector::Global().io_faults_active() &&
+          FaultInjector::Global().TakeSyncFailure()) {
+        return Status::IOError("injected log sync failure");
+      }
+    }
+    if (::fdatasync(fd_) != 0) {
+      return Status::IOError("fdatasync log");
+    }
   }
+  GISTCR_CRASHPOINT("wal.after_fsync");
   buffer_base_ += buffer_.size();
   buffer_.clear();
   durable_lsn_.store(last_lsn_.load(std::memory_order_acquire),

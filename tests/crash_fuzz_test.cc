@@ -8,12 +8,27 @@
 #include <set>
 
 #include "access/btree_extension.h"
+#include "storage/fault_injector.h"
+#include "tests/crash_harness.h"
 #include "tests/test_util.h"
 #include "util/random.h"
 #include "wal/log_manager.h"
 
 namespace gistcr {
 namespace {
+
+// GISTCR_LONG_TESTS (nightly CI) runs the same tests at soak sizes: a
+// longer workload, every log-record boundary as a cut point, and more
+// crash-point fuzz iterations.
+#if GISTCR_LONG_TESTS
+constexpr int kFuzzTxns = 120;
+constexpr uint64_t kCutStride = 1;
+constexpr int kPointFuzzIters = 40;
+#else
+constexpr int kFuzzTxns = 40;
+constexpr uint64_t kCutStride = 7;
+constexpr int kPointFuzzIters = 10;
+#endif
 
 /// Crash-point fuzzing: run a workload with everything forced to the log,
 /// remember each transaction's commit LSN, then truncate the durable log
@@ -60,7 +75,7 @@ TEST_F(CrashFuzzTest, EveryLogPrefixRecoversConsistently) {
     Random rng(555);
     std::map<int64_t, Rid> live;
     int64_t next_key = 0;
-    for (int t = 0; t < 40; t++) {
+    for (int t = 0; t < kFuzzTxns; t++) {
       TxnOutcome out;
       out.commit_lsn = kInvalidLsn;
       Transaction* txn = db->Begin(IsolationLevel::kReadCommitted);
@@ -97,7 +112,7 @@ TEST_F(CrashFuzzTest, EveryLogPrefixRecoversConsistently) {
         out.commit_lsn = db->log()->durable_lsn();
       }
       outcomes.push_back(out);
-      if (t == 25) {
+      if (t == (kFuzzTxns * 5) / 8) {
         Transaction* gc = db->Begin(IsolationLevel::kReadCommitted);
         uint64_t r = 0, n = 0;
         ASSERT_OK(gist->GarbageCollect(gc, &r, &n));
@@ -141,7 +156,8 @@ TEST_F(CrashFuzzTest, EveryLogPrefixRecoversConsistently) {
   // ---- Phase 2: recover from many prefixes of the log ----
   Random rng(99);
   std::vector<Lsn> cuts;
-  for (size_t i = 0; i < record_lsns.size(); i += 1 + rng.Uniform(7)) {
+  for (size_t i = 0; i < record_lsns.size();
+       i += (kCutStride == 1 ? 1 : 1 + rng.Uniform(kCutStride))) {
     cuts.push_back(record_lsns[i]);
   }
   cuts.push_back(record_lsns.back());
@@ -185,6 +201,45 @@ TEST_F(CrashFuzzTest, EveryLogPrefixRecoversConsistently) {
   }
   std::remove(wal_backup.c_str());
   std::remove(db_backup.c_str());
+}
+
+/// Randomized companion to the deterministic crash matrix: rotate through
+/// a set of high-traffic crash points with random skip counts, kill a real
+/// process at each, and verify recovery. Unlike the matrix, a skip count
+/// past the end of the workload is fine — the child exits 0 and the
+/// iteration just shrinks to a no-crash round trip.
+TEST(CrashPointFuzzTest, RandomSkipsAcrossHotPoints) {
+  if (!kFaultInjectionCompiled) {
+    GTEST_SKIP() << "built with GISTCR_FAULT_INJECTION=OFF";
+  }
+  constexpr const char* kPoints[] = {
+      "insert.after_leaf_apply", "split.after_log_append",
+      "wal.before_fsync",        "txn.commit.before_log_force",
+      "delete.after_mark",
+  };
+  const std::string path = TestPath("pointfuzz");
+  Random rng(2024);
+  int crashed = 0;
+  for (int iter = 0; iter < kPointFuzzIters; iter++) {
+    RemoveDbFiles(path);
+    const char* point = kPoints[iter % std::size(kPoints)];
+    const int skip = static_cast<int>(rng.Uniform(12));
+    crash::TortureOptions opt;
+    opt.seed = 1000 + static_cast<uint64_t>(iter);
+    opt.txns = 24;
+    const int exit_code = crash::ForkTorture(path, point, skip, opt);
+    ASSERT_TRUE(exit_code == 0 ||
+                exit_code == FaultInjector::kCrashExitCode)
+        << point << " skip=" << skip << " exited " << exit_code;
+    if (exit_code == FaultInjector::kCrashExitCode) crashed++;
+    crash::RecoverAndVerify(path, opt);
+    if (::testing::Test::HasFatalFailure()) {
+      ADD_FAILURE() << "at " << point << " skip=" << skip;
+      break;
+    }
+  }
+  EXPECT_GT(crashed, 0) << "no iteration ever reached its crash point";
+  RemoveDbFiles(path);
 }
 
 }  // namespace

@@ -1,0 +1,291 @@
+/// The crash matrix (ISSUE 2 tentpole): for every registered crash point,
+/// kill a child process mid-workload at that point, recover, and assert
+/// tree integrity plus transaction atomicity against a WAL-derived oracle —
+/// Table 1's redo/undo taxonomy as an executable matrix. The recovery-phase
+/// points get a dedicated crash-during-recovery idempotence test below.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "access/btree_extension.h"
+#include "db/database.h"
+#include "storage/fault_injector.h"
+#include "tests/crash_harness.h"
+#include "tests/test_util.h"
+
+namespace gistcr {
+namespace {
+
+using crash::ChildDie;  // GISTCR_CHILD_OK expands to an unqualified call
+using crash::ForkTorture;
+using crash::RecoverAndVerify;
+using crash::TortureOptions;
+
+#if GISTCR_LONG_TESTS
+constexpr int kWorkloadTxns = 120;
+#else
+constexpr int kWorkloadTxns = 48;
+#endif
+
+struct PointSpec {
+  const char* point;
+  int skip;  ///< Fire on the (skip+1)-th execution of the site.
+  bool eviction_profile;  ///< Tiny pool + preload: eviction-heavy phase.
+  /// Some sites depend on workload shape that cannot be forced cheaply
+  /// (e.g. node deletion needs an empty node with a same-parent rightlink
+  /// owner). Exit 0 (point never fired) is tolerated for those; exit 42
+  /// still verifies recovery when it does fire.
+  bool allow_no_fire;
+};
+
+class CrashMatrixTest : public ::testing::TestWithParam<PointSpec> {};
+
+TEST_P(CrashMatrixTest, KillRecoverVerify) {
+  if (!kFaultInjectionCompiled) {
+    GTEST_SKIP() << "built with GISTCR_FAULT_INJECTION=OFF";
+  }
+  const PointSpec& spec = GetParam();
+  const std::string path = TestPath("crash");
+  RemoveDbFiles(path);
+
+  TortureOptions opt;
+  opt.txns = kWorkloadTxns;
+  if (spec.eviction_profile) {
+    opt.buffer_pool_pages = 64;
+    opt.preload_keys = 400;
+  }
+
+  const int exit_code = ForkTorture(path, spec.point, spec.skip, opt);
+  if (spec.allow_no_fire && exit_code == 0) {
+    RemoveDbFiles(path);
+    GTEST_SKIP() << spec.point << " did not fire under this workload";
+  }
+  ASSERT_EQ(exit_code, FaultInjector::kCrashExitCode)
+      << "child did not die at crash point " << spec.point;
+
+  RecoverAndVerify(path, opt);
+  RemoveDbFiles(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoints, CrashMatrixTest,
+    ::testing::Values(
+        PointSpec{"insert.before_leaf_log", 0, false, false},
+        PointSpec{"insert.before_leaf_log", 20, false, false},
+        PointSpec{"insert.after_leaf_apply", 5, false, false},
+        PointSpec{"delete.after_mark", 2, false, false},
+        PointSpec{"split.after_log_append", 1, false, false},
+        PointSpec{"split.before_parent_install", 1, false, false},
+        PointSpec{"split.before_nta_commit", 2, false, false},
+        PointSpec{"root.before_meta_update", 0, false, false},
+        PointSpec{"gc.before_nta_end", 0, false, false},
+        PointSpec{"gc.node_delete.before_rightlink_rewire", 0, false, true},
+        PointSpec{"bp.before_evict_write", 0, true, false},
+        PointSpec{"wal.before_fsync", 8, false, false},
+        PointSpec{"wal.after_fsync", 8, false, false},
+        PointSpec{"txn.commit.before_log_force", 10, false, false},
+        PointSpec{"txn.commit.after_log_force", 10, false, false},
+        PointSpec{"ckpt.before_master_update", 0, false, false}),
+    [](const ::testing::TestParamInfo<PointSpec>& info) {
+      std::string name = info.param.point;
+      name += "_skip" + std::to_string(info.param.skip);
+      for (char& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------
+// Recovery idempotence: crash during recovery itself, recover twice,
+// assert the trees are identical (satellite task).
+// ---------------------------------------------------------------------
+
+// Builds a database whose WAL ends with a guaranteed *durable loser*: a
+// transaction whose updates (including splits) are flushed but whose
+// Commit record is not — the shape that forces real undo work at restart.
+[[noreturn]] void RunLoserBuilderChild(const std::string& path) {
+  static BtreeExtension ext;
+  DatabaseOptions dopts;
+  dopts.path = path;
+  auto db_or = Database::Create(dopts);
+  if (!db_or.ok()) crash::ChildDie("create", db_or.status());
+  std::unique_ptr<Database> db = db_or.MoveValue();
+  GistOptions gopts;
+  gopts.index_id = 1;
+  gopts.max_entries = 5;
+  GISTCR_CHILD_OK("create index", db->CreateIndex(1, &ext, gopts));
+  auto gist_or = db->GetIndex(1);
+  if (!gist_or.ok()) crash::ChildDie("get index", gist_or.status());
+  Gist* gist = gist_or.value();
+
+  int64_t key = 0;
+  for (int t = 0; t < 20; t++) {
+    Transaction* txn = db->Begin(IsolationLevel::kReadCommitted);
+    for (int i = 0; i < 4; i++) {
+      const int64_t k = key++;
+      auto rid_or = db->InsertRecord(txn, gist, BtreeExtension::MakeKey(k),
+                                     "v" + std::to_string(k));
+      if (!rid_or.ok()) crash::ChildDie("insert", rid_or.status());
+    }
+    GISTCR_CHILD_OK("commit", db->Commit(txn));
+  }
+
+  // The loser: enough inserts to split, records forced durable mid-txn,
+  // then die before the Commit record reaches the log.
+  Transaction* loser = db->Begin(IsolationLevel::kReadCommitted);
+  for (int i = 0; i < 15; i++) {
+    const int64_t k = key++;
+    auto rid_or = db->InsertRecord(loser, gist, BtreeExtension::MakeKey(k),
+                                   "v" + std::to_string(k));
+    if (!rid_or.ok()) crash::ChildDie("loser insert", rid_or.status());
+  }
+  GISTCR_CHILD_OK("loser flush", db->log()->FlushAll());
+  FaultInjector::Global().Reset();
+  FaultInjector::Global().ArmCrashPoint("txn.commit.before_log_force", 0,
+                                        FaultInjector::CrashAction::kExit);
+  (void)db->Commit(loser);  // dies at the crash point
+  std::_Exit(3);            // should be unreachable
+}
+
+// Opens the database with a recovery-phase crash point armed; dies mid
+// restart.
+[[noreturn]] void RunRecoveryCrashChild(const std::string& path,
+                                        const char* point, int skip) {
+  FaultInjector::Global().Reset();
+  FaultInjector::Global().ArmCrashPoint(point, skip,
+                                        FaultInjector::CrashAction::kExit);
+  DatabaseOptions dopts;
+  dopts.path = path;
+  auto db_or = Database::Open(dopts);
+  // Reaching here means the point never fired during restart.
+  std::_Exit(db_or.ok() ? 0 : 3);
+}
+
+int ForkAndWait(const std::function<void()>& child_body) {
+  std::fflush(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    child_body();
+    std::_Exit(0);
+  }
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::vector<IndexEntry> DumpSortedEntries(const std::string& path) {
+  static BtreeExtension ext;
+  DatabaseOptions dopts;
+  dopts.path = path;
+  auto db_or = Database::Open(dopts);
+  EXPECT_TRUE(db_or.ok()) << db_or.status().ToString();
+  if (!db_or.ok()) return {};
+  std::unique_ptr<Database> db = db_or.MoveValue();
+  GistOptions gopts;
+  gopts.index_id = 1;
+  gopts.max_entries = 5;
+  EXPECT_OK(db->OpenIndex(1, &ext, gopts));
+  auto gist_or = db->GetIndex(1);
+  EXPECT_TRUE(gist_or.ok());
+  std::vector<IndexEntry> entries;
+  EXPECT_OK(gist_or.value()->CheckInvariants());
+  EXPECT_OK(gist_or.value()->DumpEntries(&entries));
+  std::sort(entries.begin(), entries.end(),
+            [](const IndexEntry& a, const IndexEntry& b) {
+              return std::tie(a.key, a.value, a.del_txn) <
+                     std::tie(b.key, b.value, b.del_txn);
+            });
+  // Crash mid-recovery before the next Open: volatile state must not leak
+  // into the second recovery via the destructor's flush.
+  db->SimulateCrash();
+  return entries;
+}
+
+class RecoveryIdempotenceTest
+    : public ::testing::TestWithParam<std::pair<const char*, int>> {};
+
+TEST_P(RecoveryIdempotenceTest, CrashDuringRecoveryThenRecoverTwice) {
+  if (!kFaultInjectionCompiled) {
+    GTEST_SKIP() << "built with GISTCR_FAULT_INJECTION=OFF";
+  }
+  const auto& [point, skip] = GetParam();
+  const std::string path = TestPath("idem");
+  RemoveDbFiles(path);
+
+  // 1. Build a WAL with winners and one durable loser.
+  ASSERT_EQ(ForkAndWait([&] { RunLoserBuilderChild(path); }),
+            FaultInjector::kCrashExitCode);
+
+  // 2. Crash in the middle of restart recovery.
+  ASSERT_EQ(ForkAndWait([&] { RunRecoveryCrashChild(path, point, skip); }),
+            FaultInjector::kCrashExitCode)
+      << point << " did not fire during restart";
+
+  // 3. Recover fully, twice; both passes must produce the identical tree
+  //    (page-LSN test + CLR backchain make redo and undo idempotent).
+  std::vector<IndexEntry> first = DumpSortedEntries(path);
+  ASSERT_FALSE(first.empty());
+  std::vector<IndexEntry> second = DumpSortedEntries(path);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); i++) {
+    EXPECT_EQ(first[i].key, second[i].key) << "entry " << i;
+    EXPECT_EQ(first[i].value, second[i].value) << "entry " << i;
+    EXPECT_EQ(first[i].del_txn, second[i].del_txn) << "entry " << i;
+  }
+
+  // The loser's keys must not be visible: its Commit never became durable.
+  crash::Oracle oracle;
+  ASSERT_OK(crash::ComputeOracle(path, &oracle));
+  // Keys 0..79 are the 20 winner txns' inserts; 80..94 are the loser's.
+  EXPECT_EQ(oracle.visible.size(), 80u);
+  for (const auto& [k, rid] : oracle.visible) {
+    (void)rid;
+    EXPECT_LT(k, 80);
+  }
+  RemoveDbFiles(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RecoveryPhases, RecoveryIdempotenceTest,
+    ::testing::Values(std::make_pair("recovery.after_analysis", 0),
+                      std::make_pair("recovery.after_redo", 0),
+                      std::make_pair("recovery.mid_undo", 3)),
+    [](const ::testing::TestParamInfo<std::pair<const char*, int>>& info) {
+      std::string name = info.param.first;
+      for (char& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name;
+    });
+
+// Every matrix point (and the recovery-phase points) must be a registered
+// name — catches typos between call sites, catalogue, and tests.
+TEST(CrashPointCatas, MatrixPointsAreCatalogued) {
+  auto in_catalogue = [](const std::string& p) {
+    for (const char* name : kCrashPointCatalogue) {
+      if (p == name) return true;
+    }
+    return false;
+  };
+  for (const char* p :
+       {"insert.before_leaf_log", "insert.after_leaf_apply",
+        "delete.after_mark", "split.after_log_append",
+        "split.before_parent_install", "split.before_nta_commit",
+        "root.before_meta_update", "gc.before_nta_end",
+        "gc.node_delete.before_rightlink_rewire", "bp.before_evict_write",
+        "wal.before_fsync", "wal.after_fsync", "txn.commit.before_log_force",
+        "txn.commit.after_log_force", "ckpt.before_master_update",
+        "recovery.after_analysis", "recovery.after_redo",
+        "recovery.mid_undo"}) {
+    EXPECT_TRUE(in_catalogue(p)) << p;
+  }
+}
+
+}  // namespace
+}  // namespace gistcr

@@ -7,6 +7,7 @@
 
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "storage/page.h"
 #include "tests/test_util.h"
 
 namespace gistcr {
@@ -32,7 +33,14 @@ TEST_F(DiskManagerTest, WriteThenReadBack) {
   std::memset(out, 0xAB, sizeof(out));
   ASSERT_OK(disk_.WritePage(3, out));
   ASSERT_OK(disk_.ReadPage(3, in));
-  EXPECT_EQ(std::memcmp(out, in, kPageSize), 0);
+  // WritePage stamps the CRC into the header's checksum field; everything
+  // around it must round-trip byte-identically.
+  EXPECT_EQ(std::memcmp(out, in, PageView::kChecksumOffset), 0);
+  EXPECT_EQ(std::memcmp(out + PageView::kChecksumOffset + 4,
+                        in + PageView::kChecksumOffset + 4,
+                        kPageSize - PageView::kChecksumOffset - 4),
+            0);
+  EXPECT_EQ(PageView(in).checksum(), ComputePageChecksum(in));
 }
 
 TEST_F(DiskManagerTest, ReadPastEofIsZeroed) {
