@@ -1,0 +1,274 @@
+// Closed-loop load driver for the network server (ISSUE: tentpole bench).
+//
+// Spawns an in-process Server over a fresh Database, then N client threads
+// each running a closed loop of auto-commit operations (insert / search mix)
+// until the deadline. Reports throughput and p50/p95/p99 latency per op
+// class, writes a JSON report for CI artifacts, and exits non-zero if any
+// protocol error occurred (lock contention — Deadlock/Busy — is counted
+// separately: that is the engine working, not the protocol failing).
+//
+//   bench_server --clients=8 --seconds=10 --read-pct=50
+//                --report=BENCH_server_latency.json
+//
+// After the run the server is shut down gracefully and the database is
+// reopened with a full invariant check, so every bench run also exercises
+// the drain-then-recover path end to end.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "access/btree_extension.h"
+#include "client/client.h"
+#include "db/database.h"
+#include "server/server.h"
+#include "util/random.h"
+
+namespace gistcr {
+namespace {
+
+struct BenchConfig {
+  int clients = 8;
+  int seconds = 5;
+  int read_pct = 50;
+  int64_t keyspace = 100000;
+  std::string report = "BENCH_server_latency.json";
+  std::string db_path = "/tmp/gistcr_bench_server";
+};
+
+struct OpStats {
+  std::vector<uint64_t> latencies_ns;
+  uint64_t ops = 0;
+  uint64_t contention = 0;  ///< Deadlock/Busy answers (expected under load)
+  uint64_t protocol_errors = 0;
+};
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double PercentileMs(std::vector<uint64_t>& v, double p) {
+  if (v.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  std::nth_element(v.begin(), v.begin() + static_cast<long>(idx), v.end());
+  return static_cast<double>(v[idx]) / 1e6;
+}
+
+void ClientLoop(const BenchConfig& cfg, uint16_t port, int id,
+                std::atomic<bool>* stop, OpStats* inserts, OpStats* searches) {
+  ClientOptions copts;
+  copts.port = port;
+  Client c(copts);
+  if (!c.Connect().ok()) {
+    inserts->protocol_errors++;
+    return;
+  }
+  Random rnd(0x5EED0000u + static_cast<uint64_t>(id));
+  while (!stop->load(std::memory_order_relaxed)) {
+    const bool is_read =
+        static_cast<int>(rnd.Uniform(100)) < cfg.read_pct;
+    const int64_t k = static_cast<int64_t>(rnd.Uniform(
+        static_cast<uint64_t>(cfg.keyspace)));
+    const uint64_t t0 = NowNs();
+    Status st;
+    if (is_read) {
+      st = c.Search(1, BtreeExtension::MakeRange(k, k + 9)).status();
+    } else {
+      st = c.Insert(1, BtreeExtension::MakeKey(k),
+                    "v" + std::to_string(k))
+               .status();
+    }
+    const uint64_t dt = NowNs() - t0;
+    OpStats* s = is_read ? searches : inserts;
+    if (st.ok()) {
+      s->ops++;
+      s->latencies_ns.push_back(dt);
+    } else if (st.IsDeadlock() || st.IsBusy()) {
+      s->contention++;
+    } else {
+      s->protocol_errors++;
+      std::fprintf(stderr, "[client %d] protocol error: %s\n", id,
+                   st.ToString().c_str());
+    }
+  }
+}
+
+int Run(const BenchConfig& cfg) {
+  for (const char* suffix : {".db", ".wal", ".ckpt"}) {
+    std::remove((cfg.db_path + suffix).c_str());
+  }
+  DatabaseOptions dopts;
+  dopts.path = cfg.db_path;
+  dopts.buffer_pool_pages = 4096;
+  dopts.sync_commit = false;  // protocol scaling, not durability, is measured
+  auto db_or = Database::Create(dopts);
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "Create: %s\n", db_or.status().ToString().c_str());
+    return 2;
+  }
+  std::unique_ptr<Database> db = db_or.MoveValue();
+  BtreeExtension bt;
+  if (!db->CreateIndex(1, &bt).ok()) return 2;
+
+  ServerOptions sopts;
+  sopts.num_workers = 4;
+  Server server(db.get(), sopts);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "server start failed\n");
+    return 2;
+  }
+  std::printf("bench_server: %d clients, %ds, %d%% reads, port %u\n",
+              cfg.clients, cfg.seconds, cfg.read_pct, server.port());
+
+  std::atomic<bool> stop{false};
+  std::vector<OpStats> ins(static_cast<size_t>(cfg.clients));
+  std::vector<OpStats> sea(static_cast<size_t>(cfg.clients));
+  std::vector<std::thread> threads;
+  const uint64_t bench_start = NowNs();
+  for (int i = 0; i < cfg.clients; i++) {
+    threads.emplace_back(ClientLoop, std::cref(cfg), server.port(), i, &stop,
+                         &ins[static_cast<size_t>(i)],
+                         &sea[static_cast<size_t>(i)]);
+  }
+  std::this_thread::sleep_for(std::chrono::seconds(cfg.seconds));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  const double elapsed_s =
+      static_cast<double>(NowNs() - bench_start) / 1e9;
+
+  OpStats insert_all, search_all;
+  for (int i = 0; i < cfg.clients; i++) {
+    auto& is = ins[static_cast<size_t>(i)];
+    auto& ss = sea[static_cast<size_t>(i)];
+    insert_all.ops += is.ops;
+    insert_all.contention += is.contention;
+    insert_all.protocol_errors += is.protocol_errors;
+    insert_all.latencies_ns.insert(insert_all.latencies_ns.end(),
+                                   is.latencies_ns.begin(),
+                                   is.latencies_ns.end());
+    search_all.ops += ss.ops;
+    search_all.contention += ss.contention;
+    search_all.protocol_errors += ss.protocol_errors;
+    search_all.latencies_ns.insert(search_all.latencies_ns.end(),
+                                   ss.latencies_ns.begin(),
+                                   ss.latencies_ns.end());
+  }
+
+  const uint64_t total_ops = insert_all.ops + search_all.ops;
+  const uint64_t errors =
+      insert_all.protocol_errors + search_all.protocol_errors;
+  const double tput = static_cast<double>(total_ops) / elapsed_s;
+
+  struct Row {
+    const char* name;
+    OpStats* s;
+  } rows[] = {{"insert", &insert_all}, {"search", &search_all}};
+  std::string json = "{\n";
+  json += "  \"clients\": " + std::to_string(cfg.clients) + ",\n";
+  json += "  \"seconds\": " + std::to_string(elapsed_s) + ",\n";
+  json += "  \"throughput_ops_per_s\": " + std::to_string(tput) + ",\n";
+  json += "  \"protocol_errors\": " + std::to_string(errors) + ",\n";
+  for (auto& row : rows) {
+    const double p50 = PercentileMs(row.s->latencies_ns, 0.50);
+    const double p95 = PercentileMs(row.s->latencies_ns, 0.95);
+    const double p99 = PercentileMs(row.s->latencies_ns, 0.99);
+    std::printf(
+        "%-7s ops=%-8llu contention=%-6llu p50=%.3fms p95=%.3fms "
+        "p99=%.3fms\n",
+        row.name, static_cast<unsigned long long>(row.s->ops),
+        static_cast<unsigned long long>(row.s->contention), p50, p95, p99);
+    json += std::string("  \"") + row.name + "\": {\"ops\": " +
+            std::to_string(row.s->ops) + ", \"contention\": " +
+            std::to_string(row.s->contention) + ", \"p50_ms\": " +
+            std::to_string(p50) + ", \"p95_ms\": " + std::to_string(p95) +
+            ", \"p99_ms\": " + std::to_string(p99) + "},\n";
+  }
+  json += "  \"total_ops\": " + std::to_string(total_ops) + "\n}\n";
+  std::printf("total   %llu ops in %.1fs = %.0f ops/s, %llu protocol errors\n",
+              static_cast<unsigned long long>(total_ops), elapsed_s, tput,
+              static_cast<unsigned long long>(errors));
+
+  FILE* f = std::fopen(cfg.report.c_str(), "w");
+  if (f != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("report: %s\n", cfg.report.c_str());
+  }
+
+  // Drain, checkpoint, reopen, verify: the bench doubles as a soak test of
+  // the graceful-shutdown acceptance criterion.
+  if (!server.Shutdown().ok()) {
+    std::fprintf(stderr, "graceful shutdown failed\n");
+    return 2;
+  }
+  db.reset();
+  auto reopen = Database::Open(dopts);
+  if (!reopen.ok()) {
+    std::fprintf(stderr, "reopen: %s\n", reopen.status().ToString().c_str());
+    return 2;
+  }
+  db = reopen.MoveValue();
+  if (!db->OpenIndex(1, &bt).ok()) return 2;
+  Status inv = db->GetIndex(1).value()->CheckInvariants();
+  if (!inv.ok()) {
+    std::fprintf(stderr, "post-shutdown invariants: %s\n",
+                 inv.ToString().c_str());
+    return 2;
+  }
+  std::printf("post-shutdown reopen + invariant check: OK\n");
+
+  if (errors != 0) {
+    std::fprintf(stderr, "FAIL: %llu protocol errors\n",
+                 static_cast<unsigned long long>(errors));
+    return 1;
+  }
+  if (total_ops == 0) {
+    std::fprintf(stderr, "FAIL: no operations completed\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gistcr
+
+int main(int argc, char** argv) {
+  gistcr::BenchConfig cfg;
+  for (int i = 1; i < argc; i++) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--clients=", 10) == 0) {
+      cfg.clients = std::atoi(a + 10);
+    } else if (std::strncmp(a, "--seconds=", 10) == 0) {
+      cfg.seconds = std::atoi(a + 10);
+    } else if (std::strncmp(a, "--read-pct=", 11) == 0) {
+      cfg.read_pct = std::atoi(a + 11);
+    } else if (std::strncmp(a, "--keyspace=", 11) == 0) {
+      cfg.keyspace = std::atoll(a + 11);
+    } else if (std::strncmp(a, "--report=", 9) == 0) {
+      cfg.report = a + 9;
+    } else if (std::strncmp(a, "--db=", 5) == 0) {
+      cfg.db_path = a + 5;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--clients=N] [--seconds=S] [--read-pct=P]\n"
+                   "          [--keyspace=K] [--report=PATH] [--db=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (cfg.clients < 1 || cfg.seconds < 1) {
+    std::fprintf(stderr, "bad --clients/--seconds\n");
+    return 2;
+  }
+  return gistcr::Run(cfg);
+}

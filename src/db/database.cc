@@ -166,6 +166,9 @@ StatusOr<std::unique_ptr<Database>> Database::Open(
 }
 
 Status Database::RunMaintenancePass() {
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    return Status::Aborted("database shutting down");
+  }
   GISTCR_RETURN_IF_ERROR(Checkpoint());
   std::vector<Gist*> gists;
   {
@@ -189,8 +192,14 @@ Status Database::RunMaintenancePass() {
   return Status::OK();
 }
 
+void Database::PrepareShutdown() {
+  shutting_down_.store(true, std::memory_order_release);
+  StopMaintenance();
+}
+
 void Database::StartMaintenance() {
   if (opts_.maintenance_interval_ms == 0) return;
+  if (shutting_down_.load(std::memory_order_acquire)) return;
   maint_stop_ = false;
   maint_thread_ = std::thread([this] {
     std::unique_lock<std::mutex> l(maint_mu_);

@@ -104,8 +104,16 @@ class Database {
 
   /// One maintenance pass (what the background thread runs): checkpoint,
   /// reclaim WAL space, garbage-collect every open index. Callable
-  /// directly when no daemon is configured.
+  /// directly when no daemon is configured. Refuses with Status::Aborted
+  /// once PrepareShutdown() has been called.
   Status RunMaintenancePass();
+
+  /// Shutdown latch: joins the background maintenance thread and prevents
+  /// any further maintenance passes (and with them background checkpoints)
+  /// from starting. The network server calls this when it begins draining
+  /// sessions, so no checkpoint races the drain; explicit Checkpoint()
+  /// calls still work — the drain sequence ends with one. Idempotent.
+  void PrepareShutdown();
 
   /// Snapshot of every metric this instance's components recorded — all
   /// "gist.*", "bp.*", "wal.*", "lock.*", "pred.*", "txn.*" and
@@ -164,6 +172,8 @@ class Database {
   std::mutex maint_mu_;
   std::condition_variable maint_cv_;
   bool maint_stop_ = false;
+  /// One-way latch; set by PrepareShutdown (see above).
+  std::atomic<bool> shutting_down_{false};
 
   bool crashed_ = false;
 };

@@ -1,0 +1,175 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace gistcr {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + strerror(errno));
+}
+
+Status ParseAddr(const std::string& host, uint16_t port, sockaddr_in* addr) {
+  memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr->sin_addr.s_addr = htonl(INADDR_ANY);
+    return Status::OK();
+  }
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status TcpListen(const std::string& host, uint16_t port, Socket* out,
+                 uint16_t* bound_port) {
+  sockaddr_in addr;
+  GISTCR_RETURN_IF_ERROR(ParseAddr(host, port, &addr));
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return Errno("socket");
+  int one = 1;
+  (void)setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(s.fd(), 128) != 0) return Errno("listen");
+  if (bound_port != nullptr) {
+    sockaddr_in actual;
+    socklen_t len = sizeof(actual);
+    if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&actual), &len) !=
+        0) {
+      return Errno("getsockname");
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  GISTCR_RETURN_IF_ERROR(SetNonBlocking(s.fd(), true));
+  *out = std::move(s);
+  return Status::OK();
+}
+
+Status TcpConnect(const std::string& host, uint16_t port, Socket* out) {
+  sockaddr_in addr;
+  GISTCR_RETURN_IF_ERROR(
+      ParseAddr(host.empty() ? "127.0.0.1" : host, port, &addr));
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return Errno("socket");
+  int rc;
+  do {
+    rc = ::connect(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("connect");
+  SetNoDelay(s.fd());
+  *out = std::move(s);
+  return Status::OK();
+}
+
+Status TcpAccept(int listen_fd, Socket* out) {
+  int fd;
+  do {
+    fd = ::accept(listen_fd, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Busy("no pending connection");
+    }
+    return Errno("accept");
+  }
+  Socket s(fd);
+  SetNoDelay(fd);
+  GISTCR_RETURN_IF_ERROR(SetNonBlocking(fd, true));
+  *out = std::move(s);
+  return Status::OK();
+}
+
+Status SetNonBlocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int want =
+      nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) < 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+Status WriteFully(int fd, const char* data, size_t n, int timeout_ms) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      const int rc = ::poll(&pfd, 1, timeout_ms == 0 ? -1 : timeout_ms);
+      if (rc < 0 && errno != EINTR) return Errno("poll");
+      if (rc == 0) return Status::IOError("write timeout");
+      continue;
+    }
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Status ReadSome(int fd, char* buf, size_t cap, size_t* n_out) {
+  *n_out = 0;
+  ssize_t r;
+  do {
+    r = ::recv(fd, buf, cap, 0);
+  } while (r < 0 && errno == EINTR);
+  if (r < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Busy("no data");
+    }
+    return Errno("recv");
+  }
+  *n_out = static_cast<size_t>(r);
+  return Status::OK();
+}
+
+Status ReadFully(int fd, char* buf, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t r;
+    do {
+      r = ::recv(fd, buf + off, n - off, 0);
+    } while (r < 0 && errno == EINTR);
+    if (r == 0) return Status::IOError("connection closed");
+    if (r < 0) return Errno("recv");
+    off += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace gistcr

@@ -1,0 +1,80 @@
+#ifndef GISTCR_NET_SOCKET_H_
+#define GISTCR_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace gistcr {
+namespace net {
+
+/// Thin RAII + Status wrappers over POSIX TCP sockets. Everything the
+/// server and client need and nothing more: listen, accept, connect,
+/// EINTR-safe full writes and partial reads, with optional blocking-write
+/// support on non-blocking descriptors (poll for writability).
+
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(Socket);
+
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept {
+    if (this != &o) {
+      Close();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Releases ownership of the descriptor.
+  int Detach() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on host:port (port 0 picks an ephemeral port, read it
+/// back with \p bound_port). SO_REUSEADDR is set.
+Status TcpListen(const std::string& host, uint16_t port, Socket* out,
+                 uint16_t* bound_port);
+
+/// Blocking connect; TCP_NODELAY is set on success.
+Status TcpConnect(const std::string& host, uint16_t port, Socket* out);
+
+/// Accepts one connection (listener must be readable); sets TCP_NODELAY
+/// and O_NONBLOCK on the accepted socket.
+Status TcpAccept(int listen_fd, Socket* out);
+
+Status SetNonBlocking(int fd, bool nonblocking);
+
+/// Writes all of \p n bytes. EINTR is retried; on a non-blocking socket
+/// EAGAIN polls for writability (bounded by \p timeout_ms per wait,
+/// 0 = wait forever). SIGPIPE is suppressed (MSG_NOSIGNAL).
+Status WriteFully(int fd, const char* data, size_t n, int timeout_ms = 0);
+
+/// Reads at most \p cap bytes. Returns bytes read via \p n_out; 0 bytes
+/// with OK status means EOF on a blocking socket. On a non-blocking socket
+/// EAGAIN yields Status::Busy.
+Status ReadSome(int fd, char* buf, size_t cap, size_t* n_out);
+
+/// Reads exactly \p n bytes (blocking sockets; used by the client).
+/// EOF mid-read is an IOError.
+Status ReadFully(int fd, char* buf, size_t n);
+
+}  // namespace net
+}  // namespace gistcr
+
+#endif  // GISTCR_NET_SOCKET_H_

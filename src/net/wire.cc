@@ -1,0 +1,164 @@
+#include "net/wire.h"
+
+namespace gistcr {
+namespace net {
+
+bool IsRequestOpcode(uint8_t op) {
+  return op >= static_cast<uint8_t>(Opcode::kPing) &&
+         op <= static_cast<uint8_t>(Opcode::kStats);
+}
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kPing: return "ping";
+    case Opcode::kBegin: return "begin";
+    case Opcode::kCommit: return "commit";
+    case Opcode::kAbort: return "abort";
+    case Opcode::kInsert: return "insert";
+    case Opcode::kDelete: return "delete";
+    case Opcode::kSearch: return "search";
+    case Opcode::kStats: return "stats";
+    case Opcode::kPong: return "pong";
+    case Opcode::kOk: return "ok";
+    case Opcode::kError: return "error";
+    case Opcode::kSearchBatch: return "search_batch";
+    case Opcode::kSearchDone: return "search_done";
+    case Opcode::kStatsReply: return "stats_reply";
+  }
+  return "unknown";
+}
+
+ErrorCode ErrorCodeFromStatus(const Status& s) {
+  switch (s.code()) {
+    case Status::Code::kOk: return ErrorCode::kInternal;  // caller bug
+    case Status::Code::kNotFound: return ErrorCode::kNotFound;
+    case Status::Code::kCorruption: return ErrorCode::kCorruption;
+    case Status::Code::kInvalidArgument: return ErrorCode::kInvalidArgument;
+    case Status::Code::kIOError: return ErrorCode::kIOError;
+    case Status::Code::kDeadlock: return ErrorCode::kDeadlock;
+    case Status::Code::kDuplicateKey: return ErrorCode::kDuplicateKey;
+    case Status::Code::kAborted: return ErrorCode::kAborted;
+    case Status::Code::kNoSpace: return ErrorCode::kNoSpace;
+    case Status::Code::kNotSupported: return ErrorCode::kNotSupported;
+    case Status::Code::kBusy: return ErrorCode::kBusy;
+  }
+  return ErrorCode::kInternal;
+}
+
+Status StatusFromError(ErrorCode code, const std::string& msg) {
+  switch (code) {
+    case ErrorCode::kNotFound: return Status::NotFound(msg);
+    case ErrorCode::kCorruption: return Status::Corruption(msg);
+    case ErrorCode::kInvalidArgument: return Status::InvalidArgument(msg);
+    case ErrorCode::kIOError: return Status::IOError(msg);
+    case ErrorCode::kDeadlock: return Status::Deadlock(msg);
+    case ErrorCode::kDuplicateKey: return Status::DuplicateKey(msg);
+    case ErrorCode::kAborted: return Status::Aborted(msg);
+    case ErrorCode::kNoSpace: return Status::NoSpace(msg);
+    case ErrorCode::kNotSupported: return Status::NotSupported(msg);
+    case ErrorCode::kBusy: return Status::Busy(msg);
+    case ErrorCode::kTimeout: return Status::Busy("timeout: " + msg);
+    case ErrorCode::kShuttingDown: return Status::Aborted("shutdown: " + msg);
+    case ErrorCode::kNoTransaction:
+    case ErrorCode::kTransactionOpen:
+    case ErrorCode::kUnknownIndex:
+      return Status::InvalidArgument(std::string(ErrorCodeName(code)) +
+                                     ": " + msg);
+    case ErrorCode::kMalformedFrame:
+    case ErrorCode::kBadVersion:
+    case ErrorCode::kFrameTooLarge:
+    case ErrorCode::kBadOpcode:
+    case ErrorCode::kMalformedPayload:
+      return Status::Corruption(std::string(ErrorCodeName(code)) + ": " +
+                                msg);
+    case ErrorCode::kInternal: break;
+  }
+  return Status::IOError("server error: " + msg);
+}
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kCorruption: return "corruption";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kIOError: return "io_error";
+    case ErrorCode::kDeadlock: return "deadlock";
+    case ErrorCode::kDuplicateKey: return "duplicate_key";
+    case ErrorCode::kAborted: return "aborted";
+    case ErrorCode::kNoSpace: return "no_space";
+    case ErrorCode::kNotSupported: return "not_supported";
+    case ErrorCode::kBusy: return "busy";
+    case ErrorCode::kMalformedFrame: return "malformed_frame";
+    case ErrorCode::kBadVersion: return "bad_version";
+    case ErrorCode::kFrameTooLarge: return "frame_too_large";
+    case ErrorCode::kBadOpcode: return "bad_opcode";
+    case ErrorCode::kMalformedPayload: return "malformed_payload";
+    case ErrorCode::kNoTransaction: return "no_transaction";
+    case ErrorCode::kTransactionOpen: return "transaction_open";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kUnknownIndex: return "unknown_index";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+void EncodeFrame(const Frame& f, std::string* out) {
+  PutFixed32(out, kHeaderLen + static_cast<uint32_t>(f.payload.size()));
+  out->push_back(static_cast<char>(kMagic));
+  out->push_back(static_cast<char>(f.version));
+  out->push_back(static_cast<char>(f.opcode));
+  out->push_back(static_cast<char>(f.flags));
+  PutFixed64(out, f.request_id);
+  out->append(f.payload);
+}
+
+void EncodeErrorPayload(ErrorCode code, bool txn_aborted, Slice msg,
+                        std::string* out) {
+  PutFixed16(out, static_cast<uint16_t>(code));
+  out->push_back(txn_aborted ? 1 : 0);
+  PutLengthPrefixed(out, msg);
+}
+
+bool DecodeErrorPayload(Slice payload, ErrorCode* code, bool* txn_aborted,
+                        std::string* msg) {
+  if (payload.size() < 3) return false;
+  *code = static_cast<ErrorCode>(DecodeFixed16(payload.data()));
+  *txn_aborted = (payload.data()[2] != 0);
+  Decoder rest(Slice(payload.data() + 3, payload.size() - 3));
+  return rest.GetLengthPrefixed(msg);
+}
+
+FrameReader::Result FrameReader::Next(Frame* out) {
+  Compact();
+  const char* p = buf_.data() + consumed_;
+  const size_t avail = buf_.size() - consumed_;
+  if (avail < 4) return Result::kNeedMore;
+  const uint32_t len = DecodeFixed32(p);
+  if (len < kHeaderLen) return Result::kBadMagic;  // cannot hold a header
+  if (len > kHeaderLen + max_payload_) return Result::kTooLarge;
+  if (avail < 4 + static_cast<size_t>(len)) return Result::kNeedMore;
+  const uint8_t magic = static_cast<uint8_t>(p[4]);
+  const uint8_t version = static_cast<uint8_t>(p[5]);
+  if (magic != kMagic) return Result::kBadMagic;
+  if (version != kVersion) return Result::kBadVersion;
+  out->version = version;
+  out->opcode = static_cast<Opcode>(static_cast<uint8_t>(p[6]));
+  out->flags = static_cast<uint8_t>(p[7]);
+  out->request_id = DecodeFixed64(p + 8);
+  out->payload.assign(p + 4 + kHeaderLen, len - kHeaderLen);
+  consumed_ += 4 + len;
+  return Result::kFrame;
+}
+
+void FrameReader::Compact() {
+  // Reclaim consumed prefix once it dominates the buffer, amortizing the
+  // move across many frames.
+  if (consumed_ > 0 && (consumed_ >= buf_.size() || consumed_ > 64 * 1024)) {
+    buf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+}  // namespace net
+}  // namespace gistcr

@@ -1,0 +1,155 @@
+#ifndef GISTCR_NET_WIRE_H_
+#define GISTCR_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/coding.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace gistcr {
+namespace net {
+
+/// The gistcr wire protocol: length-prefixed binary frames over a byte
+/// stream (TCP). Every frame is
+///
+///   [u32 len][u8 magic][u8 version][u8 opcode][u8 flags][u64 request_id]
+///   [payload: len - 12 bytes]
+///
+/// where `len` counts every byte after the length field itself (so the
+/// minimum legal value is kHeaderLen = 12). All integers are little-endian
+/// (the project-wide coding.h convention). `request_id` is chosen by the
+/// client and echoed on every response frame belonging to the request,
+/// which is what makes pipelining possible: a client may write N request
+/// frames back-to-back and match the replies by id. The server executes
+/// the requests of one connection strictly in order.
+///
+/// DESIGN.md section 9 is the normative spec (opcodes, payload layouts,
+/// error codes).
+
+constexpr uint8_t kMagic = 0x47;    ///< 'G'
+constexpr uint8_t kVersion = 1;
+
+/// Bytes between the length field and the payload.
+constexpr uint32_t kHeaderLen = 12;
+
+/// Hard cap on request payloads. A frame announcing more than this is a
+/// protocol error and the connection is closed (the stream cannot be
+/// resynchronized without trusting the bogus length).
+constexpr uint32_t kMaxRequestPayload = 1u << 20;  // 1 MiB
+
+/// Responses (search batches, metric dumps) may be larger.
+constexpr uint32_t kMaxResponsePayload = 8u << 20;  // 8 MiB
+
+/// Frame flags.
+constexpr uint8_t kFlagWithRecords = 0x01;  ///< SEARCH: stream heap records.
+
+enum class Opcode : uint8_t {
+  // Requests.
+  kPing = 0x01,
+  kBegin = 0x02,
+  kCommit = 0x03,
+  kAbort = 0x04,
+  kInsert = 0x05,
+  kDelete = 0x06,   ///< logical delete (paper section 7)
+  kSearch = 0x07,
+  kStats = 0x08,
+  // Responses (high bit set).
+  kPong = 0x81,
+  kOk = 0x82,          ///< generic success; payload depends on the request
+  kError = 0x83,
+  kSearchBatch = 0x84, ///< one batch of qualifying entries
+  kSearchDone = 0x85,  ///< terminates a search result stream
+  kStatsReply = 0x86,
+};
+
+bool IsRequestOpcode(uint8_t op);
+const char* OpcodeName(Opcode op);
+
+/// Error codes carried in kError payloads. Values 1..10 mirror
+/// Status::Code numerically; 100+ are protocol-layer conditions that have
+/// no engine Status equivalent.
+enum class ErrorCode : uint16_t {
+  kNotFound = 1,
+  kCorruption = 2,
+  kInvalidArgument = 3,
+  kIOError = 4,
+  kDeadlock = 5,
+  kDuplicateKey = 6,
+  kAborted = 7,
+  kNoSpace = 8,
+  kNotSupported = 9,
+  kBusy = 10,
+
+  kMalformedFrame = 100,  ///< bad magic / undersized header (fatal)
+  kBadVersion = 101,      ///< unsupported protocol version (fatal)
+  kFrameTooLarge = 102,   ///< announced length over the cap (fatal)
+  kBadOpcode = 103,       ///< unknown or response-direction opcode
+  kMalformedPayload = 104,///< opcode-level decode failure (non-fatal)
+  kNoTransaction = 105,   ///< COMMIT/ABORT without an open transaction
+  kTransactionOpen = 106, ///< BEGIN while one is already open
+  kTimeout = 107,         ///< request expired in the server queue
+  kShuttingDown = 108,    ///< server is draining; no new transactions
+  kUnknownIndex = 109,    ///< index id not open on the server
+  kInternal = 110,
+};
+
+ErrorCode ErrorCodeFromStatus(const Status& s);
+/// Maps a wire error back to the closest Status (client side).
+Status StatusFromError(ErrorCode code, const std::string& msg);
+const char* ErrorCodeName(ErrorCode code);
+
+/// A parsed frame. For requests, `payload` is the opcode-specific body.
+struct Frame {
+  uint8_t version = kVersion;
+  Opcode opcode = Opcode::kPing;
+  uint8_t flags = 0;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Serializes a frame (length prefix included) onto \p out.
+void EncodeFrame(const Frame& f, std::string* out);
+
+/// Error-frame payload: [u16 code][u8 txn_aborted][lp message].
+/// `txn_aborted` tells the client its session transaction was rolled back
+/// as a side effect (deadlock victim, disconnect, failed commit).
+void EncodeErrorPayload(ErrorCode code, bool txn_aborted, Slice msg,
+                        std::string* out);
+bool DecodeErrorPayload(Slice payload, ErrorCode* code, bool* txn_aborted,
+                        std::string* msg);
+
+/// Incremental frame extractor over a growing byte buffer. Feed() appends
+/// raw stream bytes; Next() pops one complete frame at a time. Header
+/// validation (magic, version, length cap) happens here, so a poisoned
+/// stream is detected before any payload is interpreted.
+class FrameReader {
+ public:
+  explicit FrameReader(uint32_t max_payload) : max_payload_(max_payload) {}
+
+  void Feed(const char* data, size_t n) { buf_.append(data, n); }
+
+  enum class Result {
+    kFrame,      ///< *out holds the next frame
+    kNeedMore,   ///< buffer holds no complete frame yet
+    kBadMagic,
+    kBadVersion,
+    kTooLarge,
+  };
+  Result Next(Frame* out);
+
+  size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  void Compact();
+
+  uint32_t max_payload_;
+  std::string buf_;
+  size_t consumed_ = 0;
+};
+
+}  // namespace net
+}  // namespace gistcr
+
+#endif  // GISTCR_NET_WIRE_H_

@@ -1,0 +1,114 @@
+#ifndef GISTCR_SERVER_SERVER_H_
+#define GISTCR_SERVER_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/socket.h"
+#include "server/session.h"
+
+namespace gistcr {
+
+class Database;
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  ///< 0: pick an ephemeral port (read it via port())
+  uint32_t num_workers = 4;
+  /// Parsed-but-unprocessed requests a connection may queue before the
+  /// server stops reading from it (pipelining backpressure). Reading
+  /// resumes when the queue drains to half the cap.
+  uint32_t max_inflight_per_session = 64;
+  /// A request that waited longer than this in the session queue is
+  /// answered with a typed timeout error instead of executed (admission
+  /// control under overload). 0 disables.
+  uint64_t request_timeout_ms = 5000;
+  /// Grace period for open transactions on Shutdown(); afterwards the
+  /// survivors are force-aborted.
+  uint64_t drain_timeout_ms = 2000;
+};
+
+/// Multi-client network front end over a Database: one epoll event-loop
+/// thread does all socket reads and framing; a worker pool executes
+/// requests. Each connection maps to a Session owning (at most) one open
+/// transaction, and a session is run by one worker at a time, preserving
+/// the engine's one-thread-per-transaction discipline while different
+/// sessions execute fully in parallel.
+///
+/// Lifecycle: Start() binds and spawns threads; Shutdown() drains
+/// gracefully — stop accepting, let in-flight transactions finish for
+/// drain_timeout_ms, force-abort the rest, then take a final checkpoint so
+/// the database reopens cleanly. The destructor calls Shutdown().
+class Server {
+ public:
+  Server(Database* db, ServerOptions opts);
+  ~Server();
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(Server);
+
+  Status Start();
+  Status Shutdown();
+
+  uint16_t port() const { return port_; }
+  /// Open connections right now (tests poll this around disconnects).
+  size_t active_sessions();
+
+ private:
+  // epoll_event.data.u64 tags.
+  static constexpr uint64_t kListenTag = 1;
+  static constexpr uint64_t kWakeTag = 2;
+  static constexpr uint64_t kFirstSessionId = 100;
+
+  void EventLoop();
+  void WorkerLoop();
+  void AcceptAll();
+  /// Reads and frames everything available on \p s, queueing requests.
+  void HandleReadable(Session* s);
+  /// Reaps closed sessions; during drain also closes idle transaction-less
+  /// sessions and (under force) aborts surviving transactions.
+  void ScanSessionsLocked();
+  void FinalizeLocked(uint64_t id);
+  void ScheduleLocked(Session* s);
+  void Wake();
+
+  Status EpollAdd(int fd, uint64_t tag, bool readable);
+  void EpollDel(int fd);
+
+  Database* db_;
+  ServerOptions opts_;
+  ServerMetrics m_;
+
+  net::Socket listener_;
+  uint16_t port_ = 0;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;      ///< workers wait for runq_
+  std::condition_variable sessions_cv_;  ///< Shutdown waits for drain
+  std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_;
+  std::deque<Session*> runq_;
+  uint64_t next_session_id_ = kFirstSessionId;
+  int64_t total_pending_ = 0;  ///< sum of session queue lengths
+
+  bool running_ = false;
+  bool draining_ = false;
+  bool force_close_ = false;
+  bool listener_closed_ = false;
+  bool stop_workers_ = false;
+  bool stop_loop_ = false;
+  bool shutdown_done_ = false;
+};
+
+}  // namespace gistcr
+
+#endif  // GISTCR_SERVER_SERVER_H_

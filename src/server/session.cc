@@ -1,0 +1,380 @@
+#include "server/session.h"
+
+#include "db/database.h"
+#include "gist/cursor.h"
+#include "obs/trace.h"
+
+namespace gistcr {
+
+namespace {
+
+using net::ErrorCode;
+using net::Opcode;
+
+/// Static span names for the tracer (it stores the pointer, not a copy).
+/// Unused when tracing is compiled out (GISTCR_TRACING=OFF).
+[[maybe_unused]] const char* TraceNameFor(Opcode op) {
+  switch (op) {
+    case Opcode::kPing: return "server.ping";
+    case Opcode::kBegin: return "server.begin";
+    case Opcode::kCommit: return "server.commit";
+    case Opcode::kAbort: return "server.abort";
+    case Opcode::kInsert: return "server.insert";
+    case Opcode::kDelete: return "server.delete";
+    case Opcode::kSearch: return "server.search";
+    case Opcode::kStats: return "server.stats";
+    default: return "server.request";
+  }
+}
+
+/// Caps one SearchBatch frame: flush when the encoded payload crosses this
+/// even if the count limit has not been reached, keeping every response
+/// frame well under net::kMaxResponsePayload.
+constexpr size_t kBatchByteLimit = 256 * 1024;
+constexpr uint32_t kDefaultBatchSize = 128;
+
+}  // namespace
+
+void ServerMetrics::Attach(obs::MetricsRegistry* reg) {
+  reg = obs::MetricsRegistry::OrFallback(reg);
+  requests = reg->GetCounter("server.requests");
+  protocol_errors = reg->GetCounter("server.errors.protocol");
+  request_errors = reg->GetCounter("server.errors.request");
+  timeouts = reg->GetCounter("server.timeouts");
+  disconnect_aborts = reg->GetCounter("server.disconnect_aborts");
+  accepts = reg->GetCounter("server.accepts");
+  backpressure_pauses = reg->GetCounter("server.backpressure_pauses");
+  bytes_in = reg->GetCounter("server.bytes_in");
+  bytes_out = reg->GetCounter("server.bytes_out");
+  active_connections = reg->GetGauge("server.active_connections");
+  queue_depth = reg->GetGauge("server.queue_depth");
+  request_latency = reg->GetHistogram("server.request_latency");
+  for (uint8_t op = static_cast<uint8_t>(Opcode::kPing);
+       op <= static_cast<uint8_t>(Opcode::kStats); op++) {
+    const char* name = net::OpcodeName(static_cast<Opcode>(op));
+    op_count[op] = reg->GetCounter(std::string("server.op.") + name);
+    op_latency[op] = reg->GetHistogram(std::string("server.latency.") + name);
+  }
+}
+
+Status Session::SendFrame(Opcode op, uint64_t request_id, Slice payload,
+                          uint8_t flags) {
+  net::Frame f;
+  f.opcode = op;
+  f.flags = flags;
+  f.request_id = request_id;
+  f.payload.assign(payload.data(), payload.size());
+  std::string wire;
+  net::EncodeFrame(f, &wire);
+  metrics_->bytes_out->Add(wire.size());
+  return net::WriteFully(sock_.fd(), wire.data(), wire.size());
+}
+
+Status Session::SendError(uint64_t request_id, ErrorCode code, Slice msg) {
+  metrics_->request_errors->Add(1);
+  std::string payload;
+  net::EncodeErrorPayload(code, txn_aborted_flag_, msg, &payload);
+  txn_aborted_flag_ = false;
+  return SendFrame(Opcode::kError, request_id, payload);
+}
+
+void Session::AbortOpenTxn(Database* db, const ServerMetrics& metrics) {
+  if (txn_ == nullptr) return;
+  if (db->txns()->IsActive(txn_->id())) {
+    (void)db->Abort(txn_);
+    metrics.disconnect_aborts->Add(1);
+  }
+  txn_ = nullptr;
+}
+
+template <typename Fn>
+Status Session::InTxn(bool draining, Database* db, Fn body) {
+  if (txn_ != nullptr) {
+    Status st = body(txn_);
+    if (st.IsDeadlock()) {
+      // The operation lost deadlock detection: the transaction must roll
+      // back (it is this session's, so tell the client it is gone).
+      if (db->txns()->IsActive(txn_->id())) (void)db->Abort(txn_);
+      txn_ = nullptr;
+      txn_aborted_flag_ = true;
+    }
+    return st;
+  }
+  // Auto-commit: a one-shot transaction wrapping this single request.
+  if (draining) {
+    return Status::Aborted("server shutting down");
+  }
+  Transaction* txn = db->Begin(IsolationLevel::kRepeatableRead);
+  Status st = body(txn);
+  if (st.ok()) {
+    st = db->Commit(txn);
+    if (st.ok()) return st;
+  }
+  if (db->txns()->IsActive(txn->id())) (void)db->Abort(txn);
+  return st;
+}
+
+Status Session::HandleBegin(const net::Frame& req, bool draining, Database* db) {
+  if (txn_ != nullptr) {
+    return SendError(req.request_id, ErrorCode::kTransactionOpen,
+                     "transaction already open on this session");
+  }
+  if (draining) {
+    return SendError(req.request_id, ErrorCode::kShuttingDown,
+                     "server draining; no new transactions");
+  }
+  Decoder dec(req.payload);
+  uint16_t iso = 1;
+  if (!req.payload.empty() && !dec.GetFixed16(&iso)) {
+    return SendError(req.request_id, ErrorCode::kMalformedPayload,
+                     "begin payload");
+  }
+  txn_ = db->Begin(iso == 0 ? IsolationLevel::kReadCommitted
+                            : IsolationLevel::kRepeatableRead);
+  std::string out;
+  PutFixed64(&out, txn_->id());
+  return SendFrame(Opcode::kOk, req.request_id, out);
+}
+
+Status Session::HandleCommit(const net::Frame& req, Database* db) {
+  if (txn_ == nullptr) {
+    return SendError(req.request_id, ErrorCode::kNoTransaction,
+                     "commit without a transaction");
+  }
+  Transaction* txn = txn_;
+  txn_ = nullptr;
+  Status st = db->Commit(txn);
+  if (!st.ok()) {
+    // A failed commit must not leak a lock-holding zombie: roll it back
+    // and tell the client the transaction is gone either way.
+    if (db->txns()->IsActive(txn->id())) (void)db->Abort(txn);
+    txn_aborted_flag_ = true;
+    return SendError(req.request_id, net::ErrorCodeFromStatus(st),
+                     st.ToString());
+  }
+  return SendFrame(Opcode::kOk, req.request_id, Slice());
+}
+
+Status Session::HandleAbort(const net::Frame& req, Database* db) {
+  if (txn_ == nullptr) {
+    return SendError(req.request_id, ErrorCode::kNoTransaction,
+                     "abort without a transaction");
+  }
+  Transaction* txn = txn_;
+  txn_ = nullptr;
+  Status st = db->Abort(txn);
+  if (!st.ok()) {
+    return SendError(req.request_id, net::ErrorCodeFromStatus(st),
+                     st.ToString());
+  }
+  return SendFrame(Opcode::kOk, req.request_id, Slice());
+}
+
+Status Session::HandleInsert(const net::Frame& req, bool draining, Database* db) {
+  Decoder dec(req.payload);
+  uint32_t index_id;
+  std::string key, record;
+  uint16_t unique = 0;
+  if (!dec.GetFixed32(&index_id) || !dec.GetLengthPrefixed(&key) ||
+      !dec.GetLengthPrefixed(&record) || !dec.GetFixed16(&unique)) {
+    return SendError(req.request_id, ErrorCode::kMalformedPayload,
+                     "insert payload");
+  }
+  auto gist_or = db->GetIndex(index_id);
+  if (!gist_or.ok()) {
+    return SendError(req.request_id, ErrorCode::kUnknownIndex,
+                     gist_or.status().ToString());
+  }
+  Rid rid;
+  Status st = InTxn(draining, db, [&](Transaction* txn) -> Status {
+    auto rid_or =
+        db->InsertRecord(txn, gist_or.value(), key, record, unique != 0);
+    if (!rid_or.ok()) return rid_or.status();
+    rid = rid_or.value();
+    return Status::OK();
+  });
+  if (!st.ok()) {
+    return SendError(req.request_id, net::ErrorCodeFromStatus(st),
+                     st.ToString());
+  }
+  std::string out;
+  PutFixed64(&out, rid.Pack());
+  return SendFrame(Opcode::kOk, req.request_id, out);
+}
+
+Status Session::HandleDelete(const net::Frame& req, bool draining, Database* db) {
+  Decoder dec(req.payload);
+  uint32_t index_id;
+  std::string key;
+  uint64_t packed_rid;
+  if (!dec.GetFixed32(&index_id) || !dec.GetLengthPrefixed(&key) ||
+      !dec.GetFixed64(&packed_rid)) {
+    return SendError(req.request_id, ErrorCode::kMalformedPayload,
+                     "delete payload");
+  }
+  auto gist_or = db->GetIndex(index_id);
+  if (!gist_or.ok()) {
+    return SendError(req.request_id, ErrorCode::kUnknownIndex,
+                     gist_or.status().ToString());
+  }
+  Status st = InTxn(draining, db, [&](Transaction* txn) -> Status {
+    return db->DeleteRecord(txn, gist_or.value(), key,
+                            Rid::Unpack(packed_rid));
+  });
+  if (!st.ok()) {
+    return SendError(req.request_id, net::ErrorCodeFromStatus(st),
+                     st.ToString());
+  }
+  return SendFrame(Opcode::kOk, req.request_id, Slice());
+}
+
+Status Session::HandleSearch(const net::Frame& req, bool draining, Database* db) {
+  Decoder dec(req.payload);
+  uint32_t index_id, batch_size;
+  std::string query;
+  if (!dec.GetFixed32(&index_id) || !dec.GetLengthPrefixed(&query) ||
+      !dec.GetFixed32(&batch_size)) {
+    return SendError(req.request_id, ErrorCode::kMalformedPayload,
+                     "search payload");
+  }
+  if (batch_size == 0) batch_size = kDefaultBatchSize;
+  auto gist_or = db->GetIndex(index_id);
+  if (!gist_or.ok()) {
+    return SendError(req.request_id, ErrorCode::kUnknownIndex,
+                     gist_or.status().ToString());
+  }
+  const bool with_records = (req.flags & net::kFlagWithRecords) != 0;
+
+  uint64_t total = 0;
+  std::string batch;       // encoded entries, count prefixed on flush
+  uint32_t batch_count = 0;
+  Status send_st;          // first transport failure aborts the stream
+  auto flush = [&]() -> Status {
+    std::string payload;
+    PutFixed32(&payload, batch_count);
+    payload.append(batch);
+    batch.clear();
+    batch_count = 0;
+    return SendFrame(Opcode::kSearchBatch, req.request_id, payload);
+  };
+
+  Status st = InTxn(draining, db, [&](Transaction* txn) -> Status {
+    // Stream through a cursor: results go out in batches as the traversal
+    // produces them instead of materializing the full set.
+    GistCursor cursor(gist_or.value(), txn, query);
+    GISTCR_RETURN_IF_ERROR(cursor.Open());
+    while (true) {
+      SearchResult r;
+      bool done = false;
+      GISTCR_RETURN_IF_ERROR(cursor.Next(&r, &done));
+      if (done) break;
+      PutLengthPrefixed(&batch, r.key);
+      PutFixed64(&batch, r.rid.Pack());
+      if (with_records) {
+        auto rec_or = db->ReadRecord(r.rid);
+        GISTCR_RETURN_IF_ERROR(rec_or.status());
+        PutLengthPrefixed(&batch, rec_or.value());
+      }
+      batch_count++;
+      total++;
+      if (batch_count >= batch_size || batch.size() >= kBatchByteLimit) {
+        send_st = flush();
+        if (!send_st.ok()) return send_st;
+      }
+    }
+    return Status::OK();
+  });
+  if (!st.ok()) {
+    if (!send_st.ok()) return send_st;  // transport is gone; no error frame
+    return SendError(req.request_id, net::ErrorCodeFromStatus(st),
+                     st.ToString());
+  }
+  if (batch_count > 0) {
+    GISTCR_RETURN_IF_ERROR(flush());
+  }
+  std::string done_payload;
+  PutFixed64(&done_payload, total);
+  return SendFrame(Opcode::kSearchDone, req.request_id, done_payload);
+}
+
+Status Session::HandleStats(const net::Frame& req, Database* db) {
+  const std::string dump = db->DumpMetrics(/*as_json=*/true);
+  return SendFrame(Opcode::kStatsReply, req.request_id, dump);
+}
+
+bool Session::Process(const ServerRequest& req, Database* db, bool draining,
+                      uint64_t request_timeout_ms,
+                      const ServerMetrics& metrics) {
+  db_ = db;
+  metrics_ = &metrics;
+  if (req.kind == ServerRequest::Kind::kProtocolError) {
+    metrics.protocol_errors->Add(1);
+    (void)SendError(req.frame.request_id, req.error, req.error_msg);
+    return !req.fatal;
+  }
+
+  const net::Frame& f = req.frame;
+  metrics.requests->Add(1);
+  if (!net::IsRequestOpcode(static_cast<uint8_t>(f.opcode))) {
+    metrics.protocol_errors->Add(1);
+    (void)SendError(f.request_id, ErrorCode::kBadOpcode,
+                    "not a request opcode");
+    return true;  // framing is intact; the session survives
+  }
+
+  // Queue-wait admission timeout: a request that already waited longer
+  // than the budget is answered with a typed error instead of executed.
+  if (request_timeout_ms > 0 &&
+      obs::NowNanos() - req.enqueue_ns > request_timeout_ms * 1000000ull) {
+    metrics.timeouts->Add(1);
+    (void)SendError(f.request_id, ErrorCode::kTimeout,
+                    "request timed out in the server queue");
+    return true;
+  }
+
+  GISTCR_TRACE_SCOPE(TraceNameFor(f.opcode));
+  const uint64_t t0 = obs::NowNanos();
+  Status st;
+  switch (f.opcode) {
+    case Opcode::kPing:
+      st = SendFrame(Opcode::kPong, f.request_id, f.payload);
+      break;
+    case Opcode::kBegin:
+      st = HandleBegin(f, draining, db);
+      break;
+    case Opcode::kCommit:
+      st = HandleCommit(f, db);
+      break;
+    case Opcode::kAbort:
+      st = HandleAbort(f, db);
+      break;
+    case Opcode::kInsert:
+      st = HandleInsert(f, draining, db);
+      break;
+    case Opcode::kDelete:
+      st = HandleDelete(f, draining, db);
+      break;
+    case Opcode::kSearch:
+      st = HandleSearch(f, draining, db);
+      break;
+    case Opcode::kStats:
+      st = HandleStats(f, db);
+      break;
+    default:
+      st = Status::NotSupported("opcode");
+      break;
+  }
+  const uint64_t dt = obs::NowNanos() - t0;
+  metrics.request_latency->Record(dt);
+  const uint8_t op_idx = static_cast<uint8_t>(f.opcode);
+  if (op_idx < 9 && metrics.op_count[op_idx] != nullptr) {
+    metrics.op_count[op_idx]->Add(1);
+    metrics.op_latency[op_idx]->Record(dt);
+  }
+  // st reflects the transport (SendFrame/SendError): if writing the
+  // response failed the connection is dead and the event loop will reap
+  // it; request-level errors were already reported as error frames.
+  return st.ok();
+}
+
+}  // namespace gistcr

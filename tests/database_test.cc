@@ -192,6 +192,37 @@ TEST_F(DatabaseTest, AllocatorUndoneOnAbort) {
   EXPECT_FALSE(db_->allocator()->IsAllocated(a.value()).value());
 }
 
+TEST_F(DatabaseTest, PrepareShutdownStopsMaintenance) {
+  opts_.maintenance_interval_ms = 10;  // fast daemon to race against
+  auto db_or = Database::Create(opts_);
+  ASSERT_OK(db_or.status());
+  db_ = db_or.MoveValue();
+  ASSERT_OK(db_->CreateIndex(1, &bt_));
+
+  Transaction* txn = db_->Begin();
+  ASSERT_OK(db_->InsertRecord(txn, db_->GetIndex(1).value(),
+                              BtreeExtension::MakeKey(1), "v")
+                .status());
+  ASSERT_OK(db_->Commit(txn));
+
+  // The latch joins the daemon and refuses further passes...
+  db_->PrepareShutdown();
+  EXPECT_TRUE(db_->RunMaintenancePass().IsAborted());
+  // ...but an explicit checkpoint (the drain sequence's final act) still
+  // works, and the latch is idempotent.
+  ASSERT_OK(db_->Checkpoint());
+  db_->PrepareShutdown();
+  EXPECT_TRUE(db_->RunMaintenancePass().IsAborted());
+
+  // The database remains fully usable for in-flight work.
+  txn = db_->Begin();
+  std::vector<SearchResult> results;
+  ASSERT_OK(db_->GetIndex(1).value()->Search(
+      txn, BtreeExtension::MakeRange(1, 1), &results));
+  EXPECT_EQ(results.size(), 1u);
+  ASSERT_OK(db_->Commit(txn));
+}
+
 TEST_F(DatabaseTest, CheckpointWritesMasterPointer) {
   auto db_or = Database::Create(opts_);
   ASSERT_OK(db_or.status());

@@ -1,0 +1,281 @@
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "access/btree_extension.h"
+#include "client/client.h"
+#include "db/database.h"
+#include "tests/test_util.h"
+
+namespace gistcr {
+namespace {
+
+/// End-to-end tests: a real Server on an ephemeral port over a real
+/// Database, driven through the Client library.
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TestPath("server");
+    RemoveDbFiles(path_);
+    opts_.path = path_;
+    opts_.buffer_pool_pages = 512;
+    auto db_or = Database::Create(opts_);
+    ASSERT_OK(db_or.status());
+    db_ = db_or.MoveValue();
+    ASSERT_OK(db_->CreateIndex(1, &bt_));
+
+    server_ = std::make_unique<Server>(db_.get(), ServerOptions{});
+    ASSERT_OK(server_->Start());
+  }
+
+  void TearDown() override {
+    if (server_) ASSERT_OK(server_->Shutdown());
+    server_.reset();
+    db_.reset();
+    RemoveDbFiles(path_);
+  }
+
+  Client MakeClient() {
+    ClientOptions copts;
+    copts.port = server_->port();
+    return Client(copts);
+  }
+
+  std::string path_;
+  DatabaseOptions opts_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Server> server_;
+  BtreeExtension bt_;
+};
+
+TEST_F(ServerTest, PingAndStats) {
+  Client c = MakeClient();
+  ASSERT_OK(c.Connect());
+  ASSERT_OK(c.Ping());
+  auto stats = c.Stats();
+  ASSERT_OK(stats.status());
+  // The dump must carry the server-side metrics (acceptance criterion).
+  EXPECT_NE(stats.value().find("server.request_latency"), std::string::npos);
+  EXPECT_NE(stats.value().find("server.op.ping"), std::string::npos);
+}
+
+TEST_F(ServerTest, AutoCommitInsertAndSearch) {
+  Client c = MakeClient();
+  // No explicit Connect: the first call dials lazily.
+  auto rid = c.Insert(1, BtreeExtension::MakeKey(10), "ten");
+  ASSERT_OK(rid.status());
+  EXPECT_NE(rid.value(), 0u);
+
+  auto hits = c.Search(1, BtreeExtension::MakeRange(10, 10),
+                       /*with_records=*/true);
+  ASSERT_OK(hits.status());
+  ASSERT_EQ(hits.value().size(), 1u);
+  EXPECT_EQ(hits.value()[0].record, "ten");
+  EXPECT_EQ(hits.value()[0].rid, rid.value());
+}
+
+TEST_F(ServerTest, ExplicitTransactionVisibility) {
+  Client writer = MakeClient();
+  Client reader = MakeClient();
+
+  ASSERT_OK(writer.Begin().status());
+  ASSERT_OK(writer.Insert(1, BtreeExtension::MakeKey(1), "one").status());
+  EXPECT_TRUE(writer.txn_open());
+
+  // Uncommitted writes hold X locks; a reader searching the same range
+  // would block, so probe a disjoint range to prove the connection works.
+  auto miss = reader.Search(1, BtreeExtension::MakeRange(100, 200));
+  ASSERT_OK(miss.status());
+  EXPECT_TRUE(miss.value().empty());
+
+  ASSERT_OK(writer.Commit());
+  EXPECT_FALSE(writer.txn_open());
+
+  auto hit = reader.Search(1, BtreeExtension::MakeRange(1, 1));
+  ASSERT_OK(hit.status());
+  EXPECT_EQ(hit.value().size(), 1u);
+}
+
+TEST_F(ServerTest, AbortDiscardsWrites) {
+  Client c = MakeClient();
+  ASSERT_OK(c.Begin().status());
+  ASSERT_OK(c.Insert(1, BtreeExtension::MakeKey(7), "seven").status());
+  ASSERT_OK(c.Abort());
+
+  auto hits = c.Search(1, BtreeExtension::MakeRange(7, 7));
+  ASSERT_OK(hits.status());
+  EXPECT_TRUE(hits.value().empty());
+}
+
+TEST_F(ServerTest, DeleteRemovesEntry) {
+  Client c = MakeClient();
+  auto rid = c.Insert(1, BtreeExtension::MakeKey(3), "three");
+  ASSERT_OK(rid.status());
+  ASSERT_OK(c.Delete(1, BtreeExtension::MakeKey(3), rid.value()));
+  auto hits = c.Search(1, BtreeExtension::MakeRange(3, 3));
+  ASSERT_OK(hits.status());
+  EXPECT_TRUE(hits.value().empty());
+}
+
+TEST_F(ServerTest, UniqueDuplicateReportsTypedError) {
+  Client c = MakeClient();
+  ASSERT_OK(
+      c.Insert(1, BtreeExtension::MakeKey(5), "a", /*unique=*/true).status());
+  auto dup = c.Insert(1, BtreeExtension::MakeKey(5), "b", /*unique=*/true);
+  EXPECT_TRUE(dup.status().IsDuplicateKey()) << dup.status().ToString();
+  // The connection and any session state survive a non-fatal error.
+  ASSERT_OK(c.Ping());
+}
+
+TEST_F(ServerTest, TxnStateErrors) {
+  Client c = MakeClient();
+  Status no_txn = c.Commit();  // no transaction open
+  EXPECT_EQ(no_txn.code(), Status::Code::kInvalidArgument)
+      << no_txn.ToString();
+  ASSERT_OK(c.Begin().status());
+  auto again = c.Begin();
+  EXPECT_FALSE(again.ok());  // nested BEGIN rejected
+  ASSERT_OK(c.Abort());
+}
+
+TEST_F(ServerTest, LargeResultStreamsInBatches) {
+  Client c = MakeClient();
+  ASSERT_OK(c.Begin().status());
+  const int kRows = 500;
+  for (int i = 0; i < kRows; i++) {
+    ASSERT_OK(c.Insert(1, BtreeExtension::MakeKey(i),
+                       "row-" + std::to_string(i))
+                  .status());
+  }
+  ASSERT_OK(c.Commit());
+
+  // Tiny batch size forces many kSearchBatch frames for one request.
+  auto hits = c.Search(1, BtreeExtension::MakeRange(0, kRows - 1),
+                       /*with_records=*/true, /*batch_size=*/16);
+  ASSERT_OK(hits.status());
+  EXPECT_EQ(hits.value().size(), static_cast<size_t>(kRows));
+}
+
+TEST_F(ServerTest, PipelinedBatch) {
+  Client c = MakeClient();
+  std::vector<Client::BatchOp> ops;
+  for (int i = 0; i < 32; i++) {
+    Client::BatchOp op;
+    op.kind = Client::BatchOp::Kind::kInsert;
+    op.index_id = 1;
+    op.key = BtreeExtension::MakeKey(1000 + i);
+    op.record = "batch-" + std::to_string(i);
+    ops.push_back(op);
+  }
+  Client::BatchOp search;
+  search.kind = Client::BatchOp::Kind::kSearch;
+  search.index_id = 1;
+  search.key = BtreeExtension::MakeRange(1000, 1031);
+  search.with_records = true;
+  ops.push_back(search);
+
+  std::vector<Client::BatchResult> results;
+  ASSERT_OK(c.ExecuteBatch(ops, &results));
+  ASSERT_EQ(results.size(), ops.size());
+  for (size_t i = 0; i + 1 < results.size(); i++) {
+    ASSERT_OK(results[i].status);
+    EXPECT_NE(results[i].rid, 0u);
+  }
+  // Each batch op auto-commits, so the trailing search sees all 32.
+  ASSERT_OK(results.back().status);
+  EXPECT_EQ(results.back().results.size(), 32u);
+}
+
+TEST_F(ServerTest, ConcurrentClients) {
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kClients; t++) {
+    threads.emplace_back([&, t] {
+      Client c = MakeClient();
+      for (int i = 0; i < kPerClient; i++) {
+        int64_t k = t * 10000 + i;
+        if (!c.Insert(1, BtreeExtension::MakeKey(k), "v").ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  Client c = MakeClient();
+  for (int t = 0; t < kClients; t++) {
+    auto hits = c.Search(
+        1, BtreeExtension::MakeRange(t * 10000, t * 10000 + kPerClient - 1));
+    ASSERT_OK(hits.status());
+    EXPECT_EQ(hits.value().size(), static_cast<size_t>(kPerClient));
+  }
+  ASSERT_OK(db_->GetIndex(1).value()->CheckInvariants());
+}
+
+TEST_F(ServerTest, GracefulShutdownLeavesRecoverableDatabase) {
+  {
+    Client c = MakeClient();
+    for (int i = 0; i < 100; i++) {
+      ASSERT_OK(
+          c.Insert(1, BtreeExtension::MakeKey(i), "x" + std::to_string(i))
+              .status());
+    }
+  }
+  // Shutdown drains, checkpoints, and must leave the on-disk state
+  // reopenable with intact invariants (acceptance criterion).
+  ASSERT_OK(server_->Shutdown());
+  server_.reset();
+  db_.reset();
+
+  auto db_or = Database::Open(opts_);
+  ASSERT_OK(db_or.status());
+  db_ = db_or.MoveValue();
+  ASSERT_OK(db_->OpenIndex(1, &bt_));
+  Gist* gist = db_->GetIndex(1).value();
+  ASSERT_OK(gist->CheckInvariants());
+  Transaction* txn = db_->Begin();
+  std::vector<SearchResult> results;
+  ASSERT_OK(gist->Search(txn, BtreeExtension::MakeRange(0, 99), &results));
+  EXPECT_EQ(results.size(), 100u);
+  ASSERT_OK(db_->Commit(txn));
+}
+
+TEST_F(ServerTest, ShutdownRejectsNewTransactions) {
+  Client c = MakeClient();
+  ASSERT_OK(c.Ping());
+  ASSERT_OK(server_->Shutdown());
+  // The drained server has closed the connection (or refuses the txn);
+  // either way no new work may start.
+  auto begin = c.Begin();
+  EXPECT_FALSE(begin.ok());
+  server_.reset();
+}
+
+TEST_F(ServerTest, ClientReconnectsAfterServerSideClose) {
+  Client c = MakeClient();
+  ASSERT_OK(c.Ping());
+  // Hard-close our socket; auto_reconnect must transparently re-dial for
+  // the next idle-state call.
+  c.Close();
+  ASSERT_OK(c.Ping());
+}
+
+TEST_F(ServerTest, UnknownIndexIsTypedError) {
+  Client c = MakeClient();
+  auto st = c.Insert(99, BtreeExtension::MakeKey(1), "v").status();
+  // kUnknownIndex surfaces as InvalidArgument on the client side.
+  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument) << st.ToString();
+  ASSERT_OK(c.Ping());
+}
+
+}  // namespace
+}  // namespace gistcr

@@ -1,0 +1,158 @@
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "util/coding.h"
+
+namespace gistcr {
+namespace net {
+namespace {
+
+Frame MakeFrame(Opcode op, uint64_t id, const std::string& payload) {
+  Frame f;
+  f.opcode = op;
+  f.request_id = id;
+  f.payload = payload;
+  return f;
+}
+
+TEST(WireTest, RoundTripSingleFrame) {
+  std::string wire;
+  EncodeFrame(MakeFrame(Opcode::kInsert, 42, "hello"), &wire);
+  EXPECT_EQ(wire.size(), 4 + kHeaderLen + 5);
+
+  FrameReader r(kMaxRequestPayload);
+  r.Feed(wire.data(), wire.size());
+  Frame out;
+  ASSERT_EQ(r.Next(&out), FrameReader::Result::kFrame);
+  EXPECT_EQ(out.opcode, Opcode::kInsert);
+  EXPECT_EQ(out.request_id, 42u);
+  EXPECT_EQ(out.payload, "hello");
+  EXPECT_EQ(r.Next(&out), FrameReader::Result::kNeedMore);
+}
+
+TEST(WireTest, PipelinedFramesParseInOrder) {
+  std::string wire;
+  for (uint64_t id = 1; id <= 5; id++) {
+    EncodeFrame(MakeFrame(Opcode::kPing, id, std::string(id, 'x')), &wire);
+  }
+  FrameReader r(kMaxRequestPayload);
+  r.Feed(wire.data(), wire.size());
+  for (uint64_t id = 1; id <= 5; id++) {
+    Frame out;
+    ASSERT_EQ(r.Next(&out), FrameReader::Result::kFrame);
+    EXPECT_EQ(out.request_id, id);
+    EXPECT_EQ(out.payload.size(), id);
+  }
+}
+
+TEST(WireTest, ByteAtATimeDelivery) {
+  std::string wire;
+  EncodeFrame(MakeFrame(Opcode::kSearch, 7, "query-bytes"), &wire);
+  FrameReader r(kMaxRequestPayload);
+  Frame out;
+  for (size_t i = 0; i + 1 < wire.size(); i++) {
+    r.Feed(wire.data() + i, 1);
+    ASSERT_EQ(r.Next(&out), FrameReader::Result::kNeedMore) << "byte " << i;
+  }
+  r.Feed(wire.data() + wire.size() - 1, 1);
+  ASSERT_EQ(r.Next(&out), FrameReader::Result::kFrame);
+  EXPECT_EQ(out.payload, "query-bytes");
+}
+
+TEST(WireTest, BadMagicRejected) {
+  std::string wire;
+  EncodeFrame(MakeFrame(Opcode::kPing, 1, ""), &wire);
+  wire[4] = 'Z';  // corrupt the magic byte
+  FrameReader r(kMaxRequestPayload);
+  r.Feed(wire.data(), wire.size());
+  Frame out;
+  EXPECT_EQ(r.Next(&out), FrameReader::Result::kBadMagic);
+}
+
+TEST(WireTest, BadVersionRejected) {
+  std::string wire;
+  EncodeFrame(MakeFrame(Opcode::kPing, 1, ""), &wire);
+  wire[5] = 99;
+  FrameReader r(kMaxRequestPayload);
+  r.Feed(wire.data(), wire.size());
+  Frame out;
+  EXPECT_EQ(r.Next(&out), FrameReader::Result::kBadVersion);
+}
+
+TEST(WireTest, OversizedLengthRejectedBeforePayloadArrives) {
+  std::string wire;
+  PutFixed32(&wire, kHeaderLen + kMaxRequestPayload + 1);
+  wire.push_back(static_cast<char>(kMagic));
+  wire.push_back(static_cast<char>(kVersion));
+  FrameReader r(kMaxRequestPayload);
+  r.Feed(wire.data(), wire.size());
+  Frame out;
+  // Rejected from the length field alone — no attacker-controlled
+  // allocation of the announced size.
+  EXPECT_EQ(r.Next(&out), FrameReader::Result::kTooLarge);
+}
+
+TEST(WireTest, UndersizedLengthRejected) {
+  std::string wire;
+  PutFixed32(&wire, kHeaderLen - 1);  // cannot hold a header
+  wire.append(16, '\0');
+  FrameReader r(kMaxRequestPayload);
+  r.Feed(wire.data(), wire.size());
+  Frame out;
+  EXPECT_EQ(r.Next(&out), FrameReader::Result::kBadMagic);
+}
+
+TEST(WireTest, ErrorPayloadRoundTrip) {
+  std::string payload;
+  EncodeErrorPayload(ErrorCode::kDeadlock, true, "victim txn 12", &payload);
+  ErrorCode code;
+  bool txn_aborted;
+  std::string msg;
+  ASSERT_TRUE(DecodeErrorPayload(payload, &code, &txn_aborted, &msg));
+  EXPECT_EQ(code, ErrorCode::kDeadlock);
+  EXPECT_TRUE(txn_aborted);
+  EXPECT_EQ(msg, "victim txn 12");
+
+  EXPECT_FALSE(DecodeErrorPayload(Slice("ab", 2), &code, &txn_aborted, &msg));
+  EXPECT_FALSE(DecodeErrorPayload(Slice(), &code, &txn_aborted, &msg));
+}
+
+TEST(WireTest, StatusErrorCodeMapping) {
+  EXPECT_EQ(ErrorCodeFromStatus(Status::DuplicateKey("k")),
+            ErrorCode::kDuplicateKey);
+  EXPECT_EQ(ErrorCodeFromStatus(Status::Deadlock()), ErrorCode::kDeadlock);
+  EXPECT_TRUE(StatusFromError(ErrorCode::kDuplicateKey, "k").IsDuplicateKey());
+  EXPECT_TRUE(StatusFromError(ErrorCode::kDeadlock, "").IsDeadlock());
+  EXPECT_TRUE(StatusFromError(ErrorCode::kTimeout, "").IsBusy());
+  EXPECT_TRUE(StatusFromError(ErrorCode::kShuttingDown, "").IsAborted());
+}
+
+TEST(WireTest, OpcodeClassification) {
+  EXPECT_TRUE(IsRequestOpcode(static_cast<uint8_t>(Opcode::kPing)));
+  EXPECT_TRUE(IsRequestOpcode(static_cast<uint8_t>(Opcode::kStats)));
+  EXPECT_FALSE(IsRequestOpcode(static_cast<uint8_t>(Opcode::kOk)));
+  EXPECT_FALSE(IsRequestOpcode(0));
+  EXPECT_FALSE(IsRequestOpcode(0x40));
+}
+
+TEST(WireTest, ReaderCompactionKeepsParsing) {
+  // Push enough frames through to force internal buffer compaction.
+  FrameReader r(kMaxRequestPayload);
+  const std::string payload(8000, 'p');
+  for (int i = 0; i < 50; i++) {
+    std::string wire;
+    EncodeFrame(MakeFrame(Opcode::kInsert, static_cast<uint64_t>(i), payload),
+                &wire);
+    r.Feed(wire.data(), wire.size());
+    Frame out;
+    ASSERT_EQ(r.Next(&out), FrameReader::Result::kFrame);
+    ASSERT_EQ(out.request_id, static_cast<uint64_t>(i));
+    ASSERT_EQ(out.payload, payload);
+  }
+  EXPECT_EQ(r.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace gistcr

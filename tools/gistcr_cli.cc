@@ -1,0 +1,143 @@
+// Interactive shell over the client library (ISSUE satellite). Talks the
+// wire protocol to a running gistcr_serverd; keys are int64 B-tree keys on
+// index 1 (the daemon's default index).
+//
+//   gistcr_cli [host] [port]
+//   > begin
+//   > insert 42 hello-world
+//   > search 40 50
+//   > commit
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "access/btree_extension.h"
+#include "client/client.h"
+
+namespace {
+
+constexpr uint32_t kIndexId = 1;
+
+void Help() {
+  std::printf(
+      "commands:\n"
+      "  ping                      round-trip check\n"
+      "  begin [rc|rr]             open a transaction (default rr)\n"
+      "  commit | abort            finish the open transaction\n"
+      "  insert <key> <value>      insert (auto-commits outside a txn)\n"
+      "  uinsert <key> <value>     unique insert (DuplicateKey on clash)\n"
+      "  delete <key> <rid>        logical delete (rid from insert/search)\n"
+      "  search <lo> [hi]          range scan, prints key/rid/record\n"
+      "  stats                     server metrics dump (JSON)\n"
+      "  help | quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gistcr::ClientOptions opts;
+  if (argc > 1) opts.host = argv[1];
+  opts.port = argc > 2 ? static_cast<uint16_t>(std::atoi(argv[2])) : 4747;
+  gistcr::Client client(opts);
+  gistcr::Status st = client.Connect();
+  if (!st.ok()) {
+    std::fprintf(stderr, "connect %s:%u failed: %s\n", opts.host.c_str(),
+                 opts.port, st.ToString().c_str());
+    return 1;
+  }
+  std::printf("connected to %s:%u (index %u, int64 keys). 'help' for help.\n",
+              opts.host.c_str(), opts.port, kIndexId);
+
+  std::string line;
+  while (std::printf("%s> ", client.txn_open() ? "txn" : ""),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      Help();
+    } else if (cmd == "ping") {
+      st = client.Ping();
+      std::printf("%s\n", st.ToString().c_str());
+    } else if (cmd == "begin") {
+      std::string iso;
+      in >> iso;
+      auto r = client.Begin(iso == "rc"
+                                ? gistcr::IsolationLevel::kReadCommitted
+                                : gistcr::IsolationLevel::kRepeatableRead);
+      if (r.ok()) {
+        std::printf("txn %llu open\n",
+                    static_cast<unsigned long long>(r.value()));
+      } else {
+        std::printf("%s\n", r.status().ToString().c_str());
+      }
+    } else if (cmd == "commit") {
+      std::printf("%s\n", client.Commit().ToString().c_str());
+    } else if (cmd == "abort") {
+      std::printf("%s\n", client.Abort().ToString().c_str());
+    } else if (cmd == "insert" || cmd == "uinsert") {
+      int64_t key;
+      std::string value;
+      if (!(in >> key) || !(in >> value)) {
+        std::printf("usage: %s <key> <value>\n", cmd.c_str());
+        continue;
+      }
+      auto r = client.Insert(kIndexId, gistcr::BtreeExtension::MakeKey(key),
+                             value, cmd == "uinsert");
+      if (r.ok()) {
+        std::printf("ok rid=%llu\n",
+                    static_cast<unsigned long long>(r.value()));
+      } else {
+        std::printf("%s\n", r.status().ToString().c_str());
+      }
+    } else if (cmd == "delete") {
+      int64_t key;
+      uint64_t rid;
+      if (!(in >> key) || !(in >> rid)) {
+        std::printf("usage: delete <key> <rid>\n");
+        continue;
+      }
+      std::printf("%s\n",
+                  client.Delete(kIndexId,
+                                gistcr::BtreeExtension::MakeKey(key), rid)
+                      .ToString()
+                      .c_str());
+    } else if (cmd == "search") {
+      int64_t lo, hi;
+      if (!(in >> lo)) {
+        std::printf("usage: search <lo> [hi]\n");
+        continue;
+      }
+      if (!(in >> hi)) hi = lo;
+      auto r = client.Search(kIndexId,
+                             gistcr::BtreeExtension::MakeRange(lo, hi),
+                             /*with_records=*/true);
+      if (!r.ok()) {
+        std::printf("%s\n", r.status().ToString().c_str());
+        continue;
+      }
+      for (const auto& e : r.value()) {
+        std::printf("  [%lld, %lld] rid=%llu record=%s\n",
+                    static_cast<long long>(gistcr::BtreeExtension::Lo(e.key)),
+                    static_cast<long long>(gistcr::BtreeExtension::Hi(e.key)),
+                    static_cast<unsigned long long>(e.rid),
+                    e.record.c_str());
+      }
+      std::printf("%zu result(s)\n", r.value().size());
+    } else if (cmd == "stats") {
+      auto r = client.Stats();
+      std::printf("%s\n", r.ok() ? r.value().c_str()
+                                 : r.status().ToString().c_str());
+    } else {
+      std::printf("unknown command '%s' — 'help' lists commands\n",
+                  cmd.c_str());
+    }
+  }
+  return 0;
+}
