@@ -1,0 +1,157 @@
+#ifndef GISTCR_COMMON_MUTEX_H_
+#define GISTCR_COMMON_MUTEX_H_
+
+// This header IS the sanctioned wrapper layer around the std primitives;
+// everything else in the tree must go through it.
+// gistcr-lint: allow-file(raw-latch-primitive)
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+#include "util/macros.h"
+
+namespace gistcr {
+
+/// \file
+/// Capability-annotated synchronization primitives.
+///
+/// libstdc++'s std::mutex carries no Clang capability attributes, so code
+/// that wants `-Werror=thread-safety` checking must go through these
+/// wrappers. They are zero-cost shims over the std types; the only API
+/// difference is that condition-variable waits take the gistcr::Mutex
+/// directly (CondVar::Wait / WaitFor) instead of a std::unique_lock, which
+/// keeps the lock state visible to the static analysis.
+///
+/// tools/gistcr_lint.py rule `raw-latch-primitive` rejects direct use of
+/// std::mutex / std::lock_guard / pthread primitives outside this header
+/// and the two RAII latch wrappers (PageGuard, TreeLatch).
+
+/// Annotated exclusive mutex.
+class GISTCR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(Mutex);
+
+  void lock() GISTCR_ACQUIRE() { mu_.lock(); }
+  void unlock() GISTCR_RELEASE() { mu_.unlock(); }
+  bool try_lock() GISTCR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for CondVar's adopt/release dance only.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated reader-writer mutex (buffer-frame latches, the coarse
+/// tree-wide latch).
+class GISTCR_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(SharedMutex);
+
+  void lock() GISTCR_ACQUIRE() { mu_.lock(); }
+  void unlock() GISTCR_RELEASE() { mu_.unlock(); }
+  bool try_lock() GISTCR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock_shared() GISTCR_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() GISTCR_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() GISTCR_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over a Mutex; relockable (Unlock/Lock) so lock
+/// drops around blocking calls stay visible to the analysis.
+class GISTCR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GISTCR_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() GISTCR_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(MutexLock);
+
+  void Unlock() GISTCR_RELEASE() {
+    GISTCR_DCHECK(held_);
+    held_ = false;
+    mu_.unlock();
+  }
+  void Lock() GISTCR_ACQUIRE() {
+    GISTCR_DCHECK(!held_);
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+  bool held_;
+};
+
+/// RAII shared lock over a SharedMutex.
+class GISTCR_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mu) GISTCR_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedLock() GISTCR_RELEASE() { mu_.unlock_shared(); }
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(SharedLock);
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to gistcr::Mutex. Waits take the Mutex (whose
+/// hold the caller declares with GISTCR_REQUIRES / a MutexLock in scope)
+/// rather than a std::unique_lock; predicates stay at the call site as
+/// explicit `while (!cond) cv.Wait(mu);` loops so the analysis sees the
+/// guarded reads under the lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(CondVar);
+
+  /// Atomically releases \p mu, blocks, and reacquires before returning.
+  void Wait(Mutex& mu) GISTCR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> l(mu.native(), std::adopt_lock);
+    cv_.wait(l);
+    l.release();  // the caller continues to own the (reacquired) mutex
+  }
+
+  /// Bounded wait; returns false on timeout, true when notified.
+  template <class Rep, class Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& d)
+      GISTCR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> l(mu.native(), std::adopt_lock);
+    const auto r = cv_.wait_for(l, d);
+    l.release();
+    return r == std::cv_status::no_timeout;
+  }
+
+  /// Deadline wait; returns false once the deadline has passed.
+  template <class Clock, class Duration>
+  bool WaitUntil(Mutex& mu, const std::chrono::time_point<Clock, Duration>& t)
+      GISTCR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> l(mu.native(), std::adopt_lock);
+    const auto r = cv_.wait_until(l, t);
+    l.release();
+    return r == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gistcr
+
+#endif  // GISTCR_COMMON_MUTEX_H_

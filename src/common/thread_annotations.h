@@ -1,0 +1,83 @@
+#ifndef GISTCR_COMMON_THREAD_ANNOTATIONS_H_
+#define GISTCR_COMMON_THREAD_ANNOTATIONS_H_
+
+/// \file
+/// Clang thread-safety-analysis attribute macros.
+///
+/// The macros expand to Clang `capability` attributes when compiling with
+/// Clang (where `-Wthread-safety` checks them; CI builds with
+/// `-Werror=thread-safety`) and to nothing everywhere else, so GCC builds
+/// are unaffected. See https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+/// and DESIGN.md §10 "Latch discipline and enforcement" for which protocol
+/// invariant each annotation enforces and for the escape-hatch policy.
+///
+/// The standard-library mutex types carry no capability attributes under
+/// libstdc++, so annotated code must use the wrappers in common/mutex.h
+/// (gistcr::Mutex, gistcr::SharedMutex, gistcr::MutexLock, gistcr::CondVar)
+/// instead of the std types directly — tools/gistcr_lint.py rule
+/// `raw-latch-primitive` enforces that.
+
+#if defined(__clang__) && !defined(SWIG)
+#define GISTCR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GISTCR_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "shared_mutex", ...).
+#define GISTCR_CAPABILITY(x) GISTCR_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose lifetime brackets a capability acquisition.
+#define GISTCR_SCOPED_CAPABILITY GISTCR_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data members that may only be touched while holding the capability.
+#define GISTCR_GUARDED_BY(x) GISTCR_THREAD_ANNOTATION(guarded_by(x))
+#define GISTCR_PT_GUARDED_BY(x) GISTCR_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Static lock-order declarations.
+#define GISTCR_ACQUIRED_BEFORE(...) \
+  GISTCR_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define GISTCR_ACQUIRED_AFTER(...) \
+  GISTCR_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The caller must hold the capability (exclusively / shared) on entry.
+#define GISTCR_REQUIRES(...) \
+  GISTCR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define GISTCR_REQUIRES_SHARED(...) \
+  GISTCR_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires / releases the capability.
+#define GISTCR_ACQUIRE(...) \
+  GISTCR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define GISTCR_ACQUIRE_SHARED(...) \
+  GISTCR_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define GISTCR_RELEASE(...) \
+  GISTCR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define GISTCR_RELEASE_SHARED(...) \
+  GISTCR_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define GISTCR_RELEASE_GENERIC(...) \
+  GISTCR_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Conditional acquisition; first argument is the success return value.
+#define GISTCR_TRY_ACQUIRE(...) \
+  GISTCR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define GISTCR_TRY_ACQUIRE_SHARED(...) \
+  GISTCR_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the capability (deadlock prevention).
+#define GISTCR_EXCLUDES(...) GISTCR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held.
+#define GISTCR_ASSERT_CAPABILITY(x) \
+  GISTCR_THREAD_ANNOTATION(assert_capability(x))
+
+/// The function returns a reference to the capability.
+#define GISTCR_RETURN_CAPABILITY(x) GISTCR_THREAD_ANNOTATION(lock_returned(x))
+
+/// Turns the analysis off for one function. Policy (DESIGN.md §10): only
+/// for runtime-conditional lock flow the static analysis cannot model
+/// (e.g. PageGuard::Unlatch dispatching on which latch mode is held); every
+/// use must carry a comment saying which dynamic check covers the gap.
+#define GISTCR_NO_THREAD_SAFETY_ANALYSIS \
+  GISTCR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // GISTCR_COMMON_THREAD_ANNOTATIONS_H_

@@ -76,7 +76,7 @@ StatusOr<Rid> DataStore::Insert(Transaction* txn, Slice record) {
   if (record.size() > kPageSize / 4) {
     return Status::InvalidArgument("record too large");
   }
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   for (;;) {
     auto frame_or = pool_->Fetch(tail_);
     GISTCR_RETURN_IF_ERROR(frame_or.status());

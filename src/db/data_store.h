@@ -1,9 +1,9 @@
 #ifndef GISTCR_DB_DATA_STORE_H_
 #define GISTCR_DB_DATA_STORE_H_
 
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "db/heap_page.h"
 #include "db/page_allocator.h"
 #include "storage/buffer_pool.h"
@@ -54,15 +54,16 @@ class DataStore {
  private:
   /// Extends the chain with a freshly allocated page (runs as a nested top
   /// action: Get-Page + Rightlink-Update + NTA-End).
-  Status GrowChain(Transaction* txn);
+  Status GrowChain(Transaction* txn) GISTCR_REQUIRES(mu_);
 
   BufferPool* pool_;
   TransactionManager* txns_;
   PageAllocator* alloc_;
 
-  std::mutex mu_;  ///< Serializes tail maintenance.
+  Mutex mu_;  ///< Serializes tail maintenance.
+  /// Set once by CreateFresh/Open before concurrent use; read-only after.
   PageId head_ = kInvalidPageId;
-  PageId tail_ = kInvalidPageId;
+  PageId tail_ GISTCR_GUARDED_BY(mu_) = kInvalidPageId;
 };
 
 }  // namespace gistcr

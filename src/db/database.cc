@@ -172,7 +172,7 @@ Status Database::RunMaintenancePass() {
   GISTCR_RETURN_IF_ERROR(Checkpoint());
   std::vector<Gist*> gists;
   {
-    std::lock_guard<std::mutex> l(indexes_mu_);
+    MutexLock l(indexes_mu_);
     for (auto& [id, g] : indexes_) {
       (void)id;
       gists.push_back(g.get());
@@ -200,26 +200,29 @@ void Database::PrepareShutdown() {
 void Database::StartMaintenance() {
   if (opts_.maintenance_interval_ms == 0) return;
   if (shutting_down_.load(std::memory_order_acquire)) return;
-  maint_stop_ = false;
+  {
+    MutexLock l(maint_mu_);
+    maint_stop_ = false;
+  }
   maint_thread_ = std::thread([this] {
-    std::unique_lock<std::mutex> l(maint_mu_);
+    MutexLock l(maint_mu_);
     while (!maint_stop_) {
-      maint_cv_.wait_for(
-          l, std::chrono::milliseconds(opts_.maintenance_interval_ms));
+      (void)maint_cv_.WaitFor(
+          maint_mu_, std::chrono::milliseconds(opts_.maintenance_interval_ms));
       if (maint_stop_) break;
-      l.unlock();
+      l.Unlock();
       (void)RunMaintenancePass();  // best effort
-      l.lock();
+      l.Lock();
     }
   });
 }
 
 void Database::StopMaintenance() {
   {
-    std::lock_guard<std::mutex> l(maint_mu_);
+    MutexLock l(maint_mu_);
     if (!maint_thread_.joinable()) return;
     maint_stop_ = true;
-    maint_cv_.notify_all();
+    maint_cv_.NotifyAll();
   }
   maint_thread_.join();
 }
@@ -230,7 +233,7 @@ Status Database::CreateIndex(uint32_t index_id, const GistExtension* ext,
   auto gist = std::make_unique<Gist>(MakeContext(), ext, opts);
   GISTCR_RETURN_IF_ERROR(gist->Create());
   GISTCR_RETURN_IF_ERROR(FlushAll());  // make the formatted root durable
-  std::lock_guard<std::mutex> l(indexes_mu_);
+  MutexLock l(indexes_mu_);
   indexes_[index_id] = std::move(gist);
   return Status::OK();
 }
@@ -240,13 +243,13 @@ Status Database::OpenIndex(uint32_t index_id, const GistExtension* ext,
   opts.index_id = index_id;
   auto gist = std::make_unique<Gist>(MakeContext(), ext, opts);
   GISTCR_RETURN_IF_ERROR(gist->Open());
-  std::lock_guard<std::mutex> l(indexes_mu_);
+  MutexLock l(indexes_mu_);
   indexes_[index_id] = std::move(gist);
   return Status::OK();
 }
 
 StatusOr<Gist*> Database::GetIndex(uint32_t index_id) {
-  std::lock_guard<std::mutex> l(indexes_mu_);
+  MutexLock l(indexes_mu_);
   auto it = indexes_.find(index_id);
   if (it == indexes_.end()) {
     return Status::NotFound("index " + std::to_string(index_id));

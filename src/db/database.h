@@ -1,13 +1,12 @@
 #ifndef GISTCR_DB_DATABASE_H_
 #define GISTCR_DB_DATABASE_H_
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "db/data_store.h"
 #include "db/page_allocator.h"
 #include "gist/gist.h"
@@ -165,13 +164,14 @@ class Database {
   void StartMaintenance();
   void StopMaintenance();
 
-  std::mutex indexes_mu_;
-  std::unordered_map<uint32_t, std::unique_ptr<Gist>> indexes_;
+  Mutex indexes_mu_;
+  std::unordered_map<uint32_t, std::unique_ptr<Gist>> indexes_
+      GISTCR_GUARDED_BY(indexes_mu_);
 
   std::thread maint_thread_;
-  std::mutex maint_mu_;
-  std::condition_variable maint_cv_;
-  bool maint_stop_ = false;
+  Mutex maint_mu_;
+  CondVar maint_cv_;
+  bool maint_stop_ GISTCR_GUARDED_BY(maint_mu_) = false;
   /// One-way latch; set by PrepareShutdown (see above).
   std::atomic<bool> shutting_down_{false};
 

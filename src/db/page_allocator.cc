@@ -41,7 +41,7 @@ Status PageAllocator::FormatFresh() {
 }
 
 StatusOr<PageId> PageAllocator::Allocate(Transaction* txn) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (hint_ < kFirstAllocatablePage || hint_ >= kMaxPages) {
     hint_ = kFirstAllocatablePage;
   }
@@ -103,7 +103,7 @@ Status PageAllocator::Free(Transaction* txn, PageId page_id) {
   guard.view().set_page_lsn(rec.lsn);
   guard.frame()->MarkDirty(rec.lsn);
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     if (page_id < hint_) hint_ = page_id;
   }
   return Status::OK();

@@ -1,8 +1,7 @@
 #ifndef GISTCR_DB_PAGE_ALLOCATOR_H_
 #define GISTCR_DB_PAGE_ALLOCATOR_H_
 
-#include <mutex>
-
+#include "common/mutex.h"
 #include "storage/buffer_pool.h"
 #include "txn/transaction_manager.h"
 #include "util/status.h"
@@ -60,8 +59,8 @@ class PageAllocator {
  private:
   BufferPool* pool_;
   TransactionManager* txns_;
-  std::mutex mu_;           ///< Serializes the free-bit search.
-  PageId hint_ = kFirstAllocatablePage;
+  Mutex mu_;  ///< Serializes the free-bit search.
+  PageId hint_ GISTCR_GUARDED_BY(mu_) = kFirstAllocatablePage;
 };
 
 }  // namespace gistcr

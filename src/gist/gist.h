@@ -4,11 +4,11 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.h"
 #include "db/page_allocator.h"
 #include "gist/extension.h"
 #include "gist/node.h"
@@ -307,10 +307,10 @@ class Gist {
   GistTestHooks hooks_;
 
   /// kCoarse baseline: tree-wide latch.
-  std::shared_mutex tree_latch_;
+  SharedMutex tree_latch_;
   /// One GarbageCollect sweep at a time (its rightlink-owner analysis
   /// assumes it is the only deleter).
-  std::mutex gc_mu_;
+  Mutex gc_mu_;
 };
 
 }  // namespace gistcr

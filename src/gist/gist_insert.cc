@@ -40,6 +40,9 @@ Status Gist::ChaseForPenalty(Transaction* txn, PageGuard* g, Nsn delimiter,
   while (cur_nsn > delimiter && next != kInvalidPageId) {
     GISTCR_RETURN_IF_ERROR(SignalLock(txn, next));
     PageGuard cand;
+    // B-link rightward chase: latch coupling onto the right sibling while
+    // the current node stays latched is the paper's deadlock-free order
+    // (left-to-right only). gistcr-lint: allow(io-under-latch)
     GISTCR_RETURN_IF_ERROR(FetchLatched(next, exclusive, &cand));
     NodeView cn(cand.view().data());
     const double pen = NodePenalty(ext_, cn, key);
@@ -244,6 +247,9 @@ Status Gist::SplitNodeInNta(Transaction* txn, PageGuard* g,
   auto new_pid_or = ctx_.alloc->Allocate(txn);
   GISTCR_RETURN_IF_ERROR(new_pid_or.status());
   const PageId new_pid = new_pid_or.value();
+  // Fresh-page materialization (no disk read, never contended) under the
+  // split latches — the NTA must install the sibling atomically.
+  // gistcr-lint: allow(io-under-latch)
   auto frame_or = ctx_.pool->NewPage(new_pid);
   GISTCR_RETURN_IF_ERROR(frame_or.status());
   PageGuard ng(ctx_.pool, frame_or.value());
@@ -352,6 +358,9 @@ Status Gist::SplitNodeInNta(Transaction* txn, PageGuard* g,
       const PageId rl = cur.rightlink();
       GISTCR_CHECK(rl != kInvalidPageId);
       PageGuard next;
+      // Parent-level rightward chase (split parent moved the child's
+      // entry): left-to-right latch coupling, deadlock-free.
+      // gistcr-lint: allow(io-under-latch)
       GISTCR_RETURN_IF_ERROR(FetchLatched(rl, /*exclusive=*/true, &next));
       parent.Drop();
       parent = std::move(next);
@@ -474,6 +483,9 @@ Status Gist::GrowRoot(Transaction* txn, PageGuard* g) {
   auto root_or = ctx_.alloc->Allocate(txn);
   GISTCR_RETURN_IF_ERROR(root_or.status());
   const PageId new_root = root_or.value();
+  // GrowRoot: fresh root page materialized while both halves of the old
+  // root stay latched (no disk read, no contention on an unpublished
+  // page). gistcr-lint: allow(io-under-latch)
   auto root_frame_or = ctx_.pool->NewPage(new_root);
   GISTCR_RETURN_IF_ERROR(root_frame_or.status());
   PageGuard rg(ctx_.pool, root_frame_or.value());
@@ -506,6 +518,10 @@ Status Gist::GrowRoot(Transaction* txn, PageGuard* g) {
   // New root built and logged; the meta page still points at the old root.
   GISTCR_CRASHPOINT("root.before_meta_update");
   {
+    // The meta page is pinned hot (page 0, touched by every tree open);
+    // fetching it under the new-root latch cannot block on real I/O, and
+    // the root pointer swap must be atomic with the root's construction.
+    // gistcr-lint: allow(io-under-latch)
     auto meta_or = ctx_.pool->Fetch(MetaView::kMetaPageId);
     GISTCR_RETURN_IF_ERROR(meta_or.status());
     PageGuard mg(ctx_.pool, meta_or.value());
@@ -757,8 +773,10 @@ Status Gist::InsertCore(Transaction* txn, Slice key, Rid rid, uint64_t op_id,
       const double here = ext_->Penalty(after.bp(), key);
       PageGuard sib;
       GISTCR_RETURN_IF_ERROR(SignalLock(txn, after.rightlink()));
-      GISTCR_RETURN_IF_ERROR(
-          FetchLatched(after.rightlink(), /*exclusive=*/true, &sib));
+      // Post-split sibling hop: rightward latch coupling onto the freshly
+      // split-off sibling. gistcr-lint: allow(io-under-latch)
+      GISTCR_RETURN_IF_ERROR(FetchLatched(after.rightlink(),
+                                          /*exclusive=*/true, &sib));
       NodeView sn(sib.view().data());
       const double there = ext_->Penalty(sn.bp(), key);
       if (!NodeIsFull(sn, entry) && there < here) {

@@ -68,28 +68,28 @@ Histogram::Snapshot Histogram::GetSnapshot() const {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 void MetricsRegistry::DumpText(std::string* out) const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   out->append("== counters ==\n");
   for (const auto& [name, c] : counters_) {
     AppendF(out, "%-36s = %" PRIu64 "\n", name.c_str(), c->value());
@@ -110,7 +110,7 @@ void MetricsRegistry::DumpText(std::string* out) const {
 }
 
 void MetricsRegistry::DumpJson(std::string* out) const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   out->append("{\"counters\":{");
   bool first = true;
   for (const auto& [name, c] : counters_) {

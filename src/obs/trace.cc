@@ -20,7 +20,7 @@ Tracer::ThreadRing* Tracer::RingForThisThread() {
     auto ring = std::make_unique<ThreadRing>();
     ring->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
     tls_ring = ring.get();
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     rings_.push_back(std::move(ring));
   }
   return tls_ring;
@@ -51,7 +51,7 @@ void Tracer::RecordInstant(const char* name) {
 
 std::vector<TraceEvent> Tracer::Snapshot() {
   std::vector<TraceEvent> out;
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   for (const auto& ring : rings_) {
     const uint64_t written = ring->next.load(std::memory_order_relaxed);
     const uint64_t n = std::min<uint64_t>(written, kRingCapacity);
@@ -103,7 +103,7 @@ Status Tracer::ExportJson(const std::string& path) {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   for (auto& ring : rings_) {
     for (auto& s : ring->slots) {
       s.name.store(nullptr, std::memory_order_relaxed);

@@ -4,10 +4,10 @@
 #include <array>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "obs/metrics.h"
 #include "util/status.h"
 
@@ -79,8 +79,8 @@ class Tracer {
   ThreadRing* RingForThisThread();
   void Record(const char* name, char ph, uint64_t ts_us, uint64_t dur_us);
 
-  std::mutex mu_;  ///< guards rings_ registration and export iteration
-  std::vector<std::unique_ptr<ThreadRing>> rings_;
+  Mutex mu_;  ///< guards rings_ registration and export iteration
+  std::vector<std::unique_ptr<ThreadRing>> rings_ GISTCR_GUARDED_BY(mu_);
   std::atomic<uint32_t> next_tid_{1};
   std::atomic<bool> enabled_{true};
 };

@@ -38,7 +38,10 @@ void Server::EpollDel(int fd) {
 }
 
 Status Server::Start() {
-  GISTCR_CHECK(!running_);
+  {
+    MutexLock l(mu_);
+    GISTCR_CHECK(!running_);
+  }
   m_.Attach(db_->metrics());
   GISTCR_RETURN_IF_ERROR(
       net::TcpListen(opts_.host, opts_.port, &listener_, &port_));
@@ -48,7 +51,10 @@ Status Server::Start() {
   if (wake_fd_ < 0) return Status::IOError("eventfd");
   GISTCR_RETURN_IF_ERROR(EpollAdd(listener_.fd(), kListenTag, true));
   GISTCR_RETURN_IF_ERROR(EpollAdd(wake_fd_, kWakeTag, true));
-  running_ = true;
+  {
+    MutexLock l(mu_);
+    running_ = true;
+  }
   loop_thread_ = std::thread([this] { EventLoop(); });
   for (uint32_t i = 0; i < opts_.num_workers; i++) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -62,13 +68,13 @@ void Server::Wake() {
 }
 
 size_t Server::active_sessions() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return sessions_.size();
 }
 
 Status Server::Shutdown() {
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     if (!running_ || shutdown_done_) return Status::OK();
     shutdown_done_ = true;
     draining_ = true;
@@ -78,9 +84,13 @@ Status Server::Shutdown() {
   db_->PrepareShutdown();
   Wake();  // event loop closes the listener and starts reaping idle conns
   {
-    std::unique_lock<std::mutex> l(mu_);
-    sessions_cv_.wait_for(l, std::chrono::milliseconds(opts_.drain_timeout_ms),
-                          [this] { return sessions_.empty(); });
+    MutexLock l(mu_);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(opts_.drain_timeout_ms);
+    while (!sessions_.empty()) {
+      if (!sessions_cv_.WaitUntil(mu_, deadline)) break;  // drain timed out
+    }
     force_close_ = true;
   }
   Wake();
@@ -88,21 +98,21 @@ Status Server::Shutdown() {
     // Force-abort converges: every surviving transaction is rolled back as
     // soon as its session is idle, which also unblocks any request waiting
     // on one of its locks.
-    std::unique_lock<std::mutex> l(mu_);
-    sessions_cv_.wait(l, [this] { return sessions_.empty(); });
+    MutexLock l(mu_);
+    while (!sessions_.empty()) sessions_cv_.Wait(mu_);
     stop_workers_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
   workers_.clear();
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     stop_loop_ = true;
   }
   Wake();
   loop_thread_.join();
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     running_ = false;
   }
   // All sessions are gone; leave a clean recovery point behind.
@@ -115,7 +125,7 @@ void Server::AcceptAll() {
     Status st = net::TcpAccept(listener_.fd(), &sock);
     if (st.IsBusy()) return;  // accept queue drained
     if (!st.ok()) return;     // transient; epoll will re-report
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     if (draining_) continue;  // Socket destructor closes the connection
     const uint64_t id = next_session_id_++;
     auto session = std::make_unique<Session>(id, std::move(sock));
@@ -135,7 +145,7 @@ void Server::ScheduleLocked(Session* s) {
   if (!s->scheduled && !s->pending.empty()) {
     s->scheduled = true;
     runq_.push_back(s);
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
   }
 }
 
@@ -193,7 +203,7 @@ void Server::HandleReadable(Session* s) {
     if (fatal_frame) break;
   }
 
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   for (auto& req : parsed) {
     s->pending.push_back(std::move(req));
     total_pending_++;
@@ -235,7 +245,7 @@ void Server::FinalizeLocked(uint64_t id) {
   s->AbortOpenTxn(db_, m_);  // abort-on-disconnect / forced drain
   sessions_.erase(it);       // closes the socket
   m_.active_connections->Set(static_cast<double>(sessions_.size()));
-  if (sessions_.empty()) sessions_cv_.notify_all();
+  if (sessions_.empty()) sessions_cv_.NotifyAll();
 }
 
 void Server::ScanSessionsLocked() {
@@ -295,7 +305,7 @@ void Server::EventLoop() {
       }
       Session* s;
       {
-        std::lock_guard<std::mutex> l(mu_);
+        MutexLock l(mu_);
         auto it = sessions_.find(tag);
         if (it == sessions_.end()) continue;  // reaped already
         s = it->second.get();
@@ -303,7 +313,7 @@ void Server::EventLoop() {
       }
       if ((evs[i].events & (EPOLLERR | EPOLLHUP)) != 0 &&
           (evs[i].events & EPOLLIN) == 0) {
-        std::lock_guard<std::mutex> l(mu_);
+        MutexLock l(mu_);
         s->closed = true;
         if (!s->scheduled) ScanSessionsLocked();
         continue;
@@ -312,7 +322,7 @@ void Server::EventLoop() {
       // this fd); queue mutation re-acquires it.
       HandleReadable(s);
     }
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     if (stop_loop_) return;
     // Workers Wake() the loop after closing a session; reap here so a
     // fatal protocol error or mid-work EOF aborts the orphaned
@@ -322,9 +332,9 @@ void Server::EventLoop() {
 }
 
 void Server::WorkerLoop() {
-  std::unique_lock<std::mutex> l(mu_);
+  MutexLock l(mu_);
   while (true) {
-    work_cv_.wait(l, [this] { return stop_workers_ || !runq_.empty(); });
+    while (!stop_workers_ && runq_.empty()) work_cv_.Wait(mu_);
     if (stop_workers_) return;
     Session* s = runq_.front();
     runq_.pop_front();
@@ -343,10 +353,10 @@ void Server::WorkerLoop() {
         }
       }
       const bool drain_now = draining_;
-      l.unlock();
+      l.Unlock();
       const bool keep =
           s->Process(req, db_, drain_now, opts_.request_timeout_ms, m_);
-      l.lock();
+      l.Lock();
       if (!keep) {
         s->closed = true;
       }

@@ -1,16 +1,15 @@
 #ifndef GISTCR_SERVER_SERVER_H_
 #define GISTCR_SERVER_SERVER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "net/socket.h"
 #include "server/session.h"
 
@@ -72,9 +71,9 @@ class Server {
   void HandleReadable(Session* s);
   /// Reaps closed sessions; during drain also closes idle transaction-less
   /// sessions and (under force) aborts surviving transactions.
-  void ScanSessionsLocked();
-  void FinalizeLocked(uint64_t id);
-  void ScheduleLocked(Session* s);
+  void ScanSessionsLocked() GISTCR_REQUIRES(mu_);
+  void FinalizeLocked(uint64_t id) GISTCR_REQUIRES(mu_);
+  void ScheduleLocked(Session* s) GISTCR_REQUIRES(mu_);
   void Wake();
 
   Status EpollAdd(int fd, uint64_t tag, bool readable);
@@ -92,21 +91,23 @@ class Server {
   std::thread loop_thread_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;      ///< workers wait for runq_
-  std::condition_variable sessions_cv_;  ///< Shutdown waits for drain
-  std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_;
-  std::deque<Session*> runq_;
-  uint64_t next_session_id_ = kFirstSessionId;
-  int64_t total_pending_ = 0;  ///< sum of session queue lengths
+  Mutex mu_;
+  CondVar work_cv_;      ///< workers wait for runq_
+  CondVar sessions_cv_;  ///< Shutdown waits for drain
+  std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_
+      GISTCR_GUARDED_BY(mu_);
+  std::deque<Session*> runq_ GISTCR_GUARDED_BY(mu_);
+  uint64_t next_session_id_ GISTCR_GUARDED_BY(mu_) = kFirstSessionId;
+  /// Sum of session queue lengths.
+  int64_t total_pending_ GISTCR_GUARDED_BY(mu_) = 0;
 
-  bool running_ = false;
-  bool draining_ = false;
-  bool force_close_ = false;
-  bool listener_closed_ = false;
-  bool stop_workers_ = false;
-  bool stop_loop_ = false;
-  bool shutdown_done_ = false;
+  bool running_ GISTCR_GUARDED_BY(mu_) = false;
+  bool draining_ GISTCR_GUARDED_BY(mu_) = false;
+  bool force_close_ GISTCR_GUARDED_BY(mu_) = false;
+  bool listener_closed_ GISTCR_GUARDED_BY(mu_) = false;
+  bool stop_workers_ GISTCR_GUARDED_BY(mu_) = false;
+  bool stop_loop_ GISTCR_GUARDED_BY(mu_) = false;
+  bool shutdown_done_ GISTCR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gistcr

@@ -49,7 +49,7 @@ Frame* BufferPool::FindVictimLocked() {
 }
 
 StatusOr<Frame*> BufferPool::FetchInternal(PageId page_id, bool fresh) {
-  std::unique_lock<std::mutex> l(mu_);
+  MutexLock l(mu_);
   uint64_t busy_wait_ns = 0;  // time spent parked on in-flight I/O
   for (;;) {
     auto it = table_.find(page_id);
@@ -57,7 +57,7 @@ StatusOr<Frame*> BufferPool::FetchInternal(PageId page_id, bool fresh) {
       Frame* f = it->second;
       if (f->state_ == Frame::State::kBusy) {
         const uint64_t t0 = obs::NowNanos();
-        cv_.wait(l);
+        cv_.Wait(mu_);
         busy_wait_ns += obs::NowNanos() - t0;
         continue;
       }
@@ -79,7 +79,13 @@ StatusOr<Frame*> BufferPool::FetchInternal(PageId page_id, bool fresh) {
     const PageId old_pid = victim->page_id_;
     const bool was_dirty = victim->dirty();
     if (old_pid != kInvalidPageId) {
-      table_.erase(old_pid);
+      // A dirty victim keeps its table entry (pointing at the now-Busy
+      // frame) until the eviction write lands: a concurrent Fetch of
+      // old_pid must park on the cv rather than miss and re-read the
+      // page from disk while the write is still in flight — that read
+      // returns the stale pre-write image, which would then shadow the
+      // real page for the rest of the run.
+      if (!was_dirty) table_.erase(old_pid);
       m_evictions_->Add(1);
     }
     if (!fresh) m_misses_->Add(1);
@@ -88,7 +94,7 @@ StatusOr<Frame*> BufferPool::FetchInternal(PageId page_id, bool fresh) {
     victim->ref_ = true;
     victim->pin_count_ = 1;
     table_[page_id] = victim;
-    l.unlock();
+    l.Unlock();
 
     // No pins and no table entry: we have exclusive use of the frame.
     Status st;
@@ -119,16 +125,17 @@ StatusOr<Frame*> BufferPool::FetchInternal(PageId page_id, bool fresh) {
       }
     }
 
-    l.lock();
+    l.Lock();
+    if (was_dirty && old_pid != kInvalidPageId) table_.erase(old_pid);
     victim->state_ = Frame::State::kReady;
     if (!st.ok()) {
       table_.erase(page_id);
       victim->page_id_ = kInvalidPageId;
       victim->pin_count_ = 0;
-      cv_.notify_all();
+      cv_.NotifyAll();
       return st;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     if (busy_wait_ns != 0) m_pin_wait_ns_->Record(busy_wait_ns);
     return victim;
   }
@@ -143,7 +150,7 @@ StatusOr<Frame*> BufferPool::NewPage(PageId page_id) {
 }
 
 void BufferPool::Unpin(Frame* frame) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   GISTCR_CHECK(frame->pin_count_ > 0);
   frame->pin_count_--;
 }
@@ -151,13 +158,13 @@ void BufferPool::Unpin(Frame* frame) {
 Status BufferPool::FlushPage(PageId page_id) {
   Frame* frame = nullptr;
   {
-    std::unique_lock<std::mutex> l(mu_);
+    MutexLock l(mu_);
     for (;;) {
       auto it = table_.find(page_id);
       if (it == table_.end()) return Status::OK();
       frame = it->second;
       if (frame->state_ == Frame::State::kBusy) {
-        cv_.wait(l);
+        cv_.Wait(mu_);
         continue;
       }
       if (!frame->dirty()) return Status::OK();
@@ -170,7 +177,7 @@ Status BufferPool::FlushPage(PageId page_id) {
     // Shared latch yields a consistent page image (no concurrent modifier)
     // and makes clearing the dirty flag race-free w.r.t. MarkDirty, which
     // requires the X latch.
-    std::shared_lock<std::shared_mutex> sl(frame->latch_);
+    SharedLock sl(frame->latch_);
     GISTCR_TRACE_SCOPE("bp.flush");
     const Lsn page_lsn = frame->view().page_lsn();
     if (wal_flush_) st = wal_flush_(page_lsn);
@@ -181,7 +188,7 @@ Status BufferPool::FlushPage(PageId page_id) {
     }
   }
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     frame->pin_count_--;
   }
   return st;
@@ -190,7 +197,7 @@ Status BufferPool::FlushPage(PageId page_id) {
 Status BufferPool::FlushAll() {
   std::vector<PageId> dirty;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     for (auto& [pid, f] : table_) {
       if (f->dirty()) dirty.push_back(pid);
     }
@@ -202,7 +209,7 @@ Status BufferPool::FlushAll() {
 }
 
 void BufferPool::DiscardAll() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   for (auto& f : frames_) {
     GISTCR_CHECK(f->pin_count_ == 0);
     f->page_id_ = kInvalidPageId;
@@ -215,7 +222,7 @@ void BufferPool::DiscardAll() {
 }
 
 std::vector<std::pair<PageId, Lsn>> BufferPool::DirtyPageTable() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   std::vector<std::pair<PageId, Lsn>> out;
   for (auto& [pid, f] : table_) {
     if (f->dirty()) {
@@ -227,7 +234,7 @@ std::vector<std::pair<PageId, Lsn>> BufferPool::DirtyPageTable() {
 }
 
 size_t BufferPool::ResidentCount() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return table_.size();
 }
 

@@ -1,7 +1,6 @@
 #ifndef GISTCR_STORAGE_DISK_MANAGER_H_
 #define GISTCR_STORAGE_DISK_MANAGER_H_
 
-#include <mutex>
 #include <string>
 
 #include "common/types.h"

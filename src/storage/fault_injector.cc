@@ -10,7 +10,7 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   armed_.store(false, std::memory_order_relaxed);
   hits_.store(0, std::memory_order_relaxed);
   crash_point_.clear();
@@ -28,14 +28,14 @@ void FaultInjector::Reset() {
 }
 
 void FaultInjector::AttachMetrics(obs::MetricsRegistry* reg) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   m_hits_ = obs::MetricsRegistry::OrFallback(reg)->GetCounter(
       "storage.crashpoint_hits");
 }
 
 void FaultInjector::ArmCrashPoint(const std::string& name, int skip,
                                   CrashAction action) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   crash_point_ = name;
   crash_skip_ = skip;
   crash_action_ = action;
@@ -43,13 +43,13 @@ void FaultInjector::ArmCrashPoint(const std::string& name, int skip,
 }
 
 void FaultInjector::DisarmCrashPoints() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   armed_.store(false, std::memory_order_relaxed);
   crash_point_.clear();
 }
 
 Status FaultInjector::OnCrashPoint(const char* name) {
-  std::unique_lock<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (!armed_.load(std::memory_order_relaxed) || crash_point_ != name) {
     return Status::OK();
   }
@@ -67,14 +67,14 @@ Status FaultInjector::OnCrashPoint(const char* name) {
   // kStatus: one-shot, then unwind the operation with an I/O error.
   armed_.store(false, std::memory_order_relaxed);
   crash_point_.clear();
-  l.unlock();
+  l.Unlock();
   return Status::IOError(std::string("crash point hit: ") + name);
 }
 
 void FaultInjector::ConfigureTransientFaults(uint64_t seed, double read_prob,
                                              double write_prob,
                                              int max_burst) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   rng_ = Random(seed);
   read_prob_ = read_prob;
   write_prob_ = write_prob;
@@ -84,7 +84,7 @@ void FaultInjector::ConfigureTransientFaults(uint64_t seed, double read_prob,
 }
 
 int FaultInjector::DrawTransientFaults(bool is_write) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (!transients_on_) return 0;
   const double p = is_write ? write_prob_ : read_prob_;
   if (p <= 0.0) return 0;
@@ -93,7 +93,7 @@ int FaultInjector::DrawTransientFaults(bool is_write) {
 }
 
 void FaultInjector::ArmTornWrite(TornMode mode, int countdown) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   torn_armed_ = true;
   torn_mode_ = mode;
   torn_countdown_ = countdown;
@@ -101,7 +101,7 @@ void FaultInjector::ArmTornWrite(TornMode mode, int countdown) {
 }
 
 bool FaultInjector::TakeTornWrite(TornMode* mode) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (!torn_armed_) return false;
   if (torn_countdown_ > 0) {
     torn_countdown_--;
@@ -114,13 +114,13 @@ bool FaultInjector::TakeTornWrite(TornMode* mode) {
 }
 
 void FaultInjector::FailNextSyncs(int count) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   sync_failures_ = count;
   RecomputeIoActiveLocked();
 }
 
 bool FaultInjector::TakeSyncFailure() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (sync_failures_ <= 0) return false;
   sync_failures_--;
   if (sync_failures_ == 0) RecomputeIoActiveLocked();

@@ -3,9 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "obs/metrics.h"
 #include "util/macros.h"
 #include "util/random.h"
@@ -132,29 +132,29 @@ class FaultInjector {
   FaultInjector() = default;
   GISTCR_DISALLOW_COPY_AND_ASSIGN(FaultInjector);
 
-  void RecomputeIoActiveLocked();
+  void RecomputeIoActiveLocked() GISTCR_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
 
   // Crash points.
   std::atomic<bool> armed_{false};
   std::atomic<uint64_t> hits_{0};
-  std::string crash_point_;
-  int crash_skip_ = 0;
-  CrashAction crash_action_ = CrashAction::kStatus;
-  obs::Counter* m_hits_ = nullptr;
+  std::string crash_point_ GISTCR_GUARDED_BY(mu_);
+  int crash_skip_ GISTCR_GUARDED_BY(mu_) = 0;
+  CrashAction crash_action_ GISTCR_GUARDED_BY(mu_) = CrashAction::kStatus;
+  obs::Counter* m_hits_ GISTCR_GUARDED_BY(mu_) = nullptr;
 
   // I/O faults.
   std::atomic<bool> io_active_{false};
-  Random rng_{1};
-  bool transients_on_ = false;
-  double read_prob_ = 0.0;
-  double write_prob_ = 0.0;
-  int max_burst_ = 0;
-  bool torn_armed_ = false;
-  TornMode torn_mode_ = TornMode::kFirstHalfOnly;
-  int torn_countdown_ = 0;
-  int sync_failures_ = 0;
+  Random rng_ GISTCR_GUARDED_BY(mu_){1};
+  bool transients_on_ GISTCR_GUARDED_BY(mu_) = false;
+  double read_prob_ GISTCR_GUARDED_BY(mu_) = 0.0;
+  double write_prob_ GISTCR_GUARDED_BY(mu_) = 0.0;
+  int max_burst_ GISTCR_GUARDED_BY(mu_) = 0;
+  bool torn_armed_ GISTCR_GUARDED_BY(mu_) = false;
+  TornMode torn_mode_ GISTCR_GUARDED_BY(mu_) = TornMode::kFirstHalfOnly;
+  int torn_countdown_ GISTCR_GUARDED_BY(mu_) = 0;
+  int sync_failures_ GISTCR_GUARDED_BY(mu_) = 0;
 };
 
 /// Central catalogue of every named crash point (DESIGN.md section 8 and

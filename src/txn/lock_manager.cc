@@ -69,13 +69,13 @@ void LockManager::TryGrantLocked(LockState* state) {
 
 void LockManager::RecordHeld(TxnId txn, LockName name) {
   TxnShard& ts = TxnShardFor(txn);
-  std::lock_guard<std::mutex> l(ts.mu);
+  MutexLock l(ts.mu);
   ts.held[txn].insert({static_cast<uint8_t>(name.space), name.key});
 }
 
 void LockManager::ForgetHeld(TxnId txn, LockName name) {
   TxnShard& ts = TxnShardFor(txn);
-  std::lock_guard<std::mutex> l(ts.mu);
+  MutexLock l(ts.mu);
   auto it = ts.held.find(txn);
   if (it == ts.held.end()) return;
   it->second.erase({static_cast<uint8_t>(name.space), name.key});
@@ -83,12 +83,12 @@ void LockManager::ForgetHeld(TxnId txn, LockName name) {
 }
 
 void LockManager::SetPending(TxnId txn, LockName name) {
-  std::lock_guard<std::mutex> l(pending_mu_);
+  MutexLock l(pending_mu_);
   pending_[txn] = name;
 }
 
 void LockManager::ClearPending(TxnId txn) {
-  std::lock_guard<std::mutex> l(pending_mu_);
+  MutexLock l(pending_mu_);
   pending_.erase(txn);
 }
 
@@ -96,13 +96,13 @@ void LockManager::CollectWaitsFor(TxnId waiter,
                                   std::unordered_set<TxnId>* out) {
   LockName name;
   {
-    std::lock_guard<std::mutex> l(pending_mu_);
+    MutexLock l(pending_mu_);
     auto it = pending_.find(waiter);
     if (it == pending_.end()) return;
     name = it->second;
   }
   Shard& sh = ShardFor(name);
-  std::lock_guard<std::mutex> l(sh.mu);
+  MutexLock l(sh.mu);
   auto tit = sh.table.find(name);
   if (tit == sh.table.end()) return;
   auto& q = tit->second.queue;
@@ -161,7 +161,7 @@ Status LockManager::Lock(TxnId txn, LockName name, LockMode mode, bool wait) {
   Shard& sh = ShardFor(name);
   obs::Histogram* wait_hist = m_wait_ns_[static_cast<size_t>(name.space)];
   uint64_t wait_start = 0;  // set when the request first fails to grant
-  std::unique_lock<std::mutex> l(sh.mu);
+  MutexLock l(sh.mu);
   LockState* state = &sh.table[name];
 
   // Reentrant / upgrade handling.
@@ -185,7 +185,7 @@ Status LockManager::Lock(TxnId txn, LockName name, LockMode mode, bool wait) {
       if (!mine->upgrading && mine->mode == LockMode::kExclusive) {
         mine->count++;
         ClearPending(txn);
-        sh.cv.notify_all();
+        sh.cv.NotifyAll();
         if (wait_start != 0) wait_hist->Record(obs::NowNanos() - wait_start);
         return Status::OK();
       }
@@ -193,12 +193,12 @@ Status LockManager::Lock(TxnId txn, LockName name, LockMode mode, bool wait) {
         mine->upgrading = false;
         ClearPending(txn);
         TryGrantLocked(state);
-        sh.cv.notify_all();
+        sh.cv.NotifyAll();
         return Status::Busy("lock upgrade unavailable");
       }
-      l.unlock();
+      l.Unlock();
       const bool dl = WouldDeadlock(txn);
-      l.lock();
+      l.Lock();
       if (!mine->upgrading && mine->mode == LockMode::kExclusive) {
         continue;  // converted while we were detecting
       }
@@ -206,13 +206,13 @@ Status LockManager::Lock(TxnId txn, LockName name, LockMode mode, bool wait) {
         mine->upgrading = false;
         ClearPending(txn);
         TryGrantLocked(state);
-        sh.cv.notify_all();
+        sh.cv.NotifyAll();
         m_deadlocks_->Add(1);
         if (wait_start != 0) wait_hist->Record(obs::NowNanos() - wait_start);
         return Status::Deadlock("lock upgrade would deadlock");
       }
       if (wait_start == 0) wait_start = obs::NowNanos();
-      sh.cv.wait_for(l, kWaitSlice);
+      (void)sh.cv.WaitFor(sh.mu, kWaitSlice);
     }
   }
   GISTCR_CHECK(mine == nullptr);  // a txn thread never has two pending waits
@@ -224,9 +224,9 @@ Status LockManager::Lock(TxnId txn, LockName name, LockMode mode, bool wait) {
     TryGrantLocked(state);
     if (me->granted) {
       if (pending_set) ClearPending(txn);
-      l.unlock();
+      l.Unlock();
       RecordHeld(txn, name);
-      sh.cv.notify_all();
+      sh.cv.NotifyAll();
       if (wait_start != 0) wait_hist->Record(obs::NowNanos() - wait_start);
       return Status::OK();
     }
@@ -238,7 +238,7 @@ Status LockManager::Lock(TxnId txn, LockName name, LockMode mode, bool wait) {
         }
       }
       TryGrantLocked(state);
-      sh.cv.notify_all();
+      sh.cv.NotifyAll();
       return Status::Busy("lock unavailable");
     }
     if (!pending_set) {
@@ -246,9 +246,9 @@ Status LockManager::Lock(TxnId txn, LockName name, LockMode mode, bool wait) {
       pending_set = true;
       wait_start = obs::NowNanos();
     }
-    l.unlock();
+    l.Unlock();
     const bool dl = WouldDeadlock(txn);
-    l.lock();
+    l.Lock();
     if (me->granted) continue;  // granted while we were detecting
     if (dl) {
       ClearPending(txn);
@@ -259,12 +259,12 @@ Status LockManager::Lock(TxnId txn, LockName name, LockMode mode, bool wait) {
         }
       }
       TryGrantLocked(state);
-      sh.cv.notify_all();
+      sh.cv.NotifyAll();
       m_deadlocks_->Add(1);
       if (wait_start != 0) wait_hist->Record(obs::NowNanos() - wait_start);
       return Status::Deadlock("lock wait would deadlock");
     }
-    sh.cv.wait_for(l, kWaitSlice);
+    (void)sh.cv.WaitFor(sh.mu, kWaitSlice);
   }
 }
 
@@ -272,7 +272,7 @@ void LockManager::Unlock(TxnId txn, LockName name) {
   Shard& sh = ShardFor(name);
   bool removed = false;
   {
-    std::lock_guard<std::mutex> l(sh.mu);
+    MutexLock l(sh.mu);
     auto it = sh.table.find(name);
     if (it == sh.table.end()) return;
     LockState* state = &it->second;
@@ -287,7 +287,7 @@ void LockManager::Unlock(TxnId txn, LockName name) {
         break;
       }
     }
-    if (removed) sh.cv.notify_all();
+    if (removed) sh.cv.NotifyAll();
   }
   if (removed) ForgetHeld(txn, name);
 }
@@ -296,7 +296,7 @@ void LockManager::ReleaseAll(TxnId txn) {
   std::set<std::pair<uint8_t, uint64_t>> names;
   {
     TxnShard& ts = TxnShardFor(txn);
-    std::lock_guard<std::mutex> l(ts.mu);
+    MutexLock l(ts.mu);
     auto it = ts.held.find(txn);
     if (it == ts.held.end()) return;
     names.swap(it->second);
@@ -305,7 +305,7 @@ void LockManager::ReleaseAll(TxnId txn) {
   for (const auto& [space, key] : names) {
     const LockName name{static_cast<LockSpace>(space), key};
     Shard& sh = ShardFor(name);
-    std::lock_guard<std::mutex> l(sh.mu);
+    MutexLock l(sh.mu);
     auto it = sh.table.find(name);
     if (it == sh.table.end()) continue;
     LockState* state = &it->second;
@@ -319,7 +319,7 @@ void LockManager::ReleaseAll(TxnId txn) {
     if (state->queue.empty()) {
       sh.table.erase(it);
     }
-    sh.cv.notify_all();
+    sh.cv.NotifyAll();
   }
 }
 
@@ -327,7 +327,7 @@ void LockManager::ReplicateSharedHolders(LockName from, LockName to) {
   std::vector<TxnId> holders;
   {
     Shard& sh = ShardFor(from);
-    std::lock_guard<std::mutex> l(sh.mu);
+    MutexLock l(sh.mu);
     auto it = sh.table.find(from);
     if (it == sh.table.end()) return;
     for (auto& r : it->second.queue) {
@@ -339,7 +339,7 @@ void LockManager::ReplicateSharedHolders(LockName from, LockName to) {
   if (holders.empty()) return;
   {
     Shard& sh = ShardFor(to);
-    std::lock_guard<std::mutex> l(sh.mu);
+    MutexLock l(sh.mu);
     LockState* state = &sh.table[to];
     for (TxnId t : holders) {
       Request* mine = nullptr;
@@ -370,7 +370,7 @@ Status LockManager::WaitForTxn(TxnId waiter, TxnId owner) {
 
 bool LockManager::Holds(TxnId txn, LockName name, LockMode mode) {
   Shard& sh = ShardFor(name);
-  std::lock_guard<std::mutex> l(sh.mu);
+  MutexLock l(sh.mu);
   auto it = sh.table.find(name);
   if (it == sh.table.end()) return false;
   for (auto& r : it->second.queue) {
@@ -384,7 +384,7 @@ bool LockManager::Holds(TxnId txn, LockName name, LockMode mode) {
 size_t LockManager::TableSize() {
   size_t n = 0;
   for (auto& sh : shards_) {
-    std::lock_guard<std::mutex> l(sh.mu);
+    MutexLock l(sh.mu);
     n += sh.table.size();
   }
   return n;

@@ -1,17 +1,16 @@
 #ifndef GISTCR_TXN_LOCK_MANAGER_H_
 #define GISTCR_TXN_LOCK_MANAGER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/types.h"
 #include "obs/metrics.h"
 #include "util/status.h"
@@ -125,15 +124,17 @@ class LockManager {
   };
 
   struct Shard {
-    std::mutex mu;
-    std::condition_variable cv;  ///< Notified whenever grants may change.
-    std::unordered_map<LockName, LockState, LockNameHash> table;
+    Mutex mu;
+    CondVar cv;  ///< Notified whenever grants may change.
+    std::unordered_map<LockName, LockState, LockNameHash> table
+        GISTCR_GUARDED_BY(mu);
   };
 
   struct TxnShard {
-    std::mutex mu;
+    Mutex mu;
     // txn -> names granted (for ReleaseAll).
-    std::unordered_map<TxnId, std::set<std::pair<uint8_t, uint64_t>>> held;
+    std::unordered_map<TxnId, std::set<std::pair<uint8_t, uint64_t>>> held
+        GISTCR_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(LockName name) {
@@ -163,8 +164,9 @@ class LockManager {
 
   // The single name each blocked txn is waiting on (a txn runs on one
   // thread, so it waits on at most one name). Drives deadlock DFS.
-  std::mutex pending_mu_;
-  std::unordered_map<TxnId, LockName> pending_;
+  Mutex pending_mu_;
+  std::unordered_map<TxnId, LockName> pending_
+      GISTCR_GUARDED_BY(pending_mu_);
 };
 
 }  // namespace gistcr

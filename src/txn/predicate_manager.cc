@@ -33,14 +33,14 @@ void PredicateManager::AttachLocked(PageId node, TxnId txn, uint64_t op_id,
 
 void PredicateManager::Attach(PageId node, TxnId txn, uint64_t op_id,
                               PredKind kind, Slice pred) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   AttachLocked(node, txn, op_id, kind, pred);
 }
 
 std::vector<TxnId> PredicateManager::AttachAndFindConflicts(
     PageId node, TxnId txn, uint64_t op_id, PredKind kind, Slice pred,
     const ConflictFn& conflicts) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   std::vector<TxnId> owners;
   auto& lst = by_node_[node];
   stats_.conflict_checks++;
@@ -61,7 +61,7 @@ std::vector<TxnId> PredicateManager::AttachAndFindConflicts(
 
 std::vector<TxnId> PredicateManager::FindConflicts(PageId node, TxnId self,
                                                    const ConflictFn& conflicts) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   std::vector<TxnId> owners;
   auto it = by_node_.find(node);
   stats_.conflict_checks++;
@@ -81,7 +81,7 @@ std::vector<TxnId> PredicateManager::FindConflicts(PageId node, TxnId self,
 }
 
 void PredicateManager::DetachOp(TxnId txn, uint64_t op_id) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   auto bt = by_txn_.find(txn);
   if (bt == by_txn_.end()) return;
   for (PageId node : bt->second) {
@@ -96,7 +96,7 @@ void PredicateManager::DetachOp(TxnId txn, uint64_t op_id) {
 }
 
 void PredicateManager::ReleaseTxn(TxnId txn) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   auto bt = by_txn_.find(txn);
   if (bt == by_txn_.end()) return;
   for (PageId node : bt->second) {
@@ -112,7 +112,7 @@ void PredicateManager::ReleaseTxn(TxnId txn) {
 void PredicateManager::ReplicateOnSplit(
     PageId orig, PageId new_node,
     const std::function<bool(const PredAttachment&)>& consistent_with_new_bp) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   auto it = by_node_.find(orig);
   if (it == by_node_.end()) return;
   // Collect first: AttachLocked mutates by_node_ and could invalidate `it`.
@@ -133,7 +133,7 @@ void PredicateManager::ReplicateOnSplit(
 void PredicateManager::Percolate(
     PageId parent, PageId child,
     const std::function<bool(const PredAttachment&)>& should_percolate) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   auto it = by_node_.find(parent);
   if (it == by_node_.end()) return;
   std::vector<PredAttachment> copies;
@@ -148,14 +148,14 @@ void PredicateManager::Percolate(
 }
 
 std::vector<PredAttachment> PredicateManager::GetAttached(PageId node) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   auto it = by_node_.find(node);
   if (it == by_node_.end()) return {};
   return std::vector<PredAttachment>(it->second.begin(), it->second.end());
 }
 
 size_t PredicateManager::TotalAttachments() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   size_t n = 0;
   for (auto& [pid, lst] : by_node_) {
     (void)pid;
@@ -165,12 +165,12 @@ size_t PredicateManager::TotalAttachments() {
 }
 
 PredicateManager::Stats PredicateManager::GetStats() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return stats_;
 }
 
 void PredicateManager::ResetStats() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   stats_ = Stats();
 }
 

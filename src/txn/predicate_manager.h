@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/types.h"
 #include "obs/metrics.h"
 #include "util/slice.h"
@@ -119,7 +119,7 @@ class PredicateManager {
 
  private:
   void AttachLocked(PageId node, TxnId txn, uint64_t op_id, PredKind kind,
-                    Slice pred);
+                    Slice pred) GISTCR_REQUIRES(mu_);
 
   obs::Counter* m_attaches_ = nullptr;
   obs::Counter* m_conflict_checks_ = nullptr;
@@ -127,12 +127,14 @@ class PredicateManager {
   obs::Counter* m_replications_ = nullptr;
   obs::Counter* m_percolations_ = nullptr;
 
-  std::mutex mu_;
-  uint64_t next_id_ = 1;
-  std::unordered_map<PageId, std::list<PredAttachment>> by_node_;
+  Mutex mu_;
+  uint64_t next_id_ GISTCR_GUARDED_BY(mu_) = 1;
+  std::unordered_map<PageId, std::list<PredAttachment>> by_node_
+      GISTCR_GUARDED_BY(mu_);
   // txn -> nodes that may hold its attachments (superset; pruned on use).
-  std::unordered_map<TxnId, std::vector<PageId>> by_txn_;
-  Stats stats_;
+  std::unordered_map<TxnId, std::vector<PageId>> by_txn_
+      GISTCR_GUARDED_BY(mu_);
+  Stats stats_ GISTCR_GUARDED_BY(mu_);
 };
 
 }  // namespace gistcr

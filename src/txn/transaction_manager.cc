@@ -25,7 +25,7 @@ Transaction* TransactionManager::Begin(IsolationLevel iso) {
   TxnId id;
   Transaction* txn;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     id = next_txn_id_++;
     auto t = std::make_unique<Transaction>(id, iso);
     txn = t.get();
@@ -85,7 +85,7 @@ Status TransactionManager::Commit(Transaction* txn) {
   GISTCR_RETURN_IF_ERROR(AppendTxnLog(txn, &end));
   m_commit_ns_->Record(obs::NowNanos() - t0);
   m_commits_->Add(1);
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   table_.erase(txn->id());
   return Status::OK();
 }
@@ -132,7 +132,7 @@ Status TransactionManager::Abort(Transaction* txn) {
   end.type = LogRecordType::kEnd;
   GISTCR_RETURN_IF_ERROR(AppendTxnLog(txn, &end));
   m_aborts_->Add(1);
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   table_.erase(txn->id());
   return Status::OK();
 }
@@ -165,13 +165,13 @@ Status TransactionManager::RollbackToSavepoint(Transaction* txn,
 
 bool TransactionManager::IsActive(TxnId txn_id) {
   if (txn_id == kInvalidTxnId) return false;
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   auto it = table_.find(txn_id);
   return it != table_.end() && it->second->state() == TxnState::kActive;
 }
 
 Lsn TransactionManager::OldestActiveFirstLsn() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   Lsn oldest = kInvalidLsn;
   for (auto& [id, txn] : table_) {
     (void)id;
@@ -184,7 +184,7 @@ Lsn TransactionManager::OldestActiveFirstLsn() {
 }
 
 std::vector<std::pair<TxnId, Lsn>> TransactionManager::ActiveTxns() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   std::vector<std::pair<TxnId, Lsn>> out;
   for (auto& [id, txn] : table_) {
     if (txn->state() == TxnState::kActive) {
@@ -195,7 +195,7 @@ std::vector<std::pair<TxnId, Lsn>> TransactionManager::ActiveTxns() {
 }
 
 Transaction* TransactionManager::ResurrectForUndo(TxnId id, Lsn last_lsn) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   auto t = std::make_unique<Transaction>(id, IsolationLevel::kRepeatableRead);
   t->set_last_lsn(last_lsn);
   Transaction* txn = t.get();
@@ -205,12 +205,12 @@ Transaction* TransactionManager::ResurrectForUndo(TxnId id, Lsn last_lsn) {
 }
 
 void TransactionManager::SetNextTxnId(TxnId next) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (next > next_txn_id_) next_txn_id_ = next;
 }
 
 TxnId TransactionManager::NextTxnIdForCheckpoint() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return next_txn_id_;
 }
 

@@ -2,9 +2,9 @@
 #define GISTCR_TXN_TRANSACTION_MANAGER_H_
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "txn/lock_manager.h"
 #include "txn/predicate_manager.h"
 #include "txn/transaction.h"
@@ -107,9 +107,10 @@ class TransactionManager {
   obs::Counter* m_aborts_ = nullptr;
   obs::Histogram* m_commit_ns_ = nullptr;  ///< includes the log force
 
-  std::mutex mu_;
-  std::unordered_map<TxnId, std::unique_ptr<Transaction>> table_;
-  TxnId next_txn_id_ = 1;
+  Mutex mu_;
+  std::unordered_map<TxnId, std::unique_ptr<Transaction>> table_
+      GISTCR_GUARDED_BY(mu_);
+  TxnId next_txn_id_ GISTCR_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace gistcr

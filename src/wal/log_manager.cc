@@ -67,16 +67,18 @@ Status LogManager::Open(const std::string& path) {
 }
 
 void LogManager::Close() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (fd_ >= 0) {
-    FlushLocked();
+    // Best-effort: shutdown cannot do anything with a flush failure, and
+    // recovery tolerates a truncated tail.
+    (void)FlushLocked();
     ::close(fd_);
     fd_ = -1;
   }
 }
 
 Status LogManager::Append(LogRecord* rec) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   GISTCR_CHECK(fd_ >= 0);
   rec->lsn = next_lsn_;
   rec->EncodeTo(&buffer_);
@@ -138,12 +140,12 @@ Status LogManager::Flush(Lsn lsn) {
       durable_lsn_.load(std::memory_order_acquire) >= lsn) {
     return Status::OK();
   }
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return FlushLocked();
 }
 
 Status LogManager::ReadRecord(Lsn lsn, LogRecord* rec) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   GISTCR_CHECK(fd_ >= 0);
   if (lsn >= buffer_base_) {
     const Lsn off = lsn - buffer_base_;
@@ -204,12 +206,12 @@ Status LogManager::Scan(Lsn from,
 }
 
 uint64_t LogManager::TotalBytes() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return buffer_base_ + buffer_.size() - kFirstLsn;
 }
 
 StatusOr<uint64_t> LogManager::ReclaimBefore(Lsn lsn) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   GISTCR_CHECK(fd_ >= 0);
   // Never touch the magic header, the unflushed tail, or already-reclaimed
   // space; punch only whole 4 KiB blocks so the filesystem can free them.
@@ -233,7 +235,7 @@ StatusOr<uint64_t> LogManager::ReclaimBefore(Lsn lsn) {
 }
 
 void LogManager::DiscardTail() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   buffer_.clear();
   pending_records_ = 0;
   next_lsn_ = buffer_base_;

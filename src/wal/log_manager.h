@@ -3,9 +3,9 @@
 
 #include <atomic>
 #include <functional>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/types.h"
 #include "obs/metrics.h"
 #include "util/status.h"
@@ -94,23 +94,26 @@ class LogManager {
   }
 
  private:
-  Status FlushLocked();
+  Status FlushLocked() GISTCR_REQUIRES(mu_);
 
   obs::Counter* m_appends_ = nullptr;
   obs::Counter* m_append_bytes_ = nullptr;
   obs::Counter* m_flushes_ = nullptr;
   obs::Histogram* m_fsync_ns_ = nullptr;
   obs::Histogram* m_batch_records_ = nullptr;
-  uint64_t pending_records_ = 0;  ///< appends since last flush; under mu_
+  /// Appends since last flush.
+  uint64_t pending_records_ GISTCR_GUARDED_BY(mu_) = 0;
 
-  mutable std::mutex mu_;
-  int fd_ = -1;
-  std::string path_;
-  std::string buffer_;      ///< Unflushed tail; starts at LSN buffer_base_.
-  Lsn buffer_base_ = 0;     ///< File size == LSN of first buffered byte.
+  mutable Mutex mu_;
+  int fd_ GISTCR_GUARDED_BY(mu_) = -1;
+  std::string path_ GISTCR_GUARDED_BY(mu_);
+  /// Unflushed tail; starts at LSN buffer_base_.
+  std::string buffer_ GISTCR_GUARDED_BY(mu_);
+  /// File size == LSN of first buffered byte.
+  Lsn buffer_base_ GISTCR_GUARDED_BY(mu_) = 0;
   std::atomic<Lsn> last_lsn_{kInvalidLsn};
   std::atomic<Lsn> durable_lsn_{kInvalidLsn};
-  Lsn next_lsn_ = kFirstLsn;
+  Lsn next_lsn_ GISTCR_GUARDED_BY(mu_) = kFirstLsn;
   std::atomic<bool> sync_on_flush_{true};
   std::atomic<Lsn> reclaimed_before_{LogManager::kFirstLsn};
 };

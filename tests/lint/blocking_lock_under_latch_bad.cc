@@ -1,0 +1,28 @@
+// Negative fixture for gistcr_lint rule `blocking-lock-under-latch`: a
+// blocking lock-manager wait while holding a page latch deadlocks
+// undetectably (the lock manager's waits-for graph cannot see latches;
+// paper section 4 and DESIGN.md section 10). Only the try-only
+// `/*wait=*/false` form is permitted under a latch.
+//
+// Not compiled; consumed by `gistcr_lint.py --self-test tests/lint`.
+
+#include "storage/buffer_pool.h"
+#include "txn/lock_manager.h"
+
+namespace gistcr {
+
+Status BadBlockingLockUnderLatch(BufferPool* pool, LockManager* locks,
+                                 Transaction* txn, PageId pid) {
+  auto f = pool->Fetch(pid);
+  GISTCR_RETURN_IF_ERROR(f.status());
+  PageGuard g(pool, f.value());
+  g.WLatch();
+  // VIOLATION: blocking acquire while `g` is latched.
+  GISTCR_RETURN_IF_ERROR(locks->Lock(txn->id(),
+                                     LockName{LockSpace::kNode, pid},
+                                     LockMode::kExclusive, /*wait=*/true));
+  g.Unlatch();
+  return Status::OK();
+}
+
+}  // namespace gistcr

@@ -1,0 +1,24 @@
+// Negative fixture for gistcr_lint rule `io-under-latch`: fetching a page
+// through the buffer pool while a PageGuard latch is held can block on
+// disk I/O (or on eviction) with the latch pinned — the protocol requires
+// dropping or try-latching first (DESIGN.md section 10).
+//
+// Not compiled; consumed by `gistcr_lint.py --self-test tests/lint`.
+
+#include "storage/buffer_pool.h"
+
+namespace gistcr {
+
+Status BadFetchUnderLatch(BufferPool* pool, PageId a, PageId b) {
+  auto fa = pool->Fetch(a);
+  GISTCR_RETURN_IF_ERROR(fa.status());
+  PageGuard g(pool, fa.value());
+  g.WLatch();
+  // VIOLATION: blocking fetch while `g` is write-latched.
+  auto fb = pool->Fetch(b);
+  GISTCR_RETURN_IF_ERROR(fb.status());
+  g.Unlatch();
+  return Status::OK();
+}
+
+}  // namespace gistcr

@@ -1,0 +1,51 @@
+// Positive fixture: the compliant counterparts of every rule in
+// gistcr_lint, including both escape hatches. Must lint clean.
+//
+// Not compiled; consumed by `gistcr_lint.py --self-test tests/lint`.
+
+// gistcr-lint: allow-file(raw-latch-primitive)
+// (File-level hatch exercised: the std::mutex below would otherwise fire.)
+
+#include <mutex>
+
+#include "db/database.h"
+#include "gist/node.h"
+#include "storage/buffer_pool.h"
+#include "txn/lock_manager.h"
+
+namespace gistcr {
+
+std::mutex g_suppressed_by_file_allow;
+
+Status GoodLatchDiscipline(BufferPool* pool, LockManager* locks,
+                           Transaction* txn, PageId a, PageId b, Lsn* out) {
+  // Drop the latch before the next blocking fetch: compliant.
+  auto fa = pool->Fetch(a);
+  GISTCR_RETURN_IF_ERROR(fa.status());
+  PageGuard g(pool, fa.value());
+  g.WLatch();
+  NodeView node(g.view().data());
+  *out = node.nsn();  // latched: nsn read is fine
+  g.Unlatch();
+  auto fb = pool->Fetch(b);
+  GISTCR_RETURN_IF_ERROR(fb.status());
+
+  // Try-only lock under a latch: compliant (cannot block).
+  g.WLatch();
+  const Status try_lock = locks->Lock(txn->id(),
+                                      LockName{LockSpace::kNode, b},
+                                      LockMode::kExclusive, /*wait=*/false);
+  if (!try_lock.ok() && !try_lock.IsBusy()) return try_lock;
+
+  // Line-level hatch exercised: a deliberate fetch under latch with a
+  // documented justification. gistcr-lint: allow(io-under-latch)
+  auto fc = pool->Fetch(a);
+  GISTCR_RETURN_IF_ERROR(fc.status());
+  g.Unlatch();
+
+  // Status result consumed explicitly: compliant.
+  (void)pool->FlushAll();
+  return Status::OK();
+}
+
+}  // namespace gistcr

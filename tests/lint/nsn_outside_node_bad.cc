@@ -1,0 +1,27 @@
+// Negative fixture for gistcr_lint rule `nsn-outside-node`: reading the
+// NSN or rightlink of a node without holding its latch races concurrent
+// splits — the B-link invariant (nsn, rightlink) is only stable under a
+// latch (paper section 3; DESIGN.md section 10). Access is allowed only
+// in node.h/node.cc or with a latch held in scope.
+//
+// Not compiled; consumed by `gistcr_lint.py --self-test tests/lint`.
+
+#include "gist/node.h"
+#include "storage/buffer_pool.h"
+
+namespace gistcr {
+
+Status BadUnlatchedNsnRead(BufferPool* pool, PageId pid, Lsn* out) {
+  auto f = pool->Fetch(pid);
+  GISTCR_RETURN_IF_ERROR(f.status());
+  PageGuard g(pool, f.value());
+  NodeView node(g.view().data());
+  // VIOLATION: no latch has been taken on `g` yet.
+  *out = node.nsn();
+  if (node.rightlink() != kInvalidPageId) {  // VIOLATION: same, rightlink
+    *out = kInvalidLsn;
+  }
+  return Status::OK();
+}
+
+}  // namespace gistcr

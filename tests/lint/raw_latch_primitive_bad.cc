@@ -1,0 +1,30 @@
+// Negative fixture for gistcr_lint rule `raw-latch-primitive`: bare
+// std::mutex / pthread primitives bypass the annotated wrappers in
+// common/mutex.h, so Clang's thread-safety analysis (and the GUARDED_BY
+// annotations) cannot see them.
+//
+// Not compiled; consumed by `gistcr_lint.py --self-test tests/lint`.
+
+#include <mutex>
+
+namespace gistcr {
+
+class BadRawMutex {
+ public:
+  void Touch() {
+    std::lock_guard<std::mutex> l(mu_);  // VIOLATION: raw lock_guard
+    ++n_;
+  }
+
+  void TouchManually() {
+    mu_.lock();  // VIOLATION: manual lock()
+    ++n_;
+    mu_.unlock();  // VIOLATION: manual unlock()
+  }
+
+ private:
+  std::mutex mu_;  // VIOLATION: raw std::mutex member
+  int n_ = 0;
+};
+
+}  // namespace gistcr

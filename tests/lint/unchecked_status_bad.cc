@@ -1,0 +1,18 @@
+// Negative fixture for gistcr_lint rule `unchecked-status`: a
+// Status-returning call whose result is dropped on the floor silently
+// swallows I/O, corruption, and deadlock errors. Assign it, test it,
+// GISTCR_RETURN_IF_ERROR it, or cast to (void) with a comment.
+//
+// Not compiled; consumed by `gistcr_lint.py --self-test tests/lint`.
+
+#include "db/database.h"
+
+namespace gistcr {
+
+void BadIgnoredStatus(Database* db) {
+  // VIOLATION: Database::Checkpoint() returns Status; the result is
+  // silently discarded.
+  db->Checkpoint();
+}
+
+}  // namespace gistcr

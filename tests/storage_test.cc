@@ -207,7 +207,7 @@ TEST_F(BufferPoolTest, ConcurrentFetchersShareFrame) {
           continue;
         }
         {
-          std::shared_lock<std::shared_mutex> l(f.value()->latch());
+          SharedLock l(f.value()->latch());
         }
         pool_->Unpin(f.value());
       }

@@ -1,0 +1,492 @@
+#!/usr/bin/env python3
+"""gistcr_lint: protocol linter for the gistcr latch discipline.
+
+Clang's thread-safety analysis checks mutex/field associations but cannot
+express the paper's latch protocol (no I/O or lock waits while a node latch
+is held, NSN/rightlink reads only under a latch). This linter enforces
+those rules with file-local heuristics; see DESIGN.md section 10 for the
+invariant-to-tool mapping.
+
+Rules
+-----
+  io-under-latch
+      No BufferPool::Fetch/NewPage or DiskManager::ReadPage/WritePage/Sync
+      call (all of which may perform disk I/O) while a PageGuard latch is
+      held in the enclosing scope. A latched frame pins a shared resource
+      every other operation may need; I/O under it stretches the hold time
+      from nanoseconds to milliseconds and, for fetches that evict, can
+      deadlock against the WAL flush path.
+
+  blocking-lock-under-latch
+      No blocking lock-manager call (locks->Lock, locks->WaitForTxn) while
+      a PageGuard latch is held. Lock waits are deadlock-checked only
+      against other lock waits; a latch held across one creates a
+      latch/lock cycle no detector sees (paper sections 5-6: operations
+      release latches before blocking and re-position afterwards).
+
+  raw-latch-primitive
+      No std::mutex / std::shared_mutex / std::condition_variable /
+      pthread primitives or direct .lock()/.unlock() calls outside the
+      annotated wrappers in common/mutex.h (and the RAII types built on
+      them). Raw primitives bypass both Clang thread-safety analysis and
+      this linter's scope tracking.
+
+  nsn-outside-node
+      No nsn()/set_nsn()/rightlink()/set_rightlink() access outside
+      gist/node.{h,cc} unless a latch is held in scope. The NSN/rightlink
+      pair is the split-detection protocol (paper section 10.1); reading it
+      unlatched can observe a half-installed split.
+
+  unchecked-status
+      Every call to a Status/StatusOr-returning function (collected from
+      the src headers) must consume the result: assign it, return it, test
+      it, wrap it in GISTCR_RETURN_IF_ERROR / an assertion, or cast to
+      (void) deliberately.
+
+Escape hatches
+--------------
+  // gistcr-lint: allow(<rule>)        on the offending line or the line
+                                       directly above it
+  // gistcr-lint: allow-file(<rule>)   anywhere in the file
+
+Every allow() should carry a justification comment; the suppression is the
+documentation of a deliberate protocol exception.
+
+Usage
+-----
+  gistcr_lint.py <path>...          lint .cc/.h files (dirs recursed)
+  gistcr_lint.py --self-test <dir>  run the fixture expectations in <dir>:
+                                    *_bad.cc must trigger the rule named by
+                                    its basename, *_good.cc must be clean
+"""
+
+import os
+import re
+import sys
+
+RULES = (
+    "io-under-latch",
+    "blocking-lock-under-latch",
+    "raw-latch-primitive",
+    "nsn-outside-node",
+    "unchecked-status",
+)
+
+# --- directive extraction & source stripping -------------------------------
+
+ALLOW_RE = re.compile(r"gistcr-lint:\s*allow\(([\w,\s-]+)\)")
+ALLOW_FILE_RE = re.compile(r"gistcr-lint:\s*allow-file\(([\w,\s-]+)\)")
+
+
+def collect_directives(lines):
+    """Returns (per_line_allows, file_allows).
+
+    per_line_allows[i] is the set of rules suppressed on 1-based line i; a
+    directive on its own (otherwise empty/comment-only) line also applies
+    to the following line.
+    """
+    per_line = {}
+    file_allows = set()
+    for i, line in enumerate(lines, start=1):
+        m = ALLOW_FILE_RE.search(line)
+        if m:
+            file_allows.update(r.strip() for r in m.group(1).split(","))
+        m = ALLOW_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",")}
+            per_line.setdefault(i, set()).update(rules)
+            before = line.split("//", 1)[0].strip()
+            if not before:  # directive-only line: covers the next line too
+                per_line.setdefault(i + 1, set()).update(rules)
+    return per_line, file_allows
+
+
+def strip_code(text):
+    """Blanks comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+                out.append('"')
+            else:
+                out.append(c if c == "\n" else " ")
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+                out.append("'")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+# --- Status-returning name collection --------------------------------------
+
+STATUS_DECL_RE = re.compile(
+    r"^\s*(?:virtual\s+)?(?:static\s+)?(?:\[\[nodiscard\]\]\s+)?"
+    r"(?:Status|StatusOr<[^;{}()]*>)\s+(\w+)\s*\(",
+    re.M,
+)
+OTHER_DECL_RE = re.compile(
+    r"^\s*(?:virtual\s+)?(?:static\s+)?(?:constexpr\s+)?"
+    r"(?:void|bool|int|size_t|uint\d+_t|int\d+_t|double|float|char|auto"
+    r"|PageId|Lsn|TxnId|std::\w[\w:<>,\s]*?"
+    r"|(?!Status\b|StatusOr\b)[A-Z]\w*(?:<[^;{}()]*>)?)"
+    r"\s*[*&]?\s+(\w+)\s*\(",
+    re.M,
+)
+
+
+def collect_status_names(src_root):
+    """Names whose every header declaration returns Status/StatusOr."""
+    status, other = set(), set()
+    for root, _dirs, files in os.walk(src_root):
+        for f in files:
+            if not f.endswith(".h"):
+                continue
+            try:
+                with open(os.path.join(root, f), encoding="utf-8") as fh:
+                    text = strip_code(fh.read())
+            except OSError:
+                continue
+            status.update(STATUS_DECL_RE.findall(text))
+            other.update(OTHER_DECL_RE.findall(text))
+    return status - other
+
+
+# --- the per-file scanner ---------------------------------------------------
+
+LATCH_ACQ_RE = re.compile(r"\b(\w+)\s*(?:\.|->)\s*(?:WLatch|RLatch|TryWLatch)\s*\(")
+# Any call that takes the address of a local PageGuard latches it on
+# success (FetchLatched, FindParentExhaustive, LatchParentForChild, ...).
+ADDR_OF_GUARD_RE = re.compile(r"&\s*(\w+)\s*[,)]")
+LATCH_REL_RE = re.compile(r"\b(\w+)\s*(?:\.|->)\s*(?:Unlatch|Drop)\s*\(")
+GUARD_DECL_RE = re.compile(r"\bPageGuard\s+(\w+)\s*[;({=]")
+# Latch transfer through moves. `*out = std::move(g)` (deref destination)
+# is an out-parameter hand-off on a branch that returns immediately — the
+# fall-through code still holds `g`, so it does not release anything.
+MOVE_FROM_GUARD_RE = re.compile(
+    r"(\*?)\s*(\w+)\s*=\s*std::move\(\s*(\*?)\s*(\w+)\s*\)")
+
+IO_RE = re.compile(
+    r"(?:\.|->)\s*(?:Fetch|NewPage|ReadPage|WritePage|Sync)\s*\("
+    r"|\bFetchLatched\s*\("
+)
+BLOCKING_LOCK_RE = re.compile(
+    r"\block(?:s|s_|_manager_?)?(?:\(\))?\s*(?:\.|->)\s*(?:Lock|WaitForTxn)\s*\("
+)
+RAW_PRIMITIVE_RE = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock)\b"
+    r"|\bpthread_(?:mutex|rwlock|cond)\w*"
+    r"|\b\w+(?:\.|->)(?:try_)?lock(?:_shared)?\s*\(\s*\)"
+    r"|\b\w+(?:\.|->)unlock(?:_shared)?\s*\(\s*\)"
+)
+NSN_RE = re.compile(r"(?:\.|->)\s*(?:set_)?(?:nsn|rightlink)\s*\(")
+
+CONTROL_KEYWORDS = (
+    "if", "while", "for", "switch", "return", "case", "else", "do",
+    "sizeof", "new", "delete", "co_return", "co_await",
+)
+CALL_STMT_RE = re.compile(r"^\s*((?:\w+\s*(?:\(\s*\))?\s*(?:\.|->|::)\s*)*)(\w+)\s*\(")
+
+
+class FileLinter:
+    def __init__(self, path, status_names):
+        self.path = path
+        self.status_names = status_names
+        self.findings = []  # (line, rule, message)
+
+    def lint(self):
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                raw = fh.read()
+        except OSError as e:
+            print(f"gistcr_lint: cannot read {self.path}: {e}",
+                  file=sys.stderr)
+            return []
+        raw_lines = raw.splitlines()
+        per_line_allows, file_allows = collect_directives(raw_lines)
+        lines = strip_code(raw).splitlines()
+
+        in_node_file = os.path.basename(self.path) in ("node.h", "node.cc")
+
+        depth = 0
+        latches = []  # list of (var, entry_depth)
+        guard_decl_depth = {}  # PageGuard var -> declaration depth
+        prev_code = ""  # last non-blank stripped line (statement context)
+
+        for lineno, line in enumerate(lines, start=1):
+            for m in GUARD_DECL_RE.finditer(line):
+                guard_decl_depth[m.group(1)] = depth
+            # Releases first: `g.Drop(); pool->Fetch(...)` on one line is
+            # not a violation. A release inside a conditional that then
+            # exits the block (continue/break/return) is branch-local:
+            # the fall-through path still holds the latch.
+            for m in LATCH_REL_RE.finditer(line):
+                var = m.group(1)
+                entry = next(
+                    (d for (v, d) in latches if v == var), None)
+                if entry is not None and depth > entry:
+                    early_exit = False
+                    for ahead in lines[lineno:lineno + 6]:
+                        a = ahead.strip()
+                        if re.match(r"(continue|break|return)\b", a):
+                            early_exit = True
+                            break
+                        if a.startswith("}"):
+                            break
+                    if early_exit:
+                        continue
+                latches = [(v, d) for (v, d) in latches if v != var]
+
+            held = bool(latches)
+
+            def report(rule, msg, _lineno=lineno):
+                if rule in file_allows:
+                    return
+                if rule in per_line_allows.get(_lineno, set()):
+                    return
+                self.findings.append((_lineno, rule, msg))
+
+            if held and IO_RE.search(line):
+                report(
+                    "io-under-latch",
+                    "possible I/O (Fetch/NewPage/ReadPage/WritePage/Sync) "
+                    f"while latch on '{latches[-1][0]}' is held",
+                )
+            if held and BLOCKING_LOCK_RE.search(line):
+                # A trailing `false)` argument is the try-only (wait=false)
+                # form, which cannot block.
+                stmt = line
+                for ahead in lines[lineno:lineno + 4]:
+                    if ";" in stmt:
+                        break
+                    stmt += " " + ahead.strip()
+                if not re.search(r",\s*false\s*\)\s*;", stmt):
+                    report(
+                        "blocking-lock-under-latch",
+                        "blocking lock-manager call while latch on "
+                        f"'{latches[-1][0]}' is held",
+                    )
+            if RAW_PRIMITIVE_RE.search(line):
+                report(
+                    "raw-latch-primitive",
+                    "raw synchronization primitive; use the annotated "
+                    "wrappers in common/mutex.h",
+                )
+            if not in_node_file and not held and NSN_RE.search(line):
+                report(
+                    "nsn-outside-node",
+                    "nsn/rightlink access with no latch held in scope",
+                )
+
+            self.check_unchecked_status(line, prev_code, lineno, report)
+
+            # Acquisitions after checks: the latched call itself (e.g.
+            # FetchLatched) is judged against the *prior* latch set. A
+            # guard declared in an outer scope keeps its latch past the
+            # block it was (re-)latched in, so the entry depth is the
+            # declaration depth when known.
+            for m in LATCH_ACQ_RE.finditer(line):
+                var = m.group(1)
+                latches.append((var, guard_decl_depth.get(var, depth)))
+            for m in ADDR_OF_GUARD_RE.finditer(line):
+                var = m.group(1)
+                if var in guard_decl_depth:
+                    latches.append((var, guard_decl_depth[var]))
+            for m in MOVE_FROM_GUARD_RE.finditer(line):
+                dst_deref, dst, src_deref, src = m.groups()
+                if dst_deref:
+                    continue  # out-param hand-off; fall-through keeps src
+                src_held = any(v == src for (v, _d) in latches)
+                if src_held or (src_deref and dst in guard_decl_depth):
+                    latches = [(v, d) for (v, d) in latches if v != src]
+                    latches.append((dst, guard_decl_depth.get(dst, depth)))
+
+            depth += line.count("{") - line.count("}")
+            if depth < 0:
+                depth = 0
+            latches = [(v, d) for (v, d) in latches if d <= depth]
+            if depth == 0:
+                latches = []
+                guard_decl_depth = {}
+            if line.strip():
+                prev_code = line.strip()
+        return self.findings
+
+    def check_unchecked_status(self, line, prev_code, lineno, report):
+        m = CALL_STMT_RE.match(line)
+        if not m:
+            return
+        name = m.group(2)
+        if name not in self.status_names:
+            return
+        if name in CONTROL_KEYWORDS or m.group(1).strip() == "":
+            # A bare `Name(...)` with no receiver is commonly a local or a
+            # constructor; only flag explicit member/namespace calls plus
+            # bare names we are sure about -- keep receiver-qualified only.
+            if m.group(1).strip() == "" and not re.match(
+                    rf"^\s*{name}\s*\([^;]*\)\s*;", line):
+                return
+        # Statement must start fresh (previous code line ended a statement
+        # or opened a block), otherwise we are inside an expression whose
+        # context consumes the value.
+        if prev_code and prev_code[-1] not in "{};":
+            return
+        # The call's own line must not capture or forward the result.
+        if not re.search(r"\)\s*;\s*$", line):
+            return  # multi-line call or used in larger expression: skip
+        report(
+            "unchecked-status",
+            f"result of Status-returning call '{name}' is ignored "
+            "(assign, test, GISTCR_RETURN_IF_ERROR, or cast to (void))",
+        )
+
+
+# --- driver -----------------------------------------------------------------
+
+
+def iter_source_files(paths):
+    for p in paths:
+        if os.path.isfile(p):
+            yield p
+        else:
+            for root, _dirs, files in os.walk(p):
+                for f in sorted(files):
+                    if f.endswith((".cc", ".h")):
+                        yield os.path.join(root, f)
+
+
+def find_src_root(paths):
+    """Locates the src/ tree for Status-name collection."""
+    for p in paths:
+        p = os.path.abspath(p)
+        cur = p if os.path.isdir(p) else os.path.dirname(p)
+        while cur != os.path.dirname(cur):
+            cand = os.path.join(cur, "src")
+            if os.path.isdir(cand):
+                return cand
+            cur = os.path.dirname(cur)
+    return None
+
+
+def run_lint(paths, src_root=None):
+    src_root = src_root or find_src_root(paths)
+    status_names = collect_status_names(src_root) if src_root else set()
+    findings = []
+    for path in iter_source_files(paths):
+        findings.extend(
+            (path, line, rule, msg)
+            for (line, rule, msg) in FileLinter(path, status_names).lint()
+        )
+    return findings
+
+
+def self_test(fixture_dir):
+    src_root = find_src_root([fixture_dir])
+    status_names = collect_status_names(src_root) if src_root else set()
+    failures = []
+    checked = 0
+    for f in sorted(os.listdir(fixture_dir)):
+        if not f.endswith(".cc"):
+            continue
+        path = os.path.join(fixture_dir, f)
+        findings = FileLinter(path, status_names).lint()
+        rules_hit = {rule for (_l, rule, _m) in findings}
+        base = f[:-3]
+        if base.endswith("_bad"):
+            expected = base[: -len("_bad")].replace("_", "-")
+            if expected not in RULES:
+                failures.append(f"{f}: unknown rule '{expected}'")
+            elif expected not in rules_hit:
+                failures.append(
+                    f"{f}: expected a '{expected}' finding, got "
+                    f"{sorted(rules_hit) or 'none'}"
+                )
+            checked += 1
+        elif base.endswith("_good"):
+            if findings:
+                listed = ", ".join(
+                    f"{l}:{r}" for (l, r, _m) in findings[:5])
+                failures.append(f"{f}: expected clean, got [{listed}]")
+            checked += 1
+    if checked == 0:
+        failures.append(f"{fixture_dir}: no *_bad.cc / *_good.cc fixtures")
+    for msg in failures:
+        print(f"gistcr_lint self-test FAIL: {msg}", file=sys.stderr)
+    if not failures:
+        print(f"gistcr_lint self-test: {checked} fixtures OK")
+    return 1 if failures else 0
+
+
+def main(argv):
+    args = argv[1:]
+    if not args or args[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0 if args else 2
+    if args[0] == "--self-test":
+        if len(args) != 2:
+            print("usage: gistcr_lint.py --self-test <fixture-dir>",
+                  file=sys.stderr)
+            return 2
+        return self_test(args[1])
+    findings = run_lint(args)
+    for path, line, rule, msg in findings:
+        print(f"{path}:{line}: [{rule}] {msg}")
+    if findings:
+        print(f"gistcr_lint: {len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
