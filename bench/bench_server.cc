@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "access/btree_extension.h"
+#include "bench/commit_report.h"
 #include "client/client.h"
 #include "db/database.h"
 #include "server/server.h"
@@ -40,6 +41,14 @@ struct BenchConfig {
   int read_pct = 50;
   int64_t keyspace = 100000;
   std::string report = "BENCH_server_latency.json";
+  /// When nonempty, the durable-commit pipeline stats (commits/s, commit
+  /// latency percentiles, group-commit batch size) are written there in
+  /// the same format bench_concurrency uses for BENCH_commit.json.
+  std::string commit_report;
+  /// fdatasync on every commit — the configuration under which the commit
+  /// report measures true group commit. Off by default: the latency bench
+  /// measures protocol scaling, not durability.
+  bool sync_commit = false;
   std::string db_path = "/tmp/gistcr_bench_server";
 };
 
@@ -110,7 +119,7 @@ int Run(const BenchConfig& cfg) {
   DatabaseOptions dopts;
   dopts.path = cfg.db_path;
   dopts.buffer_pool_pages = 4096;
-  dopts.sync_commit = false;  // protocol scaling, not durability, is measured
+  dopts.sync_commit = cfg.sync_commit;
   auto db_or = Database::Create(dopts);
   if (!db_or.ok()) {
     std::fprintf(stderr, "Create: %s\n", db_or.status().ToString().c_str());
@@ -205,6 +214,20 @@ int Run(const BenchConfig& cfg) {
     std::printf("report: %s\n", cfg.report.c_str());
   }
 
+  if (!cfg.commit_report.empty()) {
+    // Every server-side write is an auto-commit transaction, so the
+    // registry's txn.commits is the commit count for this run (the preload
+    // is zero here, unlike bench_concurrency).
+    const uint64_t commits =
+        db->metrics()->GetCounter("txn.commits")->value();
+    bench::WriteCommitReport(cfg.commit_report, cfg.clients, elapsed_s,
+                             commits, db.get());
+    std::printf("commit report: %s (%llu commits, sync_commit=%d)\n",
+                cfg.commit_report.c_str(),
+                static_cast<unsigned long long>(commits),
+                cfg.sync_commit ? 1 : 0);
+  }
+
   // Drain, checkpoint, reopen, verify: the bench doubles as a soak test of
   // the graceful-shutdown acceptance criterion.
   if (!server.Shutdown().ok()) {
@@ -256,12 +279,17 @@ int main(int argc, char** argv) {
       cfg.keyspace = std::atoll(a + 11);
     } else if (std::strncmp(a, "--report=", 9) == 0) {
       cfg.report = a + 9;
+    } else if (std::strncmp(a, "--commit-report=", 16) == 0) {
+      cfg.commit_report = a + 16;
+    } else if (std::strncmp(a, "--sync-commit=", 14) == 0) {
+      cfg.sync_commit = std::atoi(a + 14) != 0;
     } else if (std::strncmp(a, "--db=", 5) == 0) {
       cfg.db_path = a + 5;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--clients=N] [--seconds=S] [--read-pct=P]\n"
-                   "          [--keyspace=K] [--report=PATH] [--db=PATH]\n",
+                   "          [--keyspace=K] [--report=PATH] [--db=PATH]\n"
+                   "          [--commit-report=PATH] [--sync-commit=0|1]\n",
                    argv[0]);
       return 2;
     }

@@ -4,12 +4,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 
 #include "access/btree_extension.h"
 #include "access/rtree_extension.h"
+#include "bench/commit_report.h"
 #include "db/database.h"
 #include "util/random.h"
 
@@ -44,10 +46,11 @@ struct BenchEnv {
   std::string path;
 
   /// Fresh database with one B-tree index preloaded with \p preload keys
-  /// 0..preload-1 (payload "v").
+  /// 0..preload-1 (payload "v"). With \p sync_commit the WAL fdatasyncs on
+  /// commit — the configuration the durable-commit benchmarks measure.
   void BuildBtree(const std::string& p, ConcurrencyProtocol protocol,
                   PredicateMode pred_mode, NsnSource nsn, int64_t preload,
-                  uint16_t max_entries = 0) {
+                  uint16_t max_entries = 0, bool sync_commit = false) {
     path = p;
     db.reset();
     RemoveDbFiles(path);
@@ -55,7 +58,7 @@ struct BenchEnv {
     opts.path = path;
     opts.buffer_pool_pages = 16384;  // 128 MiB: benchmarks run in memory
     opts.nsn_source = nsn;
-    opts.sync_commit = false;  // measure protocol cost, not fsync
+    opts.sync_commit = sync_commit;
     auto db_or = Database::Create(opts);
     BENCH_CHECK_OK(db_or.status());
     db = db_or.MoveValue();

@@ -1,0 +1,80 @@
+#ifndef GISTCR_BENCH_COMMIT_REPORT_H_
+#define GISTCR_BENCH_COMMIT_REPORT_H_
+
+// Machine-readable durable-commit report (BENCH_commit.json), shared by
+// bench_concurrency (google-benchmark harness) and bench_server (plain
+// load driver). Deliberately free of any google-benchmark dependency.
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "db/database.h"
+
+namespace gistcr {
+namespace bench {
+
+/// One thread-count row of the durable-commit report (BENCH_commit.json):
+/// the perf trajectory's machine-readable record of commit throughput and
+/// group-commit batch size. Rows accumulate across thread counts; the file
+/// is rewritten whole each time so a partial sweep still leaves valid JSON.
+struct CommitReportRow {
+  double commits_per_s = 0;
+  uint64_t commits = 0;
+  double elapsed_s = 0;
+  double commit_p50_us = 0;
+  double commit_p99_us = 0;
+  double group_commit_mean_records = 0;
+  uint64_t wal_flushes = 0;
+};
+
+inline void WriteCommitReport(const std::string& out_path, int threads,
+                              double elapsed_s, uint64_t commits,
+                              Database* db) {
+  static std::mutex mu;
+  static std::map<int, CommitReportRow> rows;
+  obs::MetricsRegistry* reg = db->metrics();
+  CommitReportRow row;
+  row.commits = commits;
+  row.elapsed_s = elapsed_s;
+  row.commits_per_s =
+      elapsed_s > 0 ? static_cast<double>(commits) / elapsed_s : 0.0;
+  const auto commit_snap = reg->GetHistogram("txn.commit_ns")->GetSnapshot();
+  row.commit_p50_us = commit_snap.Percentile(0.50) / 1e3;
+  row.commit_p99_us = commit_snap.Percentile(0.99) / 1e3;
+  const auto batch_snap =
+      reg->GetHistogram("wal.group_commit_records")->GetSnapshot();
+  row.group_commit_mean_records = batch_snap.mean();
+  row.wal_flushes = reg->GetCounter("wal.flushes")->value();
+
+  std::lock_guard<std::mutex> l(mu);
+  rows[threads] = row;
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", out_path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"durable_commit\",\n  \"runs\": [\n");
+  size_t i = 0;
+  for (const auto& [t, r] : rows) {
+    std::fprintf(
+        f,
+        "    {\"threads\": %d, \"commits\": %llu, \"elapsed_s\": %.3f, "
+        "\"commits_per_s\": %.1f, \"commit_p50_us\": %.1f, "
+        "\"commit_p99_us\": %.1f, \"group_commit_mean_records\": %.2f, "
+        "\"wal_flushes\": %llu}%s\n",
+        t, static_cast<unsigned long long>(r.commits), r.elapsed_s,
+        r.commits_per_s, r.commit_p50_us, r.commit_p99_us,
+        r.group_commit_mean_records,
+        static_cast<unsigned long long>(r.wal_flushes),
+        ++i < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace bench
+}  // namespace gistcr
+
+#endif  // GISTCR_BENCH_COMMIT_REPORT_H_

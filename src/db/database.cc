@@ -12,6 +12,9 @@ namespace gistcr {
 Database::Database(const DatabaseOptions& opts) : opts_(opts) {}
 
 Database::~Database() {
+  // Background threads drain before the final flush so no writer pass or
+  // checkpoint races the shutdown I/O.
+  StopWriter();
   StopMaintenance();
   if (!crashed_) {
     (void)FlushAll();
@@ -42,11 +45,15 @@ Status Database::InitCommon() {
     return Status::InvalidArgument("buffer_pool_pages must be >= 64");
   }
   GISTCR_RETURN_IF_ERROR(disk_.Open(opts_.path + ".db"));
+  // The log's metrics must be re-pointed before Open: Open starts the
+  // flusher thread, which reads the cached metric pointers from then on.
+  disk_.AttachMetrics(&metrics_);
+  log_.AttachMetrics(&metrics_);
   GISTCR_RETURN_IF_ERROR(log_.Open(opts_.path + ".wal"));
   log_.SetSyncOnFlush(opts_.sync_commit);
   pool_ = std::make_unique<BufferPool>(
       &disk_, opts_.buffer_pool_pages,
-      [this](Lsn lsn) { return log_.Flush(lsn); });
+      [this](Lsn lsn) { return log_.Flush(lsn); }, opts_.buffer_pool_shards);
   txns_ = std::make_unique<TransactionManager>(&log_, &locks_, &preds_);
   nsn_ = std::make_unique<GlobalNsn>(opts_.nsn_source, &log_);
   alloc_ = std::make_unique<PageAllocator>(pool_.get(), txns_.get());
@@ -54,11 +61,9 @@ Status Database::InitCommon() {
   recovery_ = std::make_unique<RecoveryManager>(
       pool_.get(), &log_, txns_.get(), alloc_.get(), data_.get(), nsn_.get());
   txns_->SetUndoApplier(recovery_.get());
-  // Re-point every component at this instance's registry (they start on
-  // the process fallback). Done before any worker thread exists, so the
-  // cached metric pointers are safely published.
-  disk_.AttachMetrics(&metrics_);
-  log_.AttachMetrics(&metrics_);
+  // Re-point every remaining component at this instance's registry (they
+  // start on the process fallback). Done before any of *their* worker
+  // threads exist, so the cached metric pointers are safely published.
   locks_.AttachMetrics(&metrics_);
   preds_.AttachMetrics(&metrics_);
   pool_->AttachMetrics(&metrics_);
@@ -135,6 +140,7 @@ StatusOr<std::unique_ptr<Database>> Database::Create(
   }
   GISTCR_RETURN_IF_ERROR(db->FlushAll());
   db->StartMaintenance();
+  db->StartWriter();
   return db;
 }
 
@@ -162,6 +168,7 @@ StatusOr<std::unique_ptr<Database>> Database::Open(
     }
   }
   db->StartMaintenance();
+  db->StartWriter();
   return db;
 }
 
@@ -195,6 +202,7 @@ Status Database::RunMaintenancePass() {
 void Database::PrepareShutdown() {
   shutting_down_.store(true, std::memory_order_release);
   StopMaintenance();
+  StopWriter();
 }
 
 void Database::StartMaintenance() {
@@ -225,6 +233,58 @@ void Database::StopMaintenance() {
     maint_cv_.NotifyAll();
   }
   maint_thread_.join();
+}
+
+void Database::StartWriter() {
+  if (opts_.writer_interval_ms == 0) return;
+  if (shutting_down_.load(std::memory_order_acquire)) return;
+  {
+    MutexLock l(writer_mu_);
+    writer_stop_ = false;
+  }
+  writer_thread_ = std::thread([this] {
+    obs::Counter* passes = metrics_.GetCounter("writer.passes");
+    obs::Counter* pages = metrics_.GetCounter("writer.pages_written");
+    obs::Counter* errors = metrics_.GetCounter("writer.errors");
+    obs::Histogram* pass_ns = metrics_.GetHistogram("writer.pass_ns");
+    size_t budget = opts_.writer_pages_per_pass;
+    if (budget == 0) {
+      budget = pool_->num_frames() / pool_->num_shards() / 8;
+      if (budget == 0) budget = 1;
+    }
+    MutexLock l(writer_mu_);
+    while (!writer_stop_) {
+      (void)writer_cv_.WaitFor(
+          writer_mu_, std::chrono::milliseconds(opts_.writer_interval_ms));
+      if (writer_stop_) break;
+      l.Unlock();
+      {
+        GISTCR_TRACE_SCOPE("writer.pass");
+        const uint64_t t0 = obs::NowNanos();
+        auto n_or = pool_->WriteBackSome(budget);
+        if (n_or.ok()) {
+          pages->Add(n_or.value());
+        } else {
+          // Best effort: eviction's synchronous fallback surfaces the
+          // error to the operation that actually needs the page.
+          errors->Add(1);
+        }
+        passes->Add(1);
+        pass_ns->Record(obs::NowNanos() - t0);
+      }
+      l.Lock();
+    }
+  });
+}
+
+void Database::StopWriter() {
+  {
+    MutexLock l(writer_mu_);
+    if (!writer_thread_.joinable()) return;
+    writer_stop_ = true;
+    writer_cv_.NotifyAll();
+  }
+  writer_thread_.join();
 }
 
 Status Database::CreateIndex(uint32_t index_id, const GistExtension* ext,
@@ -324,6 +384,9 @@ Status Database::FlushAll() {
 }
 
 void Database::SimulateCrash() {
+  // The writer must stop before volatile state is dropped: a pass holding
+  // pins during DiscardAll would trip its no-pins invariant.
+  StopWriter();
   StopMaintenance();
   log_.DiscardTail();
   pool_->DiscardAll();

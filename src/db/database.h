@@ -24,6 +24,9 @@ namespace gistcr {
 struct DatabaseOptions {
   std::string path;  ///< Base path: <path>.db, <path>.wal, <path>.ckpt.
   size_t buffer_pool_pages = 4096;
+  /// Buffer pool partitions (page table + clock + mutex each). 0 picks
+  /// automatically from the pool size (BufferPool::AutoShards).
+  size_t buffer_pool_shards = 0;
   NsnSource nsn_source = NsnSource::kLsn;
   /// fdatasync the log on commit/flush. Benchmarks measuring protocol
   /// scaling may disable it; anything testing durability must not.
@@ -34,6 +37,17 @@ struct DatabaseOptions {
   /// physical removal "performed as garbage collection by other
   /// operations" — here, a dedicated daemon, like PostgreSQL's vacuum).
   uint32_t maintenance_interval_ms = 0;
+  /// When non-zero, a background writer thread runs every this many
+  /// milliseconds, cleaning dirty pages just ahead of each shard's clock
+  /// hand (BufferPool::WriteBackSome) so Fetch rarely has to write a dirty
+  /// victim inline. Off by default: deterministic tests arm one-shot fault
+  /// injection points that a concurrent writer could consume. Eviction
+  /// always falls back to the synchronous write when the writer is behind
+  /// (or disabled), so this is purely a latency optimization.
+  uint32_t writer_interval_ms = 0;
+  /// Dirty pages the writer may clean per shard per pass. 0 picks
+  /// automatically (1/8 of a shard's frames).
+  size_t writer_pages_per_pass = 0;
 };
 
 /// The engine facade: wires disk, buffer pool, WAL, transactions, locks,
@@ -163,6 +177,8 @@ class Database {
 
   void StartMaintenance();
   void StopMaintenance();
+  void StartWriter();
+  void StopWriter();
 
   Mutex indexes_mu_;
   std::unordered_map<uint32_t, std::unique_ptr<Gist>> indexes_
@@ -172,6 +188,11 @@ class Database {
   Mutex maint_mu_;
   CondVar maint_cv_;
   bool maint_stop_ GISTCR_GUARDED_BY(maint_mu_) = false;
+
+  std::thread writer_thread_;
+  Mutex writer_mu_;
+  CondVar writer_cv_;
+  bool writer_stop_ GISTCR_GUARDED_BY(writer_mu_) = false;
   /// One-way latch; set by PrepareShutdown (see above).
   std::atomic<bool> shutting_down_{false};
 

@@ -28,6 +28,9 @@ class Frame {
   char* data() { return data_; }
   const char* data() const { return data_; }
   PageView view() { return PageView(data_); }
+
+  /// Stable while the caller holds a pin (only eviction reassigns it, and
+  /// eviction never selects a pinned frame).
   PageId page_id() const { return page_id_; }
 
   SharedMutex& latch() GISTCR_RETURN_CAPABILITY(latch_) { return latch_; }
@@ -55,36 +58,58 @@ class Frame {
 
   enum class State { kReady, kBusy };
 
+  /// Tells the thread-safety analysis that the caller holds this frame's
+  /// shard mutex. Sound because shard_mu_ is fixed at pool construction
+  /// and every caller reached the frame through its shard's table or frame
+  /// list, whose mutex it already holds — the analysis just cannot prove
+  /// the aliasing (`&shard.mu == frame->shard_mu_`) statically.
+  void AssertShardMutexHeld() const GISTCR_ASSERT_CAPABILITY(*shard_mu_) {}
+
   void ClearDirty() {
     dirty_.store(false, std::memory_order_release);
     rec_lsn_.store(kInvalidLsn, std::memory_order_relaxed);
   }
 
-  PageId page_id_ = kInvalidPageId;
-  uint32_t pin_count_ = 0;       // guarded by pool mutex
-  bool ref_ = false;             // clock reference bit, guarded by pool mutex
-  State state_ = State::kReady;  // kBusy while I/O in flight; pool mutex
+  PageId page_id_ = kInvalidPageId;  ///< see page_id() for stability rule
+  uint32_t pin_count_ GISTCR_GUARDED_BY(*shard_mu_) = 0;
+  bool ref_ GISTCR_GUARDED_BY(*shard_mu_) = false;  ///< clock reference bit
+  /// kBusy while this frame's I/O (eviction write / fill read) is in
+  /// flight; waiters park on the shard cv.
+  State state_ GISTCR_GUARDED_BY(*shard_mu_) = State::kReady;
   std::atomic<bool> dirty_{false};
   std::atomic<Lsn> rec_lsn_{kInvalidLsn};
   char* data_ = nullptr;
+  Mutex* shard_mu_ = nullptr;  ///< owning shard's mutex; set once in ctor
   SharedMutex latch_;
 };
 
 /// Fixed-size buffer pool with CLOCK replacement and the write-ahead-log
-/// flush rule: before a dirty page is written out (eviction or checkpoint
-/// flush), the log is forced up to the page's page_lsn via the wal_flush
-/// callback.
+/// flush rule: before a dirty page is written out (eviction, checkpoint
+/// flush, or background writer), the log is forced up to the page's
+/// page_lsn via the wal_flush callback.
 ///
-/// I/O never happens while the caller holds a node latch: a Fetch performs
-/// any disk read/write before the frame is handed out, and tree operations
-/// latch only resident, pinned frames (the paper's "no latches during I/O"
-/// property falls out of this split).
+/// The pool is sharded: frames, the page table, the clock hand, and the
+/// mutex are statically partitioned into N shards, with pages assigned by
+/// a hash of their PageId. Fetch/Unpin on pages in different shards never
+/// contend, and every invariant (Busy protocol, WAL-before-data, the
+/// dirty-victim table-entry rule) is per-shard — a page lives in exactly
+/// one shard for its whole life.
+///
+/// I/O never happens while the caller holds a node latch *or any shard
+/// mutex*: a Fetch performs disk read/write with the shard mutex released
+/// (the frame marked Busy instead), and tree operations latch only
+/// resident, pinned frames (the paper's "no latches during I/O" property
+/// falls out of this split).
 class BufferPool {
  public:
   using WalFlushFn = std::function<Status(Lsn)>;
 
   /// \p wal_flush may be empty (no WAL rule) for log-less unit tests.
-  BufferPool(DiskManager* disk, size_t num_frames, WalFlushFn wal_flush);
+  /// \p num_shards = 0 picks automatically: enough shards to cut
+  /// contention on big pools, but never fewer than 128 frames per shard
+  /// (so small test pools keep their single-shard eviction margins).
+  BufferPool(DiskManager* disk, size_t num_frames, WalFlushFn wal_flush,
+             size_t num_shards = 0);
   ~BufferPool();
   GISTCR_DISALLOW_COPY_AND_ASSIGN(BufferPool);
 
@@ -104,10 +129,25 @@ class BufferPool {
   void Unpin(Frame* frame);
 
   /// Forces the page to disk if resident and dirty (WAL rule applied).
+  /// Returns OK (as a no-op) when the page is not resident or not dirty —
+  /// including when a concurrent eviction removed it after the caller
+  /// decided to flush it: the eviction path already wrote the page, so
+  /// there is nothing left to do.
   Status FlushPage(PageId page_id);
 
-  /// Flushes every dirty page and syncs (clean shutdown).
+  /// Flushes every dirty page and syncs (clean shutdown / checkpoint).
+  /// Tolerates concurrent evictions: a page that disappears between the
+  /// dirty-scan and its FlushPage call was written by the evicting thread
+  /// (under the same WAL rule), so FlushPage's no-op return is correct.
   Status FlushAll();
+
+  /// One background-writer pass: writes out up to \p per_shard_budget
+  /// dirty pages per shard, scanning just ahead of each shard's clock hand
+  /// so the next eviction victims are already clean when the hand reaches
+  /// them. All I/O runs with no shard mutex held; pages that get evicted
+  /// or cleaned concurrently are skipped. Returns the number of pages
+  /// actually written.
+  StatusOr<size_t> WriteBackSome(size_t per_shard_budget);
 
   /// Drops all cached pages *without* writing them — simulates losing
   /// volatile memory in a crash. All pins must have been released.
@@ -118,13 +158,28 @@ class BufferPool {
   std::vector<std::pair<PageId, Lsn>> DirtyPageTable();
 
   size_t num_frames() const { return frames_.size(); }
+  size_t num_shards() const { return shards_.size(); }
 
   /// Number of pages currently resident (for tests).
   size_t ResidentCount();
 
  private:
+  /// One partition: its frames, page table, clock hand, and the mutex/cv
+  /// that guard them. Frames never migrate between shards.
+  struct Shard {
+    Mutex mu;
+    CondVar cv;  ///< signalled when a Busy frame becomes Ready
+    std::unordered_map<PageId, Frame*> table GISTCR_GUARDED_BY(mu);
+    std::vector<Frame*> frames;  ///< static partition, set once in ctor
+    size_t clock_hand GISTCR_GUARDED_BY(mu) = 0;
+  };
+
+  Shard& ShardOf(PageId page_id);
   StatusOr<Frame*> FetchInternal(PageId page_id, bool fresh);
-  Frame* FindVictimLocked() GISTCR_REQUIRES(mu_);
+  Frame* FindVictimLocked(Shard& s) GISTCR_REQUIRES(s.mu);
+  /// FlushPage body; *wrote reports whether a write actually happened
+  /// (false for the not-resident / not-dirty no-op returns).
+  Status FlushPageInternal(PageId page_id, bool* wrote);
 
   DiskManager* disk_;
   WalFlushFn wal_flush_;
@@ -133,15 +188,13 @@ class BufferPool {
   obs::Counter* m_hits_ = nullptr;
   obs::Counter* m_misses_ = nullptr;
   obs::Counter* m_evictions_ = nullptr;
+  obs::Counter* m_dirty_evictions_ = nullptr;
   obs::Counter* m_flushes_ = nullptr;
   obs::Histogram* m_pin_wait_ns_ = nullptr;
 
-  Mutex mu_;
-  CondVar cv_;
-  std::unordered_map<PageId, Frame*> table_ GISTCR_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<Frame>> frames_;  ///< set once in ctor
   std::unique_ptr<char[]> arena_;
-  size_t clock_hand_ GISTCR_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII pin + latch management for one page. Move-only. On destruction,

@@ -16,7 +16,20 @@
 namespace gistcr {
 
 namespace {
+
 constexpr char kMagic[8] = {'G', 'I', 'S', 'T', 'W', 'A', 'L', '1'};
+
+/// One batch handed from the appender state to the flusher's unlocked I/O
+/// section. The data pointer aims into flushing_, which no thread mutates
+/// while the flush is in flight (flush_in_flight_ brackets it).
+struct BatchIo {
+  int fd = -1;
+  const char* data = nullptr;
+  size_t size = 0;
+  Lsn base = kInvalidLsn;  ///< file offset of the batch's first byte
+  Lsn last = kInvalidLsn;  ///< LSN of the batch's final record
+};
+
 }  // namespace
 
 LogManager::LogManager() { AttachMetrics(nullptr); }
@@ -28,34 +41,50 @@ void LogManager::AttachMetrics(obs::MetricsRegistry* reg) {
   m_appends_ = reg->GetCounter("wal.appends");
   m_append_bytes_ = reg->GetCounter("wal.append_bytes");
   m_flushes_ = reg->GetCounter("wal.flushes");
+  m_flusher_wakeups_ = reg->GetCounter("wal.flusher.wakeups");
+  m_flusher_errors_ = reg->GetCounter("wal.flusher.errors");
   m_fsync_ns_ = reg->GetHistogram("wal.fsync_ns");
   m_batch_records_ = reg->GetHistogram("wal.group_commit_records");
+  m_batch_commits_ = reg->GetHistogram("wal.group_commit_commits");
+  m_batch_bytes_ = reg->GetHistogram("wal.flusher.batch_bytes");
+  m_flush_wait_ns_ = reg->GetHistogram("wal.flusher.wait_ns");
 }
 
 Status LogManager::Open(const std::string& path) {
-  GISTCR_CHECK(fd_ < 0);
-  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
-  if (fd_ < 0) {
+  // File setup happens before any lock: Open precedes concurrent use, and
+  // the latch discipline bans disk syncs under a Mutex even on cold paths.
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
     return Status::IOError("open " + path + ": " + std::strerror(errno));
   }
-  path_ = path;
-
-  off_t size = ::lseek(fd_, 0, SEEK_END);
+  off_t size = ::lseek(fd, 0, SEEK_END);
   if (size == 0) {
-    if (::write(fd_, kMagic, sizeof(kMagic)) != sizeof(kMagic)) {
+    if (::write(fd, kMagic, sizeof(kMagic)) != sizeof(kMagic)) {
+      ::close(fd);
       return Status::IOError("write log magic");
     }
-    if (::fdatasync(fd_) != 0) return Status::IOError("fdatasync");
+    if (::fdatasync(fd) != 0) {
+      ::close(fd);
+      return Status::IOError("fdatasync");
+    }
     size = sizeof(kMagic);
   } else {
     char magic[8];
-    if (::pread(fd_, magic, 8, 0) != 8 ||
+    if (::pread(fd, magic, 8, 0) != 8 ||
         std::memcmp(magic, kMagic, 8) != 0) {
+      ::close(fd);
       return Status::Corruption("bad log magic in " + path);
     }
   }
+
+  MutexLock l(mu_);
+  GISTCR_CHECK(fd_ < 0);
+  GISTCR_CHECK(!flusher_thread_.joinable());
+  fd_ = fd;
+  path_ = path;
   buffer_base_ = static_cast<Lsn>(size);
   next_lsn_ = buffer_base_;
+  requested_lsn_ = kInvalidLsn;
   durable_lsn_.store(buffer_base_ > kFirstLsn ? buffer_base_ - 1 : kInvalidLsn,
                      std::memory_order_release);
   // last_lsn_ is refined by Scan during recovery; a conservative value (the
@@ -63,18 +92,63 @@ Status LogManager::Open(const std::string& path) {
   // be >= every NSN already assigned.
   last_lsn_.store(buffer_base_ > kFirstLsn ? buffer_base_ - 1 : kInvalidLsn,
                   std::memory_order_release);
+  flusher_stop_ = false;
+  flusher_thread_ = std::thread([this] { FlusherLoop(); });
   return Status::OK();
 }
 
 void LogManager::Close() {
-  MutexLock l(mu_);
-  if (fd_ >= 0) {
-    // Best-effort: shutdown cannot do anything with a flush failure, and
-    // recovery tolerates a truncated tail.
-    (void)FlushLocked();
-    ::close(fd_);
-    fd_ = -1;
+  {
+    MutexLock l(mu_);
+    flusher_stop_ = true;
+    work_cv_.NotifyAll();
+    durable_cv_.NotifyAll();
   }
+  if (flusher_thread_.joinable()) flusher_thread_.join();
+  MutexLock l(mu_);
+  if (fd_ < 0) return;
+  // Best-effort drain: shutdown cannot do anything with a flush failure,
+  // and recovery tolerates a truncated tail. The flusher has exited, so
+  // any in-flight batch has already landed or been spliced back.
+  GISTCR_DCHECK(!flush_in_flight_);
+  if (!buffer_.empty()) {
+    BatchIo io;
+    io.fd = fd_;
+    io.data = buffer_.data();
+    io.size = buffer_.size();
+    io.base = buffer_base_;
+    io.last = last_lsn_.load(std::memory_order_acquire);
+    l.Unlock();
+    GISTCR_TRACE_SCOPE("wal.flush");
+    const char* p = io.data;
+    size_t remaining = io.size;
+    off_t offset = static_cast<off_t>(io.base);
+    bool ok = true;
+    while (remaining > 0) {
+      ssize_t n = ::pwrite(io.fd, p, remaining, offset);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        ok = false;
+        break;
+      }
+      p += n;
+      offset += n;
+      remaining -= static_cast<size_t>(n);
+    }
+    if (ok && sync_on_flush_.load(std::memory_order_relaxed)) {
+      ok = ::fdatasync(io.fd) == 0;
+    }
+    l.Lock();
+    if (ok) {
+      buffer_base_ += buffer_.size();
+      buffer_.clear();
+      pending_records_ = 0;
+      pending_commits_ = 0;
+      durable_lsn_.store(io.last, std::memory_order_release);
+    }
+  }
+  ::close(fd_);
+  fd_ = -1;
 }
 
 Status LogManager::Append(LogRecord* rec) {
@@ -87,76 +161,189 @@ Status LogManager::Append(LogRecord* rec) {
   m_appends_->Add(1);
   m_append_bytes_->Add(rec->SerializedSize());
   pending_records_++;
+  if (rec->type == LogRecordType::kCommit) pending_commits_++;
+  // Appends never wait for I/O; past the flush-ahead cap they nudge the
+  // flusher so the unflushed tail stays bounded.
+  if (buffer_.size() >= kFlushAheadBytes && !flush_in_flight_) {
+    work_cv_.NotifyOne();
+  }
   return Status::OK();
 }
 
-Status LogManager::FlushLocked() {
-  if (buffer_.empty()) return Status::OK();
-  GISTCR_TRACE_SCOPE("wal.flush");
-  // One flush covers every record appended before it (group commit); the
-  // histogram of records-per-flush is the batch-size distribution, and the
-  // flush duration is the durability-path latency (pwrite + fdatasync when
-  // sync_on_flush is set; pwrite only otherwise).
-  const uint64_t t0 = obs::NowNanos();
-  const char* p = buffer_.data();
-  size_t remaining = buffer_.size();
-  off_t offset = static_cast<off_t>(buffer_base_);
-  while (remaining > 0) {
-    ssize_t n = ::pwrite(fd_, p, remaining, offset);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      return Status::IOError("pwrite log: " + std::string(std::strerror(errno)));
-    }
-    p += n;
-    offset += n;
-    remaining -= static_cast<size_t>(n);
-  }
-  GISTCR_CRASHPOINT("wal.before_fsync");
-  if (sync_on_flush_.load(std::memory_order_relaxed)) {
-    if constexpr (kFaultInjectionCompiled) {
-      if (FaultInjector::Global().io_faults_active() &&
-          FaultInjector::Global().TakeSyncFailure()) {
-        return Status::IOError("injected log sync failure");
+bool LogManager::WantsFlushLocked() const {
+  // Hold off while a DiscardTail is waiting for the in-flight batch: on a
+  // busy log the flusher would otherwise re-cut a new batch the instant it
+  // publishes the old one (it keeps mu_ across publish -> re-check -> cut),
+  // so flush_in_flight_ is true at every moment the discard holds the
+  // mutex and its wait livelocks.
+  if (discard_waiters_ > 0) return false;
+  if (buffer_.empty()) return false;
+  if (buffer_.size() >= kFlushAheadBytes) return true;
+  if (requested_lsn_ == kInvalidLsn) return false;
+  const Lsn durable = durable_lsn_.load(std::memory_order_acquire);
+  return durable == kInvalidLsn || requested_lsn_ > durable;
+}
+
+void LogManager::FlusherLoop() {
+  MutexLock l(mu_);
+  for (;;) {
+    while (!flusher_stop_ && !WantsFlushLocked()) work_cv_.Wait(mu_);
+    if (flusher_stop_) return;
+    m_flusher_wakeups_->Add(1);
+
+    // Cut the batch: everything appended so far moves to flushing_; later
+    // appends extend the (now empty) tail buffer and are covered by the
+    // next fsync. Batches cut at record boundaries by construction.
+    GISTCR_DCHECK(flushing_.empty());
+    flushing_ = std::move(buffer_);
+    buffer_.clear();
+    inflight_records_ = pending_records_;
+    inflight_commits_ = pending_commits_;
+    pending_records_ = 0;
+    pending_commits_ = 0;
+    BatchIo io;
+    io.fd = fd_;
+    io.data = flushing_.data();
+    io.size = flushing_.size();
+    io.base = buffer_base_;
+    io.last = last_lsn_.load(std::memory_order_acquire);
+    flush_in_flight_ = true;
+    l.Unlock();
+
+    // The I/O section: no mutex held. One pwrite + fdatasync retires every
+    // record in the batch — this is the group commit. io.data points into
+    // flushing_, which only this thread touches until flush_in_flight_
+    // drops (readers may *read* it under mu_; that is race-free).
+    Status st;
+    {
+      GISTCR_TRACE_SCOPE("wal.flush");
+      const uint64_t t0 = obs::NowNanos();
+      const char* p = io.data;
+      size_t remaining = io.size;
+      off_t offset = static_cast<off_t>(io.base);
+      while (remaining > 0) {
+        ssize_t n = ::pwrite(io.fd, p, remaining, offset);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+          st = Status::IOError("pwrite log: " +
+                               std::string(std::strerror(errno)));
+          break;
+        }
+        p += n;
+        offset += n;
+        remaining -= static_cast<size_t>(n);
       }
+      if (st.ok()) {
+        st = FaultInjector::Global().CheckCrashPoint("wal.before_fsync");
+      }
+      if (st.ok() && sync_on_flush_.load(std::memory_order_relaxed)) {
+        if constexpr (kFaultInjectionCompiled) {
+          if (FaultInjector::Global().io_faults_active() &&
+              FaultInjector::Global().TakeSyncFailure()) {
+            st = Status::IOError("injected log sync failure");
+          }
+        }
+        if (st.ok() && ::fdatasync(io.fd) != 0) {
+          st = Status::IOError("fdatasync log");
+        }
+      }
+      if (st.ok()) {
+        st = FaultInjector::Global().CheckCrashPoint("wal.after_fsync");
+      }
+      if (st.ok()) m_fsync_ns_->Record(obs::NowNanos() - t0);
     }
-    if (::fdatasync(fd_) != 0) {
-      return Status::IOError("fdatasync log");
+
+    l.Lock();
+    flush_in_flight_ = false;
+    if (st.ok()) {
+      buffer_base_ += flushing_.size();
+      flushing_.clear();
+      durable_lsn_.store(io.last, std::memory_order_release);
+      m_flushes_->Add(1);
+      m_batch_records_->Record(inflight_records_);
+      if (inflight_commits_ > 0) m_batch_commits_->Record(inflight_commits_);
+      m_batch_bytes_->Record(io.size);
+    } else {
+      // Splice the batch back in front of the newer tail so a later flush
+      // request retries it; fan the error out to every blocked waiter and
+      // drop the outstanding request so a persistent error does not spin
+      // the flusher (the next Flush call re-arms it).
+      flushing_.append(buffer_);
+      buffer_ = std::move(flushing_);
+      flushing_.clear();
+      pending_records_ += inflight_records_;
+      pending_commits_ += inflight_commits_;
+      requested_lsn_ = kInvalidLsn;
+      last_error_ = st;
+      error_gen_++;
+      m_flusher_errors_->Add(1);
     }
+    inflight_records_ = 0;
+    inflight_commits_ = 0;
+    durable_cv_.NotifyAll();
   }
-  GISTCR_CRASHPOINT("wal.after_fsync");
-  buffer_base_ += buffer_.size();
-  buffer_.clear();
-  durable_lsn_.store(last_lsn_.load(std::memory_order_acquire),
-                     std::memory_order_release);
-  m_fsync_ns_->Record(obs::NowNanos() - t0);
-  m_batch_records_->Record(pending_records_);
-  pending_records_ = 0;
-  m_flushes_->Add(1);
-  return Status::OK();
 }
 
 Status LogManager::Flush(Lsn lsn) {
-  if (lsn != kInvalidLsn &&
-      durable_lsn_.load(std::memory_order_acquire) >= lsn) {
+  Lsn target = lsn == kInvalidLsn ? last_lsn() : lsn;
+  if (target == kInvalidLsn) return Status::OK();  // nothing ever appended
+  if (durable_lsn_.load(std::memory_order_acquire) >= target) {
     return Status::OK();
   }
+  GISTCR_TRACE_SCOPE("wal.flush.wait");
+  const uint64_t t0 = obs::NowNanos();
   MutexLock l(mu_);
-  return FlushLocked();
+  GISTCR_CHECK(fd_ >= 0);
+  {
+    // DiscardTail may have dropped the records we were asked about; never
+    // wait for an LSN that no longer exists.
+    const Lsn last = last_lsn_.load(std::memory_order_acquire);
+    if (last == kInvalidLsn) return Status::OK();
+    if (target > last) target = last;
+  }
+  if (requested_lsn_ == kInvalidLsn || target > requested_lsn_) {
+    requested_lsn_ = target;
+  }
+  work_cv_.NotifyOne();
+  const uint64_t my_gen = error_gen_;
+  while (durable_lsn_.load(std::memory_order_acquire) < target) {
+    if (error_gen_ != my_gen) return last_error_;
+    if (flusher_stop_) return Status::IOError("wal: log closing");
+    durable_cv_.Wait(mu_);
+  }
+  m_flush_wait_ns_->Record(obs::NowNanos() - t0);
+  return Status::OK();
+}
+
+Status LogManager::ReadBufferedLocked(Lsn lsn, LogRecord* rec) {
+  // [buffer_base_, buffer_base_ + flushing_.size()) lives in flushing_
+  // (the in-flight batch); everything beyond lives in buffer_. Batches are
+  // cut at record boundaries, so a record never spans the two.
+  const Lsn flushing_end = buffer_base_ + flushing_.size();
+  const std::string* src;
+  Lsn off;
+  if (lsn < flushing_end) {
+    src = &flushing_;
+    off = lsn - buffer_base_;
+  } else {
+    src = &buffer_;
+    off = lsn - flushing_end;
+  }
+  if (off >= src->size()) {
+    return Status::NotFound("lsn beyond log end");
+  }
+  uint32_t consumed;
+  GISTCR_RETURN_IF_ERROR(rec->DecodeFrom(
+      Slice(src->data() + off, src->size() - off), &consumed));
+  rec->lsn = lsn;
+  return Status::OK();
 }
 
 Status LogManager::ReadRecord(Lsn lsn, LogRecord* rec) {
   MutexLock l(mu_);
   GISTCR_CHECK(fd_ >= 0);
   if (lsn >= buffer_base_) {
-    const Lsn off = lsn - buffer_base_;
-    if (off >= buffer_.size()) {
-      return Status::NotFound("lsn beyond log end");
-    }
-    uint32_t consumed;
-    GISTCR_RETURN_IF_ERROR(rec->DecodeFrom(
-        Slice(buffer_.data() + off, buffer_.size() - off), &consumed));
-    rec->lsn = lsn;
-    return Status::OK();
+    return ReadBufferedLocked(lsn, rec);
   }
   // Durable region: read the header first to size the record.
   char header[LogRecord::kHeaderSize];
@@ -207,7 +394,7 @@ Status LogManager::Scan(Lsn from,
 
 uint64_t LogManager::TotalBytes() const {
   MutexLock l(mu_);
-  return buffer_base_ + buffer_.size() - kFirstLsn;
+  return buffer_base_ + flushing_.size() + buffer_.size() - kFirstLsn;
 }
 
 StatusOr<uint64_t> LogManager::ReclaimBefore(Lsn lsn) {
@@ -236,11 +423,29 @@ StatusOr<uint64_t> LogManager::ReclaimBefore(Lsn lsn) {
 
 void LogManager::DiscardTail() {
   MutexLock l(mu_);
+  // A batch the flusher already handed to the kernel may still land — a
+  // power cut can persist a write that was in flight. Let it settle so the
+  // durable prefix is well-defined, then drop everything after it.
+  // discard_waiters_ keeps the flusher from cutting the next batch while
+  // we wait (WantsFlushLocked), otherwise continuous committers keep
+  // flush_in_flight_ true forever and this wait livelocks.
+  discard_waiters_++;
+  while (flush_in_flight_) durable_cv_.Wait(mu_);
+  discard_waiters_--;
   buffer_.clear();
   pending_records_ = 0;
+  pending_commits_ = 0;
   next_lsn_ = buffer_base_;
   last_lsn_.store(durable_lsn_.load(std::memory_order_acquire),
                   std::memory_order_release);
+  if (requested_lsn_ != kInvalidLsn) {
+    // Waiters whose records were just discarded can never be satisfied;
+    // fail them out exactly like a flush error.
+    requested_lsn_ = kInvalidLsn;
+    last_error_ = Status::Aborted("wal: tail discarded before flush");
+    error_gen_++;
+    durable_cv_.NotifyAll();
+  }
 }
 
 }  // namespace gistcr

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <functional>
 #include <string>
+#include <thread>
 
 #include "common/mutex.h"
 #include "common/types.h"
@@ -20,9 +21,23 @@ namespace gistcr {
 /// 10.1): `last_lsn()` *is* the global counter value a descending operation
 /// memorizes.
 ///
-/// Thread-safe. Appends go to an in-memory tail buffer; Flush(lsn) forces
-/// the buffer through fdatasync (group commit: one flush covers every
-/// record appended before it).
+/// Thread-safe. The write pipeline is split in two so no appender ever sits
+/// behind an in-flight fdatasync (DESIGN.md section 11):
+///
+///  - **Append path** (any thread): takes `mu_`, extends the in-memory tail
+///    buffer, assigns the LSN, returns. The mutex is only ever held for
+///    memory operations — never across disk I/O.
+///  - **Flusher thread** (one per open log, started by Open): woken when a
+///    caller needs durability, it swaps the tail buffer out under `mu_`,
+///    releases the mutex, pwrites + fdatasyncs the batch, then re-takes the
+///    mutex to advance durable_lsn() and broadcast to waiters. One fsync
+///    retires every record (and so every commit) appended before it — true
+///    group commit. A flush failure fans out to *every* waiter blocked at
+///    that moment and leaves the batch in the tail buffer for retry.
+///
+/// Flush(lsn) is the waiter side of the handshake: it records the request,
+/// wakes the flusher, and blocks until durable_lsn() covers the target or
+/// the covering flush attempt fails.
 class LogManager {
  public:
   LogManager();
@@ -33,18 +48,25 @@ class LogManager {
   /// before concurrent use; the Database facade does so at init.
   void AttachMetrics(obs::MetricsRegistry* reg);
 
-  /// Opens (creating if absent) the log file and positions at its end.
-  /// Scans backwards-compatible: an existing file is validated lazily by
-  /// Scan during recovery.
+  /// Opens (creating if absent) the log file, positions at its end, and
+  /// starts the flusher thread. Scans backwards-compatible: an existing
+  /// file is validated lazily by Scan during recovery.
   Status Open(const std::string& path);
+
+  /// Stops the flusher (draining the tail buffer best-effort) and closes
+  /// the file. Idempotent; Open may be called again afterwards.
   void Close();
 
-  /// Appends \p rec, assigning rec->lsn. Does not flush.
+  /// Appends \p rec, assigning rec->lsn. Does not flush; the record
+  /// becomes durable when a later Flush covers its LSN.
   Status Append(LogRecord* rec);
 
-  /// Forces the log to disk up to and including \p lsn (kInvalidLsn: all).
+  /// Blocks until the log is durable up to and including \p lsn
+  /// (kInvalidLsn: everything appended so far). Many concurrent callers
+  /// are retired by one fdatasync; an I/O failure during the covering
+  /// flush attempt is returned to every caller blocked on it.
   Status Flush(Lsn lsn);
-  Status FlushAll() { return Flush(last_lsn()); }
+  Status FlushAll() { return Flush(kInvalidLsn); }
 
   /// LSN of the most recently appended record — the paper's "global NSN"
   /// counter value (section 10.1).
@@ -69,10 +91,12 @@ class LogManager {
   uint64_t TotalBytes() const;
 
   /// Simulates a crash: drops the unflushed tail buffer. Records with LSN
-  /// beyond durable_lsn() are lost, exactly as after a power failure.
+  /// beyond durable_lsn() are lost, exactly as after a power failure. A
+  /// flush already in flight is allowed to land first (a power cut may or
+  /// may not persist a write the kernel already accepted).
   void DiscardTail();
 
-  /// When disabled, Flush writes to the OS but skips fdatasync. Benchmarks
+  /// When disabled, flushes write to the OS but skip fdatasync. Benchmarks
   /// measuring protocol scaling (not commit durability) turn this off so
   /// fsync latency does not dominate; correctness-under-crash tests keep
   /// it on (the default).
@@ -94,23 +118,77 @@ class LogManager {
   }
 
  private:
-  Status FlushLocked() GISTCR_REQUIRES(mu_);
+  /// Flusher thread body: sleep until a flush is wanted, batch, write.
+  void FlusherLoop();
+
+  /// True when the flusher has work: someone requested durability beyond
+  /// durable_lsn(), or the tail buffer outgrew the flush-ahead cap.
+  /// Always false while a DiscardTail is waiting, so the flusher parks
+  /// instead of cutting batch after batch (which would starve the
+  /// discard's wait for the in-flight one to land).
+  bool WantsFlushLocked() const GISTCR_REQUIRES(mu_);
+
+  /// Locates \p lsn in flushing_ or buffer_ and decodes it. NotFound past
+  /// the tail end.
+  Status ReadBufferedLocked(Lsn lsn, LogRecord* rec) GISTCR_REQUIRES(mu_);
+
+  /// Flush-ahead cap: appenders beyond this much unflushed tail wake the
+  /// flusher even with no durability waiter, bounding tail-buffer memory.
+  static constexpr size_t kFlushAheadBytes = 8u << 20;
 
   obs::Counter* m_appends_ = nullptr;
   obs::Counter* m_append_bytes_ = nullptr;
   obs::Counter* m_flushes_ = nullptr;
+  obs::Counter* m_flusher_wakeups_ = nullptr;
+  obs::Counter* m_flusher_errors_ = nullptr;
   obs::Histogram* m_fsync_ns_ = nullptr;
   obs::Histogram* m_batch_records_ = nullptr;
-  /// Appends since last flush.
-  uint64_t pending_records_ GISTCR_GUARDED_BY(mu_) = 0;
+  obs::Histogram* m_batch_commits_ = nullptr;
+  obs::Histogram* m_batch_bytes_ = nullptr;
+  obs::Histogram* m_flush_wait_ns_ = nullptr;
 
   mutable Mutex mu_;
+  /// Broadcast by the flusher after every attempt (success or failure) and
+  /// by Close; Flush waiters and DiscardTail sleep on it.
+  CondVar durable_cv_;
+  /// Signalled when WantsFlushLocked may have become true; the flusher
+  /// sleeps on it.
+  CondVar work_cv_;
+
   int fd_ GISTCR_GUARDED_BY(mu_) = -1;
   std::string path_ GISTCR_GUARDED_BY(mu_);
-  /// Unflushed tail; starts at LSN buffer_base_.
+  /// Unflushed tail past flushing_; first byte is at LSN
+  /// buffer_base_ + flushing_.size().
   std::string buffer_ GISTCR_GUARDED_BY(mu_);
-  /// File size == LSN of first buffered byte.
+  /// Batch the flusher is currently writing (empty when idle); starts at
+  /// LSN buffer_base_. Readable under mu_ while the flusher's I/O is in
+  /// flight — the flusher only reads it outside the mutex and only
+  /// mutates it (clear / splice back) with the mutex held.
+  std::string flushing_ GISTCR_GUARDED_BY(mu_);
+  /// Durable file size == LSN of the first byte of flushing_ (or of
+  /// buffer_ when no flush is in flight).
   Lsn buffer_base_ GISTCR_GUARDED_BY(mu_) = 0;
+  /// Highest LSN any Flush call asked to make durable.
+  Lsn requested_lsn_ GISTCR_GUARDED_BY(mu_) = kInvalidLsn;
+  /// Appends (and Commit-record appends) since the last flush batch cut.
+  uint64_t pending_records_ GISTCR_GUARDED_BY(mu_) = 0;
+  uint64_t pending_commits_ GISTCR_GUARDED_BY(mu_) = 0;
+  /// Records/commits in the in-flight batch.
+  uint64_t inflight_records_ GISTCR_GUARDED_BY(mu_) = 0;
+  uint64_t inflight_commits_ GISTCR_GUARDED_BY(mu_) = 0;
+  bool flush_in_flight_ GISTCR_GUARDED_BY(mu_) = false;
+  /// Count of DiscardTail calls waiting for the in-flight flush to land.
+  /// While nonzero the flusher cuts no new batches (see WantsFlushLocked).
+  uint64_t discard_waiters_ GISTCR_GUARDED_BY(mu_) = 0;
+  /// Error fan-out: every failed flush attempt bumps the generation and
+  /// stores its status; waiters that observed an older generation return
+  /// the error instead of re-sleeping.
+  uint64_t error_gen_ GISTCR_GUARDED_BY(mu_) = 0;
+  Status last_error_ GISTCR_GUARDED_BY(mu_);
+  bool flusher_stop_ GISTCR_GUARDED_BY(mu_) = false;
+
+  std::thread flusher_thread_;  ///< set in Open, joined in Close
+
   std::atomic<Lsn> last_lsn_{kInvalidLsn};
   std::atomic<Lsn> durable_lsn_{kInvalidLsn};
   Lsn next_lsn_ GISTCR_GUARDED_BY(mu_) = kFirstLsn;

@@ -1,0 +1,42 @@
+// Negative fixture for gistcr_lint rule `sync-under-mutex`: an fdatasync
+// (or DiskManager::Sync) while holding a Mutex from common/mutex.h parks
+// every thread that needs that mutex behind a multi-millisecond disk
+// flush — the exact pathology the dedicated WAL flusher exists to remove
+// (DESIGN.md section 11). The fix is always the flusher's shape: publish
+// state, Unlock(), sync, Lock(), re-publish.
+//
+// Not compiled; consumed by `gistcr_lint.py --self-test tests/lint`.
+
+#include <unistd.h>
+
+#include "common/mutex.h"
+#include "storage/disk_manager.h"
+
+namespace gistcr {
+
+Status BadSyncUnderMutex(Mutex& mu, int fd) {
+  MutexLock l(mu);
+  // VIOLATION: fdatasync with `l` held.
+  if (::fdatasync(fd) != 0) {
+    return Status::IOError("fdatasync");
+  }
+  return Status::OK();
+}
+
+Status BadDiskSyncUnderMutex(Mutex& mu, DiskManager* disk) {
+  MutexLock l(mu);
+  // VIOLATION: DiskManager::Sync (itself an fdatasync) with `l` held.
+  return disk->Sync();
+}
+
+Status OkSyncInUnlockedWindow(Mutex& mu, int fd) {
+  MutexLock l(mu);
+  l.Unlock();
+  // Fine: the mutex is released across the sync (the flusher pattern).
+  const int rc = ::fdatasync(fd);
+  l.Lock();
+  if (rc != 0) return Status::IOError("fdatasync");
+  return Status::OK();
+}
+
+}  // namespace gistcr

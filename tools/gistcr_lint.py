@@ -43,6 +43,15 @@ Rules
       it, wrap it in GISTCR_RETURN_IF_ERROR / an assertion, or cast to
       (void) deliberately.
 
+  sync-under-mutex
+      No fsync/fdatasync or DiskManager::Sync call while a MutexLock or
+      SharedLock from common/mutex.h is held in the enclosing scope. A
+      disk sync takes milliseconds; holding a mutex across one serializes
+      every thread that touches the same shared state behind the platter
+      (the whole point of the WAL flusher split, DESIGN.md section 11).
+      MutexLock::Unlock()/Lock() windows are tracked: sync inside an
+      unlocked window is fine.
+
 Escape hatches
 --------------
   // gistcr-lint: allow(<rule>)        on the offending line or the line
@@ -70,6 +79,7 @@ RULES = (
     "raw-latch-primitive",
     "nsn-outside-node",
     "unchecked-status",
+    "sync-under-mutex",
 )
 
 # --- directive extraction & source stripping -------------------------------
@@ -233,6 +243,15 @@ RAW_PRIMITIVE_RE = re.compile(
 )
 NSN_RE = re.compile(r"(?:\.|->)\s*(?:set_)?(?:nsn|rightlink)\s*\(")
 
+# sync-under-mutex: scoped-lock tracking (MutexLock/SharedLock from
+# common/mutex.h) plus the explicit Unlock()/Lock() windows MutexLock
+# supports, against direct disk syncs.
+MUTEX_SCOPE_DECL_RE = re.compile(r"\b(?:MutexLock|SharedLock)\s+(\w+)\s*[({]")
+MUTEX_UNLOCK_RE = re.compile(r"\b(\w+)\s*\.\s*Unlock\s*\(\s*\)")
+MUTEX_RELOCK_RE = re.compile(r"\b(\w+)\s*\.\s*Lock\s*\(\s*\)")
+SYNC_CALL_RE = re.compile(
+    r"\b(?:::\s*)?f(?:data)?sync\s*\(|(?:\.|->)\s*Sync\s*\(")
+
 CONTROL_KEYWORDS = (
     "if", "while", "for", "switch", "return", "case", "else", "do",
     "sizeof", "new", "delete", "co_return", "co_await",
@@ -263,6 +282,7 @@ class FileLinter:
         depth = 0
         latches = []  # list of (var, entry_depth)
         guard_decl_depth = {}  # PageGuard var -> declaration depth
+        mutex_holds = {}  # scoped-lock var -> [decl_depth, currently_held]
         prev_code = ""  # last non-blank stripped line (statement context)
 
         for lineno, line in enumerate(lines, start=1):
@@ -330,6 +350,29 @@ class FileLinter:
                     "nsn/rightlink access with no latch held in scope",
                 )
 
+            # sync-under-mutex: explicit Unlock() opens a window before the
+            # sync check; Lock() closes it after (both processed in line
+            # order relative to the sync call's position).
+            for m in MUTEX_UNLOCK_RE.finditer(line):
+                if m.group(1) in mutex_holds:
+                    mutex_holds[m.group(1)][1] = False
+            sync_m = SYNC_CALL_RE.search(line)
+            if sync_m:
+                holder = next(
+                    (v for v, (_d, h) in mutex_holds.items() if h), None)
+                if holder is not None:
+                    report(
+                        "sync-under-mutex",
+                        "disk sync (fsync/fdatasync/DiskManager::Sync) "
+                        f"while MutexLock '{holder}' is held; release the "
+                        "mutex across the sync (see the WAL flusher)",
+                    )
+            for m in MUTEX_RELOCK_RE.finditer(line):
+                if m.group(1) in mutex_holds:
+                    mutex_holds[m.group(1)][1] = True
+            for m in MUTEX_SCOPE_DECL_RE.finditer(line):
+                mutex_holds[m.group(1)] = [depth, True]
+
             self.check_unchecked_status(line, prev_code, lineno, report)
 
             # Acquisitions after checks: the latched call itself (e.g.
@@ -357,9 +400,13 @@ class FileLinter:
             if depth < 0:
                 depth = 0
             latches = [(v, d) for (v, d) in latches if d <= depth]
+            mutex_holds = {
+                v: s for v, s in mutex_holds.items() if s[0] <= depth
+            }
             if depth == 0:
                 latches = []
                 guard_decl_depth = {}
+                mutex_holds = {}
             if line.strip():
                 prev_code = line.strip()
         return self.findings
