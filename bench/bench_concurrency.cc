@@ -14,6 +14,9 @@
 #include <thread>
 
 #include "bench/bench_util.h"
+#include "obs/op_context.h"
+#include "obs/slow_op_log.h"
+#include "obs/trace.h"
 
 namespace gistcr {
 namespace bench {
@@ -217,6 +220,63 @@ void BM_InsertLatencyUnderScan(benchmark::State& state) {
   state.SetLabel(state.range(0) == 0 ? "link" : "coarse");
 }
 
+// Observability overhead at the engine layer (ISSUE 6 satellite): the
+// 80/20 mixed workload with the tracer + slow-op capture toggled by
+// Arg (0 = off, 1 = on). Both arms run the link protocol; comparing the
+// two rows in BENCH_concurrency output bounds the cost of the per-op
+// instrumentation (trace ring writes, stage timers) without any server
+// in the way. bench_server --obs-report enforces the 5% budget end to
+// end; this series localizes a regression to the engine if it trips.
+void BM_TraceOverhead(benchmark::State& state) {
+  const bool obs_on = state.range(0) != 0;
+  if (state.thread_index() == 0) {
+    g_env.BuildBtree("/tmp/gistcr_bench_obs", ConcurrencyProtocol::kLink,
+                     PredicateMode::kHybrid, NsnSource::kLsn, kPreload);
+    g_next_key.store(kPreload);
+    obs::Tracer::Global().SetEnabled(obs_on);
+    g_env.db->slow_ops()->SetThresholdNs(
+        obs_on ? obs::SlowOpLog::kDefaultThresholdNs : 0);
+  }
+  Random rng(static_cast<uint64_t>(state.thread_index()) * 131 + 7);
+  int64_t items = 0;
+  for (auto _ : state) {
+    GISTCR_TRACE_SCOPE("bench.op");
+    obs::OpContext ctx;
+    ctx.op_name = "bench.op";
+    ctx.start_ns = obs::NowNanos();
+    obs::OpScope scope(&ctx);
+    if (rng.Uniform(10) < 8) {
+      const int64_t lo = rng.UniformRange(0, kPreload - 100);
+      RunTxnWithRetry(g_env.db.get(), IsolationLevel::kReadCommitted,
+                      [&](Transaction* txn) {
+                        std::vector<SearchResult> results;
+                        return g_env.gist->Search(
+                            txn, BtreeExtension::MakeRange(lo, lo + 99),
+                            &results);
+                      });
+    } else {
+      const int64_t k = g_next_key.fetch_add(1);
+      RunTxnWithRetry(g_env.db.get(), IsolationLevel::kReadCommitted,
+                      [&](Transaction* txn) {
+                        return g_env.db
+                            ->InsertRecord(txn, g_env.gist,
+                                           BtreeExtension::MakeKey(k), "v")
+                            .status();
+                      });
+    }
+    g_env.db->slow_ops()->MaybeRecord(ctx, obs::NowNanos() - ctx.start_ns,
+                                      "ok");
+    items++;
+  }
+  state.SetItemsProcessed(items);
+  if (state.thread_index() == 0) {
+    obs::Tracer::Global().SetEnabled(true);
+    g_env.db->slow_ops()->SetThresholdNs(obs::SlowOpLog::kDefaultThresholdNs);
+    ReportRegistryMetrics(state, g_env.db.get());
+    state.SetLabel(obs_on ? "obs_on" : "obs_off");
+  }
+}
+
 // Arg 0 = link protocol, 1 = coarse baseline.
 BENCHMARK(BM_SearchOnly)->Arg(0)->Arg(1)->ThreadRange(1, 8)
     ->UseRealTime()->Unit(benchmark::kMicrosecond);
@@ -227,6 +287,9 @@ BENCHMARK(BM_Mixed80_20)->Arg(0)->Arg(1)->ThreadRange(1, 8)
 BENCHMARK(BM_InsertLatencyUnderScan)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_DurableCommit)->ThreadRange(1, 8)
+    ->UseRealTime()->Unit(benchmark::kMicrosecond);
+// Arg 0 = tracing/slow-op capture off, 1 = on.
+BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1)->ThreadRange(1, 4)
     ->UseRealTime()->Unit(benchmark::kMicrosecond);
 
 }  // namespace

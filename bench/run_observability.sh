@@ -1,42 +1,52 @@
 #!/usr/bin/env sh
-# Runs the concurrency benchmark with registry metrics attached to every
-# series and writes the combined result to BENCH_observability.json (in the
-# current directory, or $1 if given). Each benchmark entry carries the
-# registry-derived counters from bench_util.h ReportRegistryMetrics:
-# rightlink_follows, splits, predicate_waits, deadlocks, bp_hit_rate,
-# latch_wait_p99_us, wal_flush_p99_us, commit_p99_us.
+# Observability bench driver (ISSUE 6). Exercises the full introspection
+# surface and enforces the overhead budget:
 #
-# Usage: run_observability.sh [out.json] (expects bench_concurrency on
-# PATH or next to this script's build tree: build/bench/bench_concurrency)
+#   1. bench_server --obs-report: identical workload with tracing +
+#      slow-op capture OFF then ON; writes BENCH_obs.json and fails if
+#      the instrumented run is >5% slower or the per-stage histograms do
+#      not sum to end-to-end latency within 10%.
+#   2. The same run scrapes kStats mid-load in Prometheus format
+#      (--stats-dump) so CI can upload the exposition text as an artifact.
+#   3. bench_concurrency BM_TraceOverhead: engine-layer obs_off/obs_on
+#      rows (localizes a budget regression to the engine vs the server).
+#
+# Usage: run_observability.sh [outdir]
+#   outdir          where reports land (default: current directory)
+#   GISTCR_BIN_DIR  directory holding bench_server / bench_concurrency
+#                   (default: <repo>/build/bench)
+#   GISTCR_BENCH_SECONDS  per-phase duration for bench_server (default 5)
 set -e
 
-out="${1:-BENCH_observability.json}"
-here="$(dirname "$0")"
+outdir="${1:-.}"
+here="$(cd "$(dirname "$0")" && pwd)"
+bindir="${GISTCR_BIN_DIR:-$here/../build/bench}"
+seconds="${GISTCR_BENCH_SECONDS:-5}"
 
-for cand in ./bench_concurrency \
-            "$here/../build/bench/bench_concurrency" \
-            "$here/bench_concurrency"; do
-  if [ -x "$cand" ]; then
-    bin="$cand"
-    break
+for bin in bench_server bench_concurrency; do
+  if [ ! -x "$bindir/$bin" ]; then
+    echo "run_observability.sh: $bindir/$bin not found or not executable" >&2
+    echo "build it first (cmake -B build -S . && cmake --build build)," >&2
+    echo "or point GISTCR_BIN_DIR at the directory containing it" >&2
+    exit 1
   fi
 done
-if [ -z "${bin:-}" ] && command -v bench_concurrency > /dev/null 2>&1; then
-  bin=bench_concurrency
-fi
-if [ -z "${bin:-}" ]; then
-  echo "run_observability.sh: bench_concurrency binary not found" >&2
-  echo "build it first: cmake -B build -S . && cmake --build build" >&2
-  exit 1
-fi
+mkdir -p "$outdir"
 
-# Keep the sweep short: one rep, link protocol only, 1 and 4 threads of
-# the mixed workload (enough concurrency to populate the contention
-# metrics). Full sweeps stay with the EXPERIMENTS.md commands.
-"$bin" \
-  --benchmark_filter='BM_Mixed80_20/0/(real_time/)?threads:[14]$' \
+echo "== bench_server obs report (OFF vs ON, ${seconds}s per phase) =="
+"$bindir/bench_server" \
+  --clients=4 --seconds="$seconds" --read-pct=50 \
+  --db=/tmp/gistcr_bench_obs_server \
+  --report="$outdir/BENCH_server_latency.json" \
+  --obs-report="$outdir/BENCH_obs.json" \
+  --stats-dump="$outdir/stats_prometheus.txt"
+
+echo "== bench_concurrency trace-overhead series =="
+"$bindir/bench_concurrency" \
+  --benchmark_filter='BM_TraceOverhead/[01]/(real_time/)?threads:[14]$' \
   --benchmark_repetitions=1 \
-  --benchmark_out="$out" \
+  --benchmark_out="$outdir/BENCH_observability.json" \
   --benchmark_out_format=json
 
-echo "wrote $out"
+echo "wrote $outdir/BENCH_obs.json, $outdir/stats_prometheus.txt," \
+     "$outdir/BENCH_observability.json"

@@ -275,13 +275,28 @@ StatusOr<std::vector<RemoteResult>> Client::Search(uint32_t index_id,
   return results;
 }
 
-StatusOr<std::string> Client::Stats() {
+StatusOr<std::string> Client::Stats(bool prometheus) {
   Frame reply;
+  std::string payload;
+  if (prometheus) payload.push_back('\x01');
   GISTCR_RETURN_IF_ERROR(
-      Call(Opcode::kStats, 0, Slice(), &reply, nullptr, false));
+      Call(Opcode::kStats, 0, payload, &reply, nullptr, false));
   if (reply.opcode == Opcode::kError) return StatusFromErrorFrame(reply);
   if (reply.opcode != Opcode::kStatsReply) {
     return Status::Corruption("bad stats reply");
+  }
+  return reply.payload;
+}
+
+StatusOr<std::string> Client::Inspect(net::InspectKind kind) {
+  Frame reply;
+  std::string payload;
+  payload.push_back(static_cast<char>(kind));
+  GISTCR_RETURN_IF_ERROR(
+      Call(Opcode::kInspect, 0, payload, &reply, nullptr, false));
+  if (reply.opcode == Opcode::kError) return StatusFromErrorFrame(reply);
+  if (reply.opcode != Opcode::kInspectReply) {
+    return Status::Corruption("bad inspect reply");
   }
   return reply.payload;
 }

@@ -64,8 +64,13 @@ class Client {
   StatusOr<std::vector<RemoteResult>> Search(uint32_t index_id, Slice query,
                                              bool with_records = false,
                                              uint32_t batch_size = 0);
-  /// Server metrics dump (the JSON form of Database::DumpMetrics).
-  StatusOr<std::string> Stats();
+  /// Server metrics dump: JSON (Database::DumpMetrics) by default, or
+  /// Prometheus text exposition format when \p prometheus is set.
+  StatusOr<std::string> Stats(bool prometheus = false);
+
+  /// Live introspection view (kInspect): slow-op ring, lock wait-for
+  /// edges, buffer-pool shard occupancy or WAL flusher depth, as JSON.
+  StatusOr<std::string> Inspect(net::InspectKind kind);
 
   /// One pipelined operation. Exactly the subset of the protocol where
   /// responses are cheap to buffer.

@@ -1,17 +1,47 @@
 #include "db/database.h"
 
 #include <chrono>
+#include <cinttypes>
+#include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 #include "db/meta_page.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "storage/fault_injector.h"
 
 namespace gistcr {
 
+namespace {
+
+/// Environment override for an observability knob: a valid unsigned
+/// integer in \p name wins over \p fallback (the DatabaseOptions value).
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long x = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return static_cast<uint64_t>(x);
+}
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, static_cast<size_t>(n));
+}
+
+}  // namespace
+
 Database::Database(const DatabaseOptions& opts) : opts_(opts) {}
 
 Database::~Database() {
+  // Clean shutdown: no crash artifact wanted from here on.
+  obs::FlightRecorder::Global().Disarm();
   // Background threads drain before the final flush so no writer pass or
   // checkpoint races the shutdown I/O.
   StopWriter();
@@ -72,11 +102,26 @@ Status Database::InitCommon() {
   if constexpr (kFaultInjectionCompiled) {
     FaultInjector::Global().AttachMetrics(&metrics_);
   }
+  // Observability knobs: environment overrides beat DatabaseOptions so a
+  // deployed binary can be re-tuned without a rebuild (README knob table).
+  obs::Tracer::Global().SetRingCapacity(static_cast<size_t>(
+      EnvU64("GISTCR_TRACE_RING_CAPACITY", opts_.trace_ring_capacity)));
+  slow_ops_.Configure(
+      static_cast<size_t>(
+          EnvU64("GISTCR_SLOW_OP_RING", opts_.slow_op_ring_capacity)),
+      EnvU64("GISTCR_SLOW_OP_THRESHOLD_US", opts_.slow_op_threshold_us) *
+          1000);
+  // Crash flight recorder: armed for the life of this instance; a fatal
+  // crash point (and, opt-in, a fatal signal) dumps to <path>.flight.
+  obs::FlightRecorder::Global().Arm(opts_.path + ".flight", &metrics_,
+                                    &slow_ops_);
+  if (EnvU64("GISTCR_FLIGHT_SIGNALS", 0) != 0) {
+    obs::FlightRecorder::InstallSignalHandlers();
+  }
   return Status::OK();
 }
 
-std::string Database::DumpMetrics(bool as_json) {
-  // Refresh derived gauges so a dump is self-contained.
+void Database::RefreshDerivedGauges() {
   const uint64_t hits = metrics_.GetCounter("bp.hits")->value();
   const uint64_t misses = metrics_.GetCounter("bp.misses")->value();
   const uint64_t accesses = hits + misses;
@@ -84,6 +129,11 @@ std::string Database::DumpMetrics(bool as_json) {
       ->Set(accesses == 0
                 ? 0.0
                 : static_cast<double>(hits) / static_cast<double>(accesses));
+}
+
+std::string Database::DumpMetrics(bool as_json) {
+  // Refresh derived gauges so a dump is self-contained.
+  RefreshDerivedGauges();
   std::string out;
   if (as_json) {
     metrics_.DumpJson(&out);
@@ -91,6 +141,65 @@ std::string Database::DumpMetrics(bool as_json) {
     metrics_.DumpText(&out);
   }
   return out;
+}
+
+std::string Database::DumpMetricsPrometheus() {
+  RefreshDerivedGauges();
+  std::string out;
+  metrics_.DumpPrometheus(&out);
+  return out;
+}
+
+StatusOr<std::string> Database::InspectJson(const std::string& what) {
+  std::string out;
+  if (what == "slow") {
+    return slow_ops_.DumpJson();
+  }
+  if (what == "waitgraph") {
+    out = "{\"edges\":[";
+    bool first = true;
+    for (const auto& [waiter, holder] : locks_.WaitEdges()) {
+      AppendF(&out, "%s{\"waiter\":%" PRIu64 ",\"holder\":%" PRIu64 "}",
+              first ? "" : ",", waiter, holder);
+      first = false;
+    }
+    out.append("]}\n");
+    return out;
+  }
+  if (what == "bp") {
+    out = "{\"shards\":[";
+    size_t frames = 0, resident = 0, dirty = 0, pinned = 0;
+    bool first = true;
+    for (const auto& s : pool_->ShardOccupancy()) {
+      AppendF(&out,
+              "%s{\"frames\":%zu,\"resident\":%zu,\"dirty\":%zu,"
+              "\"pinned\":%zu}",
+              first ? "" : ",", s.frames, s.resident, s.dirty, s.pinned);
+      first = false;
+      frames += s.frames;
+      resident += s.resident;
+      dirty += s.dirty;
+      pinned += s.pinned;
+    }
+    AppendF(&out,
+            "],\"frames\":%zu,\"resident\":%zu,\"dirty\":%zu,"
+            "\"pinned\":%zu}\n",
+            frames, resident, dirty, pinned);
+    return out;
+  }
+  if (what == "wal") {
+    const LogManager::FlusherStats s = log_.GetFlusherStats();
+    AppendF(&out,
+            "{\"tail_bytes\":%" PRIu64 ",\"inflight_bytes\":%" PRIu64
+            ",\"pending_records\":%" PRIu64 ",\"pending_commits\":%" PRIu64
+            ",\"flush_in_flight\":%s,\"last_flush_ns\":%" PRIu64
+            ",\"durable_lsn\":%" PRIu64 ",\"last_lsn\":%" PRIu64 "}\n",
+            s.tail_bytes, s.inflight_bytes, s.pending_records,
+            s.pending_commits, s.flush_in_flight ? "true" : "false",
+            s.last_flush_ns, s.durable_lsn, s.last_lsn);
+    return out;
+  }
+  return Status::InvalidArgument("unknown inspect view: " + what);
 }
 
 Status Database::ExportTrace(const std::string& path) {
@@ -103,6 +212,7 @@ StatusOr<std::unique_ptr<Database>> Database::Create(
   std::remove((opts.path + ".db").c_str());
   std::remove((opts.path + ".wal").c_str());
   std::remove((opts.path + ".ckpt").c_str());
+  std::remove((opts.path + ".flight").c_str());
 
   std::unique_ptr<Database> db(new Database(opts));
   GISTCR_RETURN_IF_ERROR(db->InitCommon());

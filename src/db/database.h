@@ -11,6 +11,7 @@
 #include "db/page_allocator.h"
 #include "gist/gist.h"
 #include "obs/metrics.h"
+#include "obs/slow_op_log.h"
 #include "recovery/recovery_manager.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -48,6 +49,16 @@ struct DatabaseOptions {
   /// Dirty pages the writer may clean per shard per pass. 0 picks
   /// automatically (1/8 of a shard's frames).
   size_t writer_pages_per_pass = 0;
+  /// Per-thread trace ring capacity (events). 0 keeps the tracer default
+  /// (Tracer::kRingCapacity). Applies to rings created after this Database
+  /// initializes; env GISTCR_TRACE_RING_CAPACITY overrides.
+  size_t trace_ring_capacity = 0;
+  /// Requests slower than this end-to-end are captured in the slow-op
+  /// ring (0 disables capture). Env GISTCR_SLOW_OP_THRESHOLD_US overrides.
+  uint64_t slow_op_threshold_us = 10'000;
+  /// Slow-op ring capacity (records). 0 keeps the default
+  /// (SlowOpLog::kDefaultCapacity). Env GISTCR_SLOW_OP_RING overrides.
+  size_t slow_op_ring_capacity = 0;
 };
 
 /// The engine facade: wires disk, buffer pool, WAL, transactions, locks,
@@ -135,6 +146,16 @@ class Database {
   /// machine-readable output; the default is an aligned text table.
   std::string DumpMetrics(bool as_json = false);
 
+  /// Same metric snapshot in Prometheus text exposition format (names
+  /// prefixed "gistcr_"; histograms with cumulative `le` buckets).
+  std::string DumpMetricsPrometheus();
+
+  /// Live introspection views (the kInspect wire surface), each a JSON
+  /// object/array: "slow" (slow-op ring), "waitgraph" (lock-manager
+  /// wait-for edges), "bp" (buffer-pool shard occupancy), "wal" (flusher
+  /// queue depth). InvalidArgument for anything else.
+  StatusOr<std::string> InspectJson(const std::string& what);
+
   /// Writes every buffered trace event as a chrome://tracing JSON array.
   /// Events are only recorded when built with -DGISTCR_TRACING=ON; without
   /// it the file holds an empty array.
@@ -151,6 +172,7 @@ class Database {
   RecoveryManager* recovery() { return recovery_.get(); }
   GlobalNsn* nsn() { return nsn_.get(); }
   obs::MetricsRegistry* metrics() { return &metrics_; }
+  obs::SlowOpLog* slow_ops() { return &slow_ops_; }
 
  private:
   explicit Database(const DatabaseOptions& opts);
@@ -160,10 +182,14 @@ class Database {
   Status WriteMasterPointer(Lsn lsn);
   GistContext MakeContext();
 
+  /// Refreshes derived gauges (bp.hit_rate) so dumps are self-contained.
+  void RefreshDerivedGauges();
+
   DatabaseOptions opts_;
   /// Declared before the components so it outlives everything that caches
   /// pointers into it.
   obs::MetricsRegistry metrics_;
+  obs::SlowOpLog slow_ops_;
   DiskManager disk_;
   LogManager log_;
   std::unique_ptr<BufferPool> pool_;

@@ -1,6 +1,7 @@
 #include "gist/cursor.h"
 
 #include "gist/tree_latch.h"
+#include "obs/op_context.h"
 
 namespace gistcr {
 
@@ -78,6 +79,7 @@ Status GistCursor::Open() {
 }
 
 Status GistCursor::FillPending() {
+  obs::TreeScope tree_scope;
   const bool hybrid_attach =
       txn_->isolation() == IsolationLevel::kRepeatableRead &&
       gist_->opts_.pred_mode == PredicateMode::kHybrid;

@@ -4,6 +4,7 @@
 
 #include "db/meta_page.h"
 #include "gist/tree_latch.h"
+#include "obs/op_context.h"
 #include "obs/trace.h"
 
 namespace gistcr {
@@ -108,7 +109,9 @@ Status Gist::FetchLatched(PageId pid, bool exclusive, PageGuard* out) {
   } else {
     out->RLatch();
   }
-  latch_wait_ns_->Record(obs::NowNanos() - t0);
+  const uint64_t waited = obs::NowNanos() - t0;
+  latch_wait_ns_->Record(waited);
+  obs::AddStage(obs::Stage::kLatch, waited);
   return Status::OK();
 }
 
@@ -131,6 +134,7 @@ void Gist::SignalUnlock(Transaction* txn, PageId node) {
 Status Gist::Search(Transaction* txn, Slice query,
                     std::vector<SearchResult>* out) {
   GISTCR_TRACE_SCOPE("gist.search");
+  obs::TreeScope tree_scope;
   stats_.searches.Add(1);
   const bool attach =
       txn->isolation() == IsolationLevel::kRepeatableRead;
@@ -219,6 +223,7 @@ Status Gist::ProcessStackEntry(Transaction* txn, PageId page, Nsn memorized,
         GISTCR_RETURN_IF_ERROR(SignalLock(txn, node.rightlink()));
         stack->push_back({node.rightlink(), memorized});
         stats_.rightlink_follows.Add(1);
+        obs::BumpRestarts();
       }
     }
 
@@ -269,6 +274,7 @@ Status Gist::ProcessStackEntry(Transaction* txn, PageId page, Nsn memorized,
             GISTCR_RETURN_IF_ERROR(SignalLock(txn, renode.rightlink()));
             stack->push_back({renode.rightlink(), mem});
             stats_.rightlink_follows.Add(1);
+            obs::BumpRestarts();
           }
           rescan = true;  // restart the slot loop; `seen` prevents dupes
           break;
@@ -310,6 +316,7 @@ Status Gist::ProcessStackEntry(Transaction* txn, PageId page, Nsn memorized,
           GISTCR_RETURN_IF_ERROR(SignalLock(txn, renode.rightlink()));
           stack->push_back({renode.rightlink(), mem});
           stats_.rightlink_follows.Add(1);
+          obs::BumpRestarts();
         }
         continue;  // rescan the leaf (the insert's entry is now visible)
       }

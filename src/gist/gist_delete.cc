@@ -1,5 +1,6 @@
 #include "gist/gist.h"
 #include "gist/tree_latch.h"
+#include "obs/op_context.h"
 #include "obs/trace.h"
 #include "storage/fault_injector.h"
 
@@ -14,6 +15,7 @@ using internal::TreeLatch;
 // garbage collection removes it after this transaction terminates.
 Status Gist::Delete(Transaction* txn, Slice key, Rid rid) {
   GISTCR_TRACE_SCOPE("gist.delete");
+  obs::TreeScope tree_scope;
   stats_.deletes.Add(1);
   const uint64_t op_id = txn->NextOpId();
 
@@ -82,6 +84,7 @@ Status Gist::Delete(Transaction* txn, Slice key, Rid rid) {
       GISTCR_RETURN_IF_ERROR(SignalLock(txn, node.rightlink()));
       stack.push_back({node.rightlink(), e.nsn});
       stats_.rightlink_follows.Add(1);
+      obs::BumpRestarts();
     }
 
     if (!node.is_leaf()) {

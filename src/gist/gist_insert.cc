@@ -4,6 +4,7 @@
 #include "db/meta_page.h"
 #include "gist/gist.h"
 #include "gist/tree_latch.h"
+#include "obs/op_context.h"
 #include "obs/trace.h"
 #include "storage/fault_injector.h"
 
@@ -30,6 +31,7 @@ Status Gist::ChaseForPenalty(Transaction* txn, PageGuard* g, Nsn delimiter,
   // Hand-over-hand, strictly left-to-right: hold the best candidate and
   // the walker; pick the chain node with the lowest insert penalty.
   stats_.rightlink_follows.Add(1);
+  obs::BumpRestarts();
   PageGuard best = std::move(*g);
   NodeView best_node(best.view().data());
   double best_pen = NodePenalty(ext_, best_node, key);
@@ -650,6 +652,7 @@ Status Gist::ChaseToEntry(Transaction* txn, PageId start, Nsn memorized,
       return Status::Corruption("leaf entry lost while re-positioning");
     }
     stats_.rightlink_follows.Add(1);
+    obs::BumpRestarts();
     pid = rl;
   }
 }
@@ -695,6 +698,7 @@ Status Gist::LeafGc(Transaction* txn, PageGuard* leaf, uint64_t* removed) {
 
 Status Gist::Insert(Transaction* txn, Slice key, Rid rid) {
   GISTCR_TRACE_SCOPE("gist.insert");
+  obs::TreeScope tree_scope;
   stats_.inserts.Add(1);
   if (key.size() > NodeView::kMaxKeySize) {
     return Status::InvalidArgument("key too large");

@@ -5,7 +5,7 @@ namespace net {
 
 bool IsRequestOpcode(uint8_t op) {
   return op >= static_cast<uint8_t>(Opcode::kPing) &&
-         op <= static_cast<uint8_t>(Opcode::kStats);
+         op <= static_cast<uint8_t>(Opcode::kInspect);
 }
 
 const char* OpcodeName(Opcode op) {
@@ -18,12 +18,14 @@ const char* OpcodeName(Opcode op) {
     case Opcode::kDelete: return "delete";
     case Opcode::kSearch: return "search";
     case Opcode::kStats: return "stats";
+    case Opcode::kInspect: return "inspect";
     case Opcode::kPong: return "pong";
     case Opcode::kOk: return "ok";
     case Opcode::kError: return "error";
     case Opcode::kSearchBatch: return "search_batch";
     case Opcode::kSearchDone: return "search_done";
     case Opcode::kStatsReply: return "stats_reply";
+    case Opcode::kInspectReply: return "inspect_reply";
   }
   return "unknown";
 }

@@ -54,7 +54,8 @@ enum class Opcode : uint8_t {
   kInsert = 0x05,
   kDelete = 0x06,   ///< logical delete (paper section 7)
   kSearch = 0x07,
-  kStats = 0x08,
+  kStats = 0x08,    ///< payload: optional u8 format (0 JSON, 1 Prometheus)
+  kInspect = 0x09,  ///< payload: u8 kind (see InspectKind)
   // Responses (high bit set).
   kPong = 0x81,
   kOk = 0x82,          ///< generic success; payload depends on the request
@@ -62,6 +63,15 @@ enum class Opcode : uint8_t {
   kSearchBatch = 0x84, ///< one batch of qualifying entries
   kSearchDone = 0x85,  ///< terminates a search result stream
   kStatsReply = 0x86,
+  kInspectReply = 0x87,  ///< JSON view payload
+};
+
+/// kInspect payload selector: which live view the server serializes.
+enum class InspectKind : uint8_t {
+  kSlowOps = 0,    ///< slow-op ring (JSON array of records)
+  kWaitGraph = 1,  ///< lock-manager wait-for edges
+  kBufferPool = 2, ///< per-shard occupancy
+  kWal = 3,        ///< WAL flusher queue depth / durable horizon
 };
 
 bool IsRequestOpcode(uint8_t op);

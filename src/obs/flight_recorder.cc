@@ -1,0 +1,114 @@
+#include "obs/flight_recorder.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/trace.h"
+
+namespace gistcr {
+namespace obs {
+
+namespace {
+
+const char* SignalName(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGABRT: return "SIGABRT";
+    case SIGILL: return "SIGILL";
+    default: return "signal";
+  }
+}
+
+void OnFatalSignal(int sig) {
+  // Best effort: the process is dying either way.
+  (void)FlightRecorder::Global().Dump(SignalName(sig));
+  // Re-raise with default disposition so the process still dies with the
+  // original signal (core dump, exit status) after the dump.
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::Arm(const std::string& path, MetricsRegistry* metrics,
+                         SlowOpLog* slow_ops) {
+  armed_.store(false, std::memory_order_release);
+  std::snprintf(path_, sizeof(path_), "%s", path.c_str());
+  metrics_.store(metrics, std::memory_order_relaxed);
+  slow_ops_.store(slow_ops, std::memory_order_relaxed);
+  dumped_.store(false, std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::Disarm() {
+  armed_.store(false, std::memory_order_release);
+  metrics_.store(nullptr, std::memory_order_relaxed);
+  slow_ops_.store(nullptr, std::memory_order_relaxed);
+}
+
+Status FlightRecorder::Dump(const char* reason) {
+  if (!armed()) return Status::NotFound("flight recorder not armed");
+  bool expected = false;
+  if (!dumped_.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+    return Status::OK();  // an earlier crash path already wrote the file
+  }
+
+  std::string out = "{\"reason\":\"";
+  for (const char* p = reason != nullptr ? reason : "unknown"; *p; p++) {
+    const char c = *p;
+    out.push_back(
+        (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20)
+            ? '_'
+            : c);
+  }
+  out.append("\",\"t_us\":");
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(NowMicros()));
+  out.append(buf);
+
+  out.append(",\"metrics\":");
+  MetricsRegistry* metrics = metrics_.load(std::memory_order_relaxed);
+  if (metrics != nullptr) {
+    metrics->DumpJson(&out);
+  } else {
+    out.append("{}");
+  }
+
+  out.append(",\"slow_ops\":");
+  SlowOpLog* slow = slow_ops_.load(std::memory_order_relaxed);
+  out.append(slow != nullptr ? slow->DumpJson() : "[]");
+
+  out.append(",\"trace\":");
+  out.append(Tracer::Global().ExportJsonString());
+  out.append("}\n");
+
+  FILE* f = std::fopen(path_, "w");
+  if (f == nullptr) {
+    return Status::IOError(std::string("open flight file ") + path_);
+  }
+  const size_t n = std::fwrite(out.data(), 1, out.size(), f);
+  std::fflush(f);
+  std::fclose(f);
+  if (n != out.size()) {
+    return Status::IOError(std::string("short write to ") + path_);
+  }
+  return Status::OK();
+}
+
+void FlightRecorder::InstallSignalHandlers() {
+  const int signals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGABRT, SIGILL};
+  for (int sig : signals) std::signal(sig, OnFatalSignal);
+}
+
+}  // namespace obs
+}  // namespace gistcr

@@ -147,6 +147,62 @@ void MetricsRegistry::DumpJson(std::string* out) const {
   out->append("}}");
 }
 
+std::string PrometheusSanitizeName(const std::string& name) {
+  std::string out = "gistcr_";
+  if (!name.empty() && name[0] >= '0' && name[0] <= '9') out.push_back('_');
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string PrometheusEscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out.append("\\\\"); break;
+      case '"': out.append("\\\""); break;
+      case '\n': out.append("\\n"); break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::DumpPrometheus(std::string* out) const {
+  MutexLock l(mu_);
+  for (const auto& [name, c] : counters_) {
+    const std::string p = PrometheusSanitizeName(name);
+    AppendF(out, "# TYPE %s counter\n", p.c_str());
+    AppendF(out, "%s %" PRIu64 "\n", p.c_str(), c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string p = PrometheusSanitizeName(name);
+    AppendF(out, "# TYPE %s gauge\n", p.c_str());
+    AppendF(out, "%s %.6g\n", p.c_str(), g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string p = PrometheusSanitizeName(name);
+    const Histogram::Snapshot s = h->GetSnapshot();
+    AppendF(out, "# TYPE %s histogram\n", p.c_str());
+    // Cumulative counts: `le` buckets only where the count advances, plus
+    // the mandatory +Inf series equal to the total count.
+    uint64_t cum = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; i++) {
+      if (s.buckets[i] == 0) continue;
+      cum += s.buckets[i];
+      AppendF(out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n", p.c_str(),
+              Histogram::BucketUpperBound(i), cum);
+    }
+    AppendF(out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", p.c_str(), s.count);
+    AppendF(out, "%s_sum %" PRIu64 "\n", p.c_str(), s.sum);
+    AppendF(out, "%s_count %" PRIu64 "\n", p.c_str(), s.count);
+  }
+}
+
 MetricsRegistry* MetricsRegistry::Fallback() {
   static MetricsRegistry* fallback = new MetricsRegistry();
   return fallback;

@@ -152,6 +152,11 @@ class MetricsRegistry {
   void DumpText(std::string* out) const;
   /// {"counters":{...},"gauges":{...},"histograms":{...}}.
   void DumpJson(std::string* out) const;
+  /// Prometheus text exposition format (version 0.0.4): every metric name
+  /// is sanitized and prefixed "gistcr_", each metric gets a `# TYPE`
+  /// line, and histograms expose cumulative `le` buckets plus `+Inf`,
+  /// `_sum` and `_count` series.
+  void DumpPrometheus(std::string* out) const;
 
   /// Process-global registry used by components constructed without an
   /// explicit one (standalone unit tests); a Database always supplies its
@@ -171,6 +176,15 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_
       GISTCR_GUARDED_BY(mu_);
 };
+
+/// Maps a dotted registry name ("bp.io_read_ns") onto a valid Prometheus
+/// metric name ("gistcr_bp_io_read_ns"): invalid characters become '_',
+/// a leading digit gets an extra '_', and the "gistcr_" prefix is added.
+std::string PrometheusSanitizeName(const std::string& name);
+
+/// Escapes a label value for the text exposition format: backslash,
+/// double-quote and newline are backslash-escaped.
+std::string PrometheusEscapeLabel(const std::string& value);
 
 }  // namespace obs
 }  // namespace gistcr

@@ -1,0 +1,60 @@
+#include "obs/op_context.h"
+
+namespace gistcr {
+namespace obs {
+
+namespace {
+thread_local OpContext* tls_current_op = nullptr;
+}  // namespace
+
+const char* StageName(Stage s) {
+  switch (s) {
+    case Stage::kQueue: return "queue";
+    case Stage::kLock: return "lock";
+    case Stage::kLatch: return "latch";
+    case Stage::kTree: return "tree";
+    case Stage::kWalWait: return "walwait";
+    case Stage::kFsync: return "fsync";
+    case Stage::kOther: return "other";
+    case Stage::kCount: break;
+  }
+  return "unknown";
+}
+
+OpContext* CurrentOp() { return tls_current_op; }
+
+OpScope::OpScope(OpContext* ctx) : prev_(tls_current_op) {
+  tls_current_op = ctx;
+}
+
+OpScope::~OpScope() { tls_current_op = prev_; }
+
+void AddStage(Stage s, uint64_t ns) {
+  OpContext* op = tls_current_op;
+  if (op != nullptr) op->Add(s, ns);
+}
+
+void BumpRestarts() {
+  OpContext* op = tls_current_op;
+  if (op != nullptr) op->restarts++;
+}
+
+TreeScope::TreeScope() : op_(tls_current_op) {
+  if (op_ == nullptr) return;
+  if (op_->tree_depth++ > 0) return;  // only the outermost scope records
+  start_ns_ = NowNanos();
+  waits_at_start_ = op_->WaitTotal();
+}
+
+TreeScope::~TreeScope() {
+  if (op_ == nullptr) return;
+  if (--op_->tree_depth > 0) return;
+  const uint64_t elapsed = NowNanos() - start_ns_;
+  const uint64_t waited = op_->WaitTotal() - waits_at_start_;
+  // Waits incurred inside the traversal belong to their own stages; what
+  // remains is genuine tree work (node search, penalty, split, logging).
+  op_->Add(Stage::kTree, elapsed > waited ? elapsed - waited : 0);
+}
+
+}  // namespace obs
+}  // namespace gistcr

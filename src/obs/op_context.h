@@ -1,0 +1,103 @@
+#ifndef GISTCR_OBS_OP_CONTEXT_H_
+#define GISTCR_OBS_OP_CONTEXT_H_
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "util/macros.h"
+
+namespace gistcr {
+namespace obs {
+
+/// Latency stages a request's end-to-end time decomposes into. The stages
+/// partition the response time exactly: kOther is computed at the end as
+/// total minus everything attributed, so the per-stage sums always add up
+/// to the measured end-to-end latency (DESIGN.md section 12).
+enum class Stage : uint8_t {
+  kQueue = 0,   ///< parsed frame waiting in the server session queue
+  kLock,        ///< blocked lock-manager acquisitions (2PL, signaling, txn)
+  kLatch,       ///< page-latch acquisition inside GiST traversal
+  kTree,        ///< GiST traversal/modification time, waits excluded
+  kWalWait,     ///< group-commit wait minus the covering fsync's share
+  kFsync,       ///< the covering flush batch's write+fsync share
+  kOther,       ///< everything unattributed (decode, heap I/O, send)
+  kCount,
+};
+constexpr size_t kNumStages = static_cast<size_t>(Stage::kCount);
+
+const char* StageName(Stage s);
+
+/// Per-request span context (ISSUE 6 tentpole): carries the request id and
+/// per-stage timers from Session::Process through txn begin, lock-manager
+/// waits, GiST traversal and the WAL flusher's group-commit wait.
+///
+/// Propagation is via a thread-local current-op pointer (see OpScope): the
+/// engine runs every request on exactly one worker thread for its whole
+/// life (the one-thread-per-transaction discipline, DESIGN.md section 10),
+/// so thread identity *is* request identity between OpScope construction
+/// and destruction. Engine layers attribute waits with AddStage(), which
+/// is a TLS load and a branch when no request is in flight — cheap enough
+/// to stay unconditionally compiled in.
+struct OpContext {
+  uint64_t request_id = 0;
+  const char* op_name = "";  ///< static string (wire opcode name)
+  uint64_t txn_id = 0;
+  uint64_t start_ns = 0;  ///< enqueue time (end-to-end clock starts here)
+  uint64_t stage_ns[kNumStages] = {};
+  uint32_t restarts = 0;  ///< rightlink follows / traversal restarts
+  uint32_t retries = 0;   ///< operation-level retries (unique rollback etc.)
+  uint32_t tree_depth = 0;  ///< TreeScope nesting (outermost records)
+
+  void Add(Stage s, uint64_t ns) { stage_ns[static_cast<size_t>(s)] += ns; }
+  uint64_t Get(Stage s) const { return stage_ns[static_cast<size_t>(s)]; }
+  /// Sum of the wait stages subtracted from kTree by TreeScope.
+  uint64_t WaitTotal() const {
+    return Get(Stage::kLock) + Get(Stage::kLatch) + Get(Stage::kWalWait) +
+           Get(Stage::kFsync);
+  }
+};
+
+/// The request currently executing on this thread (null outside a span).
+OpContext* CurrentOp();
+
+/// Installs \p ctx as this thread's current op for the scope's lifetime;
+/// restores the previous one (normally null) on destruction.
+class OpScope {
+ public:
+  explicit OpScope(OpContext* ctx);
+  ~OpScope();
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(OpScope);
+
+ private:
+  OpContext* prev_;
+};
+
+/// Attributes \p ns to stage \p s of the current op, if any. Safe (and
+/// nearly free) to call from any engine layer on any thread.
+void AddStage(Stage s, uint64_t ns);
+
+/// Bumps the current op's restart counter (rightlink follow, traversal
+/// restart), if any.
+void BumpRestarts();
+
+/// RAII scope attributing time to Stage::kTree *exclusively*: on exit the
+/// elapsed time minus every wait stage recorded inside the scope is added,
+/// so tree time never double-counts a lock/latch/WAL wait incurred during
+/// the traversal. Nested scopes (InsertUnique -> search phase) record only
+/// at the outermost level.
+class TreeScope {
+ public:
+  TreeScope();
+  ~TreeScope();
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(TreeScope);
+
+ private:
+  OpContext* op_;  ///< null when no request is in flight
+  uint64_t start_ns_ = 0;
+  uint64_t waits_at_start_ = 0;
+};
+
+}  // namespace obs
+}  // namespace gistcr
+
+#endif  // GISTCR_OBS_OP_CONTEXT_H_

@@ -1,0 +1,111 @@
+#include "obs/slow_op_log.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace gistcr {
+namespace obs {
+
+void SlowOpLog::Configure(size_t capacity, uint64_t threshold_ns) {
+  MutexLock l(mu_);
+  if (capacity != 0) capacity_ = capacity;
+  ring_.clear();
+  next_ = 0;
+  threshold_ns_.store(threshold_ns, std::memory_order_relaxed);
+}
+
+void SlowOpLog::MaybeRecord(const OpContext& ctx, uint64_t total_ns,
+                            const char* status_str) {
+  const uint64_t threshold = threshold_ns();
+  if (threshold == 0 || total_ns < threshold) return;
+
+  SlowOpRecord rec;
+  rec.captured_us = NowMicros();
+  rec.request_id = ctx.request_id;
+  rec.op_name = ctx.op_name;
+  rec.txn_id = ctx.txn_id;
+  rec.total_ns = total_ns;
+  for (size_t i = 0; i < kNumStages; i++) rec.stage_ns[i] = ctx.stage_ns[i];
+  rec.restarts = ctx.restarts;
+  rec.retries = ctx.retries;
+  std::snprintf(rec.status, sizeof(rec.status), "%s",
+                status_str != nullptr ? status_str : "ok");
+  // The status lands inside a JSON string: neuter anything that would
+  // break the quoting rather than pay for real escaping on this path.
+  for (char& c : rec.status) {
+    if (c == '\0') break;
+    if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20) {
+      c = '_';
+    }
+  }
+
+  MutexLock l(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(rec);
+  } else if (!ring_.empty()) {
+    ring_[next_ % ring_.size()] = rec;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  next_++;
+}
+
+std::vector<SlowOpRecord> SlowOpLog::Snapshot() const {
+  MutexLock l(mu_);
+  std::vector<SlowOpRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_ || ring_.empty()) {
+    out = ring_;  // not yet wrapped: insertion order is oldest-first
+  } else {
+    const size_t start = next_ % ring_.size();
+    for (size_t i = 0; i < ring_.size(); i++) {
+      out.push_back(ring_[(start + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+std::string SlowOpLog::DumpJson() const {
+  const std::vector<SlowOpRecord> records = Snapshot();
+  std::string out = "[";
+  char buf[640];
+  bool first = true;
+  for (const SlowOpRecord& r : records) {
+    // One line per record so the ring greps cleanly out of a flight file.
+    int n = std::snprintf(
+        buf, sizeof(buf),
+        "%s\n{\"t_us\":%" PRIu64 ",\"rid\":%" PRIu64 ",\"op\":\"%s\","
+        "\"txn\":%" PRIu64 ",\"total_ns\":%" PRIu64 ",\"stages\":{",
+        first ? "" : ",", r.captured_us, r.request_id, r.op_name, r.txn_id,
+        r.total_ns);
+    if (n > 0) out.append(buf, static_cast<size_t>(n));
+    for (size_t i = 0; i < kNumStages; i++) {
+      n = std::snprintf(buf, sizeof(buf), "%s\"%s\":%" PRIu64,
+                        i == 0 ? "" : ",",
+                        StageName(static_cast<Stage>(i)), r.stage_ns[i]);
+      if (n > 0) out.append(buf, static_cast<size_t>(n));
+    }
+    n = std::snprintf(buf, sizeof(buf),
+                      "},\"restarts\":%u,\"retries\":%u,\"status\":\"%s\"}",
+                      r.restarts, r.retries, r.status);
+    if (n > 0) out.append(buf, static_cast<size_t>(n));
+    first = false;
+  }
+  out.append("\n]\n");
+  return out;
+}
+
+size_t SlowOpLog::size() const {
+  MutexLock l(mu_);
+  return ring_.size();
+}
+
+void SlowOpLog::Clear() {
+  MutexLock l(mu_);
+  ring_.clear();
+  next_ = 0;
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace gistcr

@@ -1,0 +1,89 @@
+#ifndef GISTCR_OBS_SLOW_OP_LOG_H_
+#define GISTCR_OBS_SLOW_OP_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "obs/op_context.h"
+#include "util/macros.h"
+
+namespace gistcr {
+namespace obs {
+
+/// One captured slow request: the OpContext's stage breakdown plus outcome,
+/// serialized as a one-line JSON object by DumpJson (schema in DESIGN.md
+/// section 12).
+struct SlowOpRecord {
+  uint64_t captured_us = 0;  ///< steady-clock capture time (NowMicros)
+  uint64_t request_id = 0;
+  const char* op_name = "";  ///< static string (wire opcode name)
+  uint64_t txn_id = 0;
+  uint64_t total_ns = 0;
+  uint64_t stage_ns[kNumStages] = {};
+  uint32_t restarts = 0;
+  uint32_t retries = 0;
+  char status[48] = "ok";  ///< truncated status string
+};
+
+/// Bounded in-memory ring of slow-request records (ISSUE 6 tentpole).
+/// Requests whose end-to-end latency exceeds the configured threshold are
+/// captured; the ring overwrites its oldest record when full, bounding
+/// memory for arbitrarily long runs. Capture takes a mutex — by
+/// construction only requests already tens of milliseconds late pay it.
+class SlowOpLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+  static constexpr uint64_t kDefaultThresholdNs = 10'000'000;  // 10 ms
+
+  SlowOpLog() = default;
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(SlowOpLog);
+
+  /// Reconfigures capacity (existing records are dropped) and threshold.
+  /// \p capacity 0 keeps the default; \p threshold_ns 0 disables capture.
+  void Configure(size_t capacity, uint64_t threshold_ns);
+
+  uint64_t threshold_ns() const {
+    return threshold_ns_.load(std::memory_order_relaxed);
+  }
+  void SetThresholdNs(uint64_t ns) {
+    threshold_ns_.store(ns, std::memory_order_relaxed);
+  }
+  bool enabled() const { return threshold_ns() != 0; }
+
+  /// Captures \p ctx if \p total_ns exceeds the threshold. \p status_str
+  /// is truncated to the record's fixed status field.
+  void MaybeRecord(const OpContext& ctx, uint64_t total_ns,
+                   const char* status_str);
+
+  /// Records currently in the ring, oldest first.
+  std::vector<SlowOpRecord> Snapshot() const;
+
+  /// JSON array of one-line records, oldest first:
+  ///   {"t_us":..,"rid":..,"op":"insert","txn":..,"total_ns":..,
+  ///    "stages":{"queue":..,...},"restarts":..,"retries":..,
+  ///    "status":"ok"}
+  std::string DumpJson() const;
+
+  size_t size() const;
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void Clear();
+
+ private:
+  std::atomic<uint64_t> threshold_ns_{kDefaultThresholdNs};
+  std::atomic<uint64_t> dropped_{0};  ///< records overwritten by wrap
+
+  mutable Mutex mu_;
+  std::vector<SlowOpRecord> ring_ GISTCR_GUARDED_BY(mu_);
+  size_t capacity_ GISTCR_GUARDED_BY(mu_) = kDefaultCapacity;
+  uint64_t next_ GISTCR_GUARDED_BY(mu_) = 0;  ///< total records captured
+};
+
+}  // namespace obs
+}  // namespace gistcr
+
+#endif  // GISTCR_OBS_SLOW_OP_LOG_H_

@@ -1,7 +1,6 @@
 #ifndef GISTCR_OBS_TRACE_H_
 #define GISTCR_OBS_TRACE_H_
 
-#include <array>
 #include <atomic>
 #include <memory>
 #include <string>
@@ -22,6 +21,8 @@ struct TraceEvent {
   uint32_t tid;
   uint64_t ts_us;    ///< Start timestamp, microseconds (steady clock).
   uint64_t dur_us;   ///< Duration ('X' events).
+  const char* arg_name = nullptr;  ///< Optional scope argument key.
+  uint64_t arg = 0;                ///< Argument value (when arg_name set).
 };
 
 /// Process-wide event tracer: one fixed-capacity ring buffer per thread,
@@ -36,7 +37,7 @@ struct TraceEvent {
 /// Database::ExportTrace stays linkable in both configurations.
 class Tracer {
  public:
-  static constexpr size_t kRingCapacity = 4096;  ///< events per thread
+  static constexpr size_t kRingCapacity = 4096;  ///< default events/thread
 
   static Tracer& Global();
 
@@ -46,16 +47,28 @@ class Tracer {
   void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  /// Records a complete ('X') event. \p name must be a string literal or
-  /// otherwise outlive the tracer.
-  void RecordComplete(const char* name, uint64_t ts_us, uint64_t dur_us);
+  /// Sets the per-thread ring capacity for rings created *after* this
+  /// call; existing rings keep their size. 0 restores the default.
+  void SetRingCapacity(size_t capacity) {
+    ring_capacity_.store(capacity != 0 ? capacity : kRingCapacity,
+                         std::memory_order_relaxed);
+  }
+  size_t ring_capacity() const {
+    return ring_capacity_.load(std::memory_order_relaxed);
+  }
+
+  /// Records a complete ('X') event. \p name (and \p arg_name) must be
+  /// string literals or otherwise outlive the tracer.
+  void RecordComplete(const char* name, uint64_t ts_us, uint64_t dur_us,
+                      const char* arg_name = nullptr, uint64_t arg = 0);
   /// Records an instant ('i') event at the current time.
   void RecordInstant(const char* name);
 
   /// Snapshot of all rings, oldest-first per thread.
   std::vector<TraceEvent> Snapshot();
   /// Chrome trace-event JSON: an array of {name, cat, ph, ts, dur, pid,
-  /// tid} objects, loadable in chrome://tracing and Perfetto.
+  /// tid} objects, loadable in chrome://tracing and Perfetto. When the
+  /// tracer is runtime-disabled the result is an empty (but valid) array.
   std::string ExportJsonString();
   Status ExportJson(const std::string& path);
 
@@ -69,35 +82,47 @@ class Tracer {
     std::atomic<uint64_t> ts_us{0};
     std::atomic<uint64_t> dur_us{0};
     std::atomic<char> ph{'X'};
+    std::atomic<const char*> arg_name{nullptr};
+    std::atomic<uint64_t> arg{0};
   };
   struct ThreadRing {
+    explicit ThreadRing(size_t capacity) : slots(capacity) {}
     uint32_t tid = 0;
     std::atomic<uint64_t> next{0};  ///< total events written (mod = slot)
-    std::array<Slot, kRingCapacity> slots;
+    std::vector<Slot> slots;        ///< sized once at creation, never grown
   };
 
   ThreadRing* RingForThisThread();
-  void Record(const char* name, char ph, uint64_t ts_us, uint64_t dur_us);
+  void Record(const char* name, char ph, uint64_t ts_us, uint64_t dur_us,
+              const char* arg_name = nullptr, uint64_t arg = 0);
 
   Mutex mu_;  ///< guards rings_ registration and export iteration
   std::vector<std::unique_ptr<ThreadRing>> rings_ GISTCR_GUARDED_BY(mu_);
   std::atomic<uint32_t> next_tid_{1};
   std::atomic<bool> enabled_{true};
+  std::atomic<size_t> ring_capacity_{kRingCapacity};
 };
 
-/// RAII scope producing one complete ('X') event spanning its lifetime.
+/// RAII scope producing one complete ('X') event spanning its lifetime,
+/// optionally tagged with a single integer argument (e.g. a request id).
 class TraceScope {
  public:
   explicit TraceScope(const char* name)
       : name_(name), start_us_(NowMicros()) {}
+  TraceScope(const char* name, const char* arg_name, uint64_t arg)
+      : name_(name), arg_name_(arg_name), arg_(arg),
+        start_us_(NowMicros()) {}
   ~TraceScope() {
     Tracer::Global().RecordComplete(name_, start_us_,
-                                    NowMicros() - start_us_);
+                                    NowMicros() - start_us_, arg_name_,
+                                    arg_);
   }
   GISTCR_DISALLOW_COPY_AND_ASSIGN(TraceScope);
 
  private:
   const char* name_;
+  const char* arg_name_ = nullptr;
+  uint64_t arg_ = 0;
   uint64_t start_us_;
 };
 
@@ -113,10 +138,15 @@ class TraceScope {
 #define GISTCR_TRACE_SCOPE(name)            \
   ::gistcr::obs::TraceScope GISTCR_TRACE_CONCAT(gistcr_trace_scope_, \
                                                 __LINE__)(name)
+#define GISTCR_TRACE_SCOPE_ARG(name, key, value)                     \
+  ::gistcr::obs::TraceScope GISTCR_TRACE_CONCAT(gistcr_trace_scope_, \
+                                                __LINE__)(           \
+      name, key, static_cast<uint64_t>(value))
 #define GISTCR_TRACE_INSTANT(name) \
   ::gistcr::obs::Tracer::Global().RecordInstant(name)
 #else
 #define GISTCR_TRACE_SCOPE(name) ((void)0)
+#define GISTCR_TRACE_SCOPE_ARG(name, key, value) ((void)0)
 #define GISTCR_TRACE_INSTANT(name) ((void)0)
 #endif
 

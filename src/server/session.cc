@@ -23,6 +23,7 @@ using net::Opcode;
     case Opcode::kDelete: return "server.delete";
     case Opcode::kSearch: return "server.search";
     case Opcode::kStats: return "server.stats";
+    case Opcode::kInspect: return "server.inspect";
     default: return "server.request";
   }
 }
@@ -50,10 +51,15 @@ void ServerMetrics::Attach(obs::MetricsRegistry* reg) {
   queue_depth = reg->GetGauge("server.queue_depth");
   request_latency = reg->GetHistogram("server.request_latency");
   for (uint8_t op = static_cast<uint8_t>(Opcode::kPing);
-       op <= static_cast<uint8_t>(Opcode::kStats); op++) {
+       op <= static_cast<uint8_t>(Opcode::kInspect); op++) {
     const char* name = net::OpcodeName(static_cast<Opcode>(op));
     op_count[op] = reg->GetCounter(std::string("server.op.") + name);
     op_latency[op] = reg->GetHistogram(std::string("server.latency.") + name);
+  }
+  request_total = reg->GetHistogram("rpc.request_total");
+  for (size_t s = 0; s < obs::kNumStages; s++) {
+    stage[s] = reg->GetHistogram(std::string("rpc.stage.") +
+                                 obs::StageName(static_cast<obs::Stage>(s)));
   }
 }
 
@@ -90,6 +96,7 @@ void Session::AbortOpenTxn(Database* db, const ServerMetrics& metrics) {
 template <typename Fn>
 Status Session::InTxn(bool draining, Database* db, Fn body) {
   if (txn_ != nullptr) {
+    if (obs::OpContext* op = obs::CurrentOp()) op->txn_id = txn_->id();
     Status st = body(txn_);
     if (st.IsDeadlock()) {
       // The operation lost deadlock detection: the transaction must roll
@@ -105,6 +112,7 @@ Status Session::InTxn(bool draining, Database* db, Fn body) {
     return Status::Aborted("server shutting down");
   }
   Transaction* txn = db->Begin(IsolationLevel::kRepeatableRead);
+  if (obs::OpContext* op = obs::CurrentOp()) op->txn_id = txn->id();
   Status st = body(txn);
   if (st.ok()) {
     st = db->Commit(txn);
@@ -131,6 +139,7 @@ Status Session::HandleBegin(const net::Frame& req, bool draining, Database* db) 
   }
   txn_ = db->Begin(iso == 0 ? IsolationLevel::kReadCommitted
                             : IsolationLevel::kRepeatableRead);
+  if (obs::OpContext* op = obs::CurrentOp()) op->txn_id = txn_->id();
   std::string out;
   PutFixed64(&out, txn_->id());
   return SendFrame(Opcode::kOk, req.request_id, out);
@@ -143,6 +152,7 @@ Status Session::HandleCommit(const net::Frame& req, Database* db) {
   }
   Transaction* txn = txn_;
   txn_ = nullptr;
+  if (obs::OpContext* op = obs::CurrentOp()) op->txn_id = txn->id();
   Status st = db->Commit(txn);
   if (!st.ok()) {
     // A failed commit must not leak a lock-holding zombie: roll it back
@@ -162,6 +172,7 @@ Status Session::HandleAbort(const net::Frame& req, Database* db) {
   }
   Transaction* txn = txn_;
   txn_ = nullptr;
+  if (obs::OpContext* op = obs::CurrentOp()) op->txn_id = txn->id();
   Status st = db->Abort(txn);
   if (!st.ok()) {
     return SendError(req.request_id, net::ErrorCodeFromStatus(st),
@@ -298,8 +309,48 @@ Status Session::HandleSearch(const net::Frame& req, bool draining, Database* db)
 }
 
 Status Session::HandleStats(const net::Frame& req, Database* db) {
-  const std::string dump = db->DumpMetrics(/*as_json=*/true);
+  // Optional one-byte format selector: 0 (or absent) = JSON, 1 = Prometheus
+  // text exposition.
+  uint8_t format = 0;
+  if (!req.payload.empty()) {
+    if (req.payload.size() != 1) {
+      return SendError(req.request_id, ErrorCode::kMalformedPayload,
+                       "stats payload");
+    }
+    format = static_cast<uint8_t>(req.payload[0]);
+    if (format > 1) {
+      return SendError(req.request_id, ErrorCode::kMalformedPayload,
+                       "unknown stats format");
+    }
+  }
+  const std::string dump = format == 1 ? db->DumpMetricsPrometheus()
+                                       : db->DumpMetrics(/*as_json=*/true);
   return SendFrame(Opcode::kStatsReply, req.request_id, dump);
+}
+
+Status Session::HandleInspect(const net::Frame& req, Database* db) {
+  if (req.payload.size() != 1) {
+    return SendError(req.request_id, ErrorCode::kMalformedPayload,
+                     "inspect payload");
+  }
+  const char* what = nullptr;
+  switch (static_cast<net::InspectKind>(req.payload[0])) {
+    case net::InspectKind::kSlowOps: what = "slow"; break;
+    case net::InspectKind::kWaitGraph: what = "waitgraph"; break;
+    case net::InspectKind::kBufferPool: what = "bp"; break;
+    case net::InspectKind::kWal: what = "wal"; break;
+  }
+  if (what == nullptr) {
+    return SendError(req.request_id, ErrorCode::kMalformedPayload,
+                     "unknown inspect kind");
+  }
+  auto json_or = db->InspectJson(what);
+  if (!json_or.ok()) {
+    return SendError(req.request_id,
+                     net::ErrorCodeFromStatus(json_or.status()),
+                     json_or.status().ToString());
+  }
+  return SendFrame(Opcode::kInspectReply, req.request_id, json_or.value());
 }
 
 bool Session::Process(const ServerRequest& req, Database* db, bool draining,
@@ -332,8 +383,19 @@ bool Session::Process(const ServerRequest& req, Database* db, bool draining,
     return true;
   }
 
-  GISTCR_TRACE_SCOPE(TraceNameFor(f.opcode));
+  GISTCR_TRACE_SCOPE_ARG(TraceNameFor(f.opcode), "rid", f.request_id);
   const uint64_t t0 = obs::NowNanos();
+  // Per-request span context: stage timers accumulate into this while the
+  // handler runs (lock/latch/walwait/fsync attribution happens deep in the
+  // engine via the thread-local installed by OpScope).
+  obs::OpContext ctx;
+  ctx.request_id = f.request_id;
+  ctx.op_name = net::OpcodeName(f.opcode);
+  ctx.start_ns = (req.enqueue_ns != 0 && req.enqueue_ns <= t0)
+                     ? req.enqueue_ns
+                     : t0;
+  ctx.Add(obs::Stage::kQueue, t0 - ctx.start_ns);
+  obs::OpScope op_scope(&ctx);
   Status st;
   switch (f.opcode) {
     case Opcode::kPing:
@@ -360,17 +422,32 @@ bool Session::Process(const ServerRequest& req, Database* db, bool draining,
     case Opcode::kStats:
       st = HandleStats(f, db);
       break;
+    case Opcode::kInspect:
+      st = HandleInspect(f, db);
+      break;
     default:
       st = Status::NotSupported("opcode");
       break;
   }
-  const uint64_t dt = obs::NowNanos() - t0;
+  const uint64_t end_ns = obs::NowNanos();
+  const uint64_t dt = end_ns - t0;
   metrics.request_latency->Record(dt);
   const uint8_t op_idx = static_cast<uint8_t>(f.opcode);
-  if (op_idx < 9 && metrics.op_count[op_idx] != nullptr) {
+  if (op_idx < 10 && metrics.op_count[op_idx] != nullptr) {
     metrics.op_count[op_idx]->Add(1);
     metrics.op_latency[op_idx]->Record(dt);
   }
+  // Close the span: whatever end-to-end time was not attributed to a named
+  // stage becomes "other", so the stage sum equals the total exactly.
+  const uint64_t total = end_ns - ctx.start_ns;
+  uint64_t attributed = 0;
+  for (size_t s = 0; s < obs::kNumStages; s++) attributed += ctx.stage_ns[s];
+  ctx.Add(obs::Stage::kOther, total > attributed ? total - attributed : 0);
+  for (size_t s = 0; s < obs::kNumStages; s++) {
+    if (metrics.stage[s] != nullptr) metrics.stage[s]->Record(ctx.stage_ns[s]);
+  }
+  if (metrics.request_total != nullptr) metrics.request_total->Record(total);
+  db->slow_ops()->MaybeRecord(ctx, total, st.ok() ? "ok" : "send_failed");
   // st reflects the transport (SendFrame/SendError): if writing the
   // response failed the connection is dead and the event loop will reap
   // it; request-level errors were already reported as error frames.

@@ -8,6 +8,7 @@
 #include "net/socket.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "obs/op_context.h"
 #include "txn/transaction.h"
 
 namespace gistcr {
@@ -45,9 +46,14 @@ struct ServerMetrics {
   obs::Gauge* active_connections = nullptr;
   obs::Gauge* queue_depth = nullptr;
   obs::Histogram* request_latency = nullptr;
-  /// Indexed by request opcode value (net::Opcode::kPing..kStats).
-  obs::Counter* op_count[9] = {};
-  obs::Histogram* op_latency[9] = {};
+  /// Indexed by request opcode value (net::Opcode::kPing..kInspect).
+  obs::Counter* op_count[10] = {};
+  obs::Histogram* op_latency[10] = {};
+  /// Per-stage latency decomposition ("rpc.stage.<stage>"): how much of
+  /// each request went to queue wait, lock waits, latch waits, tree work,
+  /// group-commit wait and fsync. Stage sums equal rpc.request_total.
+  obs::Histogram* stage[obs::kNumStages] = {};
+  obs::Histogram* request_total = nullptr;
 };
 
 /// Per-connection state. Queueing fields (pending/scheduled/closed/...)
@@ -92,6 +98,7 @@ class Session {
   Status HandleDelete(const net::Frame& req, bool draining, Database* db);
   Status HandleSearch(const net::Frame& req, bool draining, Database* db);
   Status HandleStats(const net::Frame& req, Database* db);
+  Status HandleInspect(const net::Frame& req, Database* db);
 
   /// Runs \p body inside the session transaction, or an auto-commit
   /// transaction when none is open. Clears the session transaction (after

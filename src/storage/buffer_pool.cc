@@ -331,4 +331,23 @@ size_t BufferPool::ResidentCount() {
   return total;
 }
 
+std::vector<BufferPool::ShardStats> BufferPool::ShardOccupancy() {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    MutexLock l(s.mu);
+    ShardStats st;
+    st.frames = s.frames.size();
+    st.resident = s.table.size();
+    for (const auto& [page_id, frame] : s.table) {
+      frame->AssertShardMutexHeld();
+      if (frame->dirty()) st.dirty++;
+      if (frame->pin_count_ > 0) st.pinned++;
+    }
+    out.push_back(st);
+  }
+  return out;
+}
+
 }  // namespace gistcr

@@ -163,6 +163,16 @@ class BufferPool {
   /// Number of pages currently resident (for tests).
   size_t ResidentCount();
 
+  /// Per-shard occupancy snapshot for the introspection surface (kInspect
+  /// "bp"): frame counts, resident/dirty pages, and pinned frames.
+  struct ShardStats {
+    size_t frames = 0;
+    size_t resident = 0;
+    size_t dirty = 0;
+    size_t pinned = 0;
+  };
+  std::vector<ShardStats> ShardOccupancy();
+
  private:
   /// One partition: its frames, page table, clock hand, and the mutex/cv
   /// that guard them. Frames never migrate between shards.

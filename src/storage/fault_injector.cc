@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "obs/flight_recorder.h"
+
 namespace gistcr {
 
 FaultInjector& FaultInjector::Global() {
@@ -60,6 +62,11 @@ Status FaultInjector::OnCrashPoint(const char* name) {
     return Status::OK();
   }
   if (crash_action_ == CrashAction::kExit) {
+    // Flight recorder first: a real power cut leaves no artifact, but an
+    // induced crash is exactly when the torture harness wants one. Safe
+    // here — we run in normal (non-signal) context and Dump only takes
+    // leaf obs-layer mutexes, never this injector's mu_ again.
+    (void)obs::FlightRecorder::Global().Dump(name);
     // Simulated power cut: no destructors, no buffer flushes — the process
     // disappears exactly as a crashed machine would.
     std::_Exit(kCrashExitCode);

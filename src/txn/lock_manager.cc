@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/op_context.h"
+
 namespace gistcr {
 
 namespace {
@@ -28,6 +30,14 @@ void LockManager::AttachMetrics(obs::MetricsRegistry* reg) {
   m_wait_ns_[static_cast<size_t>(LockSpace::kTxn)] =
       reg->GetHistogram("lock.txn_wait_ns");
   m_deadlocks_ = reg->GetCounter("lock.deadlocks");
+}
+
+void LockManager::RecordWait(obs::Histogram* wait_hist,
+                             uint64_t wait_start) {
+  if (wait_start == 0) return;
+  const uint64_t waited = obs::NowNanos() - wait_start;
+  wait_hist->Record(waited);
+  obs::AddStage(obs::Stage::kLock, waited);
 }
 
 void LockManager::TryGrantLocked(LockState* state) {
@@ -186,7 +196,7 @@ Status LockManager::Lock(TxnId txn, LockName name, LockMode mode, bool wait) {
         mine->count++;
         ClearPending(txn);
         sh.cv.NotifyAll();
-        if (wait_start != 0) wait_hist->Record(obs::NowNanos() - wait_start);
+        RecordWait(wait_hist, wait_start);
         return Status::OK();
       }
       if (!wait) {
@@ -208,7 +218,7 @@ Status LockManager::Lock(TxnId txn, LockName name, LockMode mode, bool wait) {
         TryGrantLocked(state);
         sh.cv.NotifyAll();
         m_deadlocks_->Add(1);
-        if (wait_start != 0) wait_hist->Record(obs::NowNanos() - wait_start);
+        RecordWait(wait_hist, wait_start);
         return Status::Deadlock("lock upgrade would deadlock");
       }
       if (wait_start == 0) wait_start = obs::NowNanos();
@@ -227,7 +237,7 @@ Status LockManager::Lock(TxnId txn, LockName name, LockMode mode, bool wait) {
       l.Unlock();
       RecordHeld(txn, name);
       sh.cv.NotifyAll();
-      if (wait_start != 0) wait_hist->Record(obs::NowNanos() - wait_start);
+      RecordWait(wait_hist, wait_start);
       return Status::OK();
     }
     if (!wait) {
@@ -261,7 +271,7 @@ Status LockManager::Lock(TxnId txn, LockName name, LockMode mode, bool wait) {
       TryGrantLocked(state);
       sh.cv.NotifyAll();
       m_deadlocks_->Add(1);
-      if (wait_start != 0) wait_hist->Record(obs::NowNanos() - wait_start);
+      RecordWait(wait_hist, wait_start);
       return Status::Deadlock("lock wait would deadlock");
     }
     (void)sh.cv.WaitFor(sh.mu, kWaitSlice);
@@ -379,6 +389,22 @@ bool LockManager::Holds(TxnId txn, LockName name, LockMode mode) {
     }
   }
   return false;
+}
+
+std::vector<std::pair<TxnId, TxnId>> LockManager::WaitEdges() {
+  std::vector<TxnId> waiters;
+  {
+    MutexLock l(pending_mu_);
+    waiters.reserve(pending_.size());
+    for (const auto& [txn, name] : pending_) waiters.push_back(txn);
+  }
+  std::vector<std::pair<TxnId, TxnId>> edges;
+  for (TxnId waiter : waiters) {
+    std::unordered_set<TxnId> holders;
+    CollectWaitsFor(waiter, &holders);
+    for (TxnId holder : holders) edges.emplace_back(waiter, holder);
+  }
+  return edges;
 }
 
 size_t LockManager::TableSize() {

@@ -102,6 +102,11 @@ class LockManager {
   /// True if \p txn holds \p name in at least \p mode (for tests).
   bool Holds(TxnId txn, LockName name, LockMode mode);
 
+  /// Snapshot of the waits-for graph as (waiter, holder) edges, for the
+  /// introspection surface. Each shard is read independently, so the edge
+  /// set is approximate under concurrent grants — fine for diagnostics.
+  std::vector<std::pair<TxnId, TxnId>> WaitEdges();
+
   /// Number of distinct lock names currently tracked (for tests).
   size_t TableSize();
 
@@ -152,6 +157,9 @@ class LockManager {
   /// pending name). No global lock is held.
   void CollectWaitsFor(TxnId waiter, std::unordered_set<TxnId>* out);
   bool WouldDeadlock(TxnId requester);
+  /// Records a blocked acquisition's wait into \p wait_hist and the
+  /// current request's kLock stage (no-ops when \p wait_start is 0).
+  static void RecordWait(obs::Histogram* wait_hist, uint64_t wait_start);
 
   Shard shards_[kShards];
   TxnShard txn_shards_[kTxnShards];

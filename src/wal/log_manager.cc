@@ -9,6 +9,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/op_context.h"
 #include "obs/trace.h"
 #include "storage/fault_injector.h"
 #include "util/coding.h"
@@ -215,6 +216,7 @@ void LogManager::FlusherLoop() {
     // flushing_, which only this thread touches until flush_in_flight_
     // drops (readers may *read* it under mu_; that is race-free).
     Status st;
+    uint64_t io_ns = 0;
     {
       GISTCR_TRACE_SCOPE("wal.flush");
       const uint64_t t0 = obs::NowNanos();
@@ -250,7 +252,10 @@ void LogManager::FlusherLoop() {
       if (st.ok()) {
         st = FaultInjector::Global().CheckCrashPoint("wal.after_fsync");
       }
-      if (st.ok()) m_fsync_ns_->Record(obs::NowNanos() - t0);
+      if (st.ok()) {
+        io_ns = obs::NowNanos() - t0;
+        m_fsync_ns_->Record(io_ns);
+      }
     }
 
     l.Lock();
@@ -263,6 +268,7 @@ void LogManager::FlusherLoop() {
       m_batch_records_->Record(inflight_records_);
       if (inflight_commits_ > 0) m_batch_commits_->Record(inflight_commits_);
       m_batch_bytes_->Record(io.size);
+      last_flush_ns_ = io_ns;
     } else {
       // Splice the batch back in front of the newer tail so a later flush
       // request retries it; fan the error out to every blocked waiter and
@@ -311,7 +317,14 @@ Status LogManager::Flush(Lsn lsn) {
     if (flusher_stop_) return Status::IOError("wal: log closing");
     durable_cv_.Wait(mu_);
   }
-  m_flush_wait_ns_->Record(obs::NowNanos() - t0);
+  const uint64_t waited = obs::NowNanos() - t0;
+  m_flush_wait_ns_->Record(waited);
+  // Stage attribution: the covering batch's write+fsync duration is the
+  // part of the wait that was genuinely disk sync; the rest is group-commit
+  // queueing. last_flush_ns_ was just set by the flush that released us.
+  const uint64_t fsync_share = std::min(last_flush_ns_, waited);
+  obs::AddStage(obs::Stage::kFsync, fsync_share);
+  obs::AddStage(obs::Stage::kWalWait, waited - fsync_share);
   return Status::OK();
 }
 
@@ -395,6 +408,20 @@ Status LogManager::Scan(Lsn from,
 uint64_t LogManager::TotalBytes() const {
   MutexLock l(mu_);
   return buffer_base_ + flushing_.size() + buffer_.size() - kFirstLsn;
+}
+
+LogManager::FlusherStats LogManager::GetFlusherStats() const {
+  MutexLock l(mu_);
+  FlusherStats s;
+  s.tail_bytes = buffer_.size();
+  s.inflight_bytes = flushing_.size();
+  s.pending_records = pending_records_;
+  s.pending_commits = pending_commits_;
+  s.flush_in_flight = flush_in_flight_;
+  s.last_flush_ns = last_flush_ns_;
+  s.durable_lsn = durable_lsn_.load(std::memory_order_acquire);
+  s.last_lsn = last_lsn_.load(std::memory_order_acquire);
+  return s;
 }
 
 StatusOr<uint64_t> LogManager::ReclaimBefore(Lsn lsn) {

@@ -117,6 +117,20 @@ class LogManager {
     return reclaimed_before_.load(std::memory_order_acquire);
   }
 
+  /// Point-in-time view of the flusher pipeline, for the introspection
+  /// surface (kInspect "wal").
+  struct FlusherStats {
+    uint64_t tail_bytes = 0;      ///< unflushed tail buffer
+    uint64_t inflight_bytes = 0;  ///< batch currently being written
+    uint64_t pending_records = 0;
+    uint64_t pending_commits = 0;
+    bool flush_in_flight = false;
+    uint64_t last_flush_ns = 0;   ///< duration of the last batch write+sync
+    Lsn durable_lsn = kInvalidLsn;
+    Lsn last_lsn = kInvalidLsn;
+  };
+  FlusherStats GetFlusherStats() const;
+
  private:
   /// Flusher thread body: sleep until a flush is wanted, batch, write.
   void FlusherLoop();
@@ -184,6 +198,10 @@ class LogManager {
   /// stores its status; waiters that observed an older generation return
   /// the error instead of re-sleeping.
   uint64_t error_gen_ GISTCR_GUARDED_BY(mu_) = 0;
+  /// Write+fsync duration of the most recent successful batch; Flush
+  /// waiters use it to split their wait into fsync vs. queueing shares
+  /// when attributing request stages (DESIGN.md section 12).
+  uint64_t last_flush_ns_ GISTCR_GUARDED_BY(mu_) = 0;
   Status last_error_ GISTCR_GUARDED_BY(mu_);
   bool flusher_stop_ GISTCR_GUARDED_BY(mu_) = false;
 

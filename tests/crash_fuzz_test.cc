@@ -231,7 +231,10 @@ TEST(CrashPointFuzzTest, RandomSkipsAcrossHotPoints) {
     ASSERT_TRUE(exit_code == 0 ||
                 exit_code == FaultInjector::kCrashExitCode)
         << point << " skip=" << skip << " exited " << exit_code;
-    if (exit_code == FaultInjector::kCrashExitCode) crashed++;
+    if (exit_code == FaultInjector::kCrashExitCode) {
+      crashed++;
+      crash::VerifyFlightArtifact(path);
+    }
     crash::RecoverAndVerify(path, opt);
     if (::testing::Test::HasFatalFailure()) {
       ADD_FAILURE() << "at " << point << " skip=" << skip;

@@ -242,6 +242,27 @@ inline Status ComputeOracle(const std::string& path, Oracle* out) {
   return Status::OK();
 }
 
+/// Sanity-checks the flight-recorder sidecar an induced crash must leave
+/// behind (ISSUE 6 tentpole): the file exists, is one JSON object, and
+/// carries the reason plus the metrics/slow-op/trace sections. Call after
+/// ForkTorture returned kCrashExitCode, before re-opening the database.
+inline void VerifyFlightArtifact(const std::string& path) {
+  const std::string flight = path + ".flight";
+  FILE* f = std::fopen(flight.c_str(), "r");
+  ASSERT_NE(f, nullptr) << "crash left no flight artifact at " << flight;
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  ASSERT_FALSE(contents.empty()) << flight << " is empty";
+  EXPECT_EQ(contents.front(), '{') << flight << " is not a JSON object";
+  EXPECT_NE(contents.find("\"reason\":\""), std::string::npos);
+  EXPECT_NE(contents.find("\"metrics\":"), std::string::npos);
+  EXPECT_NE(contents.find("\"slow_ops\":"), std::string::npos);
+  EXPECT_NE(contents.find("\"trace\":"), std::string::npos);
+}
+
 /// Restart recovery + full integrity and atomicity verification. Gtest
 /// assertions fire inside, so call from a TEST body.
 inline void RecoverAndVerify(const std::string& path,

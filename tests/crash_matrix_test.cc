@@ -68,6 +68,9 @@ TEST_P(CrashMatrixTest, KillRecoverVerify) {
   ASSERT_EQ(exit_code, FaultInjector::kCrashExitCode)
       << "child did not die at crash point " << spec.point;
 
+  // The induced crash must have dumped a readable flight-recorder
+  // artifact before dying (checked before recovery touches the files).
+  crash::VerifyFlightArtifact(path);
   RecoverAndVerify(path, opt);
   RemoveDbFiles(path);
 }

@@ -1,0 +1,25 @@
+// Negative fixture for gistcr_lint rule `serialize-under-latch`: building
+// a metrics/slow-op/trace dump while a PageGuard latch is held stretches a
+// nanosecond-scale node hold to a stats-scrape-scale one and takes the
+// observability mutexes under a latch, inverting the intended ordering.
+//
+// Not compiled; consumed by `gistcr_lint.py --self-test tests/lint`.
+
+#include "db/database.h"
+#include "storage/buffer_pool.h"
+
+namespace gistcr {
+
+Status BadDumpUnderLatch(Database* db, BufferPool* pool, PageId a,
+                         std::string* out) {
+  auto fa = pool->Fetch(a);
+  GISTCR_RETURN_IF_ERROR(fa.status());
+  PageGuard g(pool, fa.value());
+  g.WLatch();
+  // VIOLATION: full metrics serialization while `g` is write-latched.
+  *out = db->DumpMetricsPrometheus();
+  g.Unlatch();
+  return Status::OK();
+}
+
+}  // namespace gistcr

@@ -8,7 +8,10 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/op_context.h"
+#include "obs/slow_op_log.h"
 #include "obs/trace.h"
 
 namespace gistcr {
@@ -236,6 +239,223 @@ TEST(TracerTest, DisabledTracerRecordsNothing) {
   tr.RecordInstant("off");
   EXPECT_EQ(tr.EventCount(), 0u);
   tr.SetEnabled(true);
+}
+
+TEST(TracerTest, DisabledExportIsEmptyButValidJson) {
+  // Regression (ISSUE 6 satellite): tracing compiled in but runtime-
+  // disabled must export an empty-but-valid JSON array — not stale
+  // pre-disable events, not invalid output.
+  Tracer& tr = Tracer::Global();
+  tr.Clear();
+  tr.RecordComplete("stale", 1, 1);
+  tr.SetEnabled(false);
+  const std::string json = tr.ExportJsonString();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.find("stale"), std::string::npos);
+  EXPECT_NE(json.find(']'), std::string::npos);
+  tr.SetEnabled(true);
+  tr.Clear();
+}
+
+TEST(TracerTest, ScopeArgumentsSurviveExport) {
+  Tracer& tr = Tracer::Global();
+  tr.Clear();
+  tr.RecordComplete("argful", 10, 5, "rid", 4242);
+  const auto events = tr.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_NE(events[0].arg_name, nullptr);
+  EXPECT_STREQ(events[0].arg_name, "rid");
+  EXPECT_EQ(events[0].arg, 4242u);
+  const std::string json = tr.ExportJsonString();
+  EXPECT_NE(json.find("\"args\":{\"rid\":4242}"), std::string::npos);
+  tr.Clear();
+}
+
+TEST(TracerTest, RingCapacityAppliesToNewThreads) {
+  Tracer& tr = Tracer::Global();
+  tr.Clear();
+  tr.SetRingCapacity(8);
+  std::thread t([&tr] {
+    for (int i = 0; i < 100; i++) {
+      tr.RecordComplete("cap", static_cast<uint64_t>(i), 1);
+    }
+  });
+  t.join();
+  // Fresh thread got an 8-slot ring: only the newest 8 events survive.
+  size_t cap_events = 0;
+  for (const auto& e : tr.Snapshot()) {
+    if (std::string(e.name) == "cap") cap_events++;
+  }
+  EXPECT_EQ(cap_events, 8u);
+  tr.SetRingCapacity(0);  // restore the default for later tests
+  EXPECT_EQ(tr.ring_capacity(), Tracer::kRingCapacity);
+  tr.Clear();
+}
+
+// ---------------------------------------------------------------------
+// OpContext / stage attribution
+// ---------------------------------------------------------------------
+
+TEST(OpContextTest, ScopeInstallsAndRestores) {
+  EXPECT_EQ(CurrentOp(), nullptr);
+  AddStage(Stage::kLock, 100);  // no-op outside a span
+  BumpRestarts();
+  OpContext ctx;
+  {
+    OpScope scope(&ctx);
+    EXPECT_EQ(CurrentOp(), &ctx);
+    AddStage(Stage::kLock, 100);
+    AddStage(Stage::kLock, 50);
+    AddStage(Stage::kFsync, 7);
+    BumpRestarts();
+  }
+  EXPECT_EQ(CurrentOp(), nullptr);
+  EXPECT_EQ(ctx.Get(Stage::kLock), 150u);
+  EXPECT_EQ(ctx.Get(Stage::kFsync), 7u);
+  EXPECT_EQ(ctx.restarts, 1u);
+}
+
+TEST(OpContextTest, StageNamesAreDistinct) {
+  for (size_t i = 0; i < kNumStages; i++) {
+    for (size_t j = i + 1; j < kNumStages; j++) {
+      EXPECT_STRNE(StageName(static_cast<Stage>(i)),
+                   StageName(static_cast<Stage>(j)));
+    }
+  }
+}
+
+TEST(OpContextTest, TreeScopeExcludesInnerWaits) {
+  OpContext ctx;
+  OpScope scope(&ctx);
+  {
+    TreeScope tree;
+    // A lock wait inside the traversal must not double-count as tree time.
+    AddStage(Stage::kLock, 60'000'000);
+  }
+  EXPECT_EQ(ctx.Get(Stage::kLock), 60'000'000u);
+  // Tree time is the (tiny) real elapsed time, not elapsed + the wait.
+  EXPECT_LT(ctx.Get(Stage::kTree), 60'000'000u);
+}
+
+TEST(OpContextTest, NestedTreeScopesRecordOnce) {
+  OpContext ctx;
+  OpScope scope(&ctx);
+  {
+    TreeScope outer;
+    { TreeScope inner; }
+    EXPECT_EQ(ctx.Get(Stage::kTree), 0u) << "inner scope must not record";
+  }
+  EXPECT_EQ(ctx.tree_depth, 0u);
+}
+
+// ---------------------------------------------------------------------
+// SlowOpLog
+// ---------------------------------------------------------------------
+
+TEST(SlowOpLogTest, ThresholdGatesCapture) {
+  SlowOpLog log;
+  log.Configure(/*capacity=*/4, /*threshold_ns=*/1000);
+  OpContext ctx;
+  ctx.request_id = 7;
+  ctx.op_name = "insert";
+  log.MaybeRecord(ctx, /*total_ns=*/999, "ok");
+  EXPECT_EQ(log.size(), 0u);
+  log.MaybeRecord(ctx, /*total_ns=*/1001, "ok");
+  EXPECT_EQ(log.size(), 1u);
+  log.SetThresholdNs(0);  // disables capture entirely
+  log.MaybeRecord(ctx, /*total_ns=*/5'000'000, "ok");
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(SlowOpLogTest, RingWrapsOldestFirst) {
+  SlowOpLog log;
+  log.Configure(/*capacity=*/3, /*threshold_ns=*/1);
+  OpContext ctx;
+  for (uint64_t i = 1; i <= 5; i++) {
+    ctx.request_id = i;
+    log.MaybeRecord(ctx, /*total_ns=*/100 + i, "ok");
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.dropped(), 2u);
+  const auto records = log.Snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].request_id, 3u);  // oldest surviving
+  EXPECT_EQ(records[2].request_id, 5u);  // newest
+}
+
+TEST(SlowOpLogTest, DumpJsonEscapesHostileStatus) {
+  SlowOpLog log;
+  log.Configure(/*capacity=*/4, /*threshold_ns=*/1);
+  OpContext ctx;
+  ctx.request_id = 1;
+  ctx.op_name = "search";
+  ctx.Add(Stage::kQueue, 10);
+  ctx.Add(Stage::kOther, 90);
+  log.MaybeRecord(ctx, 100, "bad \"quote\" and \\ backslash\nnewline");
+  const std::string json = log.DumpJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"rid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"op\":\"search\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue\":10"), std::string::npos);
+  // No raw quote/backslash/control character may survive inside status.
+  const size_t status_pos = json.find("\"status\":\"");
+  ASSERT_NE(status_pos, std::string::npos);
+  const size_t open = status_pos + 10;
+  const size_t close = json.find('"', open);
+  ASSERT_NE(close, std::string::npos);
+  const std::string status = json.substr(open, close - open);
+  EXPECT_EQ(status.find('\\'), std::string::npos);
+  EXPECT_EQ(status.find('\n'), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------
+
+TEST(FlightRecorderTest, DumpWritesArtifactOnceWhileArmed) {
+  const std::string path = "/tmp/gistcr_obs_test.flight";
+  std::remove(path.c_str());
+  MetricsRegistry reg;
+  reg.GetCounter("fr.test")->Add(3);
+  SlowOpLog slow;
+  FlightRecorder& fr = FlightRecorder::Global();
+
+  // Disarmed: nothing happens.
+  fr.Disarm();
+  EXPECT_TRUE(fr.Dump("early").IsNotFound());
+
+  fr.Arm(path, &reg, &slow);
+  ASSERT_TRUE(fr.armed());
+  ASSERT_TRUE(fr.Dump("unit-test").ok());
+  FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  EXPECT_EQ(contents.front(), '{');
+  EXPECT_NE(contents.find("\"reason\":\"unit-test\""), std::string::npos);
+  EXPECT_NE(contents.find("\"metrics\":"), std::string::npos);
+  EXPECT_NE(contents.find("fr.test"), std::string::npos);
+  EXPECT_NE(contents.find("\"slow_ops\":"), std::string::npos);
+  EXPECT_NE(contents.find("\"trace\":"), std::string::npos);
+
+  // Second dump in the same arming is a no-op (first crash wins).
+  std::remove(path.c_str());
+  EXPECT_TRUE(fr.Dump("second").ok());
+  f = std::fopen(path.c_str(), "r");
+  EXPECT_EQ(f, nullptr) << "second Dump must not rewrite the artifact";
+  if (f != nullptr) std::fclose(f);
+
+  // Re-arming resets the one-shot.
+  fr.Arm(path, &reg, &slow);
+  EXPECT_TRUE(fr.Dump("rearmed").ok());
+  f = std::fopen(path.c_str(), "r");
+  EXPECT_NE(f, nullptr);
+  if (f != nullptr) std::fclose(f);
+  fr.Disarm();
+  std::remove(path.c_str());
 }
 
 }  // namespace

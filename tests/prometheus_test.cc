@@ -1,0 +1,214 @@
+// Prometheus text-exposition tests (ISSUE 6 satellite): metric-name
+// sanitization, label escaping, and a structural validation of
+// MetricsRegistry::DumpPrometheus — every sample line must parse, every
+// histogram's `le` buckets must be cumulative and end in `+Inf` equal to
+// `_count`, and `# TYPE` lines must precede their series.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace gistcr {
+namespace obs {
+namespace {
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto ok_first = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  };
+  auto ok_rest = [&](char c) {
+    return ok_first(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!ok_first(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!ok_rest(c)) return false;
+  }
+  return true;
+}
+
+TEST(PrometheusNameTest, SanitizeProducesValidNames) {
+  EXPECT_EQ(PrometheusSanitizeName("bp.io_read_ns"), "gistcr_bp_io_read_ns");
+  EXPECT_EQ(PrometheusSanitizeName("server.latency.search"),
+            "gistcr_server_latency_search");
+  EXPECT_EQ(PrometheusSanitizeName("rpc.stage.walwait"),
+            "gistcr_rpc_stage_walwait");
+  // Hostile names still come out valid.
+  const char* hostile[] = {"9lives", "a-b", "a b", "per/s", "", "äöü",
+                           "x..y", "{quantile}"};
+  for (const char* n : hostile) {
+    const std::string s = PrometheusSanitizeName(n);
+    EXPECT_TRUE(ValidMetricName(s)) << "'" << n << "' -> '" << s << "'";
+  }
+}
+
+TEST(PrometheusNameTest, EscapeLabelHandlesSpecials) {
+  EXPECT_EQ(PrometheusEscapeLabel("plain"), "plain");
+  EXPECT_EQ(PrometheusEscapeLabel("a\"b"), "a\\\"b");
+  EXPECT_EQ(PrometheusEscapeLabel("a\\b"), "a\\\\b");
+  EXPECT_EQ(PrometheusEscapeLabel("a\nb"), "a\\nb");
+}
+
+// Minimal exposition-format parser: returns false (with a message) on any
+// structurally invalid line. Collects histogram bucket series.
+struct Sample {
+  std::string name;
+  std::string le;  ///< value of the `le` label, if present
+  double value = 0;
+};
+
+bool ParseExposition(const std::string& text, std::vector<Sample>* samples,
+                     std::map<std::string, std::string>* types,
+                     std::string* err) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, kind, name, type;
+      ls >> hash >> kind >> name >> type;
+      if (kind == "TYPE") {
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          *err = "bad TYPE: " + line;
+          return false;
+        }
+        (*types)[name] = type;
+      }
+      continue;
+    }
+    // <name>[{labels}] <value>
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) {
+      *err = "no value: " + line;
+      return false;
+    }
+    Sample s;
+    s.name = line.substr(0, name_end);
+    if (!ValidMetricName(s.name)) {
+      *err = "invalid name: " + s.name;
+      return false;
+    }
+    size_t value_start = name_end;
+    if (line[name_end] == '{') {
+      const size_t close = line.find('}', name_end);
+      if (close == std::string::npos) {
+        *err = "unclosed labels: " + line;
+        return false;
+      }
+      const std::string labels =
+          line.substr(name_end + 1, close - name_end - 1);
+      const size_t le = labels.find("le=\"");
+      if (le != std::string::npos) {
+        const size_t end = labels.find('"', le + 4);
+        if (end == std::string::npos) {
+          *err = "bad le label: " + line;
+          return false;
+        }
+        s.le = labels.substr(le + 4, end - le - 4);
+      }
+      value_start = close + 1;
+    }
+    const std::string value_str = line.substr(value_start);
+    char* endp = nullptr;
+    s.value = std::strtod(value_str.c_str(), &endp);
+    if (endp == value_str.c_str()) {
+      *err = "unparseable value: " + line;
+      return false;
+    }
+    samples->push_back(std::move(s));
+  }
+  return true;
+}
+
+TEST(PrometheusDumpTest, OutputParsesAndBucketsAreCumulative) {
+  MetricsRegistry reg;
+  reg.GetCounter("test.ops")->Add(41);
+  reg.GetGauge("test.rate")->Set(0.25);
+  Histogram* h = reg.GetHistogram("test.lat_ns");
+  for (uint64_t v = 1; v <= 1000; v++) h->Record(v);
+  h->Record(0);
+
+  std::string out;
+  reg.DumpPrometheus(&out);
+
+  std::vector<Sample> samples;
+  std::map<std::string, std::string> types;
+  std::string err;
+  ASSERT_TRUE(ParseExposition(out, &samples, &types, &err)) << err;
+
+  EXPECT_EQ(types["gistcr_test_ops"], "counter");
+  EXPECT_EQ(types["gistcr_test_rate"], "gauge");
+  EXPECT_EQ(types["gistcr_test_lat_ns"], "histogram");
+
+  double count = -1, sum = -1, inf = -1;
+  std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+  for (const auto& s : samples) {
+    if (s.name == "gistcr_test_ops") {
+      EXPECT_DOUBLE_EQ(s.value, 41.0);
+    }
+    if (s.name == "gistcr_test_rate") {
+      EXPECT_DOUBLE_EQ(s.value, 0.25);
+    }
+    if (s.name == "gistcr_test_lat_ns_count") count = s.value;
+    if (s.name == "gistcr_test_lat_ns_sum") sum = s.value;
+    if (s.name == "gistcr_test_lat_ns_bucket") {
+      ASSERT_FALSE(s.le.empty()) << "bucket sample without le label";
+      if (s.le == "+Inf") {
+        inf = s.value;
+      } else {
+        char* endp = nullptr;
+        const double bound = std::strtod(s.le.c_str(), &endp);
+        ASSERT_NE(endp, s.le.c_str()) << "non-numeric le: " << s.le;
+        buckets.emplace_back(bound, s.value);
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(count, 1001.0);
+  EXPECT_DOUBLE_EQ(sum, 500500.0);
+  EXPECT_DOUBLE_EQ(inf, count) << "+Inf bucket must equal _count";
+  ASSERT_FALSE(buckets.empty());
+  // Bounds strictly increasing, cumulative counts non-decreasing.
+  for (size_t i = 1; i < buckets.size(); i++) {
+    EXPECT_LT(buckets[i - 1].first, buckets[i].first);
+    EXPECT_LE(buckets[i - 1].second, buckets[i].second);
+  }
+  EXPECT_LE(buckets.back().second, inf);
+}
+
+TEST(PrometheusDumpTest, EmptyRegistryDumpIsValid) {
+  MetricsRegistry reg;
+  std::string out;
+  reg.DumpPrometheus(&out);
+  std::vector<Sample> samples;
+  std::map<std::string, std::string> types;
+  std::string err;
+  EXPECT_TRUE(ParseExposition(out, &samples, &types, &err)) << err;
+  EXPECT_TRUE(samples.empty());
+}
+
+TEST(PrometheusDumpTest, HostileMetricNamesStillExposeValidly) {
+  MetricsRegistry reg;
+  reg.GetCounter("1.weird-name with spaces")->Add(1);
+  reg.GetHistogram("2nd/histogram")->Record(5);
+  std::string out;
+  reg.DumpPrometheus(&out);
+  std::vector<Sample> samples;
+  std::map<std::string, std::string> types;
+  std::string err;
+  ASSERT_TRUE(ParseExposition(out, &samples, &types, &err)) << err;
+  EXPECT_FALSE(samples.empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace gistcr

@@ -165,7 +165,7 @@ TEST_F(ProtocolFuzzTest, BadMagicAndVersion) {
 }
 
 TEST_F(ProtocolFuzzTest, UnknownAndResponseOpcodes) {
-  for (uint8_t op : {0x00, 0x09, 0x40, 0x7F, 0x81, 0x82, 0x83, 0xFF}) {
+  for (uint8_t op : {0x00, 0x0A, 0x40, 0x7F, 0x81, 0x82, 0x83, 0xFF}) {
     SendRaw(Header(net::kHeaderLen, net::kMagic, net::kVersion, op, 0, op));
   }
   SanityProbe();
@@ -176,7 +176,7 @@ TEST_F(ProtocolFuzzTest, MalformedPayloads) {
   // Every request opcode with random payload bytes of assorted sizes —
   // decode must fail typed, not crash, and the txn-state machine must not
   // wedge (BEGIN garbage may open a txn; the final EOF aborts it).
-  for (uint8_t op = 0x01; op <= 0x08; op++) {
+  for (uint8_t op = 0x01; op <= 0x09; op++) {
     for (size_t size : {size_t{1}, size_t{3}, size_t{17}, size_t{300}}) {
       std::string payload;
       for (size_t j = 0; j < size; j++) {
@@ -186,6 +186,37 @@ TEST_F(ProtocolFuzzTest, MalformedPayloads) {
                      net::kMagic, net::kVersion, op, 0, op) +
               payload);
     }
+  }
+  SanityProbe();
+}
+
+TEST_F(ProtocolFuzzTest, StatsAndInspectDecodeFuzz) {
+  // Targeted fuzz of the new admin opcodes (ISSUE 6 satellite): every
+  // format/kind byte value plus oversized payloads. Well-formed selectors
+  // must produce a reply frame; everything else a typed error — never a
+  // crash, never a wedged session.
+  for (int v = 0; v < 256; v += 17) {
+    std::string one(1, static_cast<char>(v));
+    SendRaw(Header(net::kHeaderLen + 1, net::kMagic, net::kVersion,
+                   static_cast<uint8_t>(net::Opcode::kStats), 0, 1) +
+            one);
+    SendRaw(Header(net::kHeaderLen + 1, net::kMagic, net::kVersion,
+                   static_cast<uint8_t>(net::Opcode::kInspect), 0, 2) +
+            one);
+  }
+  // Empty inspect payload and multi-byte selectors.
+  SendRaw(Header(net::kHeaderLen, net::kMagic, net::kVersion,
+                 static_cast<uint8_t>(net::Opcode::kInspect), 0, 3));
+  for (size_t size : {size_t{2}, size_t{9}, size_t{200}}) {
+    std::string payload(size, '\x01');
+    SendRaw(Header(net::kHeaderLen + static_cast<uint32_t>(size), net::kMagic,
+                   net::kVersion, static_cast<uint8_t>(net::Opcode::kStats),
+                   0, 4) +
+            payload);
+    SendRaw(Header(net::kHeaderLen + static_cast<uint32_t>(size), net::kMagic,
+                   net::kVersion, static_cast<uint8_t>(net::Opcode::kInspect),
+                   0, 5) +
+            payload);
   }
   SanityProbe();
 }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -11,6 +12,7 @@
 #include "access/btree_extension.h"
 #include "client/client.h"
 #include "db/database.h"
+#include "obs/op_context.h"
 #include "tests/test_util.h"
 
 namespace gistcr {
@@ -275,6 +277,112 @@ TEST_F(ServerTest, UnknownIndexIsTypedError) {
   // kUnknownIndex surfaces as InvalidArgument on the client side.
   EXPECT_EQ(st.code(), Status::Code::kInvalidArgument) << st.ToString();
   ASSERT_OK(c.Ping());
+}
+
+TEST_F(ServerTest, PrometheusStatsOverTheWire) {
+  Client c = MakeClient();
+  ASSERT_OK(c.Insert(1, BtreeExtension::MakeKey(5), "five").status());
+  auto prom = c.Stats(/*prometheus=*/true);
+  ASSERT_OK(prom.status());
+  const std::string& text = prom.value();
+  // Sanitized, prefixed names with TYPE lines and histogram series.
+  EXPECT_NE(text.find("# TYPE gistcr_server_requests counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("gistcr_rpc_request_total_count"), std::string::npos);
+  EXPECT_NE(text.find("gistcr_rpc_stage_queue_bucket"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  // Raw dotted registry names must not leak through.
+  EXPECT_EQ(text.find("server.requests"), std::string::npos);
+  // The JSON form still works and is distinct.
+  auto json = c.Stats(/*prometheus=*/false);
+  ASSERT_OK(json.status());
+  EXPECT_EQ(json.value().front(), '{');
+}
+
+TEST_F(ServerTest, RequestDecomposesIntoStagesSummingToTotal) {
+  // Tentpole acceptance criterion: a request's end-to-end latency
+  // decomposes into named stages whose sum is within 10% of the measured
+  // total. Stage sums are exact by construction (kOther is the remainder),
+  // so the histogram sums must match to rounding.
+  Client c = MakeClient();
+  for (int i = 0; i < 50; i++) {
+    ASSERT_OK(
+        c.Insert(1, BtreeExtension::MakeKey(1000 + i), "payload").status());
+  }
+  auto* reg = db_->metrics();
+  const uint64_t total_sum =
+      reg->GetHistogram("rpc.request_total")->GetSnapshot().sum;
+  ASSERT_GT(total_sum, 0u);
+  uint64_t stage_sum = 0;
+  size_t stages_with_data = 0;
+  for (size_t s = 0; s < obs::kNumStages; s++) {
+    const auto snap =
+        reg->GetHistogram(std::string("rpc.stage.") +
+                          obs::StageName(static_cast<obs::Stage>(s)))
+            ->GetSnapshot();
+    stage_sum += snap.sum;
+    if (snap.count > 0) stages_with_data++;
+  }
+  // Every request records every stage (zeros included), so at least 5
+  // named stages have samples: queue, lock, tree, walwait/fsync, other.
+  EXPECT_GE(stages_with_data, 5u);
+  const double lo = 0.9 * static_cast<double>(total_sum);
+  const double hi = 1.1 * static_cast<double>(total_sum);
+  EXPECT_GE(static_cast<double>(stage_sum), lo);
+  EXPECT_LE(static_cast<double>(stage_sum), hi);
+}
+
+TEST_F(ServerTest, InspectViewsReturnJson) {
+  // Force slow-op capture for everything so the ring has content.
+  db_->slow_ops()->SetThresholdNs(1);
+  Client c = MakeClient();
+  ASSERT_OK(c.Insert(1, BtreeExtension::MakeKey(77), "slow").status());
+
+  auto slow = c.Inspect(net::InspectKind::kSlowOps);
+  ASSERT_OK(slow.status());
+  EXPECT_EQ(slow.value().front(), '[');
+  EXPECT_NE(slow.value().find("\"stages\""), std::string::npos);
+  EXPECT_NE(slow.value().find("\"op\":\"insert\""), std::string::npos);
+
+  auto wait = c.Inspect(net::InspectKind::kWaitGraph);
+  ASSERT_OK(wait.status());
+  EXPECT_NE(wait.value().find("\"edges\""), std::string::npos);
+
+  auto bp = c.Inspect(net::InspectKind::kBufferPool);
+  ASSERT_OK(bp.status());
+  EXPECT_NE(bp.value().find("\"shards\""), std::string::npos);
+  EXPECT_NE(bp.value().find("\"resident\""), std::string::npos);
+
+  auto wal = c.Inspect(net::InspectKind::kWal);
+  ASSERT_OK(wal.status());
+  EXPECT_NE(wal.value().find("\"durable_lsn\""), std::string::npos);
+
+  // Out-of-range kind: typed error, session survives.
+  auto bad = c.Inspect(static_cast<net::InspectKind>(200));
+  EXPECT_FALSE(bad.ok());
+  ASSERT_OK(c.Ping());
+}
+
+TEST_F(ServerTest, SlowOpRingCapturesStageBreakdown) {
+  db_->slow_ops()->SetThresholdNs(1);
+  Client c = MakeClient();
+  ASSERT_OK(c.Insert(1, BtreeExtension::MakeKey(88), "x").status());
+  for (int i = 0; i < 100 && db_->slow_ops()->size() == 0; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto records = db_->slow_ops()->Snapshot();
+  ASSERT_FALSE(records.empty());
+  bool found_insert = false;
+  for (const auto& r : records) {
+    if (std::string(r.op_name) != "insert") continue;
+    found_insert = true;
+    EXPECT_GT(r.total_ns, 0u);
+    uint64_t sum = 0;
+    for (size_t s = 0; s < obs::kNumStages; s++) sum += r.stage_ns[s];
+    EXPECT_EQ(sum, r.total_ns) << "stage sums must equal the total exactly";
+    EXPECT_GT(r.request_id, 0u);
+  }
+  EXPECT_TRUE(found_insert);
 }
 
 }  // namespace

@@ -30,6 +30,7 @@ inline void RemoveDbFiles(const std::string& path) {
   std::remove((path + ".db").c_str());
   std::remove((path + ".wal").c_str());
   std::remove((path + ".ckpt").c_str());
+  std::remove((path + ".flight").c_str());
 }
 
 #define ASSERT_OK(expr)                                 \

@@ -33,7 +33,10 @@ void Help() {
       "  uinsert <key> <value>     unique insert (DuplicateKey on clash)\n"
       "  delete <key> <rid>        logical delete (rid from insert/search)\n"
       "  search <lo> [hi]          range scan, prints key/rid/record\n"
-      "  stats                     server metrics dump (JSON)\n"
+      "  stats [json]              server metrics (Prometheus; 'json' for JSON)\n"
+      "  slow                      slow-op ring (one JSON record per line)\n"
+      "  waitgraph                 lock-manager wait-for edges (JSON)\n"
+      "  bp | wal                  buffer-pool / WAL flusher occupancy (JSON)\n"
       "  help | quit\n");
 }
 
@@ -131,7 +134,18 @@ int main(int argc, char** argv) {
       }
       std::printf("%zu result(s)\n", r.value().size());
     } else if (cmd == "stats") {
-      auto r = client.Stats();
+      std::string format;
+      in >> format;
+      auto r = client.Stats(/*prometheus=*/format != "json");
+      std::printf("%s\n", r.ok() ? r.value().c_str()
+                                 : r.status().ToString().c_str());
+    } else if (cmd == "slow" || cmd == "waitgraph" || cmd == "bp" ||
+               cmd == "wal") {
+      gistcr::net::InspectKind kind = gistcr::net::InspectKind::kSlowOps;
+      if (cmd == "waitgraph") kind = gistcr::net::InspectKind::kWaitGraph;
+      if (cmd == "bp") kind = gistcr::net::InspectKind::kBufferPool;
+      if (cmd == "wal") kind = gistcr::net::InspectKind::kWal;
+      auto r = client.Inspect(kind);
       std::printf("%s\n", r.ok() ? r.value().c_str()
                                  : r.status().ToString().c_str());
     } else {

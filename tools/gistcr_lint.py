@@ -52,6 +52,15 @@ Rules
       MutexLock::Unlock()/Lock() windows are tracked: sync inside an
       unlocked window is fine.
 
+  serialize-under-latch
+      No observability serialization (DumpMetrics/DumpMetricsPrometheus/
+      DumpPrometheus/DumpJson/DumpText/InspectJson/ExportTrace/
+      ExportJsonString/Snapshot) while a PageGuard latch is held. These
+      walk every registered metric or ring under the observability
+      mutexes and build multi-kilobyte strings; doing that under a node
+      latch turns a nanosecond-scale hold into a stats-scrape-scale one
+      and inverts the intended latch < obs-mutex ordering.
+
 Escape hatches
 --------------
   // gistcr-lint: allow(<rule>)        on the offending line or the line
@@ -80,6 +89,7 @@ RULES = (
     "nsn-outside-node",
     "unchecked-status",
     "sync-under-mutex",
+    "serialize-under-latch",
 )
 
 # --- directive extraction & source stripping -------------------------------
@@ -242,6 +252,10 @@ RAW_PRIMITIVE_RE = re.compile(
     r"|\b\w+(?:\.|->)unlock(?:_shared)?\s*\(\s*\)"
 )
 NSN_RE = re.compile(r"(?:\.|->)\s*(?:set_)?(?:nsn|rightlink)\s*\(")
+SERIALIZE_RE = re.compile(
+    r"(?:\.|->|::)\s*(?:DumpMetrics(?:Prometheus)?|DumpPrometheus|DumpJson|"
+    r"DumpText|InspectJson|ExportTrace|ExportJsonString|Snapshot)\s*\("
+)
 
 # sync-under-mutex: scoped-lock tracking (MutexLock/SharedLock from
 # common/mutex.h) plus the explicit Unlock()/Lock() windows MutexLock
@@ -348,6 +362,13 @@ class FileLinter:
                 report(
                     "nsn-outside-node",
                     "nsn/rightlink access with no latch held in scope",
+                )
+            if held and SERIALIZE_RE.search(line):
+                report(
+                    "serialize-under-latch",
+                    "observability serialization (metrics/slow-op/trace "
+                    "dump) while latch on "
+                    f"'{latches[-1][0]}' is held; scrape outside the latch",
                 )
 
             # sync-under-mutex: explicit Unlock() opens a window before the

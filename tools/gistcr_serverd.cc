@@ -16,6 +16,7 @@
 
 #include "access/btree_extension.h"
 #include "db/database.h"
+#include "obs/flight_recorder.h"
 #include "server/server.h"
 
 namespace {
@@ -88,6 +89,10 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
   std::signal(SIGPIPE, SIG_IGN);
+  // Fatal signals dump the flight-recorder sidecar (<db>.flight) before
+  // the default disposition re-raises; a post-mortem then has the trace
+  // ring, metrics snapshot and slow-op ring of the moment of death.
+  gistcr::obs::FlightRecorder::InstallSignalHandlers();
 
   gistcr::ServerOptions sopts;
   sopts.port = port;
