@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "bench/bench_util.h"
+#include "bench/read_report.h"
 #include "obs/op_context.h"
 #include "obs/slow_op_log.h"
 #include "obs/trace.h"
@@ -170,6 +171,77 @@ void BM_DurableCommit(benchmark::State& state) {
   }
 }
 
+// Read-mostly mixes for the optimistic read path (DESIGN.md section 13):
+// 95/5 and 99/1 search/insert, Arg 0 = latched reads (the seed baseline
+// checked in as bench/BENCH_read.seed.json), Arg 1 = optimistic reads.
+// Narrow 10-key range scans over a fanout-64 tree keep the traversal
+// (where the latch-vs-snapshot difference lives) the dominant per-op
+// cost rather than leaf entry scanning. Thread 0 writes BENCH_read.json
+// with throughput plus the restart accounting that proves the latch-free
+// arm converges (restarts_per_search stays far below the per-op restart
+// budget of kOptimisticMaxAttempts).
+std::atomic<uint64_t> g_read_bench_t0{0};
+std::atomic<uint64_t> g_read_bench_searches0{0};
+
+void ReadMostlyLoop(benchmark::State& state, int write_pct,
+                    const char* mix_label) {
+  const bool optimistic = state.range(0) != 0;
+  if (state.thread_index() == 0) {
+    g_env.BuildBtree("/tmp/gistcr_bench_read", ConcurrencyProtocol::kLink,
+                     PredicateMode::kHybrid, NsnSource::kLsn, kPreload,
+                     /*max_entries=*/64, /*sync_commit=*/false, optimistic);
+    g_next_key.store(kPreload);
+    g_read_bench_searches0.store(
+        g_env.db->metrics()->GetCounter("gist.searches")->value());
+    g_read_bench_t0.store(obs::NowNanos());
+  }
+  Random rng(static_cast<uint64_t>(state.thread_index()) * 613 + 29);
+  int64_t items = 0;
+  for (auto _ : state) {
+    if (rng.Uniform(100) < static_cast<uint32_t>(write_pct)) {
+      const int64_t k = g_next_key.fetch_add(1);
+      RunTxnWithRetry(g_env.db.get(), IsolationLevel::kReadCommitted,
+                      [&](Transaction* txn) {
+                        return g_env.db
+                            ->InsertRecord(txn, g_env.gist,
+                                           BtreeExtension::MakeKey(k), "v")
+                            .status();
+                      });
+    } else {
+      const int64_t lo = rng.UniformRange(0, kPreload - 10);
+      RunTxnWithRetry(g_env.db.get(), IsolationLevel::kReadCommitted,
+                      [&](Transaction* txn) {
+                        std::vector<SearchResult> results;
+                        return g_env.gist->Search(
+                            txn, BtreeExtension::MakeRange(lo, lo + 9),
+                            &results);
+                      });
+    }
+    items++;
+  }
+  state.SetItemsProcessed(items);
+  if (state.thread_index() == 0) {
+    const double elapsed_s =
+        static_cast<double>(obs::NowNanos() - g_read_bench_t0.load()) / 1e9;
+    const uint64_t searches =
+        g_env.db->metrics()->GetCounter("gist.searches")->value() -
+        g_read_bench_searches0.load();
+    WriteReadReport("BENCH_read.json", mix_label,
+                    optimistic ? "optimistic" : "latched", state.threads(),
+                    elapsed_s, searches, g_env.db.get());
+    ReportRegistryMetrics(state, g_env.db.get());
+    state.SetLabel(optimistic ? "optimistic" : "latched");
+  }
+}
+
+void BM_ReadMostly95_5(benchmark::State& state) {
+  ReadMostlyLoop(state, 5, "95/5");
+}
+
+void BM_ReadMostly99_1(benchmark::State& state) {
+  ReadMostlyLoop(state, 1, "99/1");
+}
+
 // The paper's "no latches during I/Os / no subtree locking" property shows
 // up most directly as *interference*: how long can one operation stall
 // another? Here a background thread runs full-range scans (which hold the
@@ -283,6 +355,11 @@ BENCHMARK(BM_SearchOnly)->Arg(0)->Arg(1)->ThreadRange(1, 8)
 BENCHMARK(BM_InsertOnly)->Arg(0)->Arg(1)->ThreadRange(1, 8)
     ->UseRealTime()->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_Mixed80_20)->Arg(0)->Arg(1)->ThreadRange(1, 8)
+    ->UseRealTime()->Unit(benchmark::kMicrosecond);
+// Arg 0 = latched reads (baseline), 1 = optimistic reads.
+BENCHMARK(BM_ReadMostly95_5)->Arg(0)->Arg(1)->ThreadRange(1, 8)
+    ->UseRealTime()->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ReadMostly99_1)->Arg(0)->Arg(1)->ThreadRange(1, 8)
     ->UseRealTime()->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_InsertLatencyUnderScan)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMicrosecond);

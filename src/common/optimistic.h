@@ -1,0 +1,60 @@
+#ifndef GISTCR_COMMON_OPTIMISTIC_H_
+#define GISTCR_COMMON_OPTIMISTIC_H_
+
+#include <cstdint>
+
+#include "util/macros.h"
+
+namespace gistcr {
+
+/// \file
+/// The optimistic-read discipline (DESIGN.md section 13).
+///
+/// An *optimistic section* is a region of code that reads buffer-pool pages
+/// without holding their latches, relying on the per-frame version word
+/// (Frame::version) to detect concurrent modification and restart. Inside
+/// such a section the thread must never block on a latch: a writer holding
+/// the X latch bumps the version *before* releasing it, so an optimistic
+/// reader that blocked behind that writer could deadlock-by-livelock
+/// (validate-fail -> retry -> block again) and, worse, blocking latch
+/// acquisition while holding snapshot state defeats the entire point of the
+/// latch-free read path. Non-blocking try-acquires are allowed (they cannot
+/// wait behind a writer).
+///
+/// The rule is enforced three ways:
+///  - statically, by tools/gistcr_lint.py rule `latch-inside-optimistic-
+///    section` (no RLatch/WLatch/lock/lock_shared while an
+///    OptimisticReadScope is live in the enclosing scope);
+///  - at runtime, by GISTCR_DCHECK(!InOptimisticSection()) in
+///    PageGuard::RLatch/WLatch;
+///  - dynamically, by TSan over the torture suites (the snapshot copy
+///    itself carries a documented suppression; see tsan.suppressions).
+
+namespace internal {
+/// Nesting depth of optimistic sections on this thread. A plain counter
+/// (not bool) so a fallback path that re-enters optimistically after a
+/// latched sub-step keeps the bookkeeping straight.
+inline thread_local uint32_t optimistic_depth = 0;
+}  // namespace internal
+
+/// True while the calling thread is inside an OptimisticReadScope.
+inline bool InOptimisticSection() {
+  return internal::optimistic_depth != 0;
+}
+
+/// RAII marker for an optimistic section. Declare one in the scope that
+/// performs version-validated latch-free page reads; its lifetime defines
+/// the region in which blocking latch acquisition is forbidden.
+class OptimisticReadScope {
+ public:
+  OptimisticReadScope() { internal::optimistic_depth++; }
+  ~OptimisticReadScope() {
+    GISTCR_DCHECK(internal::optimistic_depth > 0);
+    internal::optimistic_depth--;
+  }
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(OptimisticReadScope);
+};
+
+}  // namespace gistcr
+
+#endif  // GISTCR_COMMON_OPTIMISTIC_H_

@@ -88,24 +88,27 @@ StatusOr<PageId> PageAllocator::Allocate(Transaction* txn) {
 Status PageAllocator::Free(Transaction* txn, PageId page_id) {
   GISTCR_CHECK(page_id >= kFirstAllocatablePage);
   const PageId bitmap_pid = BitmapPageFor(page_id);
-  auto frame_or = pool_->Fetch(bitmap_pid);
-  GISTCR_RETURN_IF_ERROR(frame_or.status());
-  PageGuard guard(pool_, frame_or.value());
-  guard.WLatch();
-  LogRecord rec;
-  rec.type = LogRecordType::kFreePage;
-  PageAllocPayload pl;
-  pl.target_page = page_id;
-  pl.bitmap_page = bitmap_pid;
-  pl.EncodeTo(&rec.payload);
-  GISTCR_RETURN_IF_ERROR(txns_->AppendTxnLog(txn, &rec));
-  SetBit(guard.view().payload(), page_id % kBitsPerPage, false);
-  guard.view().set_page_lsn(rec.lsn);
-  guard.frame()->MarkDirty(rec.lsn);
   {
-    MutexLock l(mu_);
-    if (page_id < hint_) hint_ = page_id;
+    auto frame_or = pool_->Fetch(bitmap_pid);
+    GISTCR_RETURN_IF_ERROR(frame_or.status());
+    PageGuard guard(pool_, frame_or.value());
+    guard.WLatch();
+    LogRecord rec;
+    rec.type = LogRecordType::kFreePage;
+    PageAllocPayload pl;
+    pl.target_page = page_id;
+    pl.bitmap_page = bitmap_pid;
+    pl.EncodeTo(&rec.payload);
+    GISTCR_RETURN_IF_ERROR(txns_->AppendTxnLog(txn, &rec));
+    SetBit(guard.view().payload(), page_id % kBitsPerPage, false);
+    guard.view().set_page_lsn(rec.lsn);
+    guard.frame()->MarkDirty(rec.lsn);
   }
+  // Take mu_ only after the bitmap latch is released: Allocate holds mu_
+  // while it WLatches bitmap pages, so latch-then-mu_ here would invert the
+  // order and deadlock against a concurrent allocation.
+  MutexLock l(mu_);
+  if (page_id < hint_) hint_ = page_id;
   return Status::OK();
 }
 

@@ -68,12 +68,16 @@ GistCursor::~GistCursor() {
 
 Status GistCursor::Open() {
   GISTCR_CHECK(!open_);
+  // Memorize before reading the root pointer (same ordering rule as
+  // Gist::SearchInternal): a root grow between the two steps must carry
+  // an NSN above the memorized value.
+  const Nsn root_mem = gist_->ctx_.nsn->Current();
   auto root_or = gist_->GetRoot();
   GISTCR_RETURN_IF_ERROR(root_or.status());
   const PageId root = root_or.value();
   if (root == kInvalidPageId) return Status::NotFound("index has no root");
   GISTCR_RETURN_IF_ERROR(gist_->SignalLock(txn_, root));
-  stack_.push_back({root, gist_->ctx_.nsn->Current()});
+  stack_.push_back({root, root_mem});
   open_ = true;
   return Status::OK();
 }
@@ -96,9 +100,17 @@ Status GistCursor::FillPending() {
         &gist_->tree_latch_, /*exclusive=*/false,
         gist_->opts_.protocol == ConcurrencyProtocol::kCoarse);
     batch.clear();
-    GISTCR_RETURN_IF_ERROR(gist_->ProcessStackEntry(
-        txn_, e.page, e.nsn, query_, PredKind::kSearch, hybrid_attach,
-        /*lock_rids=*/true, op_id_, &stack_, &seen_, &batch, &tree));
+    bool fallback = !gist_->UseOptimisticReads(hybrid_attach);
+    if (!fallback) {
+      GISTCR_RETURN_IF_ERROR(gist_->ProcessStackEntryOptimistic(
+          txn_, e.page, e.nsn, query_, /*lock_rids=*/true, &stack_, &seen_,
+          &batch, &fallback));
+    }
+    if (fallback) {
+      GISTCR_RETURN_IF_ERROR(gist_->ProcessStackEntry(
+          txn_, e.page, e.nsn, query_, PredKind::kSearch, hybrid_attach,
+          /*lock_rids=*/true, op_id_, &stack_, &seen_, &batch, &tree));
+    }
     for (auto& r : batch) pending_.push_back(std::move(r));
   }
   return Status::OK();

@@ -1,15 +1,25 @@
 #include "gist/gist.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "db/meta_page.h"
 #include "gist/tree_latch.h"
 #include "obs/op_context.h"
 #include "obs/trace.h"
+#include "storage/fault_injector.h"
 
 namespace gistcr {
 
 using internal::TreeLatch;
+
+namespace {
+/// Validation failures tolerated per node visit before the optimistic
+/// reader gives up and re-runs the visit through the latched path. Bounds
+/// the restart work a write-hot node can inflict on readers (DESIGN.md
+/// section 13) and guarantees progress under sustained invalidation.
+constexpr int kOptimisticMaxAttempts = 8;
+}  // namespace
 
 GistStats::GistStats(obs::MetricsRegistry* reg)
     : searches(*reg->GetCounter("gist.searches")),
@@ -21,7 +31,10 @@ GistStats::GistStats(obs::MetricsRegistry* reg)
       predicate_waits(*reg->GetCounter("gist.predicate_waits")),
       rid_lock_waits(*reg->GetCounter("gist.rid_lock_waits")),
       gc_removed(*reg->GetCounter("gist.gc_removed")),
-      nodes_deleted(*reg->GetCounter("gist.nodes_deleted")) {}
+      nodes_deleted(*reg->GetCounter("gist.nodes_deleted")),
+      optimistic_visits(*reg->GetCounter("gist.read.optimistic_visits")),
+      read_restarts(*reg->GetCounter("gist.read.restarts")),
+      read_fallbacks(*reg->GetCounter("gist.read.fallbacks")) {}
 
 Gist::Gist(const GistContext& ctx, const GistExtension* ext, GistOptions opts)
     : ctx_(ctx),
@@ -85,6 +98,29 @@ StatusOr<PageId> Gist::GetRoot() {
   auto frame_or = ctx_.pool->Fetch(MetaView::kMetaPageId);
   GISTCR_RETURN_IF_ERROR(frame_or.status());
   PageGuard guard(ctx_.pool, frame_or.value());
+  if (UseOptimisticReads(/*hybrid_attach=*/false)) {
+    // The meta page is the hottest shared latch in the tree (every
+    // operation starts here); read the root pointer from a version-
+    // validated snapshot instead. Root caching is NOT safe — a stale
+    // ex-root could be retired and its page reallocated — but the
+    // validated snapshot carries no such hazard: it is exactly the
+    // latched read, minus the latch.
+    alignas(8) char snap[kPageSize];
+    OptimisticReadScope optimistic;
+    for (int attempt = 0; attempt < kOptimisticMaxAttempts; attempt++) {
+      uint64_t version = 0;
+      if (!guard.frame()->SnapshotPage(snap, &version,
+                                       &MetaView::SnapshotBounds)) {
+        stats_.read_restarts.Add(1);
+        obs::BumpRestarts();
+        continue;
+      }
+      MetaView meta(PageView(snap).data());
+      if (!meta.valid()) return Status::Corruption("bad meta page");
+      return meta.GetRoot(opts_.index_id);
+    }
+    stats_.read_fallbacks.Add(1);
+  }
   guard.RLatch();
   MetaView meta(guard.view().data());
   if (!meta.valid()) return Status::Corruption("bad meta page");
@@ -173,6 +209,13 @@ Status Gist::SearchInternal(Transaction* txn, Slice query,
   TreeLatch tree(&tree_latch_, /*exclusive=*/false,
                  opts_.protocol == ConcurrencyProtocol::kCoarse);
 
+  // Memorize the counter BEFORE reading the root pointer: a root grow in
+  // the window between a read-then-memorize pair would assign the old
+  // root's new sibling an NSN below the memorized value, making the split
+  // undetectable (Figure 3's memorize-then-read order applies to the root
+  // pointer like any other). An older memorized value is always safe — at
+  // worst it costs an extra rightlink check.
+  const Nsn root_mem = ctx_.nsn->Current();
   auto root_or = GetRoot();
   GISTCR_RETURN_IF_ERROR(root_or.status());
   const PageId root = root_or.value();
@@ -180,18 +223,27 @@ Status Gist::SearchInternal(Transaction* txn, Slice query,
 
   std::vector<StackEntry> stack;
   GISTCR_RETURN_IF_ERROR(SignalLock(txn, root));
-  stack.push_back({root, ctx_.nsn->Current()});
+  stack.push_back({root, root_mem});
   if (hooks_.after_root_push) hooks_.after_root_push();
 
   std::unordered_set<uint64_t> seen;
 
+  const bool optimistic = UseOptimisticReads(hybrid_attach);
   while (!stack.empty()) {
     const StackEntry e = stack.back();
     stack.pop_back();
     if (hooks_.before_visit_node) hooks_.before_visit_node(e.page);
-    GISTCR_RETURN_IF_ERROR(ProcessStackEntry(
-        txn, e.page, e.nsn, query, attach_kind, hybrid_attach, lock_rids,
-        op_id, &stack, &seen, out, &tree));
+    bool fallback = !optimistic;
+    if (optimistic) {
+      GISTCR_RETURN_IF_ERROR(ProcessStackEntryOptimistic(
+          txn, e.page, e.nsn, query, lock_rids, &stack, &seen, out,
+          &fallback));
+    }
+    if (fallback) {
+      GISTCR_RETURN_IF_ERROR(ProcessStackEntry(
+          txn, e.page, e.nsn, query, attach_kind, hybrid_attach, lock_rids,
+          op_id, &stack, &seen, out, &tree));
+    }
   }
   return Status::OK();
 }
@@ -328,6 +380,154 @@ Status Gist::ProcessStackEntry(Transaction* txn, PageId page, Nsn memorized,
   // Visited: the signaling lock protecting this stacked pointer can go
   // (section 7.2).
   SignalUnlock(txn, page);
+  return Status::OK();
+}
+
+Status Gist::ProcessStackEntryOptimistic(Transaction* txn, PageId page,
+                                         Nsn memorized, Slice query,
+                                         bool lock_rids,
+                                         std::vector<StackEntry>* stack,
+                                         std::unordered_set<uint64_t>* seen,
+                                         std::vector<SearchResult>* out,
+                                         bool* fallback) {
+  *fallback = false;
+  auto frame_or = ctx_.pool->Fetch(page);
+  GISTCR_RETURN_IF_ERROR(frame_or.status());
+  PageGuard g(ctx_.pool, frame_or.value());  // pin only — never latched
+  stats_.optimistic_visits.Add(1);
+
+  // Pushes committed by an earlier attempt of THIS visit. Each push was
+  // individually validated (the parent still held the pointer when its
+  // signaling lock landed), so an invalidated attempt leaves them on the
+  // stack; this set keeps the retry from pushing duplicates.
+  std::unordered_set<PageId> pushed;
+  alignas(8) char snap[kPageSize];
+  OptimisticReadScope optimistic;
+
+  for (int attempt = 0; attempt < kOptimisticMaxAttempts; attempt++) {
+    if (attempt != 0) {
+      stats_.read_restarts.Add(1);
+      obs::BumpRestarts();
+      GISTCR_CRASHPOINT("search.optimistic_restart");
+      // A writer may be holding the X latch for a while (e.g. I/O under
+      // latch on the insert path); don't burn the restart budget spinning.
+      std::this_thread::yield();
+    }
+    // Memorize the counter BEFORE the copy: a child that splits after the
+    // copy then carries an NSN above it (Figure 3 ordering, with the
+    // snapshot standing in for the latched pointer read).
+    const Nsn cur = ctx_.nsn->Current();
+    uint64_t version = 0;
+    if (!g.frame()->SnapshotPage(snap, &version, &NodeView::SnapshotBounds)) {
+      continue;
+    }
+    NodeView node(PageView(snap).data());
+
+    // Split detection (Figure 2) against the consistent copy.
+    if (node.nsn() > memorized && node.rightlink() != kInvalidPageId &&
+        pushed.count(node.rightlink()) == 0) {
+      bool already = false;
+      for (const auto& s : *stack) {
+        if (s.page == node.rightlink() && s.nsn == memorized) already = true;
+      }
+      if (!already) {
+        // Blocking on a LOCK is fine here (we hold no latch, just like the
+        // latched path after it unlatches to wait); only latches are
+        // forbidden inside the optimistic section.
+        GISTCR_RETURN_IF_ERROR(SignalLock(txn, node.rightlink()));
+        if (g.frame()->version() != version) {
+          // Node changed while the lock was acquired: the pointer may be
+          // stale (the sibling could since have been retired). Unwind.
+          SignalUnlock(txn, node.rightlink());
+          continue;
+        }
+        stack->push_back({node.rightlink(), memorized});
+        pushed.insert(node.rightlink());
+        stats_.rightlink_follows.Add(1);
+      }
+    }
+
+    if (!node.is_leaf()) {
+      bool invalidated = false;
+      const uint16_t n = node.count();
+      for (uint16_t i = 0; i < n; i++) {
+        if (!ext_->Consistent(node.entry_key(i), query)) continue;
+        const PageId child = static_cast<PageId>(node.entry_value(i));
+        if (pushed.count(child) != 0) continue;
+        GISTCR_RETURN_IF_ERROR(SignalLock(txn, child));
+        if (g.frame()->version() != version) {
+          SignalUnlock(txn, child);
+          invalidated = true;
+          break;
+        }
+        // Version unchanged after the lock: the parent entry still points
+        // at child, so child was not retired before our signaling lock —
+        // the stacked pointer is deletion-protected from here (section
+        // 7.2), exactly the guarantee the latched read derives from its
+        // S latch.
+        stack->push_back({child, cur});
+        pushed.insert(child);
+      }
+      if (invalidated) continue;
+      g.Drop();
+      SignalUnlock(txn, page);
+      return Status::OK();
+    }
+
+    // Leaf: emit qualifying entries. `seen` makes attempt restarts exact —
+    // entries committed by a previous attempt are skipped, entries the
+    // invalidation interrupted are re-scanned.
+    bool invalidated = false;
+    const uint16_t n = node.count();
+    for (uint16_t i = 0; i < n; i++) {
+      if (!ext_->Consistent(node.entry_key(i), query)) continue;
+      if (node.entry_del_txn(i) == txn->id()) continue;  // own logical delete
+      const uint64_t rid = node.entry_value(i);
+      if (seen->count(rid) != 0) continue;
+      if (lock_rids) {
+        Status st = ctx_.locks->Lock(txn->id(),
+                                     LockName{LockSpace::kRecord, rid},
+                                     LockMode::kShared, /*wait=*/false);
+        if (st.IsBusy()) {
+          // Block without any latch held (the latched path must first
+          // unlatch to get here — we are already there), then re-copy:
+          // the owner's commit may have changed the entry's del_txn.
+          stats_.rid_lock_waits.Add(1);
+          st = ctx_.locks->Lock(txn->id(), LockName{LockSpace::kRecord, rid},
+                                LockMode::kShared, /*wait=*/true);
+          GISTCR_RETURN_IF_ERROR(st);
+          invalidated = true;
+          break;
+        }
+        GISTCR_RETURN_IF_ERROR(st);
+        if (g.frame()->version() != version) {
+          // The S lock is held (2PL keeps it), but the snapshot's del_txn
+          // can no longer be trusted; re-copy and re-judge this entry.
+          invalidated = true;
+          break;
+        }
+      }
+      if (node.entry_del_txn(i) != kInvalidTxnId) {
+        // Marked in a copy validated while we hold the S lock: the
+        // deleter committed; the entry is logically gone.
+        continue;
+      }
+      seen->insert(rid);
+      out->push_back({node.entry_key(i).ToString(), Rid::Unpack(rid)});
+    }
+    if (invalidated) continue;
+    g.Drop();
+    SignalUnlock(txn, page);
+    return Status::OK();
+  }
+
+  // Restart budget exhausted: hand the node to the latched path. Children
+  // already pushed stay pushed — the latched visit may push them again,
+  // which costs a duplicate (signal-lock-balanced) visit but no duplicate
+  // results (`seen`).
+  stats_.read_fallbacks.Add(1);
+  *fallback = true;
+  g.Drop();
   return Status::OK();
 }
 

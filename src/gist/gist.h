@@ -49,6 +49,15 @@ struct GistOptions {
   /// Test hook: cap live entries per node to force splits with few keys
   /// (0 = page-capacity bound).
   uint16_t max_entries = 0;
+  /// Latch-free reads via optimistic lock coupling (DESIGN.md section 13):
+  /// searches and cursors read nodes from version-validated snapshots
+  /// instead of S-latching them, restarting the node visit on conflict.
+  /// Effective only under kLink (split compensation is what makes the
+  /// racy read safe) and outside the hybrid predicate-attach path, which
+  /// needs the latched attach ordering; other configurations silently use
+  /// the latched path. Writers always bump versions, so the knob can
+  /// differ between concurrent trees on one pool.
+  bool optimistic_reads = true;
 };
 
 /// Shared engine components a Gist operates on.
@@ -100,6 +109,13 @@ struct GistStats {
   obs::Counter& rid_lock_waits;
   obs::Counter& gc_removed;
   obs::Counter& nodes_deleted;
+  /// Optimistic read path (DESIGN.md section 13): node visits served from
+  /// version-validated snapshots, visits that re-copied after a failed
+  /// validation, and visits that exhausted their restart budget and fell
+  /// back to the latched path.
+  obs::Counter& optimistic_visits;
+  obs::Counter& read_restarts;
+  obs::Counter& read_fallbacks;
 };
 
 /// A Generalized Search Tree with the paper's concurrency, isolation and
@@ -192,6 +208,12 @@ class Gist {
   bool LinkProtocol() const {
     return opts_.protocol != ConcurrencyProtocol::kUnsafeNoLink;
   }
+  /// Whether a traversal may use the latch-free read path (see
+  /// GistOptions::optimistic_reads for the gating rationale).
+  bool UseOptimisticReads(bool hybrid_attach) const {
+    return opts_.optimistic_reads &&
+           opts_.protocol == ConcurrencyProtocol::kLink && !hybrid_attach;
+  }
 
   /// Consistency between a BP (or key) and an attached predicate.
   /// Search/probe attachments carry query-domain bytes; insert attachments
@@ -229,6 +251,24 @@ class Gist {
                            std::unordered_set<uint64_t>* seen,
                            std::vector<SearchResult>* out,
                            internal::TreeLatch* tree);
+
+  /// Latch-free variant of ProcessStackEntry (DESIGN.md section 13): pins
+  /// the node, copies it into a local snapshot, validates the frame's
+  /// version word, and operates on the copy. Every side effect (child
+  /// push, rightlink push, emitted result) is individually re-validated
+  /// against the version before it is committed; an invalidated attempt
+  /// re-copies. After a bounded number of failed attempts it sets
+  /// \p *fallback and returns OK with the node unprocessed — the caller
+  /// re-runs it through the latched ProcessStackEntry (guaranteed
+  /// progress). Only called when UseOptimisticReads() holds, so there is
+  /// no predicate attach and no coarse tree latch to manage.
+  Status ProcessStackEntryOptimistic(Transaction* txn, PageId page,
+                                     Nsn memorized, Slice query,
+                                     bool lock_rids,
+                                     std::vector<StackEntry>* stack,
+                                     std::unordered_set<uint64_t>* seen,
+                                     std::vector<SearchResult>* out,
+                                     bool* fallback);
 
   friend class GistCursor;
 

@@ -71,12 +71,15 @@ Status Gist::ChaseForPenalty(Transaction* txn, PageGuard* g, Nsn delimiter,
 
 Status Gist::LocateLeaf(Transaction* txn, Slice key,
                         std::vector<StackEntry>* stack, PageGuard* leaf) {
+  // Memorize BEFORE reading the root pointer (same ordering rule as
+  // SearchInternal): a root grow in the window must carry an NSN above the
+  // memorized value or the chase below cannot detect it.
+  Nsn p_nsn = ctx_.nsn->Current();
   auto root_or = GetRoot();
   GISTCR_RETURN_IF_ERROR(root_or.status());
   PageId p = root_or.value();
   if (p == kInvalidPageId) return Status::NotFound("index has no root");
   GISTCR_RETURN_IF_ERROR(SignalLock(txn, p));
-  Nsn p_nsn = ctx_.nsn->Current();
   int known_level = -1;  // unknown until the first latch
 
   for (;;) {

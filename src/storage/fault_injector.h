@@ -171,6 +171,7 @@ inline constexpr const char* kCrashPointCatalogue[] = {
     "gc.before_nta_end",            // GC removal applied, NTA-End not logged
     "gc.node_delete.before_rightlink_rewire",  // parent entry gone, chain not
     "bp.before_evict_write",        // WAL forced, dirty victim not written
+    "search.optimistic_restart",    // optimistic read invalidated, re-copying
     "wal.before_fsync",             // log pwritten, not yet durable
     "wal.after_fsync",              // log durable, in-memory state not updated
     "txn.commit.before_log_force",  // Commit appended, not flushed

@@ -7,13 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
 #include "access/btree_extension.h"
 #include "db/database.h"
+#include "db/meta_page.h"
 #include "storage/fault_injector.h"
 #include "tests/crash_harness.h"
 #include "tests/test_util.h"
@@ -103,6 +106,167 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+int ForkAndWait(const std::function<void()>& child_body) {
+  std::fflush(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    child_body();
+    std::_Exit(0);
+  }
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+// ---------------------------------------------------------------------
+// Crash during an optimistic read restart (DESIGN.md section 13): the
+// child dies at "search.optimistic_restart" — mid latch-free traversal,
+// with a writer transaction in flight — and recovery must come back to a
+// tree whose re-seeded version words serve correct optimistic reads.
+// ---------------------------------------------------------------------
+
+/// Child: preload, arm the restart crash point, then run optimistic
+/// searches against a concurrent writer plus a root-latch toggler (a held
+/// write latch makes the seqlock version odd, so a search that lands in
+/// the window fails validation, restarts, and trips the point).
+[[noreturn]] void RunOptimisticReaderCrashChild(const std::string& path,
+                                                const TortureOptions& opt) {
+  static BtreeExtension ext;
+  DatabaseOptions dopts;
+  dopts.path = path;
+  dopts.buffer_pool_pages = opt.buffer_pool_pages;
+  auto db_or = Database::Create(dopts);
+  if (!db_or.ok()) crash::ChildDie("create", db_or.status());
+  std::unique_ptr<Database> db = db_or.MoveValue();
+  GistOptions gopts;
+  gopts.index_id = 1;
+  gopts.max_entries = opt.max_entries;
+  GISTCR_CHILD_OK("create index", db->CreateIndex(1, &ext, gopts));
+  auto gist_or = db->GetIndex(1);
+  if (!gist_or.ok()) crash::ChildDie("get index", gist_or.status());
+  Gist* gist = gist_or.value();
+
+  int64_t next_key = 0;
+  for (int i = 0; i < 300; i += 16) {
+    Transaction* txn = db->Begin(IsolationLevel::kReadCommitted);
+    for (int j = 0; j < 16; j++) {
+      const int64_t k = next_key++;
+      auto rid_or = db->InsertRecord(txn, gist, BtreeExtension::MakeKey(k),
+                                     "v" + std::to_string(k));
+      if (!rid_or.ok()) crash::ChildDie("preload insert", rid_or.status());
+    }
+    GISTCR_CHILD_OK("preload commit", db->Commit(txn));
+  }
+
+  FaultInjector::Global().Reset();
+  FaultInjector::Global().ArmCrashPoint("search.optimistic_restart", 0,
+                                        FaultInjector::CrashAction::kExit);
+
+  std::atomic<bool> stop{false};
+  // Writer: keeps splitting and version-bumping nodes; some of its
+  // transactions will be in flight (durable but uncommitted) at the crash.
+  std::thread writer([&] {
+    while (!stop.load()) {
+      Transaction* txn = db->Begin(IsolationLevel::kReadCommitted);
+      bool ok = true;
+      for (int j = 0; j < 4 && ok; j++) {
+        const int64_t k = 1000 + next_key++;
+        ok = db->InsertRecord(txn, gist, BtreeExtension::MakeKey(k),
+                              "v" + std::to_string(k))
+                 .ok();
+      }
+      if (ok) {
+        (void)db->Commit(txn);
+      } else {
+        (void)db->Abort(txn);
+      }
+    }
+  });
+  // Latch toggler: holds the root write latch in short pulses so a search
+  // reliably lands in an odd-version window.
+  std::thread toggler([&] {
+    auto meta_or = db->pool()->Fetch(MetaView::kMetaPageId);
+    if (!meta_or.ok()) return;
+    PageGuard mg(db->pool(), meta_or.value());
+    mg.RLatch();
+    const PageId root = MetaView(mg.view().data()).GetRoot(1);
+    mg.Unlatch();
+    while (!stop.load()) {
+      auto fr = db->pool()->Fetch(root);
+      if (!fr.ok()) return;
+      {
+        PageGuard g(db->pool(), fr.value());
+        g.WLatch();
+        for (int y = 0; y < 3; y++) std::this_thread::yield();
+        g.Unlatch();
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  // Optimistic searches until the restart point fires and kills us.
+  for (int i = 0; i < 50000; i++) {
+    Transaction* txn = db->Begin(IsolationLevel::kReadCommitted);
+    std::vector<SearchResult> results;
+    (void)gist->Search(txn, BtreeExtension::MakeRange(0, 299), &results);
+    (void)db->Commit(txn);
+  }
+  stop = true;
+  writer.join();
+  toggler.join();
+  std::_Exit(0);  // the restart point never fired
+}
+
+TEST(CrashMatrixInflightReaders, CrashAtOptimisticRestartRecovers) {
+  if (!kFaultInjectionCompiled) {
+    GTEST_SKIP() << "built with GISTCR_FAULT_INJECTION=OFF";
+  }
+  const std::string path = TestPath("optcrash");
+  RemoveDbFiles(path);
+  TortureOptions opt;
+
+  const int exit_code =
+      ForkAndWait([&] { RunOptimisticReaderCrashChild(path, opt); });
+  if (exit_code == 0) {
+    RemoveDbFiles(path);
+    GTEST_SKIP() << "search.optimistic_restart did not fire";
+  }
+  ASSERT_EQ(exit_code, FaultInjector::kCrashExitCode)
+      << "child did not die at search.optimistic_restart";
+  crash::VerifyFlightArtifact(path);
+
+  // Integrity + atomicity against the WAL oracle; the verification search
+  // itself runs optimistically (kLink + optimistic_reads default on).
+  RecoverAndVerify(path, opt);
+
+  // Post-recovery, version words are re-seeded from the recovered page
+  // LSNs: a fresh optimistic scan must serve from snapshots (visits move,
+  // no fallbacks) and see exactly the oracle-visible keys again.
+  static BtreeExtension ext;
+  DatabaseOptions dopts;
+  dopts.path = path;
+  auto db_or = Database::Open(dopts);
+  ASSERT_OK(db_or.status());
+  std::unique_ptr<Database> db = db_or.MoveValue();
+  GistOptions gopts;
+  gopts.index_id = 1;
+  gopts.max_entries = opt.max_entries;
+  ASSERT_OK(db->OpenIndex(1, &ext, gopts));
+  Gist* gist = db->GetIndex(1).value();
+  crash::Oracle oracle;
+  ASSERT_OK(crash::ComputeOracle(path, &oracle));
+  Transaction* txn = db->Begin(IsolationLevel::kReadCommitted);
+  std::vector<SearchResult> results;
+  ASSERT_OK(gist->Search(txn, BtreeExtension::MakeRange(0, 1 << 20),
+                         &results));
+  ASSERT_OK(db->Commit(txn));
+  EXPECT_EQ(results.size(), oracle.visible.size());
+  EXPECT_GT(gist->stats().optimistic_visits.load(), 0u);
+  EXPECT_EQ(gist->stats().read_fallbacks.load(), 0u);
+  RemoveDbFiles(path);
+}
+
 // ---------------------------------------------------------------------
 // Recovery idempotence: crash during recovery itself, recover twice,
 // assert the trees are identical (satellite task).
@@ -167,19 +331,6 @@ INSTANTIATE_TEST_SUITE_P(
   auto db_or = Database::Open(dopts);
   // Reaching here means the point never fired during restart.
   std::_Exit(db_or.ok() ? 0 : 3);
-}
-
-int ForkAndWait(const std::function<void()>& child_body) {
-  std::fflush(nullptr);
-  const pid_t pid = ::fork();
-  if (pid < 0) return -1;
-  if (pid == 0) {
-    child_body();
-    std::_Exit(0);
-  }
-  int status = 0;
-  if (::waitpid(pid, &status, 0) != pid) return -1;
-  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
 }
 
 std::vector<IndexEntry> DumpSortedEntries(const std::string& path) {
@@ -285,7 +436,7 @@ TEST(CrashPointCatas, MatrixPointsAreCatalogued) {
         "wal.before_fsync", "wal.after_fsync", "txn.commit.before_log_force",
         "txn.commit.after_log_force", "ckpt.before_master_update",
         "recovery.after_analysis", "recovery.after_redo",
-        "recovery.mid_undo"}) {
+        "recovery.mid_undo", "search.optimistic_restart"}) {
     EXPECT_TRUE(in_catalogue(p)) << p;
   }
 }

@@ -390,6 +390,95 @@ TEST_F(ConcurrencyTest, CoarseProtocolProducesSameResults) {
   ASSERT_OK(db_->Commit(txn));
 }
 
+// Optimistic reads racing structure modifications (DESIGN.md section 13):
+// read-committed scans over a stable committed prefix must return exactly
+// that prefix — no torn entries, no duplicates, no lost keys — while
+// writers split nodes and delete volatile keys underneath them, and the
+// version-validation restart rate must stay under a fixed per-search
+// bound.
+TEST_F(ConcurrencyTest, OptimisticReadExactResultsRacingSMOs) {
+  SetUpDb(ConcurrencyProtocol::kLink, 6);
+  constexpr int64_t kStable = 300;    // keys [0, kStable) are never touched
+  constexpr int64_t kVolatile = 400;  // keys [kStable, kStable+kVolatile)
+  {
+    Transaction* txn = db_->Begin();
+    for (int64_t k = 0; k < kStable; k++) {
+      ASSERT_OK(db_->InsertRecord(txn, gist_, BtreeExtension::MakeKey(k), "v")
+                    .status());
+    }
+    ASSERT_OK(db_->Commit(txn));
+  }
+
+  std::atomic<bool> stop{false};
+  // Writer: inserts then deletes volatile keys adjacent to the stable
+  // prefix, keeping the leaves that border it splitting and shrinking.
+  std::thread writer([&] {
+    std::vector<std::pair<int64_t, Rid>> rids;
+    while (!stop.load()) {
+      rids.clear();
+      for (int64_t k = kStable; k < kStable + kVolatile && !stop.load();
+           k += 40) {
+        WithTxnRetry(IsolationLevel::kReadCommitted, [&](Transaction* txn) {
+          for (int64_t o = 0; o < 40; o++) {
+            auto rid = db_->InsertRecord(txn, gist_,
+                                         BtreeExtension::MakeKey(k + o), "v");
+            if (!rid.ok()) return rid.status();
+            rids.emplace_back(k + o, rid.value());
+          }
+          return Status::OK();
+        });
+      }
+      for (auto& [k, rid] : rids) {
+        if (stop.load()) break;
+        WithTxnRetry(IsolationLevel::kReadCommitted, [&](Transaction* txn) {
+          Status st = db_->DeleteRecord(txn, gist_,
+                                        BtreeExtension::MakeKey(k), rid);
+          if (st.IsNotFound()) return Status::OK();
+          return st;
+        });
+      }
+    }
+  });
+
+  constexpr int kReaders = 3;
+  constexpr int kSearchesPerReader = 250;
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; r++) {
+    readers.emplace_back([&, r] {
+      Random rng(static_cast<uint64_t>(r) * 53 + 11);
+      for (int i = 0; i < kSearchesPerReader; i++) {
+        const int64_t lo = rng.UniformRange(0, kStable - 30);
+        const int64_t hi = lo + 29;
+        std::vector<SearchResult> results;
+        WithTxnRetry(IsolationLevel::kReadCommitted, [&](Transaction* txn) {
+          results.clear();
+          return gist_->Search(txn, BtreeExtension::MakeRange(lo, hi),
+                               &results);
+        });
+        std::set<int64_t> got;
+        for (const auto& res : results) {
+          const int64_t k = BtreeExtension::Lo(res.key);
+          ASSERT_GE(k, lo) << "torn/foreign key " << k;
+          ASSERT_LE(k, hi) << "torn/foreign key " << k;
+          ASSERT_TRUE(got.insert(k).second) << "duplicate key " << k;
+        }
+        ASSERT_EQ(got.size(), 30u)
+            << "lost stable keys in [" << lo << "," << hi << "]";
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  stop = true;
+  writer.join();
+
+  ASSERT_OK(gist_->CheckInvariants());
+  EXPECT_GT(gist_->stats().splits.load(), 0u);
+  EXPECT_GT(gist_->stats().optimistic_visits.load(), 0u);
+  constexpr uint64_t kTotalSearches = kReaders * kSearchesPerReader;
+  EXPECT_LE(gist_->stats().read_restarts.load(), 2 * kTotalSearches)
+      << "optimistic restarts exceed the per-search bound";
+}
+
 // ---------------------------------------------------------------------
 // Figure 1 / Figure 2: the lost-key anomaly and its link-protocol fix,
 // reproduced deterministically.

@@ -1,0 +1,32 @@
+// Negative fixture for gistcr_lint rule `latch-inside-optimistic-section`:
+// a blocking latch acquisition while an OptimisticReadScope is live breaks
+// the optimistic read protocol's promise that readers never wait on
+// writers (DESIGN.md section 13) and can deadlock against a writer that
+// is spinning on the reader's pin. The only legal moves inside the scope
+// are version-validated snapshot copies, try-acquires, and lock-manager
+// waits (which hold no latch). To latch, fall back: let the scope end,
+// then take the latched path.
+//
+// Not compiled; consumed by `gistcr_lint.py --self-test tests/lint`.
+
+#include "common/optimistic.h"
+#include "gist/node.h"
+#include "storage/buffer_pool.h"
+
+namespace gistcr {
+
+Status BadLatchInsideOptimisticSection(BufferPool* pool, PageId pid,
+                                       uint16_t* out) {
+  auto f = pool->Fetch(pid);
+  GISTCR_RETURN_IF_ERROR(f.status());
+  PageGuard g(pool, f.value());
+  OptimisticReadScope optimistic;
+  // VIOLATION: blocking latch acquisition inside the optimistic section.
+  g.RLatch();
+  NodeView node(g.view().data());
+  *out = node.count();
+  g.Unlatch();
+  return Status::OK();
+}
+
+}  // namespace gistcr

@@ -15,6 +15,12 @@ namespace {
 /// against both the engine and an in-memory oracle (std::map). After every
 /// search the result set must equal the oracle's range view; after every
 /// crash-recovery cycle the full contents must match the oracle exactly.
+///
+/// Equivalence mode (DESIGN.md section 13): every operation is mirrored
+/// into a second index that has optimistic reads disabled, and every
+/// search runs against both. The optimistic (latch-free) read path must be
+/// observationally identical to the latched one on the same history —
+/// same result sets step by step, same post-recovery contents.
 class ModelCheckTest : public ::testing::TestWithParam<uint64_t> {
  protected:
   void SetUp() override {
@@ -29,14 +35,21 @@ class ModelCheckTest : public ::testing::TestWithParam<uint64_t> {
     RemoveDbFiles(path_);
   }
 
+  GistOptions IndexOptions(bool optimistic) {
+    GistOptions gopts;
+    gopts.max_entries = 8;
+    gopts.optimistic_reads = optimistic;
+    return gopts;
+  }
+
   void OpenFresh() {
     auto db_or = Database::Create(opts_);
     ASSERT_OK(db_or.status());
     db_ = db_or.MoveValue();
-    GistOptions gopts;
-    gopts.max_entries = 8;
-    ASSERT_OK(db_->CreateIndex(1, &ext_, gopts));
+    ASSERT_OK(db_->CreateIndex(1, &ext_, IndexOptions(true)));
     gist_ = db_->GetIndex(1).value();
+    ASSERT_OK(db_->CreateIndex(2, &ext_latched_, IndexOptions(false)));
+    gist_latched_ = db_->GetIndex(2).value();
   }
 
   void CrashRecover() {
@@ -46,46 +59,75 @@ class ModelCheckTest : public ::testing::TestWithParam<uint64_t> {
     auto db_or = Database::Open(opts_);
     ASSERT_OK(db_or.status());
     db_ = db_or.MoveValue();
-    GistOptions gopts;
-    gopts.max_entries = 8;
-    ASSERT_OK(db_->OpenIndex(1, &ext_, gopts));
+    ASSERT_OK(db_->OpenIndex(1, &ext_, IndexOptions(true)));
     gist_ = db_->GetIndex(1).value();
+    ASSERT_OK(db_->OpenIndex(2, &ext_latched_, IndexOptions(false)));
+    gist_latched_ = db_->GetIndex(2).value();
+  }
+
+  /// Runs the same range search through the optimistic index and the
+  /// latched mirror; the two must agree before either is compared to the
+  /// oracle.
+  std::set<int64_t> SearchBoth(Transaction* txn, int64_t lo, int64_t hi) {
+    std::vector<SearchResult> results;
+    EXPECT_OK(gist_->Search(txn, BtreeExtension::MakeRange(lo, hi), &results));
+    std::set<int64_t> got;
+    for (const auto& r : results) got.insert(BtreeExtension::Lo(r.key));
+    std::vector<SearchResult> latched;
+    EXPECT_OK(gist_latched_->Search(txn, BtreeExtension::MakeRange(lo, hi),
+                                    &latched));
+    std::set<int64_t> got_latched;
+    for (const auto& r : latched) got_latched.insert(BtreeExtension::Lo(r.key));
+    EXPECT_EQ(got, got_latched)
+        << "optimistic and latched reads diverge on [" << lo << "," << hi
+        << "]";
+    return got;
   }
 
   std::string path_;
   DatabaseOptions opts_;
   std::unique_ptr<Database> db_;
   BtreeExtension ext_;
+  BtreeExtension ext_latched_;
   Gist* gist_ = nullptr;
+  Gist* gist_latched_ = nullptr;
 };
 
 TEST_P(ModelCheckTest, RandomOpsMatchOracle) {
   Random rng(GetParam());
-  std::map<int64_t, Rid> oracle;  // committed state
+  std::map<int64_t, Rid> oracle;          // committed state (optimistic index)
+  std::map<int64_t, Rid> oracle_latched;  // rids of the latched mirror
   int64_t next_key_base = 0;
 
   for (int step = 0; step < 120; step++) {
     const uint64_t dice = rng.Uniform(100);
     if (dice < 45) {
-      // Transaction with 1..8 inserts; 20% abort.
+      // Transaction with 1..8 inserts (mirrored into both indexes);
+      // 20% abort.
       Transaction* txn = db_->Begin(IsolationLevel::kReadCommitted);
-      std::vector<std::pair<int64_t, Rid>> staged;
+      std::vector<std::tuple<int64_t, Rid, Rid>> staged;
       const int n = 1 + static_cast<int>(rng.Uniform(8));
       for (int i = 0; i < n; i++) {
         const int64_t k = next_key_base++;
         auto rid =
             db_->InsertRecord(txn, gist_, BtreeExtension::MakeKey(k), "v");
         ASSERT_OK(rid.status());
-        staged.emplace_back(k, rid.value());
+        auto rid_latched = db_->InsertRecord(txn, gist_latched_,
+                                             BtreeExtension::MakeKey(k), "v");
+        ASSERT_OK(rid_latched.status());
+        staged.emplace_back(k, rid.value(), rid_latched.value());
       }
       if (rng.OneIn(5)) {
         ASSERT_OK(db_->Abort(txn));
       } else {
         ASSERT_OK(db_->Commit(txn));
-        for (auto& [k, r] : staged) oracle[k] = r;
+        for (auto& [k, r, rl] : staged) {
+          oracle[k] = r;
+          oracle_latched[k] = rl;
+        }
       }
     } else if (dice < 65 && !oracle.empty()) {
-      // Transaction with 1..4 deletes; 20% abort.
+      // Transaction with 1..4 deletes (mirrored); 20% abort.
       Transaction* txn = db_->Begin(IsolationLevel::kReadCommitted);
       std::vector<int64_t> staged;
       const int n = 1 + static_cast<int>(rng.Uniform(4));
@@ -100,25 +142,27 @@ TEST_P(ModelCheckTest, RandomOpsMatchOracle) {
         ASSERT_OK(db_->DeleteRecord(txn, gist_,
                                     BtreeExtension::MakeKey(it->first),
                                     it->second));
+        ASSERT_OK(db_->DeleteRecord(txn, gist_latched_,
+                                    BtreeExtension::MakeKey(it->first),
+                                    oracle_latched[it->first]));
         staged.push_back(it->first);
       }
       if (rng.OneIn(5)) {
         ASSERT_OK(db_->Abort(txn));
       } else {
         ASSERT_OK(db_->Commit(txn));
-        for (int64_t k : staged) oracle.erase(k);
+        for (int64_t k : staged) {
+          oracle.erase(k);
+          oracle_latched.erase(k);
+        }
       }
     } else if (dice < 90) {
-      // Range search vs oracle.
+      // Range search: optimistic vs latched vs oracle.
       const int64_t lo = rng.UniformRange(0, next_key_base + 10);
       const int64_t hi = lo + rng.UniformRange(0, 200);
       Transaction* txn = db_->Begin(IsolationLevel::kReadCommitted);
-      std::vector<SearchResult> results;
-      ASSERT_OK(
-          gist_->Search(txn, BtreeExtension::MakeRange(lo, hi), &results));
+      const std::set<int64_t> got = SearchBoth(txn, lo, hi);
       ASSERT_OK(db_->Commit(txn));
-      std::set<int64_t> got;
-      for (const auto& r : results) got.insert(BtreeExtension::Lo(r.key));
       std::set<int64_t> want;
       for (auto it = oracle.lower_bound(lo);
            it != oracle.end() && it->first <= hi; ++it) {
@@ -127,22 +171,23 @@ TEST_P(ModelCheckTest, RandomOpsMatchOracle) {
       ASSERT_EQ(got, want) << "range [" << lo << "," << hi << "] at step "
                            << step;
     } else if (dice < 95) {
-      // GC sweep.
+      // GC sweep (both indexes).
       Transaction* txn = db_->Begin(IsolationLevel::kReadCommitted);
       uint64_t r = 0, n = 0;
       ASSERT_OK(gist_->GarbageCollect(txn, &r, &n));
+      ASSERT_OK(gist_latched_->GarbageCollect(txn, &r, &n));
       ASSERT_OK(db_->Commit(txn));
     } else {
       // Crash + recover; then verify the full state against the oracle.
+      // Post-recovery optimistic searches run against version words
+      // re-seeded from the recovered page LSNs, so this leg also checks
+      // the version/NSN unification across restarts.
       CrashRecover();
       ASSERT_OK(gist_->CheckInvariants());
+      ASSERT_OK(gist_latched_->CheckInvariants());
       Transaction* txn = db_->Begin(IsolationLevel::kReadCommitted);
-      std::vector<SearchResult> results;
-      ASSERT_OK(gist_->Search(
-          txn, BtreeExtension::MakeRange(0, next_key_base + 10), &results));
+      const std::set<int64_t> got = SearchBoth(txn, 0, next_key_base + 10);
       ASSERT_OK(db_->Commit(txn));
-      std::set<int64_t> got;
-      for (const auto& r : results) got.insert(BtreeExtension::Lo(r.key));
       std::set<int64_t> want;
       for (auto& [k, rid] : oracle) {
         (void)rid;
@@ -152,6 +197,7 @@ TEST_P(ModelCheckTest, RandomOpsMatchOracle) {
     }
   }
   ASSERT_OK(gist_->CheckInvariants());
+  ASSERT_OK(gist_latched_->CheckInvariants());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ModelCheckTest,

@@ -1,0 +1,492 @@
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "access/btree_extension.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace gistcr {
+namespace {
+
+/// Torture suite for the latch-free read path (DESIGN.md section 13).
+///
+/// Optimistic searches run against concurrent splits, logical deletes, GC
+/// node deletion and buffer-pool eviction, and every result set is checked
+/// against watermark invariants that a correct (latched) reader would also
+/// satisfy:
+///   - a key whose delete committed before the search began must be absent;
+///   - a key whose insert committed before the search began and for which
+///     no delete had even been *announced* by the time the search finished
+///     must be present;
+///   - no duplicate keys, no keys outside the committed universe (a torn
+///     snapshot that survived version validation would manifest as garbage
+///     keys or phantom entries).
+///
+/// Suite names contain "OptimisticRead" on purpose: the TSan CI leg selects
+/// concurrency suites by regex.
+// ---------------------------------------------------------------------
+// Stall watchdog: a torture run that stops making progress is a latent
+// deadlock; dump every thread's stack and abort instead of letting CI
+// time the job out with no forensics.
+// ---------------------------------------------------------------------
+
+void DumpThreadStack(int) {
+  void* frames[64];
+  const int n = backtrace(frames, 64);
+  char hdr[64];
+  const int len = snprintf(hdr, sizeof(hdr), "\n-- stack of tid %ld --\n",
+                           static_cast<long>(syscall(SYS_gettid)));
+  (void)!write(2, hdr, static_cast<size_t>(len));
+  backtrace_symbols_fd(frames, n, 2);
+}
+
+/// Watches \p progress; if it stops advancing for ~30s, SIGUSR1s every
+/// thread in the process (each dumps its stack to stderr) and aborts.
+class StallWatchdog {
+ public:
+  explicit StallWatchdog(std::atomic<uint64_t>* progress)
+      : progress_(progress) {
+    struct sigaction sa = {};
+    sa.sa_handler = DumpThreadStack;
+    sigaction(SIGUSR1, &sa, nullptr);
+    thread_ = std::thread([this] { Run(); });
+  }
+  ~StallWatchdog() {
+    stop_.store(true);
+    thread_.join();
+  }
+
+ private:
+  void Run() {
+    uint64_t last = progress_->load();
+    int stalled = 0;
+    while (!stop_.load()) {
+      std::this_thread::sleep_for(std::chrono::seconds(1));
+      const uint64_t now = progress_->load();
+      stalled = (now == last) ? stalled + 1 : 0;
+      last = now;
+      if (stalled >= 30) {
+        fprintf(stderr, "torture stalled for %ds; dumping stacks\n", stalled);
+        DIR* d = opendir("/proc/self/task");
+        if (d != nullptr) {
+          const pid_t self = getpid();
+          while (struct dirent* e = readdir(d)) {
+            const long tid = atol(e->d_name);
+            if (tid <= 0) continue;
+            syscall(SYS_tgkill, self, static_cast<pid_t>(tid), SIGUSR1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          }
+          closedir(d);
+        }
+        std::this_thread::sleep_for(std::chrono::seconds(2));
+        abort();
+      }
+    }
+  }
+
+  std::atomic<uint64_t>* progress_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+class OptimisticReadTest : public ::testing::Test {
+ protected:
+  void SetUpDb(uint32_t pool_pages, uint16_t max_entries,
+               bool optimistic = true) {
+    path_ = TestPath("optread");
+    RemoveDbFiles(path_);
+    DatabaseOptions opts;
+    opts.path = path_;
+    opts.buffer_pool_pages = pool_pages;
+    auto db_or = Database::Create(opts);
+    ASSERT_OK(db_or.status());
+    db_ = db_or.MoveValue();
+    GistOptions gopts;
+    gopts.protocol = ConcurrencyProtocol::kLink;
+    gopts.max_entries = max_entries;
+    gopts.optimistic_reads = optimistic;
+    ASSERT_OK(db_->CreateIndex(1, &ext_, gopts));
+    gist_ = db_->GetIndex(1).value();
+  }
+  void TearDown() override {
+    db_.reset();
+    RemoveDbFiles(path_);
+  }
+
+  /// Same retry-loop convention as ConcurrencyTest: deadlock/busy victims
+  /// begin a fresh transaction (standard application behaviour).
+  void WithTxnRetry(const std::function<Status(Transaction*)>& fn) {
+    for (int attempt = 0; attempt < 100; attempt++) {
+      Transaction* txn = db_->Begin(IsolationLevel::kReadCommitted);
+      Status st = fn(txn);
+      if (st.ok()) {
+        st = db_->Commit(txn);
+        if (st.ok()) return;
+        continue;
+      }
+      (void)db_->Abort(txn);
+      if (st.IsDeadlock() || st.IsBusy()) continue;
+      FAIL() << "operation failed: " << st.ToString();
+      return;
+    }
+    FAIL() << "retries exhausted";
+  }
+
+  std::string path_;
+  std::unique_ptr<Database> db_;
+  BtreeExtension ext_;
+  Gist* gist_ = nullptr;
+};
+
+// ---------------------------------------------------------------------
+// The torture test proper: optimistic searches vs splits, deletes, GC and
+// eviction, validated with per-writer watermarks.
+// ---------------------------------------------------------------------
+
+TEST_F(OptimisticReadTest, OptimisticReadTortureVsSplitsDeletesEviction) {
+  // Small pool (the tree outgrows it, so frames recycle under readers) and
+  // small nodes (constant splitting).
+  SetUpDb(/*pool_pages=*/256, /*max_entries=*/8);
+  constexpr int kWriters = 3;
+  constexpr int kReaders = 3;
+  constexpr int64_t kNamespace = 1'000'000;
+  constexpr int kPerWriter = 900;
+  constexpr int kInsertBatch = 6;
+  constexpr int kDeleteBatch = 4;
+
+  // Per-writer watermarks. Keys of writer t are base=t*kNamespace + offset.
+  //   ins_done:   offsets [0, ins_done) are insert-committed.
+  //   del_intent: a delete transaction covering offsets [0, del_intent) has
+  //               been announced (published BEFORE the txn begins).
+  //   del_done:   offsets [0, del_done) are delete-committed.
+  std::atomic<int64_t> ins_done[kWriters];
+  std::atomic<int64_t> del_intent[kWriters];
+  std::atomic<int64_t> del_done[kWriters];
+  for (int t = 0; t < kWriters; t++) {
+    ins_done[t] = 0;
+    del_intent[t] = 0;
+    del_done[t] = 0;
+  }
+
+  std::atomic<bool> writers_done{false};
+  std::atomic<uint64_t> progress{0};
+  StallWatchdog watchdog(&progress);
+  std::vector<std::thread> threads;
+
+  for (int t = 0; t < kWriters; t++) {
+    threads.emplace_back([&, t] {
+      const int64_t base = static_cast<int64_t>(t) * kNamespace;
+      std::vector<Rid> rids;  // rids[o] = rid of key base+o (this thread only)
+      rids.reserve(kPerWriter);
+      int batches = 0;
+      while (ins_done[t].load() < kPerWriter) {
+        // Insert a batch of fresh keys, then publish the watermark.
+        const int64_t lo = ins_done[t].load();
+        const int64_t hi = std::min<int64_t>(lo + kInsertBatch, kPerWriter);
+        std::vector<Rid> staged;
+        WithTxnRetry([&](Transaction* txn) {
+          staged.clear();
+          for (int64_t o = lo; o < hi; o++) {
+            auto rid = db_->InsertRecord(txn, gist_,
+                                         BtreeExtension::MakeKey(base + o),
+                                         "v");
+            if (!rid.ok()) return rid.status();
+            staged.push_back(rid.value());
+          }
+          return Status::OK();
+        });
+        for (const Rid& r : staged) rids.push_back(r);
+        ins_done[t].store(hi);
+        progress.fetch_add(1);
+
+        // Every third batch, delete the oldest still-live keys. The intent
+        // watermark is published BEFORE the transaction begins so readers
+        // can tell "no delete was even underway" from "a delete may have
+        // committed but its done-watermark publish is still in flight".
+        if (++batches % 3 == 0) {
+          const int64_t dlo = del_done[t].load();
+          const int64_t dhi =
+              std::min<int64_t>(dlo + kDeleteBatch, ins_done[t].load());
+          if (dhi > dlo) {
+            del_intent[t].store(dhi);
+            WithTxnRetry([&](Transaction* txn) {
+              for (int64_t o = dlo; o < dhi; o++) {
+                Status st = db_->DeleteRecord(
+                    txn, gist_, BtreeExtension::MakeKey(base + o),
+                    rids[static_cast<size_t>(o)]);
+                if (!st.ok() && !st.IsNotFound()) return st;
+              }
+              return Status::OK();
+            });
+            del_done[t].store(dhi);
+          }
+        }
+      }
+    });
+  }
+
+  // A maintenance thread sweeps committed-deleted entries and deletes empty
+  // nodes (drain technique) — node reuse racing optimistic readers.
+  threads.emplace_back([&] {
+    while (!writers_done.load()) {
+      WithTxnRetry([&](Transaction* txn) {
+        uint64_t removed = 0, nodes = 0;
+        return gist_->GarbageCollect(txn, &removed, &nodes);
+      });
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  std::atomic<uint64_t> searches_checked{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; r++) {
+    readers.emplace_back([&, r] {
+      Random rng(static_cast<uint64_t>(r) * 977 + 13);
+      // Keep racing while writers run, but always check a minimum number of
+      // searches per reader — on a loaded single-core host the writers can
+      // finish before a reader gets scheduled at all, and the watermark
+      // invariants hold just as well against the final (static) tree.
+      for (int i = 0; i < 20 || !writers_done.load(); i++) {
+        const int t = static_cast<int>(rng.Uniform(kWriters));
+        const int64_t base = static_cast<int64_t>(t) * kNamespace;
+        // Sub-range of the namespace (sometimes the whole namespace).
+        int64_t a = 0, b = kPerWriter;
+        if (!rng.OneIn(4)) {
+          a = rng.UniformRange(0, kPerWriter);
+          b = std::min<int64_t>(a + 120, kPerWriter);
+        }
+
+        // Watermarks before the search...
+        const int64_t d_done0 = del_done[t].load();
+        const int64_t c0 = ins_done[t].load();
+
+        std::vector<SearchResult> results;
+        WithTxnRetry([&](Transaction* txn) {
+          results.clear();
+          return gist_->Search(
+              txn, BtreeExtension::MakeRange(base + a, base + b - 1),
+              &results);
+        });
+
+        // ...and the delete-intent watermark after it.
+        const int64_t d_int1 = del_intent[t].load();
+
+        std::set<int64_t> offsets;
+        for (const auto& res : results) {
+          const int64_t k = BtreeExtension::Lo(res.key);
+          const int64_t o = k - base;
+          // No torn garbage: every key is inside the searched range of the
+          // committed universe.
+          ASSERT_GE(o, a) << "key " << k << " outside searched range";
+          ASSERT_LT(o, b) << "key " << k << " outside searched range";
+          // No duplicates.
+          ASSERT_TRUE(offsets.insert(o).second) << "duplicate key " << k;
+          // Deleted-committed-before-start keys must be gone.
+          ASSERT_GE(o, d_done0)
+              << "key " << k << " visible after its delete committed";
+        }
+        // Inserted-committed-before-start keys with no delete announced by
+        // the end of the search must all be present.
+        for (int64_t o = std::max(a, d_int1); o < std::min(b, c0); o++) {
+          ASSERT_TRUE(offsets.count(o))
+              << "lost key " << base + o << " (ins_done=" << c0
+              << " del_intent=" << d_int1 << ")";
+        }
+        searches_checked.fetch_add(1);
+        progress.fetch_add(1);
+      }
+    });
+  }
+
+  // Join writers first, then stop the maintenance + reader loops.
+  for (size_t i = 0; i + 1 < threads.size(); i++) threads[i].join();
+  writers_done = true;
+  threads.back().join();
+  for (auto& th : readers) th.join();
+
+  ASSERT_OK(gist_->CheckInvariants());
+  EXPECT_GT(searches_checked.load(), 50u);
+  EXPECT_GT(gist_->stats().splits.load(), 0u);
+
+  // The optimistic path must actually have been exercised, and the restart
+  // budget (kOptimisticMaxAttempts) must make fallbacks rare: a fallback
+  // needs 8 consecutive failed validations on one node.
+  const uint64_t visits = gist_->stats().optimistic_visits.load();
+  const uint64_t fallbacks = gist_->stats().read_fallbacks.load();
+  EXPECT_GT(visits, 0u);
+  EXPECT_LE(fallbacks, visits / 10 + 5);
+
+  // Final state matches the watermarks exactly: everything in
+  // [del_done, ins_done) per writer, nothing else.
+  Transaction* txn = db_->Begin();
+  std::vector<SearchResult> results;
+  ASSERT_OK(gist_->Search(
+      txn,
+      BtreeExtension::MakeRange(0, kWriters * kNamespace + kPerWriter),
+      &results));
+  ASSERT_OK(db_->Commit(txn));
+  std::set<int64_t> found;
+  for (const auto& res : results) found.insert(BtreeExtension::Lo(res.key));
+  size_t want = 0;
+  for (int t = 0; t < kWriters; t++) {
+    const int64_t base = static_cast<int64_t>(t) * kNamespace;
+    for (int64_t o = del_done[t].load(); o < ins_done[t].load(); o++) {
+      EXPECT_TRUE(found.count(base + o)) << "lost key " << base + o;
+      want++;
+    }
+  }
+  EXPECT_EQ(found.size(), want);
+}
+
+// ---------------------------------------------------------------------
+// Restart boundedness: even on a split-heavy workload, version-validation
+// restarts stay under a fixed per-search bound and the latched fallback is
+// (nearly) never needed.
+// ---------------------------------------------------------------------
+
+TEST_F(OptimisticReadTest, OptimisticReadRestartsBoundedUnderSplits) {
+  SetUpDb(/*pool_pages=*/2048, /*max_entries=*/4);
+  // Preload a committed prefix for the readers to scan.
+  constexpr int64_t kPreload = 400;
+  {
+    Transaction* txn = db_->Begin();
+    for (int64_t k = 0; k < kPreload; k++) {
+      ASSERT_OK(db_->InsertRecord(txn, gist_, BtreeExtension::MakeKey(k), "v")
+                    .status());
+    }
+    ASSERT_OK(db_->Commit(txn));
+  }
+
+  const uint64_t restarts_before = gist_->stats().read_restarts.load();
+  const uint64_t fallbacks_before = gist_->stats().read_fallbacks.load();
+
+  // One writer splits nodes continuously; readers scan the stable prefix.
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int64_t k = kPreload;
+    while (!stop.load()) {
+      WithTxnRetry([&](Transaction* txn) {
+        return db_->InsertRecord(txn, gist_, BtreeExtension::MakeKey(k), "v")
+            .status();
+      });
+      k++;
+    }
+  });
+
+  constexpr int kReaders = 2;
+  constexpr int kSearchesPerReader = 400;
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; r++) {
+    readers.emplace_back([&, r] {
+      Random rng(static_cast<uint64_t>(r) + 1);
+      for (int i = 0; i < kSearchesPerReader; i++) {
+        const int64_t lo = rng.UniformRange(0, kPreload - 20);
+        std::vector<SearchResult> results;
+        WithTxnRetry([&](Transaction* txn) {
+          results.clear();
+          return gist_->Search(txn, BtreeExtension::MakeRange(lo, lo + 19),
+                               &results);
+        });
+        // Committed-before-start prefix keys are never deleted: all 20
+        // must be found, with no duplicates (results sized exactly).
+        std::set<int64_t> got;
+        for (const auto& res : results) got.insert(BtreeExtension::Lo(res.key));
+        ASSERT_EQ(got.size(), results.size()) << "duplicate entries";
+        ASSERT_EQ(got.size(), 20u) << "lost keys in [" << lo << "," << lo + 19
+                                   << "]";
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  stop = true;
+  writer.join();
+
+  ASSERT_OK(gist_->CheckInvariants());
+  EXPECT_GT(gist_->stats().splits.load(), 0u);
+
+  // The regression bound: a search restarts at most a small constant number
+  // of times on average. Measured rates are ~0.0003 restarts/search; the
+  // bound of 2 per search leaves orders of magnitude of headroom while
+  // still catching a livelocking validation loop.
+  constexpr uint64_t kTotalSearches = kReaders * kSearchesPerReader;
+  const uint64_t restarts = gist_->stats().read_restarts.load() -
+                            restarts_before;
+  const uint64_t fallbacks = gist_->stats().read_fallbacks.load() -
+                             fallbacks_before;
+  EXPECT_LE(restarts, 2 * kTotalSearches)
+      << "optimistic restarts exceed the per-search bound";
+  // Fallbacks need kOptimisticMaxAttempts consecutive conflicts on a single
+  // node; on this workload they should be essentially absent.
+  EXPECT_LE(fallbacks, kTotalSearches / 20 + 2);
+  EXPECT_GT(gist_->stats().optimistic_visits.load(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Knob gating: with optimistic_reads=false the snapshot path is never
+// taken, and both modes return identical results on the same data.
+// ---------------------------------------------------------------------
+
+TEST_F(OptimisticReadTest, OptimisticReadKnobGatesSnapshotPath) {
+  SetUpDb(/*pool_pages=*/512, /*max_entries=*/8, /*optimistic=*/false);
+  {
+    Transaction* txn = db_->Begin();
+    for (int64_t k = 0; k < 300; k++) {
+      ASSERT_OK(db_->InsertRecord(txn, gist_, BtreeExtension::MakeKey(k), "v")
+                    .status());
+    }
+    ASSERT_OK(db_->Commit(txn));
+  }
+  Transaction* txn = db_->Begin(IsolationLevel::kReadCommitted);
+  std::vector<SearchResult> latched;
+  ASSERT_OK(gist_->Search(txn, BtreeExtension::MakeRange(0, 299), &latched));
+  ASSERT_OK(db_->Commit(txn));
+  EXPECT_EQ(latched.size(), 300u);
+  EXPECT_EQ(gist_->stats().optimistic_visits.load(), 0u)
+      << "optimistic path taken despite optimistic_reads=false";
+  EXPECT_EQ(gist_->stats().read_restarts.load(), 0u);
+
+  // Reopen the same tree with the knob on: same result set, and the
+  // optimistic path is actually used.
+  db_.reset();
+  DatabaseOptions opts;
+  opts.path = path_;
+  auto db_or = Database::Open(opts);
+  ASSERT_OK(db_or.status());
+  db_ = db_or.MoveValue();
+  GistOptions gopts;
+  gopts.protocol = ConcurrencyProtocol::kLink;
+  gopts.max_entries = 8;
+  gopts.optimistic_reads = true;
+  ASSERT_OK(db_->OpenIndex(1, &ext_, gopts));
+  gist_ = db_->GetIndex(1).value();
+
+  // Read-committed: repeatable-read searches attach hybrid predicate locks
+  // during the traversal, which (by design) routes through the latched
+  // path; only RC searches exercise the snapshot path.
+  txn = db_->Begin(IsolationLevel::kReadCommitted);
+  std::vector<SearchResult> optimistic;
+  ASSERT_OK(
+      gist_->Search(txn, BtreeExtension::MakeRange(0, 299), &optimistic));
+  ASSERT_OK(db_->Commit(txn));
+  std::set<int64_t> a, b;
+  for (const auto& res : latched) a.insert(BtreeExtension::Lo(res.key));
+  for (const auto& res : optimistic) b.insert(BtreeExtension::Lo(res.key));
+  EXPECT_EQ(a, b);
+  EXPECT_GT(gist_->stats().optimistic_visits.load(), 0u);
+}
+
+}  // namespace
+}  // namespace gistcr

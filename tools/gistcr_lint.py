@@ -61,6 +61,18 @@ Rules
       latch turns a nanosecond-scale hold into a stats-scrape-scale one
       and inverts the intended latch < obs-mutex ordering.
 
+  latch-inside-optimistic-section
+      No blocking latch acquisition (PageGuard::RLatch/WLatch,
+      FetchLatched, TreeLatch) while an OptimisticReadScope is live in the
+      enclosing scope. The optimistic read protocol (DESIGN.md section 13)
+      promises writers that readers never wait on them; a blocking latch
+      inside the section breaks that promise and can deadlock against a
+      writer spinning on the reader's pin. Try-acquires (TryWLatch) cannot
+      block and are allowed. An active OptimisticReadScope also counts as
+      protection for `nsn-outside-node`: the scope's discipline is that
+      NSN/rightlink reads go through a version-validated snapshot copy,
+      which is as stable as a latched read.
+
 Escape hatches
 --------------
   // gistcr-lint: allow(<rule>)        on the offending line or the line
@@ -90,6 +102,7 @@ RULES = (
     "unchecked-status",
     "sync-under-mutex",
     "serialize-under-latch",
+    "latch-inside-optimistic-section",
 )
 
 # --- directive extraction & source stripping -------------------------------
@@ -252,6 +265,16 @@ RAW_PRIMITIVE_RE = re.compile(
     r"|\b\w+(?:\.|->)unlock(?:_shared)?\s*\(\s*\)"
 )
 NSN_RE = re.compile(r"(?:\.|->)\s*(?:set_)?(?:nsn|rightlink)\s*\(")
+# latch-inside-optimistic-section: OptimisticReadScope tracking against
+# blocking latch acquisitions. TryWLatch is excluded (the regex anchors
+# the latch verb directly after . or ->, so `.TryWLatch(` cannot match).
+OPT_SCOPE_DECL_RE = re.compile(r"\bOptimisticReadScope\s+(\w+)\s*[;({]")
+BLOCKING_LATCH_RE = re.compile(
+    r"(?:\.|->)\s*(?:WLatch|RLatch)\s*\("
+    r"|\bFetchLatched\s*\("
+    r"|\bTreeLatch\s+\w+\s*[({]"
+    r"|\b\w+\s*(?:\.|->)\s*Acquire\s*\(\s*\)"
+)
 SERIALIZE_RE = re.compile(
     r"(?:\.|->|::)\s*(?:DumpMetrics(?:Prometheus)?|DumpPrometheus|DumpJson|"
     r"DumpText|InspectJson|ExportTrace|ExportJsonString|Snapshot)\s*\("
@@ -297,6 +320,7 @@ class FileLinter:
         latches = []  # list of (var, entry_depth)
         guard_decl_depth = {}  # PageGuard var -> declaration depth
         mutex_holds = {}  # scoped-lock var -> [decl_depth, currently_held]
+        opt_scopes = []  # list of (var, decl_depth) OptimisticReadScope RAIIs
         prev_code = ""  # last non-blank stripped line (statement context)
 
         for lineno, line in enumerate(lines, start=1):
@@ -324,6 +348,7 @@ class FileLinter:
                 latches = [(v, d) for (v, d) in latches if v != var]
 
             held = bool(latches)
+            in_opt = bool(opt_scopes)
 
             def report(rule, msg, _lineno=lineno):
                 if rule in file_allows:
@@ -358,10 +383,22 @@ class FileLinter:
                     "raw synchronization primitive; use the annotated "
                     "wrappers in common/mutex.h",
                 )
-            if not in_node_file and not held and NSN_RE.search(line):
+            # An active OptimisticReadScope protects NSN/rightlink reads:
+            # the section's discipline is that node bytes come from a
+            # version-validated snapshot copy (DESIGN.md section 13), which
+            # is as stable as a latched read.
+            if not in_node_file and not held and not in_opt and \
+                    NSN_RE.search(line):
                 report(
                     "nsn-outside-node",
                     "nsn/rightlink access with no latch held in scope",
+                )
+            if in_opt and BLOCKING_LATCH_RE.search(line):
+                report(
+                    "latch-inside-optimistic-section",
+                    "blocking latch acquisition while OptimisticReadScope "
+                    f"'{opt_scopes[-1][0]}' is live; optimistic readers "
+                    "must fall back (drop the scope) before latching",
                 )
             if held and SERIALIZE_RE.search(line):
                 report(
@@ -393,6 +430,8 @@ class FileLinter:
                     mutex_holds[m.group(1)][1] = True
             for m in MUTEX_SCOPE_DECL_RE.finditer(line):
                 mutex_holds[m.group(1)] = [depth, True]
+            for m in OPT_SCOPE_DECL_RE.finditer(line):
+                opt_scopes.append((m.group(1), depth))
 
             self.check_unchecked_status(line, prev_code, lineno, report)
 
@@ -424,10 +463,12 @@ class FileLinter:
             mutex_holds = {
                 v: s for v, s in mutex_holds.items() if s[0] <= depth
             }
+            opt_scopes = [(v, d) for (v, d) in opt_scopes if d <= depth]
             if depth == 0:
                 latches = []
                 guard_decl_depth = {}
                 mutex_holds = {}
+                opt_scopes = []
             if line.strip():
                 prev_code = line.strip()
         return self.findings
