@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "bench/bench_util.h"
+#include "bench/mvcc_report.h"
 #include "bench/read_report.h"
 #include "obs/op_context.h"
 #include "obs/slow_op_log.h"
@@ -349,6 +350,151 @@ void BM_TraceOverhead(benchmark::State& state) {
   }
 }
 
+// MVCC snapshot reads under write churn (DESIGN.md section 14.6): mixed
+// OLTP + long-scan workload, reported to BENCH_mvcc.json. Two series,
+// each with a solo and a contended arm:
+//
+//   BM_MvccLongScan      full-range snapshot scans; Arg 1 adds 4 writer
+//                        threads churning insert+delete. Snapshot scans
+//                        take no locks and attach no predicates, so the
+//                        contended arm should lose only what cache and
+//                        version-chain filtering cost — not block.
+//   BM_MvccWriterCommit  insert+delete commit loop; Arg 1 adds 2 long
+//                        snapshot-scan threads, Arg 2 adds 2 long
+//                        repeatable-read (2PL) scan threads over the same
+//                        range. The acceptance gate is that snapshot
+//                        scans cost writers no more than their fair CPU
+//                        share (<= ~10% beyond it on multicore hosts; on
+//                        a single-core runner the share itself dominates)
+//                        while the 2PL arm shows what MVCC buys: those
+//                        scans predicate-lock the writers' key range and
+//                        S-lock every record, so writers stall for whole
+//                        scan durations and deadlock-retry.
+//
+// Writers emulate the maintenance daemon's version-GC cadence with a
+// periodic Prune, so chains stay short (chain_length_p99 in the report)
+// instead of growing for the benchmark's whole lifetime.
+constexpr int kMvccWriters = 4;
+constexpr int kMvccScanners = 2;
+
+void MvccWriterChurn(std::atomic<bool>* stop) {
+  while (!stop->load(std::memory_order_acquire)) {
+    const int64_t k = g_next_key.fetch_add(1);
+    Rid rid;
+    RunTxnWithRetry(g_env.db.get(), IsolationLevel::kReadCommitted,
+                    [&](Transaction* txn) {
+                      auto r = g_env.db->InsertRecord(
+                          txn, g_env.gist, BtreeExtension::MakeKey(k), "v");
+                      if (r.ok()) rid = r.value();
+                      return r.status();
+                    });
+    RunTxnWithRetry(g_env.db.get(), IsolationLevel::kReadCommitted,
+                    [&](Transaction* txn) {
+                      return g_env.db->DeleteRecord(
+                          txn, g_env.gist, BtreeExtension::MakeKey(k), rid);
+                    });
+    if ((k & 0x3FF) == 0) g_env.db->mvcc()->Prune();
+  }
+}
+
+// The scan range deliberately covers the churn keys (which start at
+// kPreload and rise), so a 2PL scan's predicates conflict with every
+// writer insert while a snapshot scan conflicts with nothing.
+Status MvccLongScanOnce(Transaction* txn) {
+  std::vector<SearchResult> results;
+  return g_env.gist->Search(txn, BtreeExtension::MakeRange(0, kPreload * 8),
+                            &results);
+}
+
+void BM_MvccLongScan(benchmark::State& state) {
+  const bool with_writers = state.range(0) != 0;
+  g_env.BuildBtree("/tmp/gistcr_bench_mvcc", ConcurrencyProtocol::kLink,
+                   PredicateMode::kHybrid, NsnSource::kLsn, kPreload);
+  g_next_key.store(kPreload);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  if (with_writers) {
+    for (int w = 0; w < kMvccWriters; w++) {
+      writers.emplace_back(MvccWriterChurn, &stop);
+    }
+  }
+  const uint64_t t0 = obs::NowNanos();
+  int64_t items = 0;
+  for (auto _ : state) {
+    RunTxnWithRetry(g_env.db.get(), IsolationLevel::kSnapshot,
+                    MvccLongScanOnce);
+    items++;
+  }
+  const double elapsed_s = static_cast<double>(obs::NowNanos() - t0) / 1e9;
+  stop.store(true, std::memory_order_release);
+  for (auto& w : writers) w.join();
+  state.SetItemsProcessed(items);
+  WriteMvccReport("BENCH_mvcc.json", "scan",
+                  with_writers ? "with_writers" : "solo", elapsed_s,
+                  static_cast<uint64_t>(items), g_env.db.get());
+  ReportRegistryMetrics(state, g_env.db.get());
+  state.counters["chain_length_p99"] =
+      g_env.db->metrics()->GetHistogram("mvcc.chain_length")->GetSnapshot()
+          .Percentile(0.99);
+  state.SetLabel(with_writers ? "with_writers" : "solo");
+}
+
+void BM_MvccWriterCommit(benchmark::State& state) {
+  // Arg: 0 = solo, 1 = concurrent snapshot scans, 2 = concurrent 2PL
+  // (repeatable-read) scans — the baseline MVCC replaces.
+  const int arm = static_cast<int>(state.range(0));
+  const char* arm_label =
+      arm == 0 ? "solo" : arm == 1 ? "with_scans" : "with_rr_scans";
+  g_env.BuildBtree("/tmp/gistcr_bench_mvcc", ConcurrencyProtocol::kLink,
+                   PredicateMode::kHybrid, NsnSource::kLsn, kPreload);
+  g_next_key.store(kPreload);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> scanners;
+  if (arm != 0) {
+    const IsolationLevel scan_iso = arm == 1 ? IsolationLevel::kSnapshot
+                                             : IsolationLevel::kRepeatableRead;
+    for (int s = 0; s < kMvccScanners; s++) {
+      scanners.emplace_back([&, scan_iso] {
+        while (!stop.load(std::memory_order_acquire)) {
+          RunTxnWithRetry(g_env.db.get(), scan_iso, MvccLongScanOnce);
+        }
+      });
+    }
+  }
+  const uint64_t commits0 =
+      g_env.db->metrics()->GetCounter("txn.commits")->value();
+  const uint64_t t0 = obs::NowNanos();
+  int64_t items = 0;
+  for (auto _ : state) {
+    const int64_t k = g_next_key.fetch_add(1);
+    Rid rid;
+    RunTxnWithRetry(g_env.db.get(), IsolationLevel::kReadCommitted,
+                    [&](Transaction* txn) {
+                      auto r = g_env.db->InsertRecord(
+                          txn, g_env.gist, BtreeExtension::MakeKey(k), "v");
+                      if (r.ok()) rid = r.value();
+                      return r.status();
+                    });
+    RunTxnWithRetry(g_env.db.get(), IsolationLevel::kReadCommitted,
+                    [&](Transaction* txn) {
+                      return g_env.db->DeleteRecord(
+                          txn, g_env.gist, BtreeExtension::MakeKey(k), rid);
+                    });
+    if ((k & 0x3FF) == 0) g_env.db->mvcc()->Prune();
+    items++;
+  }
+  const double elapsed_s = static_cast<double>(obs::NowNanos() - t0) / 1e9;
+  const uint64_t commits =
+      g_env.db->metrics()->GetCounter("txn.commits")->value() - commits0;
+  stop.store(true, std::memory_order_release);
+  for (auto& s : scanners) s.join();
+  state.SetItemsProcessed(items);
+  WriteMvccReport("BENCH_mvcc.json", "writer", arm_label, elapsed_s, commits,
+                  g_env.db.get());
+  ReportRegistryMetrics(state, g_env.db.get());
+  state.SetLabel(arm_label);
+}
+
 // Arg 0 = link protocol, 1 = coarse baseline.
 BENCHMARK(BM_SearchOnly)->Arg(0)->Arg(1)->ThreadRange(1, 8)
     ->UseRealTime()->Unit(benchmark::kMicrosecond);
@@ -367,6 +513,13 @@ BENCHMARK(BM_DurableCommit)->ThreadRange(1, 8)
     ->UseRealTime()->Unit(benchmark::kMicrosecond);
 // Arg 0 = tracing/slow-op capture off, 1 = on.
 BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1)->ThreadRange(1, 4)
+    ->UseRealTime()->Unit(benchmark::kMicrosecond);
+// Arg 0 = solo, 1 = contended (writers for the scan series, long scans
+// for the writer series). Single benchmark thread; the contention is
+// supplied by dedicated background threads.
+BENCHMARK(BM_MvccLongScan)->Arg(0)->Arg(1)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MvccWriterCommit)->Arg(0)->Arg(1)->Arg(2)
     ->UseRealTime()->Unit(benchmark::kMicrosecond);
 
 }  // namespace

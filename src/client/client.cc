@@ -167,8 +167,9 @@ StatusOr<TxnId> Client::Begin(IsolationLevel iso) {
     return Status::InvalidArgument("transaction already open");
   }
   std::string payload;
-  PutFixed16(&payload,
-             iso == IsolationLevel::kReadCommitted ? 0 : 1);
+  PutFixed16(&payload, iso == IsolationLevel::kReadCommitted ? 0
+                       : iso == IsolationLevel::kSnapshot    ? 2
+                                                             : 1);
   Frame reply;
   GISTCR_RETURN_IF_ERROR(
       Call(Opcode::kBegin, 0, payload, &reply, nullptr, false));

@@ -64,6 +64,7 @@ GistContext Database::MakeContext() {
   ctx.alloc = alloc_.get();
   ctx.nsn = nsn_.get();
   ctx.metrics = &metrics_;
+  ctx.mvcc = mvcc_.get();
   return ctx;
 }
 
@@ -79,8 +80,24 @@ Status Database::InitCommon() {
   // flusher thread, which reads the cached metric pointers from then on.
   disk_.AttachMetrics(&metrics_);
   log_.AttachMetrics(&metrics_);
+  // The MVCC timestamp oracle must exist (and its fan-out hook be
+  // registered) before the flusher thread starts: snapshot stamps ride on
+  // the durable-LSN broadcast of every group commit.
+  if (EnvU64("GISTCR_MVCC_ENABLED", opts_.mvcc_enabled ? 1 : 0) != 0) {
+    mvcc_ = std::make_unique<MvccManager>();
+    mvcc_->AttachMetrics(&metrics_);
+    log_.SetDurableCallback([this](Lsn lsn) { mvcc_->AdvanceDurable(lsn); });
+  }
   GISTCR_RETURN_IF_ERROR(log_.Open(opts_.path + ".wal"));
   log_.SetSyncOnFlush(opts_.sync_commit);
+  log_.SetPacing(EnvU64("GISTCR_WAL_PACE_US", opts_.wal_pace_wait_us),
+                 EnvU64("GISTCR_WAL_PACE_MIN_COMMITS",
+                        opts_.wal_pace_min_commits));
+  if (mvcc_ != nullptr) {
+    // Seed the oracle with what is already durable so the first snapshot
+    // (taken before any new commit flushes) sees the pre-restart state.
+    mvcc_->AdvanceDurable(log_.durable_lsn());
+  }
   pool_ = std::make_unique<BufferPool>(
       &disk_, opts_.buffer_pool_pages,
       [this](Lsn lsn) { return log_.Flush(lsn); }, opts_.buffer_pool_shards);
@@ -91,6 +108,10 @@ Status Database::InitCommon() {
   recovery_ = std::make_unique<RecoveryManager>(
       pool_.get(), &log_, txns_.get(), alloc_.get(), data_.get(), nsn_.get());
   txns_->SetUndoApplier(recovery_.get());
+  if (mvcc_ != nullptr) {
+    txns_->SetMvcc(mvcc_.get());
+    recovery_->SetMvcc(mvcc_.get());
+  }
   // Re-point every remaining component at this instance's registry (they
   // start on the process fallback). Done before any of *their* worker
   // threads exist, so the cached metric pointers are safely published.
@@ -169,22 +190,25 @@ StatusOr<std::string> Database::InspectJson(const std::string& what) {
   if (what == "bp") {
     out = "{\"shards\":[";
     size_t frames = 0, resident = 0, dirty = 0, pinned = 0;
+    uint64_t evictions = 0;
     bool first = true;
     for (const auto& s : pool_->ShardOccupancy()) {
       AppendF(&out,
               "%s{\"frames\":%zu,\"resident\":%zu,\"dirty\":%zu,"
-              "\"pinned\":%zu}",
-              first ? "" : ",", s.frames, s.resident, s.dirty, s.pinned);
+              "\"pinned\":%zu,\"evictions\":%" PRIu64 "}",
+              first ? "" : ",", s.frames, s.resident, s.dirty, s.pinned,
+              s.evictions);
       first = false;
       frames += s.frames;
       resident += s.resident;
       dirty += s.dirty;
       pinned += s.pinned;
+      evictions += s.evictions;
     }
     AppendF(&out,
             "],\"frames\":%zu,\"resident\":%zu,\"dirty\":%zu,"
-            "\"pinned\":%zu}\n",
-            frames, resident, dirty, pinned);
+            "\"pinned\":%zu,\"evictions\":%" PRIu64 "}\n",
+            frames, resident, dirty, pinned, evictions);
     return out;
   }
   if (what == "wal") {
@@ -305,6 +329,14 @@ Status Database::RunMaintenancePass() {
     } else {
       (void)Abort(txn);  // contention; the next pass retries
     }
+  }
+  // Version-store GC (DESIGN.md section 14): prune version records no
+  // active snapshot can reach, on the configured cadence.
+  maint_passes_++;
+  const uint64_t gc_every =
+      EnvU64("GISTCR_MVCC_GC_PASSES", opts_.mvcc_gc_interval_passes);
+  if (mvcc_ != nullptr && gc_every != 0 && maint_passes_ % gc_every == 0) {
+    (void)mvcc_->Prune();
   }
   return Status::OK();
 }
@@ -433,6 +465,9 @@ Status Database::Abort(Transaction* txn) { return txns_->Abort(txn); }
 
 StatusOr<Rid> Database::InsertRecord(Transaction* txn, Gist* index, Slice key,
                                      Slice record, bool unique) {
+  if (txn->is_snapshot()) {
+    return Status::InvalidArgument("snapshot transactions are read-only");
+  }
   if (unique) {
     GISTCR_RETURN_IF_ERROR(txns_->Savepoint(txn, "__insert_record"));
   }
@@ -458,6 +493,9 @@ StatusOr<Rid> Database::InsertRecord(Transaction* txn, Gist* index, Slice key,
 
 Status Database::DeleteRecord(Transaction* txn, Gist* index, Slice key,
                               Rid rid) {
+  if (txn->is_snapshot()) {
+    return Status::InvalidArgument("snapshot transactions are read-only");
+  }
   GISTCR_RETURN_IF_ERROR(
       locks_.Lock(txn->id(), LockName{LockSpace::kRecord, rid.Pack()},
                   LockMode::kExclusive));

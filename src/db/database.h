@@ -10,6 +10,7 @@
 #include "db/data_store.h"
 #include "db/page_allocator.h"
 #include "gist/gist.h"
+#include "mvcc/mvcc_manager.h"
 #include "obs/metrics.h"
 #include "obs/slow_op_log.h"
 #include "recovery/recovery_manager.h"
@@ -59,6 +60,22 @@ struct DatabaseOptions {
   /// Slow-op ring capacity (records). 0 keeps the default
   /// (SlowOpLog::kDefaultCapacity). Env GISTCR_SLOW_OP_RING overrides.
   size_t slow_op_ring_capacity = 0;
+  /// Multiversion snapshot reads (DESIGN.md section 14): when on,
+  /// Begin(kSnapshot) produces a lock-free read-only transaction served
+  /// from the versioned leaf store. When off, kSnapshot silently downgrades
+  /// to repeatable read and the version store costs nothing. Env
+  /// GISTCR_MVCC_ENABLED (0/1) overrides.
+  bool mvcc_enabled = true;
+  /// Version-store GC cadence: prune obsolete version records every Nth
+  /// maintenance pass (1 = every pass; 0 disables pruning). Env
+  /// GISTCR_MVCC_GC_PASSES overrides.
+  uint32_t mvcc_gc_interval_passes = 1;
+  /// Adaptive WAL group-commit pacing (LogManager::SetPacing): hold a
+  /// commit-driven flush open up to this many microseconds while fewer
+  /// than wal_pace_min_commits commits are batched. 0 disables (default).
+  /// Env GISTCR_WAL_PACE_US / GISTCR_WAL_PACE_MIN_COMMITS override.
+  uint64_t wal_pace_wait_us = 0;
+  uint64_t wal_pace_min_commits = 0;
 };
 
 /// The engine facade: wires disk, buffer pool, WAL, transactions, locks,
@@ -170,6 +187,7 @@ class Database {
   PageAllocator* allocator() { return alloc_.get(); }
   DataStore* data() { return data_.get(); }
   RecoveryManager* recovery() { return recovery_.get(); }
+  MvccManager* mvcc() { return mvcc_.get(); }  ///< null when mvcc_enabled=0
   GlobalNsn* nsn() { return nsn_.get(); }
   obs::MetricsRegistry* metrics() { return &metrics_; }
   obs::SlowOpLog* slow_ops() { return &slow_ops_; }
@@ -200,6 +218,10 @@ class Database {
   std::unique_ptr<PageAllocator> alloc_;
   std::unique_ptr<DataStore> data_;
   std::unique_ptr<RecoveryManager> recovery_;
+  /// Version store + timestamp oracle; null when MVCC is disabled.
+  std::unique_ptr<MvccManager> mvcc_;
+  /// Maintenance passes run so far (drives the version-GC cadence).
+  uint64_t maint_passes_ = 0;
 
   void StartMaintenance();
   void StopMaintenance();

@@ -14,6 +14,7 @@ GistCursor::SavedPosition::~SavedPosition() { Release(); }
 GistCursor::SavedPosition::SavedPosition(SavedPosition&& o) noexcept
     : gist_(o.gist_),
       txn_id_(o.txn_id_),
+      snapshot_(o.snapshot_),
       stack_(std::move(o.stack_)),
       seen_(std::move(o.seen_)),
       pending_(std::move(o.pending_)) {
@@ -26,6 +27,7 @@ GistCursor::SavedPosition& GistCursor::SavedPosition::operator=(
     Release();
     gist_ = o.gist_;
     txn_id_ = o.txn_id_;
+    snapshot_ = o.snapshot_;
     stack_ = std::move(o.stack_);
     seen_ = std::move(o.seen_);
     pending_ = std::move(o.pending_);
@@ -38,9 +40,11 @@ void GistCursor::SavedPosition::Release() {
   if (gist_ == nullptr) return;
   // Drop the extra signaling-lock counts the snapshot was holding. By id:
   // the transaction object may already be gone (its end-of-transaction
-  // ReleaseAll made these no-ops).
-  for (const auto& e : stack_) {
-    gist_->ctx_.locks->Unlock(txn_id_, LockName{LockSpace::kNode, e.page});
+  // ReleaseAll made these no-ops). Snapshot cursors never took any.
+  if (!snapshot_) {
+    for (const auto& e : stack_) {
+      gist_->ctx_.locks->Unlock(txn_id_, LockName{LockSpace::kNode, e.page});
+    }
   }
   gist_ = nullptr;
 }
@@ -53,6 +57,7 @@ GistCursor::GistCursor(Gist* gist, Transaction* txn, Slice query)
     : gist_(gist),
       txn_(txn),
       txn_id_(txn->id()),
+      snapshot_(txn->is_snapshot()),
       query_(query.ToString()),
       op_id_(txn->NextOpId()) {}
 
@@ -60,7 +65,8 @@ GistCursor::~GistCursor() {
   // Unvisited stacked pointers still hold their signaling locks. Release
   // by id: destroying a cursor after its transaction committed/aborted is
   // legal (end-of-transaction already dropped the locks; these are
-  // no-ops then).
+  // no-ops then). Snapshot cursors hold none (see Open).
+  if (snapshot_) return;
   for (const auto& e : stack_) {
     gist_->ctx_.locks->Unlock(txn_id_, LockName{LockSpace::kNode, e.page});
   }
@@ -76,7 +82,12 @@ Status GistCursor::Open() {
   GISTCR_RETURN_IF_ERROR(root_or.status());
   const PageId root = root_or.value();
   if (root == kInvalidPageId) return Status::NotFound("index has no root");
-  GISTCR_RETURN_IF_ERROR(gist_->SignalLock(txn_, root));
+  // Snapshot cursors stack pointers without signaling locks: the active
+  // snapshot defers node retirement for as long as the cursor can exist
+  // (Gist::SearchSnapshot documents the ordering argument).
+  if (!snapshot_) {
+    GISTCR_RETURN_IF_ERROR(gist_->SignalLock(txn_, root));
+  }
   stack_.push_back({root, root_mem});
   open_ = true;
   return Status::OK();
@@ -100,6 +111,21 @@ Status GistCursor::FillPending() {
         &gist_->tree_latch_, /*exclusive=*/false,
         gist_->opts_.protocol == ConcurrencyProtocol::kCoarse);
     batch.clear();
+    if (snapshot_) {
+      const Lsn snap = txn_->snapshot_lsn();
+      bool fallback = !gist_->UseOptimisticReads(/*hybrid_attach=*/false);
+      if (!fallback) {
+        GISTCR_RETURN_IF_ERROR(gist_->ProcessStackEntrySnapshot(
+            txn_, e.page, e.nsn, query_, snap, &stack_, &seen_, &batch,
+            &fallback));
+      }
+      if (fallback) {
+        GISTCR_RETURN_IF_ERROR(gist_->ProcessStackEntrySnapshotLatched(
+            txn_, e.page, e.nsn, query_, snap, &stack_, &seen_, &batch));
+      }
+      for (auto& r : batch) pending_.push_back(std::move(r));
+      continue;
+    }
     bool fallback = !gist_->UseOptimisticReads(hybrid_attach);
     if (!fallback) {
       GISTCR_RETURN_IF_ERROR(gist_->ProcessStackEntryOptimistic(
@@ -136,9 +162,14 @@ StatusOr<GistCursor::SavedPosition> GistCursor::Save() {
   SavedPosition pos;
   pos.gist_ = gist_;
   pos.txn_id_ = txn_id_;
+  pos.snapshot_ = snapshot_;
   pos.stack_ = stack_;
   pos.seen_.assign(seen_.begin(), seen_.end());
   pos.pending_ = pending_;
+  // Snapshot positions need no extra protection: retirement stays
+  // deferred while the owning snapshot transaction is active, which is
+  // the only window in which the position can be restored.
+  if (snapshot_) return pos;
   // Keep the stacked pointers deletion-protected for the lifetime of the
   // savepoint (paper section 10.2): one extra signaling-lock count each.
   for (const auto& e : pos.stack_) {
@@ -159,9 +190,12 @@ StatusOr<GistCursor::SavedPosition> GistCursor::Save() {
 Status GistCursor::Restore(SavedPosition pos) {
   GISTCR_CHECK(open_);
   GISTCR_CHECK(pos.gist_ == gist_ && pos.txn_id_ == txn_id_);
-  // Release the locks of the CURRENT position's stack...
-  for (const auto& e : stack_) {
-    gist_->SignalUnlock(txn_, e.page);
+  // Release the locks of the CURRENT position's stack (snapshot cursors
+  // hold none)...
+  if (!snapshot_) {
+    for (const auto& e : stack_) {
+      gist_->SignalUnlock(txn_, e.page);
+    }
   }
   // ...and adopt the snapshot's stack along with its retained lock counts.
   stack_ = std::move(pos.stack_);

@@ -51,6 +51,9 @@ class GistCursor {
                                     ///  even after the transaction object
                                     ///  is gone (locks are idempotently
                                     ///  released at end of transaction).
+    /// Snapshot cursors hold no signaling locks (the active snapshot
+    /// itself defers node retirement), so Release has nothing to drop.
+    bool snapshot_ = false;
     std::vector<Gist::StackEntry> stack_;
     std::vector<uint64_t> seen_;
     std::deque<SearchResult> pending_;
@@ -84,6 +87,9 @@ class GistCursor {
   Gist* gist_;
   Transaction* txn_;
   const TxnId txn_id_;  ///< For teardown after the transaction ended.
+  /// Snapshot-read cursor (DESIGN.md section 14): traverses via the
+  /// Visible() filter, takes no locks of any kind.
+  const bool snapshot_;
   const std::string query_;
   const uint64_t op_id_;
   bool open_ = false;

@@ -172,10 +172,192 @@ Status Gist::Search(Transaction* txn, Slice query,
   GISTCR_TRACE_SCOPE("gist.search");
   obs::TreeScope tree_scope;
   stats_.searches.Add(1);
+  if (txn->is_snapshot()) {
+    return SearchSnapshot(txn, query, out);
+  }
   const bool attach =
       txn->isolation() == IsolationLevel::kRepeatableRead;
   return SearchInternal(txn, query, PredKind::kSearch, attach,
                         /*lock_rids=*/true, txn->NextOpId(), out);
+}
+
+Status Gist::SearchSnapshot(Transaction* txn, Slice query,
+                            std::vector<SearchResult>* out) {
+  GISTCR_CHECK(ctx_.mvcc != nullptr);  // Begin downgrades otherwise
+  ctx_.mvcc->CountSnapshotRead();
+  const Lsn snap = txn->snapshot_lsn();
+
+  // The coarse baseline's tree latch is a latch, not a lock: snapshot
+  // readers take it shared like any other search under that protocol.
+  TreeLatch tree(&tree_latch_, /*exclusive=*/false,
+                 opts_.protocol == ConcurrencyProtocol::kCoarse);
+
+  // Same memorize-then-read ordering as SearchInternal (Figure 3 applied
+  // to the root pointer).
+  const Nsn root_mem = ctx_.nsn->Current();
+  auto root_or = GetRoot();
+  GISTCR_RETURN_IF_ERROR(root_or.status());
+  const PageId root = root_or.value();
+  if (root == kInvalidPageId) return Status::NotFound("index has no root");
+
+  // No signaling lock on the root (or on any stacked pointer below): the
+  // registered snapshot itself is what keeps every stacked pointer valid —
+  // TryDeleteChild refuses to retire nodes while MvccManager reports an
+  // active snapshot, and the snapshot was registered at Begin, strictly
+  // before this traversal read any pointer.
+  std::vector<StackEntry> stack;
+  stack.push_back({root, root_mem});
+  if (hooks_.after_root_push) hooks_.after_root_push();
+
+  std::unordered_set<uint64_t> seen;
+  const bool optimistic = UseOptimisticReads(/*hybrid_attach=*/false);
+  while (!stack.empty()) {
+    const StackEntry e = stack.back();
+    stack.pop_back();
+    if (hooks_.before_visit_node) hooks_.before_visit_node(e.page);
+    bool fallback = !optimistic;
+    if (optimistic) {
+      GISTCR_RETURN_IF_ERROR(ProcessStackEntrySnapshot(
+          txn, e.page, e.nsn, query, snap, &stack, &seen, out, &fallback));
+    }
+    if (fallback) {
+      GISTCR_RETURN_IF_ERROR(ProcessStackEntrySnapshotLatched(
+          txn, e.page, e.nsn, query, snap, &stack, &seen, out));
+    }
+  }
+  return Status::OK();
+}
+
+Status Gist::ProcessStackEntrySnapshot(Transaction* txn, PageId page,
+                                       Nsn memorized, Slice query, Lsn snap,
+                                       std::vector<StackEntry>* stack,
+                                       std::unordered_set<uint64_t>* seen,
+                                       std::vector<SearchResult>* out,
+                                       bool* fallback) {
+  (void)txn;
+  *fallback = false;
+  auto frame_or = ctx_.pool->Fetch(page);
+  GISTCR_RETURN_IF_ERROR(frame_or.status());
+  PageGuard g(ctx_.pool, frame_or.value());  // pin only — never latched
+  stats_.optimistic_visits.Add(1);
+
+  // Unlike the locking traversal's optimistic visit, pushes need no
+  // post-push revalidation here: a validated copy proves the parent held
+  // the pointer at copy time, and the active snapshot blocks retirement
+  // from then on. Dedupe within the visit so attempt restarts do not push
+  // a child twice.
+  std::unordered_set<PageId> pushed;
+  alignas(8) char snap_buf[kPageSize];
+  OptimisticReadScope optimistic;
+
+  for (int attempt = 0; attempt < kOptimisticMaxAttempts; attempt++) {
+    if (attempt != 0) {
+      stats_.read_restarts.Add(1);
+      obs::BumpRestarts();
+      std::this_thread::yield();
+    }
+    const Nsn cur = ctx_.nsn->Current();  // memorize before the copy
+    uint64_t version = 0;
+    if (!g.frame()->SnapshotPage(snap_buf, &version,
+                                 &NodeView::SnapshotBounds)) {
+      continue;
+    }
+    NodeView node(PageView(snap_buf).data());
+
+    // Split detection (Figure 2) against the consistent copy.
+    if (node.nsn() > memorized && node.rightlink() != kInvalidPageId &&
+        pushed.count(node.rightlink()) == 0) {
+      bool already = false;
+      for (const auto& s : *stack) {
+        if (s.page == node.rightlink() && s.nsn == memorized) already = true;
+      }
+      if (!already) {
+        stack->push_back({node.rightlink(), memorized});
+        pushed.insert(node.rightlink());
+        stats_.rightlink_follows.Add(1);
+      }
+    }
+
+    if (!node.is_leaf()) {
+      const uint16_t n = node.count();
+      for (uint16_t i = 0; i < n; i++) {
+        if (!ext_->Consistent(node.entry_key(i), query)) continue;
+        const PageId child = static_cast<PageId>(node.entry_value(i));
+        if (pushed.count(child) != 0) continue;
+        stack->push_back({child, cur});
+        pushed.insert(child);
+      }
+      g.Drop();
+      return Status::OK();
+    }
+
+    // Leaf: emit entries the snapshot can see. The copy is internally
+    // consistent, and Visible() consults only stamped (committed) version
+    // records, so no per-entry revalidation is needed: a concurrent
+    // writer changing the page cannot change what snapshot `snap` sees.
+    GISTCR_CRASHPOINT("search.mvcc_visibility");
+    const uint16_t n = node.count();
+    for (uint16_t i = 0; i < n; i++) {
+      if (!ext_->Consistent(node.entry_key(i), query)) continue;
+      const uint64_t rid = node.entry_value(i);
+      if (seen->count(rid) != 0) continue;
+      if (!ctx_.mvcc->Visible(rid, node.entry_del_txn(i), snap)) continue;
+      seen->insert(rid);
+      out->push_back({node.entry_key(i).ToString(), Rid::Unpack(rid)});
+    }
+    g.Drop();
+    return Status::OK();
+  }
+
+  stats_.read_fallbacks.Add(1);
+  *fallback = true;
+  g.Drop();
+  return Status::OK();
+}
+
+Status Gist::ProcessStackEntrySnapshotLatched(
+    Transaction* txn, PageId page, Nsn memorized, Slice query, Lsn snap,
+    std::vector<StackEntry>* stack, std::unordered_set<uint64_t>* seen,
+    std::vector<SearchResult>* out) {
+  (void)txn;
+  PageGuard g;
+  GISTCR_RETURN_IF_ERROR(FetchLatched(page, /*exclusive=*/false, &g));
+  NodeView node(g.view().data());
+
+  if (LinkProtocol() && node.nsn() > memorized &&
+      node.rightlink() != kInvalidPageId) {
+    bool already = false;
+    for (const auto& s : *stack) {
+      if (s.page == node.rightlink() && s.nsn == memorized) already = true;
+    }
+    if (!already) {
+      stack->push_back({node.rightlink(), memorized});
+      stats_.rightlink_follows.Add(1);
+      obs::BumpRestarts();
+    }
+  }
+
+  if (!node.is_leaf()) {
+    const Nsn cur = ctx_.nsn->Current();  // memorize before reading ptrs
+    const uint16_t n = node.count();
+    for (uint16_t i = 0; i < n; i++) {
+      if (!ext_->Consistent(node.entry_key(i), query)) continue;
+      stack->push_back({static_cast<PageId>(node.entry_value(i)), cur});
+    }
+    return Status::OK();
+  }
+
+  GISTCR_CRASHPOINT("search.mvcc_visibility");
+  const uint16_t n = node.count();
+  for (uint16_t i = 0; i < n; i++) {
+    if (!ext_->Consistent(node.entry_key(i), query)) continue;
+    const uint64_t rid = node.entry_value(i);
+    if (seen->count(rid) != 0) continue;
+    if (!ctx_.mvcc->Visible(rid, node.entry_del_txn(i), snap)) continue;
+    seen->insert(rid);
+    out->push_back({node.entry_key(i).ToString(), Rid::Unpack(rid)});
+  }
+  return Status::OK();
 }
 
 Status Gist::SearchInternal(Transaction* txn, Slice query,

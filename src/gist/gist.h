@@ -72,6 +72,11 @@ struct GistContext {
   /// Registry the tree's counters/histograms live in (null: process
   /// fallback registry).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Version store + timestamp oracle for snapshot reads (DESIGN.md
+  /// section 14). Null: snapshot isolation unavailable; the transaction
+  /// layer then downgrades kSnapshot begins to repeatable read, so the
+  /// tree never sees a snapshot transaction.
+  MvccManager* mvcc = nullptr;
 };
 
 struct SearchResult {
@@ -269,6 +274,39 @@ class Gist {
                                      std::unordered_set<uint64_t>* seen,
                                      std::vector<SearchResult>* out,
                                      bool* fallback);
+
+  /// Snapshot-read traversal (DESIGN.md section 14): serves a read-only
+  /// snapshot transaction from the versioned leaf store. Makes ZERO lock
+  /// manager calls — no RID S-locks (visibility replaces 2PL), no
+  /// predicate attaches (the snapshot never conflicts with later writers),
+  /// and no signaling locks (node retirement is deferred wholesale while
+  /// any snapshot is active; see MvccManager::CanRetireNodes). Latches and
+  /// version-validated optimistic reads remain fair game — only the lock
+  /// manager is off-limits, which the zero-lock acceptance test asserts
+  /// via the lock.acquires counter and tools/gistcr_lint.py enforces
+  /// statically for predicate attaches.
+  Status SearchSnapshot(Transaction* txn, Slice query,
+                        std::vector<SearchResult>* out);
+
+  /// One node visit of the snapshot traversal, optimistic flavor: copy,
+  /// validate, push children / emit Visible() leaf entries from the copy.
+  /// Sets \p *fallback after the restart budget is exhausted; the caller
+  /// re-runs the visit through ProcessStackEntrySnapshotLatched.
+  Status ProcessStackEntrySnapshot(Transaction* txn, PageId page,
+                                   Nsn memorized, Slice query, Lsn snap,
+                                   std::vector<StackEntry>* stack,
+                                   std::unordered_set<uint64_t>* seen,
+                                   std::vector<SearchResult>* out,
+                                   bool* fallback);
+
+  /// Latched flavor of the snapshot visit (optimistic disabled or budget
+  /// exhausted): S-latches the node — still zero lock-manager calls.
+  Status ProcessStackEntrySnapshotLatched(Transaction* txn, PageId page,
+                                          Nsn memorized, Slice query,
+                                          Lsn snap,
+                                          std::vector<StackEntry>* stack,
+                                          std::unordered_set<uint64_t>* seen,
+                                          std::vector<SearchResult>* out);
 
   friend class GistCursor;
 

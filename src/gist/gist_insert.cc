@@ -672,8 +672,14 @@ Status Gist::LeafGc(Transaction* txn, PageGuard* leaf, uint64_t* removed) {
     if (d == kInvalidTxnId) continue;
     // Commit_LSN fast path (section 7.1 footnote 11): if the page was last
     // touched before the oldest active transaction began, every mark on it
-    // belongs to a terminated transaction.
+    // belongs to a terminated transaction. Snapshot readers extend the
+    // entry's lifetime past the deleter's commit: physical removal must
+    // also wait until no active snapshot can still see it (section 14).
     if (all_committed || !ctx_.txns->IsActive(d)) {
+      if (ctx_.mvcc != nullptr &&
+          !ctx_.mvcc->SafeToReclaim(node.entry_value(i), d)) {
+        continue;
+      }
       pl.removed.push_back(node.GetEntry(i));
     }
   }
@@ -834,6 +840,10 @@ Status Gist::InsertCore(Transaction* txn, Slice key, Rid rid, uint64_t op_id,
     GISTCR_RETURN_IF_ERROR(node.InsertEntry(entry));
     leaf.view().set_page_lsn(rec.lsn);
     leaf.frame()->MarkDirty(rec.lsn);
+    // Version-store shadow of the Add-Leaf-Entry (DESIGN.md section 14):
+    // a pending record commit-stamping later makes the entry visible to
+    // snapshots; rollback clears it via RecoveryManager::UndoRecord.
+    if (ctx_.mvcc != nullptr) ctx_.mvcc->NoteInsert(entry.value, txn->id());
     // Entry applied and logged inside a still-running transaction.
     GISTCR_CRASHPOINT("insert.after_leaf_apply");
   }

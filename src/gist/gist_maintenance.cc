@@ -51,6 +51,15 @@ Status Gist::ShrinkChildBp(Transaction* txn, PageGuard* parent,
 Status Gist::TryDeleteChild(Transaction* txn, PageGuard* parent,
                             PageId child, bool* deleted) {
   *deleted = false;
+  // Snapshot traversals stack node pointers WITHOUT signaling locks, so
+  // the drain check below cannot see them; instead retirement is deferred
+  // wholesale while any snapshot is active. Checked under the parent's X
+  // latch (held by the GC sweep): a snapshot registered after this check
+  // must traverse through the latched parent and will find the entry
+  // already removed — it can never stack a pointer to the victim.
+  if (ctx_.mvcc != nullptr && !ctx_.mvcc->CanRetireNodes()) {
+    return Status::OK();
+  }
   NodeView pn(parent->view().data());
 
   // Refuse to delete the root.

@@ -1,0 +1,305 @@
+#include "mvcc/mvcc_manager.h"
+
+#include <algorithm>
+
+namespace gistcr {
+
+MvccManager::MvccManager() {
+  for (size_t i = 0; i < kNumShards; i++) {
+    shards_[i] = std::make_unique<Shard>();
+  }
+  AttachMetrics(nullptr);
+}
+
+void MvccManager::AttachMetrics(obs::MetricsRegistry* reg) {
+  reg = obs::MetricsRegistry::OrFallback(reg);
+  m_snapshot_begins_ = reg->GetCounter("mvcc.snapshot_begins");
+  m_snapshot_reads_ = reg->GetCounter("mvcc.snapshot_reads");
+  m_stamped_ = reg->GetCounter("mvcc.versions_stamped");
+  m_pruned_ = reg->GetCounter("mvcc.versions_pruned");
+  m_retire_deferred_ = reg->GetCounter("mvcc.node_retire_deferred");
+  m_chain_length_ = reg->GetHistogram("mvcc.chain_length");
+}
+
+void MvccManager::AdvanceDurable(Lsn lsn) {
+  Lsn cur = durable_stamp_.load(std::memory_order_relaxed);
+  while (lsn > cur && !durable_stamp_.compare_exchange_weak(
+                          cur, lsn, std::memory_order_release,
+                          std::memory_order_relaxed)) {
+  }
+}
+
+Lsn MvccManager::BeginSnapshot(TxnId txn_id) {
+  const Lsn stamp = SnapshotStamp();
+  {
+    MutexLock l(snap_mu_);
+    active_snaps_[txn_id] = stamp;
+  }
+  m_snapshot_begins_->Add(1);
+  return stamp;
+}
+
+void MvccManager::EndSnapshot(TxnId txn_id) {
+  MutexLock l(snap_mu_);
+  active_snaps_.erase(txn_id);
+}
+
+Lsn MvccManager::MinActiveSnapshot() const {
+  MutexLock l(snap_mu_);
+  Lsn min = kInvalidLsn;
+  for (const auto& [id, stamp] : active_snaps_) {
+    (void)id;
+    if (min == kInvalidLsn || stamp < min) min = stamp;
+  }
+  return min;
+}
+
+bool MvccManager::HasActiveSnapshots() const {
+  MutexLock l(snap_mu_);
+  return !active_snaps_.empty();
+}
+
+void MvccManager::NoteInsert(uint64_t rid, TxnId txn) {
+  {
+    MutexLock l(pending_mu_);
+    pending_[txn].push_back(rid);
+  }
+  Shard& s = ShardOf(rid);
+  MutexLock l(s.mu);
+  VersionRecord rec;
+  rec.insert_txn = txn;
+  s.chains[rid].push_back(rec);
+}
+
+void MvccManager::NoteDelete(uint64_t rid, TxnId txn) {
+  {
+    MutexLock l(pending_mu_);
+    pending_[txn].push_back(rid);
+  }
+  Shard& s = ShardOf(rid);
+  MutexLock l(s.mu);
+  Chain& chain = s.chains[rid];
+  // The live version is the newest record without a delete mark.
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (it->delete_txn == kInvalidTxnId) {
+      it->delete_txn = txn;
+      it->delete_ts = kInvalidLsn;
+      return;
+    }
+  }
+  // Entry predates the store (or its live record was pruned as ancient):
+  // materialize it with an always-visible insert stamp.
+  VersionRecord rec;
+  rec.insert_ts = kAncientStamp;
+  rec.delete_txn = txn;
+  chain.push_back(rec);
+}
+
+void MvccManager::StampCommit(TxnId txn, Lsn commit_lsn) {
+  std::vector<uint64_t> rids;
+  {
+    MutexLock l(pending_mu_);
+    auto it = pending_.find(txn);
+    if (it == pending_.end()) return;
+    rids = std::move(it->second);
+    pending_.erase(it);
+  }
+  uint64_t stamped = 0;
+  for (uint64_t rid : rids) {
+    Shard& s = ShardOf(rid);
+    MutexLock l(s.mu);
+    auto it = s.chains.find(rid);
+    if (it == s.chains.end()) continue;
+    for (VersionRecord& rec : it->second) {
+      if (rec.insert_txn == txn && rec.insert_ts == kInvalidLsn) {
+        rec.insert_ts = commit_lsn;
+        stamped++;
+      }
+      if (rec.delete_txn == txn && rec.delete_ts == kInvalidLsn) {
+        rec.delete_ts = commit_lsn;
+        stamped++;
+      }
+    }
+    m_chain_length_->Record(it->second.size());
+  }
+  m_stamped_->Add(stamped);
+}
+
+void MvccManager::DropAborted(TxnId txn) {
+  std::vector<uint64_t> rids;
+  {
+    MutexLock l(pending_mu_);
+    auto it = pending_.find(txn);
+    if (it == pending_.end()) return;
+    rids = std::move(it->second);
+    pending_.erase(it);
+  }
+  for (uint64_t rid : rids) {
+    Shard& s = ShardOf(rid);
+    MutexLock l(s.mu);
+    auto it = s.chains.find(rid);
+    if (it == s.chains.end()) continue;
+    Chain& chain = it->second;
+    for (VersionRecord& rec : chain) {
+      // Rollback re-exposes the entry on the page; clear the mark here too.
+      if (rec.delete_txn == txn && rec.delete_ts == kInvalidLsn) {
+        rec.delete_txn = kInvalidTxnId;
+      }
+    }
+    chain.erase(std::remove_if(chain.begin(), chain.end(),
+                               [txn](const VersionRecord& rec) {
+                                 return rec.insert_txn == txn &&
+                                        rec.insert_ts == kInvalidLsn;
+                               }),
+                chain.end());
+    if (chain.empty()) s.chains.erase(it);
+  }
+}
+
+void MvccManager::UndoInsert(uint64_t rid, TxnId txn) {
+  Shard& s = ShardOf(rid);
+  MutexLock l(s.mu);
+  auto it = s.chains.find(rid);
+  if (it == s.chains.end()) return;
+  Chain& chain = it->second;
+  chain.erase(std::remove_if(chain.begin(), chain.end(),
+                             [txn](const VersionRecord& rec) {
+                               return rec.insert_txn == txn &&
+                                      rec.insert_ts == kInvalidLsn;
+                             }),
+              chain.end());
+  if (chain.empty()) s.chains.erase(it);
+}
+
+void MvccManager::UndoDelete(uint64_t rid, TxnId txn) {
+  Shard& s = ShardOf(rid);
+  MutexLock l(s.mu);
+  auto it = s.chains.find(rid);
+  if (it == s.chains.end()) return;
+  for (VersionRecord& rec : it->second) {
+    if (rec.delete_txn == txn && rec.delete_ts == kInvalidLsn) {
+      rec.delete_txn = kInvalidTxnId;
+    }
+  }
+}
+
+bool MvccManager::Visible(uint64_t rid, TxnId entry_del_txn,
+                          Lsn snapshot) const {
+  Shard& s = ShardOf(rid);
+  MutexLock l(s.mu);
+  auto it = s.chains.find(rid);
+  if (it == s.chains.end()) {
+    // Ancient: the entry's fate was settled before tracking began (or the
+    // record was pruned below every snapshot). A live entry is visible; a
+    // marked one was deleted long before this snapshot.
+    return entry_del_txn == kInvalidTxnId;
+  }
+  const Chain& chain = it->second;
+  if (entry_del_txn == kInvalidTxnId) {
+    // Live entry = newest undeleted version.
+    for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+      if (rit->delete_txn == kInvalidTxnId) {
+        return StampedVisible(rit->insert_ts, snapshot);
+      }
+    }
+    return true;  // live record pruned as ancient; older marks linger
+  }
+  // Marked entry: its record carries the matching deleter.
+  for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+    if (rit->delete_txn == entry_del_txn) {
+      return StampedVisible(rit->insert_ts, snapshot) &&
+             !StampedVisible(rit->delete_ts, snapshot);
+    }
+  }
+  return false;  // record pruned => delete committed below every snapshot
+}
+
+bool MvccManager::SafeToReclaim(uint64_t rid, TxnId del_txn) const {
+  const Lsn min_snap = MinActiveSnapshot();
+  Shard& s = ShardOf(rid);
+  MutexLock l(s.mu);
+  auto it = s.chains.find(rid);
+  if (it == s.chains.end()) return true;  // ancient / already pruned
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    if (rit->delete_txn != del_txn) continue;
+    if (rit->delete_ts == kInvalidLsn) return false;  // stamp still pending
+    // A future snapshot's stamp is >= the current durable LSN >= this
+    // committed stamp, so only currently active snapshots can pin it.
+    return min_snap == kInvalidLsn || rit->delete_ts < min_snap;
+  }
+  return true;
+}
+
+bool MvccManager::CanRetireNodes() {
+  if (!HasActiveSnapshots()) return true;
+  m_retire_deferred_->Add(1);
+  return false;
+}
+
+size_t MvccManager::Prune() {
+  const Lsn min_snap = MinActiveSnapshot();
+  // With no active snapshot, everything committed (hence durable, hence
+  // below any future snapshot stamp) is prunable.
+  const Lsn horizon =
+      min_snap != kInvalidLsn ? min_snap : SnapshotStamp() + 1;
+  size_t pruned = 0;
+  for (size_t i = 0; i < kNumShards; i++) {
+    Shard& s = *shards_[i];
+    MutexLock l(s.mu);
+    for (auto it = s.chains.begin(); it != s.chains.end();) {
+      Chain& chain = it->second;
+      chain.erase(
+          std::remove_if(chain.begin(), chain.end(),
+                         [&](const VersionRecord& rec) {
+                           if (rec.delete_txn != kInvalidTxnId) {
+                             // Superseded version: gone for everyone once
+                             // the delete commits below the horizon.
+                             if (rec.delete_ts != kInvalidLsn &&
+                                 rec.delete_ts < horizon) {
+                               pruned++;
+                               return true;
+                             }
+                             return false;
+                           }
+                           // Live version: becomes "ancient" (missing =>
+                           // visible) once its insert is below the horizon.
+                           if (rec.insert_ts != kInvalidLsn &&
+                               rec.insert_ts < horizon) {
+                             pruned++;
+                             return true;
+                           }
+                           return false;
+                         }),
+          chain.end());
+      if (chain.empty()) {
+        it = s.chains.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  m_pruned_->Add(pruned);
+  return pruned;
+}
+
+size_t MvccManager::StoreSize() const {
+  size_t total = 0;
+  for (size_t i = 0; i < kNumShards; i++) {
+    Shard& s = *shards_[i];
+    MutexLock l(s.mu);
+    for (const auto& [rid, chain] : s.chains) {
+      (void)rid;
+      total += chain.size();
+    }
+  }
+  return total;
+}
+
+size_t MvccManager::ChainLength(uint64_t rid) const {
+  Shard& s = ShardOf(rid);
+  MutexLock l(s.mu);
+  auto it = s.chains.find(rid);
+  return it == s.chains.end() ? 0 : it->second.size();
+}
+
+}  // namespace gistcr

@@ -1,0 +1,198 @@
+#ifndef GISTCR_MVCC_MVCC_MANAGER_H_
+#define GISTCR_MVCC_MVCC_MANAGER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/types.h"
+#include "obs/metrics.h"
+#include "util/macros.h"
+
+namespace gistcr {
+
+/// Multi-version bookkeeping for snapshot reads (DESIGN.md section 14).
+///
+/// The paper's hybrid protocol makes every Degree-3 search attach predicate
+/// locks top-down, so *reads* mutate shared lock-manager state. This
+/// subsystem gives read-only transactions a way out: they take a snapshot
+/// stamp and filter leaf entries by commit-time visibility, touching zero
+/// lock-manager state. Update transactions keep the full 2PL + predicate
+/// protocol unchanged.
+///
+/// **Timestamps are LSNs.** A transaction's commit stamp is the LSN of its
+/// Commit log record; a snapshot stamp is the durable LSN the WAL flusher
+/// had fanned out when the read-only transaction began. Because the commit
+/// path stamps its versions *between* appending the Commit record and
+/// forcing the log (TransactionManager::Commit), any reader whose snapshot
+/// S covers a commit C (S >= C) must have observed the flush that the
+/// stamping preceded — so "stamped and <= S" is exactly "committed before
+/// my snapshot", with no extra synchronization on the read side.
+///
+/// **Versions are physical leaf entries.** An update is a logical delete
+/// plus an insert, so each physical entry is one version of its logical
+/// key and the newest-first chain for a rid is the sequence of records
+/// registered here. The store is a side table keyed by packed rid; page
+/// entries themselves carry only the del_txn mark they always had. A
+/// missing record means "ancient": the entry's fate was decided before any
+/// active snapshot began (or before the last restart — recovery resolves
+/// every pre-crash transaction), so a live entry is visible and a marked
+/// entry is invisible. That convention is what lets the store live purely
+/// in memory and still give correct answers across crash-restart, and
+/// what lets pruning drop records instead of keeping history forever.
+class MvccManager {
+ public:
+  /// Stamp for versions whose insert committed before the store started
+  /// tracking them (below any real LSN, so visible to every snapshot).
+  static constexpr Lsn kAncientStamp = 1;
+
+  MvccManager();
+  GISTCR_DISALLOW_COPY_AND_ASSIGN(MvccManager);
+
+  /// Re-points mvcc.* metrics at \p reg (null: process fallback).
+  void AttachMetrics(obs::MetricsRegistry* reg);
+
+  // --- timestamp oracle -------------------------------------------------
+
+  /// Fan-out from the WAL flusher: the log is durable through \p lsn.
+  /// Monotone max; called via LogManager::SetDurableCallback.
+  void AdvanceDurable(Lsn lsn);
+
+  /// The stamp a snapshot beginning now would get.
+  Lsn SnapshotStamp() const {
+    return durable_stamp_.load(std::memory_order_acquire);
+  }
+
+  // --- snapshot registry ------------------------------------------------
+
+  /// Registers a read-only transaction and returns its snapshot stamp.
+  Lsn BeginSnapshot(TxnId txn_id);
+  void EndSnapshot(TxnId txn_id);
+
+  /// Oldest active snapshot stamp, or kInvalidLsn when none are active —
+  /// the horizon below which committed history is unobservable.
+  Lsn MinActiveSnapshot() const;
+  bool HasActiveSnapshots() const;
+
+  // --- version store (update-transaction write sites) -------------------
+
+  /// A leaf entry with \p rid was inserted by \p txn (stamp pending).
+  void NoteInsert(uint64_t rid, TxnId txn);
+
+  /// The live entry with \p rid was delete-marked by \p txn (stamp
+  /// pending). Creates an "ancient insert" record if the entry predates
+  /// the store.
+  void NoteDelete(uint64_t rid, TxnId txn);
+
+  /// Commit-time stamping: every pending record of \p txn gets
+  /// \p commit_lsn. Must run before the commit record is forced (see the
+  /// class comment for why that closes the visibility race).
+  void StampCommit(TxnId txn, Lsn commit_lsn);
+
+  /// Abort: pending inserts vanish, pending delete marks are cleared
+  /// (rollback restores the page entries themselves via CLRs).
+  void DropAborted(TxnId txn);
+
+  /// Undo-site hooks (partial rollback to a savepoint undoes individual
+  /// operations while the transaction stays active — those versions must
+  /// not be stamped at commit). Idempotent with DropAborted; no-ops when
+  /// the record is absent (restart undo: the store is empty).
+  void UndoInsert(uint64_t rid, TxnId txn);
+  void UndoDelete(uint64_t rid, TxnId txn);
+
+  // --- snapshot visibility ----------------------------------------------
+
+  /// Is the physical entry (\p rid, del_txn mark \p entry_del_txn) visible
+  /// to snapshot \p snapshot? See DESIGN.md section 14.3 for the rules.
+  bool Visible(uint64_t rid, TxnId entry_del_txn, Lsn snapshot) const;
+
+  // --- garbage collection -----------------------------------------------
+
+  /// May GC physically remove the marked entry (\p rid, deleter
+  /// \p del_txn)? True when its delete stamp is below every active
+  /// snapshot (a missing record means it was already prunable). The caller
+  /// has separately established that the deleter terminated.
+  bool SafeToReclaim(uint64_t rid, TxnId del_txn) const;
+
+  /// May GC retire (delete + free) tree nodes right now? Snapshot readers
+  /// hold no signaling locks, so node retirement defers while any
+  /// snapshot is active rather than drain per-node.
+  bool CanRetireNodes();
+
+  /// Drops records no active snapshot can observe: committed deletes below
+  /// the horizon, and undeleted records whose insert committed below it
+  /// (those become "ancient"). Returns the number of records pruned.
+  size_t Prune();
+
+  /// Records currently in the store (tests, introspection).
+  size_t StoreSize() const;
+
+  /// Number of version records for \p rid (tests: chains shrink once no
+  /// snapshot pins them).
+  size_t ChainLength(uint64_t rid) const;
+
+ private:
+  /// One version: a physical leaf entry's insert/delete stamps.
+  /// insert_ts/delete_ts are kInvalidLsn while the writer is uncommitted.
+  struct VersionRecord {
+    TxnId insert_txn = kInvalidTxnId;
+    Lsn insert_ts = kInvalidLsn;
+    TxnId delete_txn = kInvalidTxnId;
+    Lsn delete_ts = kInvalidLsn;
+  };
+
+  /// Oldest-first; the live version (no delete mark) is scanned for from
+  /// the back. Chains stay short: GC prunes below the snapshot horizon.
+  using Chain = std::vector<VersionRecord>;
+
+  static constexpr size_t kNumShards = 16;
+
+  struct Shard {
+    mutable Mutex mu;
+    std::unordered_map<uint64_t, Chain> chains GISTCR_GUARDED_BY(mu);
+  };
+
+  static bool StampedVisible(Lsn ts, Lsn snapshot) {
+    return ts != kInvalidLsn && ts <= snapshot;
+  }
+
+  Shard& ShardOf(uint64_t rid) const {
+    const uint64_t h = rid * 0x9E3779B97F4A7C15ull;
+    return *shards_[(h >> 32) % kNumShards];
+  }
+
+  std::atomic<Lsn> durable_stamp_{kInvalidLsn};
+
+  std::unique_ptr<Shard> shards_[kNumShards];
+
+  // Snapshot registry: one entry per in-flight read-only transaction.
+  // MinActiveSnapshot scans it; registries are small, and it is called
+  // from GC cadences, not hot paths.
+  mutable Mutex snap_mu_;
+  std::unordered_map<TxnId, Lsn> active_snaps_ GISTCR_GUARDED_BY(snap_mu_);
+
+  // txn -> rids with pending stamps, so commit stamping touches only the
+  // transaction's own versions.
+  mutable Mutex pending_mu_;
+  std::unordered_map<TxnId, std::vector<uint64_t>> pending_
+      GISTCR_GUARDED_BY(pending_mu_);
+
+  obs::Counter* m_snapshot_begins_ = nullptr;
+  obs::Counter* m_snapshot_reads_ = nullptr;
+  obs::Counter* m_stamped_ = nullptr;
+  obs::Counter* m_pruned_ = nullptr;
+  obs::Counter* m_retire_deferred_ = nullptr;
+  obs::Histogram* m_chain_length_ = nullptr;
+
+ public:
+  /// Counted by the snapshot search path in gist.cc (one per leaf-entry
+  /// visibility decision batch is too fine; one per Search call).
+  void CountSnapshotRead() { m_snapshot_reads_->Add(1); }
+};
+
+}  // namespace gistcr
+
+#endif  // GISTCR_MVCC_MVCC_MANAGER_H_

@@ -607,11 +607,13 @@ Status RecoveryManager::UndoRecord(Transaction* txn, const LogRecord& rec) {
     case LogRecordType::kAddLeafEntry: {
       EntryOpPayload pl;
       pl.DecodeFrom(rec.payload);
+      if (mvcc_ != nullptr) mvcc_->UndoInsert(pl.entry.value, rec.txn_id);
       return ApplyRemoveLeafEntry(clr.override_page, pl, crec.lsn, false);
     }
     case LogRecordType::kMarkLeafEntry: {
       EntryOpPayload pl;
       pl.DecodeFrom(rec.payload);
+      if (mvcc_ != nullptr) mvcc_->UndoDelete(pl.entry.value, rec.txn_id);
       return ApplyUnmarkLeafEntry(clr.override_page, pl, crec.lsn, false);
     }
     case LogRecordType::kSplit: {

@@ -38,6 +38,11 @@ class RecoveryManager : public UndoApplier {
   /// fallback). Call before Restart; the Database facade does so at init.
   void AttachMetrics(obs::MetricsRegistry* reg);
 
+  /// Keeps the version store consistent with undo: a rolled-back insert or
+  /// delete-mark must not leave a pending version record behind (partial
+  /// rollback keeps the transaction alive, so commit would stamp it).
+  void SetMvcc(MvccManager* mvcc) { mvcc_ = mvcc; }
+
   /// Full restart: analysis from \p checkpoint_lsn (kInvalidLsn: scan from
   /// the log start), redo, then undo of losers.
   Status Restart(Lsn checkpoint_lsn);
@@ -96,6 +101,7 @@ class RecoveryManager : public UndoApplier {
   PageAllocator* alloc_;
   DataStore* data_;
   GlobalNsn* nsn_;
+  MvccManager* mvcc_ = nullptr;
   RestartStats stats_;
 
   obs::Counter* m_analyzed_ = nullptr;

@@ -137,8 +137,11 @@ Status Session::HandleBegin(const net::Frame& req, bool draining, Database* db) 
     return SendError(req.request_id, ErrorCode::kMalformedPayload,
                      "begin payload");
   }
-  txn_ = db->Begin(iso == 0 ? IsolationLevel::kReadCommitted
-                            : IsolationLevel::kRepeatableRead);
+  // iso: 0 = read committed, 1 = repeatable read (default), 2 = snapshot
+  // (read-only; downgraded to repeatable read when MVCC is disabled).
+  txn_ = db->Begin(iso == 0   ? IsolationLevel::kReadCommitted
+                   : iso == 2 ? IsolationLevel::kSnapshot
+                              : IsolationLevel::kRepeatableRead);
   if (obs::OpContext* op = obs::CurrentOp()) op->txn_id = txn_->id();
   std::string out;
   PutFixed64(&out, txn_->id());

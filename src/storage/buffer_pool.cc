@@ -83,6 +83,10 @@ void BufferPool::AttachMetrics(obs::MetricsRegistry* reg) {
   m_flushes_ = reg->GetCounter("bp.flushes");
   m_pin_wait_ns_ = reg->GetHistogram("bp.pin_wait_ns");
   reg->GetGauge("bp.shards")->Set(static_cast<int64_t>(shards_.size()));
+  for (size_t i = 0; i < shards_.size(); i++) {
+    shards_[i]->m_evictions =
+        reg->GetCounter("bp.shard." + std::to_string(i) + ".evictions");
+  }
 }
 
 BufferPool::~BufferPool() = default;
@@ -159,6 +163,7 @@ StatusOr<Frame*> BufferPool::FetchInternal(PageId page_id, bool fresh) {
       // shard: it entered the table through it.)
       if (!was_dirty) s.table.erase(old_pid);
       m_evictions_->Add(1);
+      s.m_evictions->Add(1);
       if (was_dirty) m_dirty_evictions_->Add(1);
     }
     if (!fresh) m_misses_->Add(1);
@@ -388,6 +393,7 @@ std::vector<BufferPool::ShardStats> BufferPool::ShardOccupancy() {
     ShardStats st;
     st.frames = s.frames.size();
     st.resident = s.table.size();
+    st.evictions = s.m_evictions->value();
     for (const auto& [page_id, frame] : s.table) {
       frame->AssertShardMutexHeld();
       if (frame->dirty()) st.dirty++;

@@ -222,6 +222,9 @@ class BufferPool {
     size_t resident = 0;
     size_t dirty = 0;
     size_t pinned = 0;
+    /// Lifetime evictions from this shard (bp.shard.<i>.evictions) — the
+    /// per-shard split of bp.evictions, for spotting skewed hash spread.
+    uint64_t evictions = 0;
   };
   std::vector<ShardStats> ShardOccupancy();
 
@@ -234,6 +237,9 @@ class BufferPool {
     std::unordered_map<PageId, Frame*> table GISTCR_GUARDED_BY(mu);
     std::vector<Frame*> frames;  ///< static partition, set once in ctor
     size_t clock_hand GISTCR_GUARDED_BY(mu) = 0;
+    /// Per-shard eviction counter (bp.shard.<i>.evictions); re-pointed by
+    /// AttachMetrics like the pool-level counters.
+    obs::Counter* m_evictions = nullptr;
   };
 
   Shard& ShardOf(PageId page_id);

@@ -172,6 +172,7 @@ inline constexpr const char* kCrashPointCatalogue[] = {
     "gc.node_delete.before_rightlink_rewire",  // parent entry gone, chain not
     "bp.before_evict_write",        // WAL forced, dirty victim not written
     "search.optimistic_restart",    // optimistic read invalidated, re-copying
+    "search.mvcc_visibility",       // snapshot leaf visit, Visible() filtering
     "wal.before_fsync",             // log pwritten, not yet durable
     "wal.after_fsync",              // log durable, in-memory state not updated
     "txn.commit.before_log_force",  // Commit appended, not flushed

@@ -169,6 +169,9 @@ class LockManager {
   /// WaitForTxn). Only acquisitions that actually blocked are recorded.
   obs::Histogram* m_wait_ns_[3] = {nullptr, nullptr, nullptr};
   obs::Counter* m_deadlocks_ = nullptr;
+  /// Total Lock() entries (lock.acquires), blocked or not — the witness
+  /// the zero-lock-manager-calls snapshot-read test asserts against.
+  obs::Counter* m_acquires_ = nullptr;
 
   // The single name each blocked txn is waiting on (a txn runs on one
   // thread, so it waits on at most one name). Drives deadlock DFS.

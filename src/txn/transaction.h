@@ -16,7 +16,16 @@ namespace gistcr {
 ///  - kReadCommitted: Degree 2 — data-record locks are still taken (so
 ///    uncommitted inserts/deletes block readers) but no search predicates
 ///    are attached, admitting phantoms.
-enum class IsolationLevel : uint8_t { kReadCommitted, kRepeatableRead };
+///  - kSnapshot: read-only snapshot isolation (DESIGN.md section 14) —
+///    the transaction sees exactly the versions committed before its
+///    begin stamp and takes **zero** lock-manager calls: no txn-id lock,
+///    no record locks, no signaling locks, no predicate attach. Write
+///    operations are rejected.
+enum class IsolationLevel : uint8_t {
+  kReadCommitted,
+  kRepeatableRead,
+  kSnapshot
+};
 
 enum class TxnState : uint8_t { kActive, kCommitted, kAborted };
 
@@ -35,6 +44,12 @@ class Transaction {
 
   TxnId id() const { return id_; }
   IsolationLevel isolation() const { return iso_; }
+  bool is_snapshot() const { return iso_ == IsolationLevel::kSnapshot; }
+
+  /// Snapshot stamp (durable LSN at begin) for kSnapshot transactions;
+  /// kInvalidLsn otherwise. Set once by TransactionManager::Begin.
+  Lsn snapshot_lsn() const { return snapshot_lsn_; }
+  void set_snapshot_lsn(Lsn s) { snapshot_lsn_ = s; }
 
   TxnState state() const { return state_.load(std::memory_order_acquire); }
   void set_state(TxnState s) { state_.store(s, std::memory_order_release); }
@@ -62,6 +77,7 @@ class Transaction {
   const TxnId id_;
   const IsolationLevel iso_;
   std::atomic<TxnState> state_{TxnState::kActive};
+  Lsn snapshot_lsn_ = kInvalidLsn;
   std::atomic<Lsn> first_lsn_{kInvalidLsn};
   std::atomic<Lsn> last_lsn_{kInvalidLsn};
   uint64_t next_op_id_ = 1;

@@ -22,6 +22,10 @@ void TransactionManager::AttachMetrics(obs::MetricsRegistry* reg) {
 }
 
 Transaction* TransactionManager::Begin(IsolationLevel iso) {
+  if (iso == IsolationLevel::kSnapshot && mvcc_ == nullptr) {
+    // Snapshot reads disabled: degrade to the full hybrid protocol.
+    iso = IsolationLevel::kRepeatableRead;
+  }
   TxnId id;
   Transaction* txn;
   {
@@ -29,7 +33,19 @@ Transaction* TransactionManager::Begin(IsolationLevel iso) {
     id = next_txn_id_++;
     auto t = std::make_unique<Transaction>(id, iso);
     txn = t.get();
-    table_[id] = std::move(t);
+    if (iso == IsolationLevel::kSnapshot) {
+      snapshot_table_[id] = std::move(t);
+    } else {
+      table_[id] = std::move(t);
+    }
+  }
+  if (iso == IsolationLevel::kSnapshot) {
+    // Read-only snapshot path: no txn-id lock (nothing can need to block
+    // on a reader that holds nothing), no Begin record (nothing to
+    // recover). The acceptance bar is literal: zero lock-manager calls.
+    txn->set_snapshot_lsn(mvcc_->BeginSnapshot(id));
+    m_begins_->Add(1);
+    return txn;
   }
   // Every transaction X-locks its own id at startup so that others can
   // block on its termination (paper section 10.3).
@@ -42,6 +58,15 @@ Transaction* TransactionManager::Begin(IsolationLevel iso) {
   GISTCR_CHECK(st.ok());
   m_begins_->Add(1);
   return txn;
+}
+
+Status TransactionManager::EndSnapshotTxn(Transaction* txn) {
+  txn->set_state(TxnState::kCommitted);
+  mvcc_->EndSnapshot(txn->id());
+  m_commits_->Add(1);
+  MutexLock l(mu_);
+  snapshot_table_.erase(txn->id());
+  return Status::OK();
 }
 
 Status TransactionManager::AppendTxnLog(Transaction* txn, LogRecord* rec) {
@@ -67,11 +92,17 @@ void TransactionManager::ReleaseAllFor(Transaction* txn) {
 
 Status TransactionManager::Commit(Transaction* txn) {
   GISTCR_CHECK(txn->state() == TxnState::kActive);
+  if (txn->is_snapshot()) return EndSnapshotTxn(txn);
   GISTCR_TRACE_SCOPE("txn.commit");
   const uint64_t t0 = obs::NowNanos();
   LogRecord commit;
   commit.type = LogRecordType::kCommit;
   GISTCR_RETURN_IF_ERROR(AppendTxnLog(txn, &commit));
+  // Stamp this transaction's versions with the commit LSN *before* the
+  // force: a snapshot stamp S only reaches >= commit.lsn once the flusher
+  // fans out the covering durable LSN, so any reader that can see S >=
+  // commit.lsn is guaranteed to find the stamps already in place.
+  if (mvcc_ != nullptr) mvcc_->StampCommit(txn->id(), commit.lsn);
   // Commit appended but not forced: recovery must treat the txn as a loser
   // unless the record happens to be durable already.
   GISTCR_CRASHPOINT("txn.commit.before_log_force");
@@ -122,6 +153,8 @@ Status TransactionManager::UndoTo(Transaction* txn, Lsn stop_lsn) {
 
 Status TransactionManager::Abort(Transaction* txn) {
   GISTCR_CHECK(txn->state() == TxnState::kActive);
+  if (txn->is_snapshot()) return EndSnapshotTxn(txn);
+  if (mvcc_ != nullptr) mvcc_->DropAborted(txn->id());
   LogRecord abort_rec;
   abort_rec.type = LogRecordType::kAbort;
   GISTCR_RETURN_IF_ERROR(AppendTxnLog(txn, &abort_rec));

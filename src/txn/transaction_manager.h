@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/mutex.h"
+#include "mvcc/mvcc_manager.h"
 #include "txn/lock_manager.h"
 #include "txn/predicate_manager.h"
 #include "txn/transaction.h"
@@ -35,6 +36,11 @@ class TransactionManager {
 
   void SetUndoApplier(UndoApplier* applier) { applier_ = applier; }
 
+  /// Enables snapshot-read support: Begin(kSnapshot) registers with the
+  /// oracle, Commit stamps versions before forcing the log. Null disables
+  /// (Begin(kSnapshot) then falls back to kRepeatableRead).
+  void SetMvcc(MvccManager* mvcc) { mvcc_ = mvcc; }
+
   /// Re-points lifecycle metrics at \p reg (null: process fallback). Call
   /// before concurrent use; the Database facade does so at init.
   void AttachMetrics(obs::MetricsRegistry* reg);
@@ -42,6 +48,11 @@ class TransactionManager {
   /// Starts a transaction: assigns an id, X-locks the txn's own id (the
   /// handle other operations block on when they "block on a predicate",
   /// paper section 10.3), logs Begin.
+  ///
+  /// kSnapshot transactions skip all of that: no txn-id lock (nothing ever
+  /// blocks on a reader that holds nothing), no Begin record (they write
+  /// no log), no transaction-table entry (they never checkpoint or
+  /// recover) — just a snapshot stamp from the oracle.
   Transaction* Begin(IsolationLevel iso = IsolationLevel::kRepeatableRead);
 
   /// Commit: log Commit, force the log, release predicates and locks, log
@@ -97,10 +108,16 @@ class TransactionManager {
   Status UndoTo(Transaction* txn, Lsn stop_lsn);
   void ReleaseAllFor(Transaction* txn);
 
+  /// Ends a kSnapshot transaction: unregisters the snapshot, frees the
+  /// descriptor. Shared by Commit and Abort (they are identical for a
+  /// transaction that wrote nothing).
+  Status EndSnapshotTxn(Transaction* txn);
+
   LogManager* log_;
   LockManager* locks_;
   PredicateManager* preds_;
   UndoApplier* applier_ = nullptr;
+  MvccManager* mvcc_ = nullptr;
 
   obs::Counter* m_begins_ = nullptr;
   obs::Counter* m_commits_ = nullptr;
@@ -109,6 +126,10 @@ class TransactionManager {
 
   Mutex mu_;
   std::unordered_map<TxnId, std::unique_ptr<Transaction>> table_
+      GISTCR_GUARDED_BY(mu_);
+  /// Snapshot readers live apart from table_ so checkpoints, ActiveTxns
+  /// and OldestActiveFirstLsn never see them: they have no log presence.
+  std::unordered_map<TxnId, std::unique_ptr<Transaction>> snapshot_table_
       GISTCR_GUARDED_BY(mu_);
   TxnId next_txn_id_ GISTCR_GUARDED_BY(mu_) = 1;
 };

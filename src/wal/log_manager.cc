@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <vector>
 
@@ -49,6 +50,7 @@ void LogManager::AttachMetrics(obs::MetricsRegistry* reg) {
   m_batch_commits_ = reg->GetHistogram("wal.group_commit_commits");
   m_batch_bytes_ = reg->GetHistogram("wal.flusher.batch_bytes");
   m_flush_wait_ns_ = reg->GetHistogram("wal.flusher.wait_ns");
+  m_pace_waits_ = reg->GetCounter("wal.flusher.pace_waits");
 }
 
 Status LogManager::Open(const std::string& path) {
@@ -139,6 +141,7 @@ void LogManager::Close() {
     if (ok && sync_on_flush_.load(std::memory_order_relaxed)) {
       ok = ::fdatasync(io.fd) == 0;
     }
+    if (ok && durable_cb_) durable_cb_(io.last);
     l.Lock();
     if (ok) {
       buffer_base_ += buffer_.size();
@@ -171,6 +174,21 @@ Status LogManager::Append(LogRecord* rec) {
   return Status::OK();
 }
 
+bool LogManager::ShouldPaceLocked() const {
+  const uint64_t pace_us = pace_wait_us_.load(std::memory_order_relaxed);
+  if (pace_us == 0) return false;
+  // Only commit-driven wakes are paced: eviction/checkpoint forces carry
+  // no commit record and should not eat the latency bump, and flush-ahead
+  // or discard pressure must drain immediately.
+  if (pending_commits_ == 0) return false;
+  if (pending_commits_ >= pace_min_commits_.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  if (buffer_.size() >= kFlushAheadBytes) return false;
+  if (discard_waiters_ > 0) return false;
+  return true;
+}
+
 bool LogManager::WantsFlushLocked() const {
   // Hold off while a DiscardTail is waiting for the in-flight batch: on a
   // busy log the flusher would otherwise re-cut a new batch the instant it
@@ -190,6 +208,18 @@ void LogManager::FlusherLoop() {
   for (;;) {
     while (!flusher_stop_ && !WantsFlushLocked()) work_cv_.Wait(mu_);
     if (flusher_stop_) return;
+    if (ShouldPaceLocked()) {
+      // Adaptive pacing: the group is small, so hold the batch open for a
+      // bounded window and let concurrent committers pile on. One window
+      // per batch — after it, cut whatever accumulated.
+      m_pace_waits_->Add(1);
+      (void)work_cv_.WaitFor(
+          mu_, std::chrono::microseconds(
+                   pace_wait_us_.load(std::memory_order_relaxed)));
+      if (flusher_stop_) return;
+      // A DiscardTail may have arrived (or the tail vanished) meanwhile.
+      if (!WantsFlushLocked()) continue;
+    }
     m_flusher_wakeups_->Add(1);
 
     // Cut the batch: everything appended so far moves to flushing_; later
@@ -258,6 +288,11 @@ void LogManager::FlusherLoop() {
       }
     }
 
+    // Durable fan-out, still outside the mutex: consumers (the MVCC
+    // timestamp oracle) learn the batch landed before any Flush waiter
+    // wakes, so a commit whose waiter resumes is already stamp-visible.
+    if (st.ok() && durable_cb_) durable_cb_(io.last);
+
     l.Lock();
     flush_in_flight_ = false;
     if (st.ok()) {
@@ -302,10 +337,21 @@ Status LogManager::Flush(Lsn lsn) {
   GISTCR_CHECK(fd_ >= 0);
   {
     // DiscardTail may have dropped the records we were asked about; never
-    // wait for an LSN that no longer exists.
+    // wait for an LSN that no longer exists. A caller naming a specific
+    // record gets the same answer a parked waiter gets from the discard's
+    // error fan-out: the record is gone and can never become durable.
+    // Returning OK here would falsely promise durability for a dropped
+    // commit. Only the flush-everything form (lsn == kInvalidLsn) clamps:
+    // it asked for "whatever is there", and what's there is the durable
+    // prefix.
     const Lsn last = last_lsn_.load(std::memory_order_acquire);
-    if (last == kInvalidLsn) return Status::OK();
-    if (target > last) target = last;
+    if (last == kInvalidLsn || target > last) {
+      if (lsn != kInvalidLsn) {
+        return Status::Aborted("wal: tail discarded before flush");
+      }
+      if (last == kInvalidLsn) return Status::OK();
+      target = last;
+    }
   }
   if (requested_lsn_ == kInvalidLsn || target > requested_lsn_) {
     requested_lsn_ = target;

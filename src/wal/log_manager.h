@@ -96,6 +96,25 @@ class LogManager {
   /// may not persist a write the kernel already accepted).
   void DiscardTail();
 
+  /// Registers a fan-out hook the flusher invokes (without the log mutex)
+  /// after each successful batch lands, with the new durable LSN. The MVCC
+  /// timestamp oracle piggybacks its snapshot stamp on this. Call before
+  /// Open; one callback, not a list.
+  void SetDurableCallback(std::function<void(Lsn)> fn) {
+    durable_cb_ = std::move(fn);
+  }
+
+  /// Adaptive group-commit pacing (DESIGN.md section 11 carry-over): when
+  /// a flush is requested but fewer than \p min_commits commit records are
+  /// pending, the flusher holds the batch open for up to \p wait_us
+  /// microseconds so more commits can join, trading a bounded latency bump
+  /// for larger groups. 0 disables (the default). Each paced batch bumps
+  /// wal.flusher.pace_waits.
+  void SetPacing(uint64_t wait_us, uint64_t min_commits) {
+    pace_wait_us_.store(wait_us, std::memory_order_relaxed);
+    pace_min_commits_.store(min_commits, std::memory_order_relaxed);
+  }
+
   /// When disabled, flushes write to the OS but skip fdatasync. Benchmarks
   /// measuring protocol scaling (not commit durability) turn this off so
   /// fsync latency does not dominate; correctness-under-crash tests keep
@@ -135,6 +154,11 @@ class LogManager {
   /// Flusher thread body: sleep until a flush is wanted, batch, write.
   void FlusherLoop();
 
+  /// True when the batch the flusher is about to cut should be held open
+  /// briefly to let more commits join (pacing enabled, commit-driven wake,
+  /// group still small, no pressure that must flush now).
+  bool ShouldPaceLocked() const GISTCR_REQUIRES(mu_);
+
   /// True when the flusher has work: someone requested durability beyond
   /// durable_lsn(), or the tail buffer outgrew the flush-ahead cap.
   /// Always false while a DiscardTail is waiting, so the flusher parks
@@ -160,6 +184,7 @@ class LogManager {
   obs::Histogram* m_batch_commits_ = nullptr;
   obs::Histogram* m_batch_bytes_ = nullptr;
   obs::Histogram* m_flush_wait_ns_ = nullptr;
+  obs::Counter* m_pace_waits_ = nullptr;
 
   mutable Mutex mu_;
   /// Broadcast by the flusher after every attempt (success or failure) and
@@ -206,6 +231,13 @@ class LogManager {
   bool flusher_stop_ GISTCR_GUARDED_BY(mu_) = false;
 
   std::thread flusher_thread_;  ///< set in Open, joined in Close
+
+  /// Durable fan-out hook (SetDurableCallback). Written before Open, read
+  /// by the flusher thread outside mu_.
+  std::function<void(Lsn)> durable_cb_;
+
+  std::atomic<uint64_t> pace_wait_us_{0};
+  std::atomic<uint64_t> pace_min_commits_{0};
 
   std::atomic<Lsn> last_lsn_{kInvalidLsn};
   std::atomic<Lsn> durable_lsn_{kInvalidLsn};

@@ -378,6 +378,141 @@ TEST_F(IsolationTest, PredicatesPercolateOnBpExpansion) {
   inserter.join();
 }
 
+// --- snapshot isolation (MVCC, DESIGN.md section 14) ----------------------
+//
+// Read-only transactions at IsolationLevel::kSnapshot read a commit-stamped
+// version store instead of locking. These tests pin down the three promises
+// that matter: stability (the snapshot never moves), zero lock-manager
+// traffic, and unchanged 2PL semantics for read-write transactions.
+using SnapshotIsolationTest = IsolationTest;
+
+TEST_F(SnapshotIsolationTest, ScanIsStableAcrossConcurrentCommits) {
+  Transaction* setup = db_->Begin();
+  std::vector<Rid> rids;
+  for (int64_t k = 1; k <= 5; k++) rids.push_back(MustInsert(setup, k));
+  ASSERT_OK(db_->Commit(setup));
+
+  Transaction* snap = db_->Begin(IsolationLevel::kSnapshot);
+  ASSERT_TRUE(snap->is_snapshot());
+  EXPECT_EQ(Scan(snap, 0, 100), (std::vector<int64_t>{1, 2, 3, 4, 5}));
+
+  // A writer commits an insert and a delete while the snapshot is open. It
+  // must not block on the reader (the reader left no locks or predicates).
+  Transaction* w = db_->Begin();
+  MustInsert(w, 6);
+  ASSERT_OK(db_->DeleteRecord(w, gist_, BtreeExtension::MakeKey(2), rids[1]));
+  ASSERT_OK(db_->Commit(w));
+
+  // A fresh transaction sees the new state; the snapshot still sees the old.
+  Transaction* after = db_->Begin();
+  EXPECT_EQ(Scan(after, 0, 100), (std::vector<int64_t>{1, 3, 4, 5, 6}));
+  ASSERT_OK(db_->Commit(after));
+  EXPECT_EQ(Scan(snap, 0, 100), (std::vector<int64_t>{1, 2, 3, 4, 5}));
+  ASSERT_OK(db_->Commit(snap));
+}
+
+TEST_F(SnapshotIsolationTest, UncommittedAndLaterCommitsAreInvisible) {
+  Transaction* w = db_->Begin();
+  MustInsert(w, 42);
+
+  // The uncommitted insert is invisible — and the scan does not block on
+  // the writer's X record lock, because it takes no locks at all.
+  Transaction* snap = db_->Begin(IsolationLevel::kSnapshot);
+  EXPECT_TRUE(Scan(snap, 0, 100).empty());
+
+  ASSERT_OK(db_->Commit(w));
+  // Committed after the snapshot began: still invisible to it.
+  EXPECT_TRUE(Scan(snap, 0, 100).empty());
+  ASSERT_OK(db_->Commit(snap));
+
+  // A snapshot begun after the commit flushed sees it.
+  Transaction* snap2 = db_->Begin(IsolationLevel::kSnapshot);
+  EXPECT_EQ(Scan(snap2, 0, 100), (std::vector<int64_t>{42}));
+  ASSERT_OK(db_->Commit(snap2));
+}
+
+TEST_F(SnapshotIsolationTest, SnapshotReadsMakeZeroLockManagerCalls) {
+  Transaction* setup = db_->Begin();
+  for (int64_t k = 1; k <= 20; k++) MustInsert(setup, k);
+  ASSERT_OK(db_->Commit(setup));
+
+  obs::Counter* acquires = db_->metrics()->GetCounter("lock.acquires");
+  obs::Counter* reads = db_->metrics()->GetCounter("mvcc.snapshot_reads");
+  const uint64_t acquires_before = acquires->value();
+  const uint64_t reads_before = reads->value();
+
+  Transaction* snap = db_->Begin(IsolationLevel::kSnapshot);
+  EXPECT_EQ(Scan(snap, 0, 100).size(), 20u);
+  ASSERT_OK(db_->Commit(snap));
+
+  // No other transaction ran: any delta is the snapshot path's own.
+  EXPECT_EQ(acquires->value(), acquires_before)
+      << "snapshot read path called into the lock manager";
+  EXPECT_EQ(reads->value(), reads_before + 1);
+}
+
+TEST_F(SnapshotIsolationTest, SnapshotTransactionsAreReadOnly) {
+  Transaction* snap = db_->Begin(IsolationLevel::kSnapshot);
+  EXPECT_EQ(db_->InsertRecord(snap, gist_, BtreeExtension::MakeKey(1), "v")
+                .status()
+                .code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(db_->DeleteRecord(snap, gist_, BtreeExtension::MakeKey(1), Rid{})
+                .code(),
+            Status::Code::kInvalidArgument);
+  ASSERT_OK(db_->Commit(snap));
+}
+
+TEST_F(SnapshotIsolationTest, WriteSkewStillPreventedForReadWrite) {
+  // The classic write-skew shape: each transaction scans the range the
+  // other inserts into. Under 2PL + predicate locking this deadlocks with
+  // exactly one victim — MVCC must not have weakened the read-write path.
+  std::atomic<int> scanned{0};
+  std::atomic<int> committed{0};
+  std::atomic<int> deadlocked{0};
+  auto run = [&](int64_t scan_lo, int64_t insert_key) {
+    Transaction* t = db_->Begin(IsolationLevel::kRepeatableRead);
+    EXPECT_TRUE(Scan(t, scan_lo, scan_lo + 10).empty());
+    scanned++;
+    while (scanned.load() < 2) std::this_thread::yield();
+    Status st =
+        db_->InsertRecord(t, gist_, BtreeExtension::MakeKey(insert_key), "v")
+            .status();
+    if (st.ok()) {
+      committed++;
+      EXPECT_OK(db_->Commit(t));
+    } else {
+      EXPECT_TRUE(st.IsDeadlock()) << st.ToString();
+      deadlocked++;
+      EXPECT_OK(db_->Abort(t));
+    }
+  };
+  std::thread a([&] { run(100, 205); });
+  std::thread b([&] { run(200, 105); });
+  a.join();
+  b.join();
+  EXPECT_EQ(deadlocked.load(), 1) << "write skew was not prevented";
+  EXPECT_EQ(committed.load(), 1);
+}
+
+TEST_F(SnapshotIsolationTest, DowngradesToRepeatableReadWithoutMvcc) {
+  const std::string path2 = TestPath("iso_nomvcc");
+  RemoveDbFiles(path2);
+  DatabaseOptions opts;
+  opts.path = path2;
+  opts.buffer_pool_pages = 512;
+  opts.mvcc_enabled = false;
+  auto db_or = Database::Create(opts);
+  ASSERT_OK(db_or.status());
+  auto db2 = db_or.MoveValue();
+  EXPECT_EQ(db2->mvcc(), nullptr);
+  Transaction* t = db2->Begin(IsolationLevel::kSnapshot);
+  EXPECT_FALSE(t->is_snapshot());  // silently downgraded
+  ASSERT_OK(db2->Commit(t));
+  db2.reset();
+  RemoveDbFiles(path2);
+}
+
 // The pure-predicate-locking mode (section 4.2 / ablation C2) must provide
 // the same isolation, checked before traversal.
 class GlobalPredicateTest : public IsolationTest {

@@ -73,6 +73,15 @@ Rules
       NSN/rightlink reads go through a version-validated snapshot copy,
       which is as stable as a latched read.
 
+  predicate-attach-on-snapshot-path
+      No predicate attach (SignalLock/Attach/AttachAndFindConflicts) and
+      no blocking lock-manager call inside a function whose name marks it
+      as part of the MVCC snapshot read path (contains "Snapshot").
+      Snapshot readers promise zero lock-manager traffic (DESIGN.md
+      section 14.3) — the lock.acquires counter asserts it dynamically,
+      and the distinct Snapshot* naming of the read-path functions is
+      what makes the promise statically checkable here.
+
 Escape hatches
 --------------
   // gistcr-lint: allow(<rule>)        on the offending line or the line
@@ -103,6 +112,7 @@ RULES = (
     "sync-under-mutex",
     "serialize-under-latch",
     "latch-inside-optimistic-section",
+    "predicate-attach-on-snapshot-path",
 )
 
 # --- directive extraction & source stripping -------------------------------
@@ -279,6 +289,17 @@ SERIALIZE_RE = re.compile(
     r"(?:\.|->|::)\s*(?:DumpMetrics(?:Prometheus)?|DumpPrometheus|DumpJson|"
     r"DumpText|InspectJson|ExportTrace|ExportJsonString|Snapshot)\s*\("
 )
+
+# predicate-attach-on-snapshot-path: function-definition detection for the
+# snapshot read path (distinctly named Snapshot* family: SearchSnapshot,
+# ProcessStackEntrySnapshot[Latched], ...) and the calls banned inside it.
+# The signature regex anchors at line start so receiver-qualified *calls*
+# (`mvcc->BeginSnapshot(...)`) never match.
+SNAPSHOT_SIG_RE = re.compile(
+    r"^\s*[\w:<>,*&\s]*?\b(?:\w+::)?(\w*Snapshot\w*)\s*\(")
+PREDICATE_ATTACH_RE = re.compile(
+    r"(?:\.|->)\s*Attach(?:AndFindConflicts|Predicate)?\s*\("
+    r"|\bSignalLock\s*\(")
 
 # sync-under-mutex: scoped-lock tracking (MutexLock/SharedLock from
 # common/mutex.h) plus the explicit Unlock()/Lock() windows MutexLock
@@ -471,7 +492,61 @@ class FileLinter:
                 opt_scopes = []
             if line.strip():
                 prev_code = line.strip()
+
+        self.check_snapshot_paths(lines, per_line_allows, file_allows)
         return self.findings
+
+    def check_snapshot_paths(self, lines, per_line_allows, file_allows):
+        """Second pass: predicate-attach-on-snapshot-path.
+
+        Finds each Snapshot*-named function *definition*, brace-matches its
+        body, and flags predicate attaches / blocking lock-manager calls
+        inside. Scope tracking is separate from the latch pass because the
+        unit here is the whole function, not a brace depth.
+        """
+        rule = "predicate-attach-on-snapshot-path"
+        i, n = 0, len(lines)
+        while i < n:
+            m = SNAPSHOT_SIG_RE.match(lines[i])
+            if not m or lines[i][: m.start(1)].strip().endswith(
+                    ("return", "=", ".", "->")):
+                i += 1
+                continue
+            name = m.group(1)
+            # Brace-match from the signature. A `;` before any `{` means
+            # this was a declaration (or a call statement), not a body.
+            depth = 0
+            opened = False
+            j = i
+            while j < n:
+                for c in lines[j]:
+                    if c == "{":
+                        depth += 1
+                        opened = True
+                    elif c == "}":
+                        depth -= 1
+                if not opened and ";" in lines[j]:
+                    break
+                j += 1
+                if opened and depth <= 0:
+                    break
+            if not opened:
+                i += 1
+                continue
+            for k in range(i, j):
+                if PREDICATE_ATTACH_RE.search(lines[k]) or \
+                        BLOCKING_LOCK_RE.search(lines[k]):
+                    if rule in file_allows or \
+                            rule in per_line_allows.get(k + 1, set()):
+                        continue
+                    self.findings.append((
+                        k + 1, rule,
+                        "predicate attach / lock-manager call inside "
+                        f"snapshot read path '{name}'; snapshot readers "
+                        "must touch zero lock-manager state "
+                        "(DESIGN.md section 14.3)",
+                    ))
+            i = j if j > i else i + 1
 
     def check_unchecked_status(self, line, prev_code, lineno, report):
         m = CALL_STMT_RE.match(line)
