@@ -291,19 +291,30 @@ Status Gist::ProcessStackEntrySnapshot(Transaction* txn, PageId page,
       return Status::OK();
     }
 
-    // Leaf: emit entries the snapshot can see. The copy is internally
-    // consistent, and Visible() consults only stamped (committed) version
-    // records, so no per-entry revalidation is needed: a concurrent
-    // writer changing the page cannot change what snapshot `snap` sees.
+    // Leaf: emit entries the snapshot can see. Visible() consults the
+    // *live* version store while the copy is frozen at validation time, so
+    // the verdicts are staged and the frame version re-checked before any
+    // of them publish. Store mutations that matter pair with a page write
+    // on this leaf (inserts, delete marks, abort undo retracting a record
+    // after its page undo), so an unchanged version proves the store the
+    // verdicts were computed against matches the copy; the unpaired
+    // mutations (commit stamping, pruning) are verdict-preserving for any
+    // registered snapshot.
     GISTCR_CRASHPOINT("search.mvcc_visibility");
     const uint16_t n = node.count();
+    std::vector<std::pair<uint64_t, SearchResult>> emit;
     for (uint16_t i = 0; i < n; i++) {
       if (!ext_->Consistent(node.entry_key(i), query)) continue;
       const uint64_t rid = node.entry_value(i);
       if (seen->count(rid) != 0) continue;
       if (!ctx_.mvcc->Visible(rid, node.entry_del_txn(i), snap)) continue;
-      seen->insert(rid);
-      out->push_back({node.entry_key(i).ToString(), Rid::Unpack(rid)});
+      emit.emplace_back(
+          rid, SearchResult{node.entry_key(i).ToString(), Rid::Unpack(rid)});
+    }
+    if (g.frame()->version() != version) continue;
+    for (auto& e2 : emit) {
+      seen->insert(e2.first);
+      out->push_back(std::move(e2.second));
     }
     g.Drop();
     return Status::OK();

@@ -21,7 +21,39 @@ void MvccManager::AttachMetrics(obs::MetricsRegistry* reg) {
   m_chain_length_ = reg->GetHistogram("mvcc.chain_length");
 }
 
+void MvccManager::BeginStamping(TxnId txn) {
+  MutexLock l(stamping_mu_);
+  stamping_[txn] = stamping_seq_++;
+}
+
+void MvccManager::CancelStamping(TxnId txn) {
+  MutexLock l(stamping_mu_);
+  if (stamping_.erase(txn) > 0) stamping_cv_.NotifyAll();
+}
+
 void MvccManager::AdvanceDurable(Lsn lsn) {
+  {
+    // Drain stamping epochs opened before this fan-out: the batch that
+    // just landed may contain their Commit records, and the snapshot
+    // stamp must not cover a commit whose versions are unstamped. Epochs
+    // opened later (seq >= cutoff) belong to records appended after the
+    // batch was cut — their commit LSNs exceed \p lsn — so the cutoff
+    // both excludes them and bounds the wait.
+    MutexLock l(stamping_mu_);
+    const uint64_t cutoff = stamping_seq_;
+    for (;;) {
+      bool older = false;
+      for (const auto& [id, seq] : stamping_) {
+        (void)id;
+        if (seq < cutoff) {
+          older = true;
+          break;
+        }
+      }
+      if (!older) break;
+      stamping_cv_.Wait(stamping_mu_);
+    }
+  }
   Lsn cur = durable_stamp_.load(std::memory_order_relaxed);
   while (lsn > cur && !durable_stamp_.compare_exchange_weak(
                           cur, lsn, std::memory_order_release,
@@ -30,9 +62,16 @@ void MvccManager::AdvanceDurable(Lsn lsn) {
 }
 
 Lsn MvccManager::BeginSnapshot(TxnId txn_id) {
-  const Lsn stamp = SnapshotStamp();
+  Lsn stamp;
   {
+    // Stamp and register in one critical section against the GC horizon
+    // reads (Prune holds snap_mu_ across min-active + SnapshotStamp): a
+    // snapshot either registers before the horizon scan and pins its
+    // history, or reads its stamp after the scan's SnapshotStamp() — in
+    // which case everything pruned was already at-or-below its stamp
+    // (ancient == visible, pruned delete == invisible: same answers).
     MutexLock l(snap_mu_);
+    stamp = SnapshotStamp();
     active_snaps_[txn_id] = stamp;
   }
   m_snapshot_begins_->Add(1);
@@ -44,14 +83,18 @@ void MvccManager::EndSnapshot(TxnId txn_id) {
   active_snaps_.erase(txn_id);
 }
 
-Lsn MvccManager::MinActiveSnapshot() const {
-  MutexLock l(snap_mu_);
+Lsn MvccManager::MinActiveSnapshotLocked() const {
   Lsn min = kInvalidLsn;
   for (const auto& [id, stamp] : active_snaps_) {
     (void)id;
     if (min == kInvalidLsn || stamp < min) min = stamp;
   }
   return min;
+}
+
+Lsn MvccManager::MinActiveSnapshot() const {
+  MutexLock l(snap_mu_);
+  return MinActiveSnapshotLocked();
 }
 
 bool MvccManager::HasActiveSnapshots() const {
@@ -100,9 +143,10 @@ void MvccManager::StampCommit(TxnId txn, Lsn commit_lsn) {
   {
     MutexLock l(pending_mu_);
     auto it = pending_.find(txn);
-    if (it == pending_.end()) return;
-    rids = std::move(it->second);
-    pending_.erase(it);
+    if (it != pending_.end()) {
+      rids = std::move(it->second);
+      pending_.erase(it);
+    }
   }
   uint64_t stamped = 0;
   for (uint64_t rid : rids) {
@@ -123,6 +167,10 @@ void MvccManager::StampCommit(TxnId txn, Lsn commit_lsn) {
     m_chain_length_->Record(it->second.size());
   }
   m_stamped_->Add(stamped);
+  // Stamps in place: close the epoch so the durable fan-out may publish a
+  // snapshot stamp covering this commit. Runs even when the transaction
+  // had no pending versions — the epoch was opened unconditionally.
+  CancelStamping(txn);
 }
 
 void MvccManager::DropAborted(TxnId txn) {
@@ -202,7 +250,15 @@ bool MvccManager::Visible(uint64_t rid, TxnId entry_del_txn,
         return StampedVisible(rit->insert_ts, snapshot);
       }
     }
-    return true;  // live record pruned as ancient; older marks linger
+    // No undeleted record: a concurrent writer delete-marked the live
+    // version after our caller validated its page copy. Judge by the
+    // newest record's stamps — the pending (or post-snapshot) delete does
+    // not hide it, but its *insert* must still have committed before this
+    // snapshot. Returning true unconditionally would expose an insert
+    // whose commit raced past our stamp.
+    const VersionRecord& newest = chain.back();
+    return StampedVisible(newest.insert_ts, snapshot) &&
+           !StampedVisible(newest.delete_ts, snapshot);
   }
   // Marked entry: its record carries the matching deleter.
   for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
@@ -237,11 +293,19 @@ bool MvccManager::CanRetireNodes() {
 }
 
 size_t MvccManager::Prune() {
-  const Lsn min_snap = MinActiveSnapshot();
-  // With no active snapshot, everything committed (hence durable, hence
-  // below any future snapshot stamp) is prunable.
-  const Lsn horizon =
-      min_snap != kInvalidLsn ? min_snap : SnapshotStamp() + 1;
+  Lsn horizon;
+  {
+    // Min-active and the no-snapshot fallback stamp are read under
+    // snap_mu_, the same mutex BeginSnapshot holds while it stamps and
+    // registers — so a concurrent BeginSnapshot either lands in the scan
+    // (horizon <= its stamp) or gets a stamp >= the fallback read, and
+    // everything pruned answers identically for it (see BeginSnapshot).
+    MutexLock l(snap_mu_);
+    const Lsn min_snap = MinActiveSnapshotLocked();
+    // With no active snapshot, everything committed (hence durable, hence
+    // below any future snapshot stamp) is prunable.
+    horizon = min_snap != kInvalidLsn ? min_snap : SnapshotStamp() + 1;
+  }
   size_t pruned = 0;
   for (size_t i = 0; i < kNumShards; i++) {
     Shard& s = *shards_[i];

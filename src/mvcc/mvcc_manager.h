@@ -25,12 +25,20 @@ namespace gistcr {
 ///
 /// **Timestamps are LSNs.** A transaction's commit stamp is the LSN of its
 /// Commit log record; a snapshot stamp is the durable LSN the WAL flusher
-/// had fanned out when the read-only transaction began. Because the commit
-/// path stamps its versions *between* appending the Commit record and
-/// forcing the log (TransactionManager::Commit), any reader whose snapshot
-/// S covers a commit C (S >= C) must have observed the flush that the
-/// stamping preceded — so "stamped and <= S" is exactly "committed before
-/// my snapshot", with no extra synchronization on the read side.
+/// had fanned out when the read-only transaction began. The commit path
+/// stamps its versions between appending the Commit record and forcing the
+/// log (TransactionManager::Commit) — but the flusher can race ahead of
+/// that window: another waiter's force (or flush-ahead pressure) may cut a
+/// batch containing the freshly appended Commit record and fan out a
+/// durable LSN covering it before StampCommit has run. To keep the
+/// invariant "snapshot stamp S >= commit C implies C's versions are
+/// stamped", the commit path brackets append+stamp in a *stamping epoch*
+/// (BeginStamping before the append, released by StampCommit), and
+/// AdvanceDurable drains every epoch that began before the fan-out before
+/// it publishes the new snapshot stamp. Epochs are held only across memory
+/// operations, so the drain is bounded and cannot deadlock the flusher.
+/// With that, "stamped and <= S" is exactly "committed before my
+/// snapshot", with no synchronization on the read side.
 ///
 /// **Versions are physical leaf entries.** An update is a logical delete
 /// plus an insert, so each physical entry is one version of its logical
@@ -58,7 +66,10 @@ class MvccManager {
   // --- timestamp oracle -------------------------------------------------
 
   /// Fan-out from the WAL flusher: the log is durable through \p lsn.
-  /// Monotone max; called via LogManager::SetDurableCallback.
+  /// Monotone max; called via LogManager::SetDurableCallback. Blocks until
+  /// every stamping epoch that began before this call has been released
+  /// (see the class comment), so the snapshot stamp never advances over a
+  /// commit whose versions are still unstamped.
   void AdvanceDurable(Lsn lsn);
 
   /// The stamp a snapshot beginning now would get.
@@ -87,13 +98,31 @@ class MvccManager {
   /// the store.
   void NoteDelete(uint64_t rid, TxnId txn);
 
+  /// Opens a stamping epoch for \p txn. The commit path calls this
+  /// *before* appending the Commit record, so any flusher batch that can
+  /// contain the record was cut after the epoch opened; AdvanceDurable
+  /// then refuses to publish a covering snapshot stamp until StampCommit
+  /// (or CancelStamping on append failure) closes the epoch.
+  void BeginStamping(TxnId txn);
+
+  /// Closes \p txn's stamping epoch without stamping (the Commit-record
+  /// append failed, so no durable fan-out will ever cover it).
+  void CancelStamping(TxnId txn);
+
   /// Commit-time stamping: every pending record of \p txn gets
-  /// \p commit_lsn. Must run before the commit record is forced (see the
-  /// class comment for why that closes the visibility race).
+  /// \p commit_lsn, then the stamping epoch closes. Must run before the
+  /// commit record is forced (see the class comment for why the epoch +
+  /// pre-force ordering closes the visibility race).
   void StampCommit(TxnId txn, Lsn commit_lsn);
 
-  /// Abort: pending inserts vanish, pending delete marks are cleared
-  /// (rollback restores the page entries themselves via CLRs).
+  /// Abort epilogue: forgets \p txn's pending-stamp bookkeeping and clears
+  /// any leftover pending records. Call only *after* rollback has undone
+  /// the transaction's page changes — the per-op UndoInsert/UndoDelete
+  /// hooks retract each version in step with its page undo, so lock-free
+  /// snapshot scans never see a page state whose version records are
+  /// already gone. (Erasing records while the aborted entries are still on
+  /// the leaves would make them "ancient" — i.e. visible — to concurrent
+  /// readers.)
   void DropAborted(TxnId txn);
 
   /// Undo-site hooks (partial rollback to a savepoint undoes individual
@@ -159,6 +188,8 @@ class MvccManager {
     return ts != kInvalidLsn && ts <= snapshot;
   }
 
+  Lsn MinActiveSnapshotLocked() const GISTCR_REQUIRES(snap_mu_);
+
   Shard& ShardOf(uint64_t rid) const {
     const uint64_t h = rid * 0x9E3779B97F4A7C15ull;
     return *shards_[(h >> 32) % kNumShards];
@@ -179,6 +210,17 @@ class MvccManager {
   mutable Mutex pending_mu_;
   std::unordered_map<TxnId, std::vector<uint64_t>> pending_
       GISTCR_GUARDED_BY(pending_mu_);
+
+  // Open stamping epochs (txn -> registration order). AdvanceDurable
+  // drains epochs registered before it publishes a stamp; the sequence
+  // number bounds the drain so a continuous commit stream cannot livelock
+  // the flusher (epochs opened after the fan-out began belong to records
+  // appended after the batch was cut, hence with LSNs past it).
+  mutable Mutex stamping_mu_;
+  CondVar stamping_cv_;
+  uint64_t stamping_seq_ GISTCR_GUARDED_BY(stamping_mu_) = 1;
+  std::unordered_map<TxnId, uint64_t> stamping_
+      GISTCR_GUARDED_BY(stamping_mu_);
 
   obs::Counter* m_snapshot_begins_ = nullptr;
   obs::Counter* m_snapshot_reads_ = nullptr;

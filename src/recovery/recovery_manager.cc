@@ -604,17 +604,29 @@ Status RecoveryManager::UndoRecord(Transaction* txn, const LogRecord& rec) {
   // Apply the undo action physically (no page-LSN test on the forward
   // path; the pages are current).
   switch (rec.type) {
+    // Page first, version record second: while the aborted entry is still
+    // on the leaf its pending record must exist, or a concurrent snapshot
+    // scan finds no chain, treats the entry as ancient and emits the dirty
+    // insert. Once ApplyRemoveLeafEntry has taken the entry off the page
+    // (under the X latch, bumping the frame version) the record is
+    // unreachable and safe to retract. Same order for unmark: the pending
+    // delete mark outlives the page mark, and Visible() answers the
+    // intermediate live-page/pending-mark state via the insert stamp.
     case LogRecordType::kAddLeafEntry: {
       EntryOpPayload pl;
       pl.DecodeFrom(rec.payload);
-      if (mvcc_ != nullptr) mvcc_->UndoInsert(pl.entry.value, rec.txn_id);
-      return ApplyRemoveLeafEntry(clr.override_page, pl, crec.lsn, false);
+      Status st = ApplyRemoveLeafEntry(clr.override_page, pl, crec.lsn, false);
+      if (st.ok() && mvcc_ != nullptr)
+        mvcc_->UndoInsert(pl.entry.value, rec.txn_id);
+      return st;
     }
     case LogRecordType::kMarkLeafEntry: {
       EntryOpPayload pl;
       pl.DecodeFrom(rec.payload);
-      if (mvcc_ != nullptr) mvcc_->UndoDelete(pl.entry.value, rec.txn_id);
-      return ApplyUnmarkLeafEntry(clr.override_page, pl, crec.lsn, false);
+      Status st = ApplyUnmarkLeafEntry(clr.override_page, pl, crec.lsn, false);
+      if (st.ok() && mvcc_ != nullptr)
+        mvcc_->UndoDelete(pl.entry.value, rec.txn_id);
+      return st;
     }
     case LogRecordType::kSplit: {
       SplitPayload pl;

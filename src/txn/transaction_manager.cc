@@ -60,10 +60,10 @@ Transaction* TransactionManager::Begin(IsolationLevel iso) {
   return txn;
 }
 
-Status TransactionManager::EndSnapshotTxn(Transaction* txn) {
-  txn->set_state(TxnState::kCommitted);
+Status TransactionManager::EndSnapshotTxn(Transaction* txn, bool committed) {
+  txn->set_state(committed ? TxnState::kCommitted : TxnState::kAborted);
   mvcc_->EndSnapshot(txn->id());
-  m_commits_->Add(1);
+  (committed ? m_commits_ : m_aborts_)->Add(1);
   MutexLock l(mu_);
   snapshot_table_.erase(txn->id());
   return Status::OK();
@@ -92,16 +92,24 @@ void TransactionManager::ReleaseAllFor(Transaction* txn) {
 
 Status TransactionManager::Commit(Transaction* txn) {
   GISTCR_CHECK(txn->state() == TxnState::kActive);
-  if (txn->is_snapshot()) return EndSnapshotTxn(txn);
+  if (txn->is_snapshot()) return EndSnapshotTxn(txn, /*committed=*/true);
   GISTCR_TRACE_SCOPE("txn.commit");
   const uint64_t t0 = obs::NowNanos();
   LogRecord commit;
   commit.type = LogRecordType::kCommit;
-  GISTCR_RETURN_IF_ERROR(AppendTxnLog(txn, &commit));
   // Stamp this transaction's versions with the commit LSN *before* the
-  // force: a snapshot stamp S only reaches >= commit.lsn once the flusher
-  // fans out the covering durable LSN, so any reader that can see S >=
-  // commit.lsn is guaranteed to find the stamps already in place.
+  // durable fan-out can cover it: a snapshot stamp S only reaches >=
+  // commit.lsn once the flusher broadcasts a covering durable LSN, and
+  // AdvanceDurable drains stamping epochs opened before the broadcast —
+  // so the epoch must open *before* the Commit record becomes flushable
+  // (a concurrent waiter's force, or flush-ahead pressure, can batch and
+  // fsync it the instant Append returns, well before our own Flush call).
+  if (mvcc_ != nullptr) mvcc_->BeginStamping(txn->id());
+  Status append_st = AppendTxnLog(txn, &commit);
+  if (!append_st.ok()) {
+    if (mvcc_ != nullptr) mvcc_->CancelStamping(txn->id());
+    return append_st;
+  }
   if (mvcc_ != nullptr) mvcc_->StampCommit(txn->id(), commit.lsn);
   // Commit appended but not forced: recovery must treat the txn as a loser
   // unless the record happens to be durable already.
@@ -153,12 +161,20 @@ Status TransactionManager::UndoTo(Transaction* txn, Lsn stop_lsn) {
 
 Status TransactionManager::Abort(Transaction* txn) {
   GISTCR_CHECK(txn->state() == TxnState::kActive);
-  if (txn->is_snapshot()) return EndSnapshotTxn(txn);
-  if (mvcc_ != nullptr) mvcc_->DropAborted(txn->id());
+  if (txn->is_snapshot()) return EndSnapshotTxn(txn, /*committed=*/false);
   LogRecord abort_rec;
   abort_rec.type = LogRecordType::kAbort;
   GISTCR_RETURN_IF_ERROR(AppendTxnLog(txn, &abort_rec));
+  // Roll the pages back first: the UndoInsert/UndoDelete hooks inside
+  // UndoRecord retract each version record in step with its page undo, so
+  // a concurrent lock-free snapshot scan always finds version records
+  // matching the page state it validated. Erasing the records up front
+  // would let the scan see this txn's still-present inserts as "ancient"
+  // (dirty read) and its still-marked deletes as committed (lost row).
   GISTCR_RETURN_IF_ERROR(UndoTo(txn, kInvalidLsn));
+  // Pages clean: now forget the pending-stamp bookkeeping (and any
+  // leftovers the per-op hooks already made no-ops).
+  if (mvcc_ != nullptr) mvcc_->DropAborted(txn->id());
   txn->set_state(TxnState::kAborted);
   ReleaseAllFor(txn);
   LogRecord end;

@@ -109,9 +109,10 @@ class TransactionManager {
   void ReleaseAllFor(Transaction* txn);
 
   /// Ends a kSnapshot transaction: unregisters the snapshot, frees the
-  /// descriptor. Shared by Commit and Abort (they are identical for a
-  /// transaction that wrote nothing).
-  Status EndSnapshotTxn(Transaction* txn);
+  /// descriptor. Shared by Commit and Abort — the only difference for a
+  /// transaction that wrote nothing is the reported final state and which
+  /// lifecycle counter ticks, which \p committed selects.
+  Status EndSnapshotTxn(Transaction* txn, bool committed);
 
   LogManager* log_;
   LockManager* locks_;

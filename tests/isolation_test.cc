@@ -463,6 +463,22 @@ TEST_F(SnapshotIsolationTest, SnapshotTransactionsAreReadOnly) {
   ASSERT_OK(db_->Commit(snap));
 }
 
+TEST_F(SnapshotIsolationTest, AbortedSnapshotReaderCountsAsAbort) {
+  obs::Counter* commits = db_->metrics()->GetCounter("txn.commits");
+  obs::Counter* aborts = db_->metrics()->GetCounter("txn.aborts");
+  const uint64_t commits_before = commits->value();
+  const uint64_t aborts_before = aborts->value();
+
+  Transaction* snap = db_->Begin(IsolationLevel::kSnapshot);
+  EXPECT_EQ(Scan(snap, 0, 100).size(), 0u);
+  ASSERT_OK(db_->Abort(snap));
+
+  // An aborted reader must not masquerade as a commit in the lifecycle
+  // metrics.
+  EXPECT_EQ(commits->value(), commits_before);
+  EXPECT_EQ(aborts->value(), aborts_before + 1);
+}
+
 TEST_F(SnapshotIsolationTest, WriteSkewStillPreventedForReadWrite) {
   // The classic write-skew shape: each transaction scans the range the
   // other inserts into. Under 2PL + predicate locking this deadlocks with

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "access/btree_extension.h"
@@ -158,6 +161,83 @@ TEST_F(MvccGcTest, SavepointRollbackUnstampsVersions) {
   Transaction* snap = db_->Begin(IsolationLevel::kSnapshot);
   EXPECT_EQ(Scan(snap, 0, 100), (std::vector<int64_t>{1}));
   ASSERT_OK(db_->Commit(snap));
+}
+
+// --- MvccManager race regressions (store-level, no database) ---------------
+
+// A reader validates its page copy while the entry is live, then a
+// concurrent writer delete-marks the only version record (stamp pending).
+// The newest-undeleted scan finds nothing — visibility must still consult
+// the newest record's insert stamp instead of defaulting to visible, or a
+// snapshot sees an insert that committed after it began.
+TEST(MvccVisibilityTest, PendingDeleteDoesNotExposeUncommittedInsert) {
+  MvccManager mvcc;
+  mvcc.AdvanceDurable(50);
+  const Lsn snap = mvcc.BeginSnapshot(/*txn_id=*/100);
+  ASSERT_EQ(snap, 50u);
+
+  // Writer 2 inserts rid 7 and commits at LSN 80 (> snap).
+  mvcc.NoteInsert(7, /*txn=*/2);
+  mvcc.BeginStamping(2);
+  mvcc.StampCommit(2, /*commit_lsn=*/80);
+  // Writer 3 delete-marks it; its stamp is still pending.
+  mvcc.NoteDelete(7, /*txn=*/3);
+
+  EXPECT_FALSE(mvcc.Visible(7, kInvalidTxnId, snap));
+
+  // A snapshot begun after the insert's commit durably landed sees the
+  // entry despite the pending delete mark.
+  mvcc.AdvanceDurable(90);
+  const Lsn snap2 = mvcc.BeginSnapshot(/*txn_id=*/101);
+  EXPECT_TRUE(mvcc.Visible(7, kInvalidTxnId, snap2));
+}
+
+// The flusher's durable fan-out must not publish a snapshot stamp covering
+// a commit whose versions are still being stamped: AdvanceDurable drains
+// stamping epochs opened before it (the group-commit batch may contain
+// their Commit records even though the committing threads have not reached
+// their own Flush call yet).
+TEST(MvccStampingEpochTest, DurableFanOutWaitsForOpenEpochs) {
+  MvccManager mvcc;
+  mvcc.NoteInsert(9, /*txn=*/1);
+  mvcc.BeginStamping(1);
+
+  std::atomic<bool> advanced{false};
+  std::thread flusher([&] {
+    mvcc.AdvanceDurable(100);
+    advanced.store(true);
+  });
+  // Give a broken implementation time to race past the open epoch.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(advanced.load());
+  EXPECT_EQ(mvcc.SnapshotStamp(), kInvalidLsn);
+
+  mvcc.StampCommit(1, /*commit_lsn=*/100);
+  flusher.join();
+  EXPECT_TRUE(advanced.load());
+  EXPECT_EQ(mvcc.SnapshotStamp(), 100u);
+  // The stamp a snapshot gets now covers a fully stamped version.
+  EXPECT_TRUE(mvcc.Visible(9, kInvalidTxnId, mvcc.BeginSnapshot(100)));
+}
+
+TEST(MvccStampingEpochTest, CancelStampingReleasesTheFanOut) {
+  MvccManager mvcc;
+  mvcc.BeginStamping(1);
+  std::thread flusher([&] { mvcc.AdvanceDurable(10); });
+  mvcc.CancelStamping(1);  // append failed: no commit to wait for
+  flusher.join();
+  EXPECT_EQ(mvcc.SnapshotStamp(), 10u);
+}
+
+// Commits with no pending versions (read-only RR transactions, pure
+// predicate work) still open and close an epoch; the fan-out must not hang
+// on them.
+TEST(MvccStampingEpochTest, StampCommitWithoutVersionsClosesTheEpoch) {
+  MvccManager mvcc;
+  mvcc.BeginStamping(4);
+  mvcc.StampCommit(4, 20);
+  mvcc.AdvanceDurable(20);  // would deadlock if the epoch stayed open
+  EXPECT_EQ(mvcc.SnapshotStamp(), 20u);
 }
 
 }  // namespace
