@@ -1,0 +1,300 @@
+// Runtime lock-order detector internals. This file deliberately uses the
+// raw std primitives: the detector is called from inside the annotated
+// wrappers, so going through them again would recurse.
+// gistcr-lint: allow-file(raw-latch-primitive)
+
+#include "common/deadlock_detector.h"
+
+#if GISTCR_DEADLOCK_DETECTOR
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace gistcr {
+namespace deadlock {
+namespace {
+
+struct Held {
+  const void* id;
+  LockRank rank;
+  const char* name;
+};
+
+std::vector<Held>& Tls() {
+  thread_local std::vector<Held> held;
+  return held;
+}
+
+struct Node {
+  const char* name = nullptr;
+  LockRank rank = LockRank::kUnranked;
+  // out-edge -> held-lock stack of the thread that first created it.
+  std::unordered_map<const void*, std::string> out;
+};
+
+struct Graph {
+  std::mutex mu;
+  std::unordered_map<const void*, Node> nodes;
+  size_t edges = 0;
+};
+
+Graph& G() {
+  static Graph* g = new Graph();  // leaked: alive through thread exit
+  return *g;
+}
+
+// One graph identity per page-latch rank class. Buffer frames are
+// recycled across pages, so instance identity would alias unrelated
+// pages; the class node is stable and still captures cross-class order.
+const void* ClassId(LockRank r) {
+  static char ids[5];
+  switch (r) {
+    case LockRank::kNodeLatch:
+      return &ids[0];
+    case LockRank::kMetaLatch:
+      return &ids[1];
+    case LockRank::kBitmapLatch:
+      return &ids[2];
+    case LockRank::kHeapLatch:
+      return &ids[3];
+    default:
+      return &ids[4];
+  }
+}
+
+const char* ClassName(LockRank r) {
+  switch (r) {
+    case LockRank::kNodeLatch:
+      return "latch.node";
+    case LockRank::kMetaLatch:
+      return "latch.meta";
+    case LockRank::kBitmapLatch:
+      return "latch.bitmap";
+    case LockRank::kHeapLatch:
+      return "latch.heap";
+    default:
+      return "latch.other";
+  }
+}
+
+std::string FormatStack(const std::vector<Held>& held) {
+  std::string out;
+  for (const Held& h : held) {
+    if (!out.empty()) out += " -> ";
+    out += h.name != nullptr ? h.name : "?";
+    out += " (";
+    out += std::to_string(static_cast<int>(h.rank));
+    out += ")";
+  }
+  return out.empty() ? std::string("<none>") : out;
+}
+
+[[noreturn]] void Fail(const char* kind, const char* acquiring, LockRank rank,
+                       const std::string& detail) {
+  std::fprintf(stderr,
+               "gistcr deadlock detector: %s\n"
+               "  acquiring: %s (rank %d)\n"
+               "  this thread holds: %s\n"
+               "%s",
+               kind, acquiring, static_cast<int>(rank),
+               FormatStack(Tls()).c_str(), detail.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// DFS: is `target` reachable from `from` over the edge graph? Caller
+// holds G().mu.
+bool ReachableLocked(const void* from, const void* target) {
+  std::vector<const void*> stack{from};
+  std::unordered_set<const void*> seen;
+  while (!stack.empty()) {
+    const void* cur = stack.back();
+    stack.pop_back();
+    if (cur == target) return true;
+    if (!seen.insert(cur).second) continue;
+    auto it = G().nodes.find(cur);
+    if (it == G().nodes.end()) continue;
+    for (const auto& [next, _ev] : it->second.out) stack.push_back(next);
+  }
+  return false;
+}
+
+std::vector<const void*> CyclePathLocked(const void* from, const void* to) {
+  // Rebuild one from->to path for the report (graphs here are tiny).
+  std::unordered_map<const void*, const void*> parent;
+  std::vector<const void*> stack{from};
+  std::unordered_set<const void*> seen{from};
+  while (!stack.empty()) {
+    const void* cur = stack.back();
+    stack.pop_back();
+    if (cur == to) break;
+    auto it = G().nodes.find(cur);
+    if (it == G().nodes.end()) continue;
+    for (const auto& [next, _ev] : it->second.out) {
+      if (seen.insert(next).second) {
+        parent[next] = cur;
+        stack.push_back(next);
+      }
+    }
+  }
+  std::vector<const void*> path{to};
+  while (path.back() != from) {
+    auto it = parent.find(path.back());
+    if (it == parent.end()) break;
+    path.push_back(it->second);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+const char* NodeNameLocked(const void* id) {
+  auto it = G().nodes.find(id);
+  return (it != G().nodes.end() && it->second.name != nullptr)
+             ? it->second.name
+             : "?";
+}
+
+// Shared acquire bookkeeping. `checked` is false for try-acquires (they
+// cannot block, so neither rank order nor graph cycles apply).
+void Acquire(const void* id, LockRank rank, const char* name, bool checked) {
+  std::vector<Held>& held = Tls();
+  if (checked && !held.empty()) {
+    const Held* top = &held[0];
+    for (const Held& h : held) {
+      if (h.rank > top->rank) top = &h;
+    }
+    if (rank < top->rank) {
+      Fail("lock rank inversion", name, rank,
+           "  declared order requires ranks to increase; see "
+           "common/lock_rank.h\n");
+    }
+    if (rank == top->rank && !RankAllowsCoupling(rank) && top->id != id) {
+      Fail("same-rank acquisition without coupling allowance", name, rank,
+           "  two locks of one rank class may not nest unless the rank is "
+           "marked `coupling` in common/lock_rank.h\n");
+    }
+    if (top->id == id && !RankAllowsCoupling(rank)) {
+      Fail("recursive acquisition", name, rank, "");
+    }
+
+    std::lock_guard<std::mutex> g(G().mu);
+    Node& n = G().nodes[id];
+    n.name = name;
+    n.rank = rank;
+    bool added = false;
+    for (const Held& h : held) {
+      if (h.id == id) continue;  // coupling self-edge on a class node
+      Node& hn = G().nodes[h.id];
+      hn.name = h.name;
+      hn.rank = h.rank;
+      if (hn.out.emplace(id, FormatStack(held)).second) {
+        G().edges++;
+        added = true;
+      }
+    }
+    if (added) {
+      for (const Held& h : held) {
+        if (h.id == id) continue;
+        if (ReachableLocked(id, h.id)) {
+          const std::vector<const void*> path = CyclePathLocked(id, h.id);
+          std::string detail = "  cycle:";
+          for (const void* p : path) {
+            detail += " ";
+            detail += NodeNameLocked(p);
+            detail += " ->";
+          }
+          detail += " ";
+          detail += name != nullptr ? name : "?";
+          detail += "\n";
+          // The reverse path's first edge records the stack of the thread
+          // that first took these locks in the opposite order.
+          if (path.size() >= 2) {
+            auto it = G().nodes.find(path[0]);
+            if (it != G().nodes.end()) {
+              auto ev = it->second.out.find(path[1]);
+              if (ev != it->second.out.end()) {
+                detail += "  conflicting hold (recorded when " +
+                          std::string(NodeNameLocked(path[0])) +
+                          " was taken first): " + ev->second + "\n";
+              }
+            }
+          }
+          Fail("lock-order cycle", name, rank, detail);
+        }
+      }
+    }
+  }
+  held.push_back(Held{id, rank, name});
+}
+
+void Release(const void* id) {
+  std::vector<Held>& held = Tls();
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->id == id) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void OnLock(const void* lock, LockRank rank, const char* name) {
+  if (rank == LockRank::kUnranked) return;
+  Acquire(lock, rank, name, /*checked=*/true);
+}
+
+void OnTryLock(const void* lock, LockRank rank, const char* name) {
+  if (rank == LockRank::kUnranked) return;
+  Acquire(lock, rank, name, /*checked=*/false);
+}
+
+void OnUnlock(const void* lock, LockRank rank) {
+  if (rank == LockRank::kUnranked) return;
+  Release(lock);
+}
+
+LockRank PageRankFor(uint8_t page_type) {
+  // Raw PageType values (storage/page.h): kFree=0, kMeta=1, kAllocMap=2,
+  // kGistNode=3, kHeap=4. Fresh pages classify as tree nodes: they are
+  // latched alongside tree pages (splits, root growth) or under the
+  // data-store mutex, both of which sit below kNodeLatch.
+  switch (page_type) {
+    case 1:
+      return LockRank::kMetaLatch;
+    case 2:
+      return LockRank::kBitmapLatch;
+    case 4:
+      return LockRank::kHeapLatch;
+    default:
+      return LockRank::kNodeLatch;
+  }
+}
+
+void OnPageLatch(LockRank cls) {
+  Acquire(ClassId(cls), cls, ClassName(cls), /*checked=*/true);
+}
+
+void OnPageTryLatch(LockRank cls) {
+  Acquire(ClassId(cls), cls, ClassName(cls), /*checked=*/false);
+}
+
+void OnPageUnlatch(LockRank cls) { Release(ClassId(cls)); }
+
+size_t HeldCount() { return Tls().size(); }
+
+size_t EdgeCount() {
+  std::lock_guard<std::mutex> g(G().mu);
+  return G().edges;
+}
+
+}  // namespace deadlock
+}  // namespace gistcr
+
+#endif  // GISTCR_DEADLOCK_DETECTOR

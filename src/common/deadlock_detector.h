@@ -1,0 +1,82 @@
+#ifndef GISTCR_COMMON_DEADLOCK_DETECTOR_H_
+#define GISTCR_COMMON_DEADLOCK_DETECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/lock_rank.h"
+
+namespace gistcr {
+namespace deadlock {
+
+/// \file
+/// Runtime lock-order detector (debug/sanitizer builds only).
+///
+/// Every blocking acquisition through the common/mutex.h wrappers (and the
+/// page-latch paths in PageGuard) reports here. The detector keeps
+///
+///   - a per-thread stack of held locks, checked against the LockRank
+///     table on every blocking acquire (a lower- or equal-rank acquire is
+///     an immediate failure unless the rank allows coupling), and
+///   - a global, cumulative acquisition-edge graph (abseil DeadlockCheck
+///     style): held-lock -> acquired-lock edges with the holder's stack
+///     recorded at first observation, plus an online cycle check on every
+///     new edge.
+///
+/// The graph catches what ranks cannot: an A-before-B / B-before-A pair on
+/// equal-rank (coupling-allowed) locks fires the first time the reversed
+/// edge is *observed*, even if that particular interleaving did not
+/// deadlock — which is how the PR 7 allocator ABBA would have surfaced in
+/// any single test run. Violations print both held-lock stacks (the
+/// current thread's and the one recorded when the conflicting edge was
+/// created) and abort.
+///
+/// Long-lived mutexes participate as instances; page latches participate
+/// as one graph node per rank class (frames are recycled across pages, so
+/// instance identity would go stale). Try-acquires push onto the held
+/// stack but are exempt from rank and cycle checks: they cannot block, so
+/// they cannot close a wait cycle.
+
+#if GISTCR_DEADLOCK_DETECTOR
+
+/// Blocking acquire of a ranked mutex; call *before* the underlying lock
+/// so a would-deadlock order is reported instead of hanging. No-op for
+/// kUnranked.
+void OnLock(const void* lock, LockRank rank, const char* name);
+
+/// Successful try_lock: joins the held stack, no order checks.
+void OnTryLock(const void* lock, LockRank rank, const char* name);
+
+void OnUnlock(const void* lock, LockRank rank);
+
+/// Page-latch class hooks (PageGuard / Frame latches). The class is
+/// derived from the page type under the just-taken latch, so these run
+/// post-acquire: cycles are detected on first observation of a reversed
+/// order, not by pre-blocking.
+LockRank PageRankFor(uint8_t page_type);
+void OnPageLatch(LockRank cls);
+void OnPageTryLatch(LockRank cls);
+void OnPageUnlatch(LockRank cls);
+
+/// Introspection for tests.
+size_t HeldCount();
+size_t EdgeCount();
+
+#else  // !GISTCR_DEADLOCK_DETECTOR
+
+inline void OnLock(const void*, LockRank, const char*) {}
+inline void OnTryLock(const void*, LockRank, const char*) {}
+inline void OnUnlock(const void*, LockRank) {}
+inline LockRank PageRankFor(uint8_t) { return LockRank::kUnranked; }
+inline void OnPageLatch(LockRank) {}
+inline void OnPageTryLatch(LockRank) {}
+inline void OnPageUnlatch(LockRank) {}
+inline size_t HeldCount() { return 0; }
+inline size_t EdgeCount() { return 0; }
+
+#endif  // GISTCR_DEADLOCK_DETECTOR
+
+}  // namespace deadlock
+}  // namespace gistcr
+
+#endif  // GISTCR_COMMON_DEADLOCK_DETECTOR_H_

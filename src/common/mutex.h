@@ -10,6 +10,8 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/deadlock_detector.h"
+#include "common/lock_rank.h"
 #include "common/thread_annotations.h"
 #include "util/macros.h"
 
@@ -29,21 +31,53 @@ namespace gistcr {
 /// std::mutex / std::lock_guard / pthread primitives outside this header
 /// and the two RAII latch wrappers (PageGuard, TreeLatch).
 
-/// Annotated exclusive mutex.
+/// Annotated exclusive mutex. Construct long-lived instances with a rank
+/// from the global hierarchy:
+///
+///   Mutex mu_{GISTCR_LOCK_RANK(kWal, "wal.mu")};
+///
+/// In deadlock-detector builds (GISTCR_DEADLOCK_DETECTOR) every blocking
+/// acquisition of a ranked mutex is order-checked against the per-thread
+/// held stack and the global acquisition-edge graph; unranked (default
+/// constructed) mutexes are invisible to the detector. In release builds
+/// the macro and the hooks compile to nothing.
 class GISTCR_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+#if GISTCR_DEADLOCK_DETECTOR
+  Mutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
+#endif
   GISTCR_DISALLOW_COPY_AND_ASSIGN(Mutex);
 
-  void lock() GISTCR_ACQUIRE() { mu_.lock(); }
-  void unlock() GISTCR_RELEASE() { mu_.unlock(); }
-  bool try_lock() GISTCR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() GISTCR_ACQUIRE() {
+#if GISTCR_DEADLOCK_DETECTOR
+    deadlock::OnLock(this, rank_, name_);
+#endif
+    mu_.lock();
+  }
+  void unlock() GISTCR_RELEASE() {
+    mu_.unlock();
+#if GISTCR_DEADLOCK_DETECTOR
+    deadlock::OnUnlock(this, rank_);
+#endif
+  }
+  bool try_lock() GISTCR_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if GISTCR_DEADLOCK_DETECTOR
+    deadlock::OnTryLock(this, rank_, name_);
+#endif
+    return true;
+  }
 
   /// The wrapped std::mutex, for CondVar's adopt/release dance only.
   std::mutex& native() { return mu_; }
 
  private:
   std::mutex mu_;
+#if GISTCR_DEADLOCK_DETECTOR
+  const LockRank rank_ = LockRank::kUnranked;
+  const char* const name_ = nullptr;
+#endif
 };
 
 /// Annotated reader-writer mutex (buffer-frame latches, the coarse
@@ -51,19 +85,56 @@ class GISTCR_CAPABILITY("mutex") Mutex {
 class GISTCR_CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+#if GISTCR_DEADLOCK_DETECTOR
+  SharedMutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
+#endif
   GISTCR_DISALLOW_COPY_AND_ASSIGN(SharedMutex);
 
-  void lock() GISTCR_ACQUIRE() { mu_.lock(); }
-  void unlock() GISTCR_RELEASE() { mu_.unlock(); }
-  bool try_lock() GISTCR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
-  void lock_shared() GISTCR_ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void unlock_shared() GISTCR_RELEASE_SHARED() { mu_.unlock_shared(); }
+  void lock() GISTCR_ACQUIRE() {
+#if GISTCR_DEADLOCK_DETECTOR
+    deadlock::OnLock(this, rank_, name_);
+#endif
+    mu_.lock();
+  }
+  void unlock() GISTCR_RELEASE() {
+    mu_.unlock();
+#if GISTCR_DEADLOCK_DETECTOR
+    deadlock::OnUnlock(this, rank_);
+#endif
+  }
+  bool try_lock() GISTCR_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if GISTCR_DEADLOCK_DETECTOR
+    deadlock::OnTryLock(this, rank_, name_);
+#endif
+    return true;
+  }
+  void lock_shared() GISTCR_ACQUIRE_SHARED() {
+#if GISTCR_DEADLOCK_DETECTOR
+    deadlock::OnLock(this, rank_, name_);
+#endif
+    mu_.lock_shared();
+  }
+  void unlock_shared() GISTCR_RELEASE_SHARED() {
+    mu_.unlock_shared();
+#if GISTCR_DEADLOCK_DETECTOR
+    deadlock::OnUnlock(this, rank_);
+#endif
+  }
   bool try_lock_shared() GISTCR_TRY_ACQUIRE_SHARED(true) {
-    return mu_.try_lock_shared();
+    if (!mu_.try_lock_shared()) return false;
+#if GISTCR_DEADLOCK_DETECTOR
+    deadlock::OnTryLock(this, rank_, name_);
+#endif
+    return true;
   }
 
  private:
   std::shared_mutex mu_;
+#if GISTCR_DEADLOCK_DETECTOR
+  const LockRank rank_ = LockRank::kUnranked;
+  const char* const name_ = nullptr;
+#endif
 };
 
 /// RAII exclusive lock over a Mutex; relockable (Unlock/Lock) so lock

@@ -2,6 +2,10 @@
 
 #include "wal/log_payloads.h"
 
+// Every PageGuard in this file latches a heap-chain page (kHeapLatch,
+// coupling-allowed for the tail hand-over during chain growth).
+// gistcr-lint: page-latch-class(heap)
+
 namespace gistcr {
 
 StatusOr<PageId> DataStore::CreateFresh(PageId first_page) {

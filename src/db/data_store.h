@@ -60,7 +60,7 @@ class DataStore {
   TransactionManager* txns_;
   PageAllocator* alloc_;
 
-  Mutex mu_;  ///< Serializes tail maintenance.
+  Mutex mu_{GISTCR_LOCK_RANK(kDataStore, "data.mu")};  ///< Serializes tail maintenance.
   /// Set once by CreateFresh/Open before concurrent use; read-only after.
   PageId head_ = kInvalidPageId;
   PageId tail_ GISTCR_GUARDED_BY(mu_) = kInvalidPageId;

@@ -228,17 +228,17 @@ class Database {
   void StartWriter();
   void StopWriter();
 
-  Mutex indexes_mu_;
+  Mutex indexes_mu_{GISTCR_LOCK_RANK(kDbIndexes, "db.indexes.mu")};
   std::unordered_map<uint32_t, std::unique_ptr<Gist>> indexes_
       GISTCR_GUARDED_BY(indexes_mu_);
 
   std::thread maint_thread_;
-  Mutex maint_mu_;
+  Mutex maint_mu_{GISTCR_LOCK_RANK(kDbMaintenance, "db.maint.mu")};
   CondVar maint_cv_;
   bool maint_stop_ GISTCR_GUARDED_BY(maint_mu_) = false;
 
   std::thread writer_thread_;
-  Mutex writer_mu_;
+  Mutex writer_mu_{GISTCR_LOCK_RANK(kDbWriter, "db.writer.mu")};
   CondVar writer_cv_;
   bool writer_stop_ GISTCR_GUARDED_BY(writer_mu_) = false;
   /// One-way latch; set by PrepareShutdown (see above).

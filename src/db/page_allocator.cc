@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+// Every PageGuard in this file latches an allocation-bitmap page, which
+// ranks above alloc.mu (kAllocator < kBitmapLatch) in the lock hierarchy.
+// gistcr-lint: page-latch-class(bitmap)
+
 namespace gistcr {
 
 namespace {

@@ -59,7 +59,7 @@ class PageAllocator {
  private:
   BufferPool* pool_;
   TransactionManager* txns_;
-  Mutex mu_;  ///< Serializes the free-bit search.
+  Mutex mu_{GISTCR_LOCK_RANK(kAllocator, "alloc.mu")};  ///< Serializes the free-bit search.
   PageId hint_ GISTCR_GUARDED_BY(mu_) = kFirstAllocatablePage;
 };
 

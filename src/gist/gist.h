@@ -385,10 +385,10 @@ class Gist {
   GistTestHooks hooks_;
 
   /// kCoarse baseline: tree-wide latch.
-  SharedMutex tree_latch_;
+  SharedMutex tree_latch_{GISTCR_LOCK_RANK(kTreeLatch, "gist.tree_latch")};
   /// One GarbageCollect sweep at a time (its rightlink-owner analysis
   /// assumes it is the only deleter).
-  Mutex gc_mu_;
+  Mutex gc_mu_{GISTCR_LOCK_RANK(kGistGc, "gist.gc.mu")};
 };
 
 }  // namespace gistcr

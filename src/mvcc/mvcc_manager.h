@@ -180,7 +180,7 @@ class MvccManager {
   static constexpr size_t kNumShards = 16;
 
   struct Shard {
-    mutable Mutex mu;
+    mutable Mutex mu{GISTCR_LOCK_RANK(kMvccShard, "mvcc.shard.mu")};
     std::unordered_map<uint64_t, Chain> chains GISTCR_GUARDED_BY(mu);
   };
 
@@ -202,12 +202,12 @@ class MvccManager {
   // Snapshot registry: one entry per in-flight read-only transaction.
   // MinActiveSnapshot scans it; registries are small, and it is called
   // from GC cadences, not hot paths.
-  mutable Mutex snap_mu_;
+  mutable Mutex snap_mu_{GISTCR_LOCK_RANK(kMvccSnap, "mvcc.snap.mu")};
   std::unordered_map<TxnId, Lsn> active_snaps_ GISTCR_GUARDED_BY(snap_mu_);
 
   // txn -> rids with pending stamps, so commit stamping touches only the
   // transaction's own versions.
-  mutable Mutex pending_mu_;
+  mutable Mutex pending_mu_{GISTCR_LOCK_RANK(kMvccPending, "mvcc.pending.mu")};
   std::unordered_map<TxnId, std::vector<uint64_t>> pending_
       GISTCR_GUARDED_BY(pending_mu_);
 
@@ -216,7 +216,7 @@ class MvccManager {
   // number bounds the drain so a continuous commit stream cannot livelock
   // the flusher (epochs opened after the fan-out began belong to records
   // appended after the batch was cut, hence with LSNs past it).
-  mutable Mutex stamping_mu_;
+  mutable Mutex stamping_mu_{GISTCR_LOCK_RANK(kMvccStamping, "mvcc.stamping.mu")};
   CondVar stamping_cv_;
   uint64_t stamping_seq_ GISTCR_GUARDED_BY(stamping_mu_) = 1;
   std::unordered_map<TxnId, uint64_t> stamping_

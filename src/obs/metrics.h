@@ -169,7 +169,7 @@ class MetricsRegistry {
   }
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{GISTCR_LOCK_RANK(kMetrics, "obs.metrics.mu")};
   std::map<std::string, std::unique_ptr<Counter>> counters_
       GISTCR_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ GISTCR_GUARDED_BY(mu_);

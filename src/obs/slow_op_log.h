@@ -77,7 +77,7 @@ class SlowOpLog {
   std::atomic<uint64_t> threshold_ns_{kDefaultThresholdNs};
   std::atomic<uint64_t> dropped_{0};  ///< records overwritten by wrap
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{GISTCR_LOCK_RANK(kSlowOps, "obs.slowop.mu")};
   std::vector<SlowOpRecord> ring_ GISTCR_GUARDED_BY(mu_);
   size_t capacity_ GISTCR_GUARDED_BY(mu_) = kDefaultCapacity;
   uint64_t next_ GISTCR_GUARDED_BY(mu_) = 0;  ///< total records captured

@@ -96,7 +96,7 @@ class Tracer {
   void Record(const char* name, char ph, uint64_t ts_us, uint64_t dur_us,
               const char* arg_name = nullptr, uint64_t arg = 0);
 
-  Mutex mu_;  ///< guards rings_ registration and export iteration
+  Mutex mu_{GISTCR_LOCK_RANK(kTrace, "obs.trace.mu")};  ///< guards rings_ registration and export iteration
   std::vector<std::unique_ptr<ThreadRing>> rings_ GISTCR_GUARDED_BY(mu_);
   std::atomic<uint32_t> next_tid_{1};
   std::atomic<bool> enabled_{true};

@@ -91,7 +91,7 @@ class Server {
   std::thread loop_thread_;
   std::vector<std::thread> workers_;
 
-  Mutex mu_;
+  Mutex mu_{GISTCR_LOCK_RANK(kServer, "server.mu")};
   CondVar work_cv_;      ///< workers wait for runq_
   CondVar sessions_cv_;  ///< Shutdown waits for drain
   std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_

@@ -232,7 +232,7 @@ class BufferPool {
   /// One partition: its frames, page table, clock hand, and the mutex/cv
   /// that guard them. Frames never migrate between shards.
   struct Shard {
-    Mutex mu;
+    Mutex mu{GISTCR_LOCK_RANK(kBpShard, "bp.shard.mu")};
     CondVar cv;  ///< signalled when a Busy frame becomes Ready
     std::unordered_map<PageId, Frame*> table GISTCR_GUARDED_BY(mu);
     std::vector<Frame*> frames;  ///< static partition, set once in ctor
@@ -284,6 +284,9 @@ class PageGuard {
 
   PageGuard(PageGuard&& o) noexcept
       : pool_(o.pool_), frame_(o.frame_), latch_(o.latch_) {
+#if GISTCR_DEADLOCK_DETECTOR
+    dl_cls_ = o.dl_cls_;
+#endif
     o.pool_ = nullptr;
     o.frame_ = nullptr;
     o.latch_ = LatchState::kNone;
@@ -294,6 +297,9 @@ class PageGuard {
       pool_ = o.pool_;
       frame_ = o.frame_;
       latch_ = o.latch_;
+#if GISTCR_DEADLOCK_DETECTOR
+      dl_cls_ = o.dl_cls_;
+#endif
       o.pool_ = nullptr;
       o.frame_ = nullptr;
       o.latch_ = LatchState::kNone;
@@ -312,6 +318,7 @@ class PageGuard {
     GISTCR_DCHECK(!InOptimisticSection());
     frame_->latch().lock_shared();
     latch_ = LatchState::kShared;
+    NoteLatched(/*try_acquire=*/false);
   }
   void WLatch() GISTCR_NO_THREAD_SAFETY_ANALYSIS {
     GISTCR_DCHECK(latch_ == LatchState::kNone);
@@ -319,6 +326,7 @@ class PageGuard {
     frame_->latch().lock();
     latch_ = LatchState::kExclusive;
     frame_->BeginWrite();
+    NoteLatched(/*try_acquire=*/false);
   }
   /// Non-blocking X latch (used where blocking would invert the latch
   /// order, e.g. garbage collection latching downward). Allowed inside an
@@ -328,6 +336,7 @@ class PageGuard {
     if (!frame_->latch().try_lock()) return false;
     latch_ = LatchState::kExclusive;
     frame_->BeginWrite();
+    NoteLatched(/*try_acquire=*/true);
     return true;
   }
   void Unlatch() GISTCR_NO_THREAD_SAFETY_ANALYSIS {
@@ -340,6 +349,9 @@ class PageGuard {
       frame_->EndWrite();
       frame_->latch().unlock();
     }
+#if GISTCR_DEADLOCK_DETECTOR
+    if (latch_ != LatchState::kNone) deadlock::OnPageUnlatch(dl_cls_);
+#endif
     latch_ = LatchState::kNone;
   }
   bool IsLatched() const { return latch_ != LatchState::kNone; }
@@ -358,9 +370,32 @@ class PageGuard {
  private:
   enum class LatchState { kNone, kShared, kExclusive };
 
+  // Deadlock-detector bookkeeping: page latches participate in the lock
+  // hierarchy as one class per page type (common/lock_rank.h) — frames
+  // are recycled across pages, so instance identity would alias. The
+  // class is derived *under* the just-taken latch (the page-type byte is
+  // only stable while latched) and remembered for the matching release:
+  // a Format under this latch may change the page's type.
+  void NoteLatched(bool try_acquire) {
+#if GISTCR_DEADLOCK_DETECTOR
+    dl_cls_ = deadlock::PageRankFor(
+        static_cast<uint8_t>(frame_->view().page_type()));
+    if (try_acquire) {
+      deadlock::OnPageTryLatch(dl_cls_);
+    } else {
+      deadlock::OnPageLatch(dl_cls_);
+    }
+#else
+    (void)try_acquire;
+#endif
+  }
+
   BufferPool* pool_;
   Frame* frame_;
   LatchState latch_ = LatchState::kNone;
+#if GISTCR_DEADLOCK_DETECTOR
+  LockRank dl_cls_ = LockRank::kUnranked;
+#endif
 };
 
 }  // namespace gistcr

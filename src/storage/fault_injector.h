@@ -134,7 +134,7 @@ class FaultInjector {
 
   void RecomputeIoActiveLocked() GISTCR_REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{GISTCR_LOCK_RANK(kFaultInjector, "fault.mu")};
 
   // Crash points.
   std::atomic<bool> armed_{false};

@@ -129,14 +129,14 @@ class LockManager {
   };
 
   struct Shard {
-    Mutex mu;
+    Mutex mu{GISTCR_LOCK_RANK(kLockShard, "lock.shard.mu")};
     CondVar cv;  ///< Notified whenever grants may change.
     std::unordered_map<LockName, LockState, LockNameHash> table
         GISTCR_GUARDED_BY(mu);
   };
 
   struct TxnShard {
-    Mutex mu;
+    Mutex mu{GISTCR_LOCK_RANK(kLockTxnShard, "lock.txnshard.mu")};
     // txn -> names granted (for ReleaseAll).
     std::unordered_map<TxnId, std::set<std::pair<uint8_t, uint64_t>>> held
         GISTCR_GUARDED_BY(mu);
@@ -175,7 +175,7 @@ class LockManager {
 
   // The single name each blocked txn is waiting on (a txn runs on one
   // thread, so it waits on at most one name). Drives deadlock DFS.
-  Mutex pending_mu_;
+  Mutex pending_mu_{GISTCR_LOCK_RANK(kLockPending, "lock.pending.mu")};
   std::unordered_map<TxnId, LockName> pending_
       GISTCR_GUARDED_BY(pending_mu_);
 };

@@ -127,7 +127,7 @@ class PredicateManager {
   obs::Counter* m_replications_ = nullptr;
   obs::Counter* m_percolations_ = nullptr;
 
-  Mutex mu_;
+  Mutex mu_{GISTCR_LOCK_RANK(kPredicates, "preds.mu")};
   uint64_t next_id_ GISTCR_GUARDED_BY(mu_) = 1;
   std::unordered_map<PageId, std::list<PredAttachment>> by_node_
       GISTCR_GUARDED_BY(mu_);

@@ -125,7 +125,7 @@ class TransactionManager {
   obs::Counter* m_aborts_ = nullptr;
   obs::Histogram* m_commit_ns_ = nullptr;  ///< includes the log force
 
-  Mutex mu_;
+  Mutex mu_{GISTCR_LOCK_RANK(kTxnManager, "txn.mu")};
   std::unordered_map<TxnId, std::unique_ptr<Transaction>> table_
       GISTCR_GUARDED_BY(mu_);
   /// Snapshot readers live apart from table_ so checkpoints, ActiveTxns

@@ -186,7 +186,7 @@ class LogManager {
   obs::Histogram* m_flush_wait_ns_ = nullptr;
   obs::Counter* m_pace_waits_ = nullptr;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{GISTCR_LOCK_RANK(kWal, "wal.mu")};
   /// Broadcast by the flusher after every attempt (success or failure) and
   /// by Close; Flush waiters and DiscardTail sleep on it.
   CondVar durable_cv_;

@@ -1,0 +1,48 @@
+// Negative fixture for gistcr_lint rule `lock-order`: the PR-7 allocator
+// ABBA shape. Allocate takes the allocator mutex and then latches a
+// bitmap page; Free latches the bitmap page first and then takes the
+// mutex. Each function is locally consistent — only the merged
+// acquisition graph shows the cycle (alloc mutex -> bitmap latch ->
+// alloc mutex), which is exactly the deadlock the original bug produced
+// under eviction pressure.
+//
+// Not compiled; consumed by `gistcr_lint.py --self-test tests/lint`.
+//
+// gistcr-lint: page-latch-class(bitmap)
+
+#include "storage/buffer_pool.h"
+
+namespace gistcr {
+
+class BadAllocator {
+ public:
+  Status Allocate(PageId pid);
+  Status Free(PageId pid);
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Mutex mu_{GISTCR_LOCK_RANK(kAllocator, "fixture.alloc.mu")};
+};
+
+Status BadAllocator::Allocate(PageId pid) {
+  MutexLock l(mu_);
+  auto frame_or = pool_->Fetch(pid);
+  GISTCR_RETURN_IF_ERROR(frame_or.status());
+  PageGuard guard(pool_, frame_or.value());
+  guard.WLatch();  // mutex -> bitmap latch
+  guard.Unlatch();
+  return Status::OK();
+}
+
+Status BadAllocator::Free(PageId pid) {
+  auto frame_or = pool_->Fetch(pid);
+  GISTCR_RETURN_IF_ERROR(frame_or.status());
+  PageGuard guard(pool_, frame_or.value());
+  guard.WLatch();
+  // VIOLATION: bitmap latch -> mutex closes the cycle against Allocate.
+  MutexLock l(mu_);
+  guard.Unlatch();
+  return Status::OK();
+}
+
+}  // namespace gistcr

@@ -1,0 +1,45 @@
+// Positive fixture for the lock-hierarchy analyzer: the corrected PR-7
+// allocator shape. Both paths take the allocator mutex *before* latching
+// the bitmap page, so the merged graph has a single edge direction and
+// every acquisition runs up the declared ranks. Must produce zero
+// findings under every rule.
+//
+// Not compiled; consumed by `gistcr_lint.py --self-test tests/lint`.
+//
+// gistcr-lint: page-latch-class(bitmap)
+
+#include "storage/buffer_pool.h"
+
+namespace gistcr {
+
+class GoodAllocator {
+ public:
+  Status Allocate(PageId pid);
+  Status Free(PageId pid);
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Mutex mu_{GISTCR_LOCK_RANK(kAllocator, "fixture.good.alloc.mu")};
+};
+
+Status GoodAllocator::Allocate(PageId pid) {
+  MutexLock l(mu_);
+  auto frame_or = pool_->Fetch(pid);
+  GISTCR_RETURN_IF_ERROR(frame_or.status());
+  PageGuard guard(pool_, frame_or.value());
+  guard.WLatch();  // mutex -> bitmap latch, the declared direction
+  guard.Unlatch();
+  return Status::OK();
+}
+
+Status GoodAllocator::Free(PageId pid) {
+  MutexLock l(mu_);  // same direction as Allocate: no cycle
+  auto frame_or = pool_->Fetch(pid);
+  GISTCR_RETURN_IF_ERROR(frame_or.status());
+  PageGuard guard(pool_, frame_or.value());
+  guard.WLatch();
+  guard.Unlatch();
+  return Status::OK();
+}
+
+}  // namespace gistcr

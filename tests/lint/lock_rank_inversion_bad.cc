@@ -1,0 +1,28 @@
+// Negative fixture for gistcr_lint rule `lock-rank-inversion`: the WAL
+// mutex (kWal, rank 700) is the innermost protocol lock; taking the
+// allocator-ranked mutex (kAllocator, rank 420) underneath it runs the
+// declared hierarchy backwards even though no second function ever closes
+// a cycle.
+//
+// Not compiled; consumed by `gistcr_lint.py --self-test tests/lint`.
+
+#include "common/mutex.h"
+
+namespace gistcr {
+
+class BadRankNesting {
+ public:
+  void Log();
+
+ private:
+  Mutex wal_mu_{GISTCR_LOCK_RANK(kWal, "fixture.wal.mu")};
+  Mutex low_mu_{GISTCR_LOCK_RANK(kAllocator, "fixture.low.mu")};
+};
+
+void BadRankNesting::Log() {
+  MutexLock l(wal_mu_);
+  // VIOLATION: rank 420 acquired while rank 700 is held.
+  MutexLock inner(low_mu_);
+}
+
+}  // namespace gistcr

@@ -1,0 +1,26 @@
+// Negative fixture for gistcr_lint rule `stamping-epoch-unclosed`: a
+// commit path that opens the MVCC stamping epoch and then returns through
+// GISTCR_RETURN_IF_ERROR without StampCommit/CancelStamping. The leaked
+// epoch blocks snapshot-stamp publication forever (DESIGN.md section
+// 14.6) — every error path between BeginStamping and StampCommit must
+// cancel.
+//
+// Not compiled; consumed by `gistcr_lint.py --self-test tests/lint`.
+
+#include "mvcc/mvcc_manager.h"
+#include "txn/transaction_manager.h"
+
+namespace gistcr {
+
+Status BadCommit(MvccManager* mvcc, LogManager* log, Transaction* txn) {
+  LogRecord commit;
+  commit.type = LogRecordType::kCommit;
+  mvcc->BeginStamping(txn->id());
+  // VIOLATION: an append failure returns with the epoch still open; the
+  // correct shape cancels the epoch before propagating the error.
+  GISTCR_RETURN_IF_ERROR(log->Append(&commit));
+  mvcc->StampCommit(txn->id(), commit.lsn);
+  return Status::OK();
+}
+
+}  // namespace gistcr

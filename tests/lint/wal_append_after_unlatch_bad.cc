@@ -1,0 +1,31 @@
+// Negative fixture for gistcr_lint rule `wal-append-after-unlatch`: a
+// redo-logged page mutation whose WAL record is appended *after* the page
+// latch was dropped. The append assigns the LSN that must be stamped into
+// the page under the same latch hold; releasing first lets a concurrent
+// writer interleave, leaving the page image and its page_lsn describing
+// different histories after a crash.
+//
+// Not compiled; consumed by `gistcr_lint.py --self-test tests/lint`.
+
+#include "storage/buffer_pool.h"
+#include "txn/transaction_manager.h"
+
+namespace gistcr {
+
+Status BadDeferredAppend(BufferPool* pool, TransactionManager* txns,
+                         Transaction* txn, PageId pid) {
+  auto frame_or = pool->Fetch(pid);
+  GISTCR_RETURN_IF_ERROR(frame_or.status());
+  PageGuard guard(pool, frame_or.value());
+  guard.WLatch();
+  LogRecord rec;
+  rec.type = LogRecordType::kEntryInsert;
+  guard.Drop();
+  // VIOLATION: the mutation record is appended latch-free after the
+  // guard was dropped; the page can change under a second writer before
+  // this LSN exists.
+  Status st = txns->AppendTxnLog(txn, &rec);
+  return st;
+}
+
+}  // namespace gistcr

@@ -82,11 +82,54 @@ Rules
       and the distinct Snapshot* naming of the read-path functions is
       what makes the promise statically checkable here.
 
+  lock-rank-inversion
+      Every long-lived mutex declares a rank from the global hierarchy in
+      common/lock_rank.h via GISTCR_LOCK_RANK; page latches derive a rank
+      class from their page type. Acquisitions must proceed in strictly
+      increasing rank (equal ranks only where the rank is marked
+      `coupling`). The analyzer tracks MutexLock/SharedLock/TreeLatch
+      scopes, PageGuard latches (page class per file, see the
+      page-latch-class directive below), and a call-summary table for the
+      lock footprints of cross-module calls (pool fetches take the shard
+      mutex, WAL appends take wal.mu, ...). DESIGN.md section 15 is the
+      normative catalogue.
+
+  lock-order
+      Whole-program check over the same extraction: every acquisition
+      edge (held lock -> acquired lock) from every analyzed file is
+      merged into one directed graph; any cycle is a potential ABBA
+      deadlock and is reported with one representative edge per leg,
+      each carrying file:line evidence. `--dot FILE` writes the merged
+      graph for visual inspection.
+
+  stamping-epoch-unclosed
+      A call to mvcc->BeginStamping opens a commit-stamping epoch that
+      must be closed by StampCommit or CancelStamping on *every* path
+      out of the enclosing scope (DESIGN.md section 14.6: an open epoch
+      blocks snapshot-stamp publication forever). Flags any return —
+      including the hidden returns in GISTCR_RETURN_IF_ERROR /
+      GISTCR_ASSIGN_OR_RETURN — and any scope exit while an epoch is
+      open.
+
+  wal-append-after-unlatch
+      A redo-logged page mutation must append its WAL record while the
+      page latch is still held: the append assigns the LSN stamped into
+      the page, and releasing the latch first lets a second writer
+      interleave an older LSN over a newer image. Flags WAL appends of
+      page-mutation record types (tracked through `rec.type =
+      LogRecordType::k...` assignments) that execute after a latch
+      release with no latch held. Txn-lifecycle records (Begin, Commit,
+      Abort, End, NTA-End, checkpoints) are latch-free by design and
+      exempt.
+
 Escape hatches
 --------------
   // gistcr-lint: allow(<rule>)        on the offending line or the line
                                        directly above it
   // gistcr-lint: allow-file(<rule>)   anywhere in the file
+  // gistcr-lint: page-latch-class(node|meta|bitmap|heap)
+                                       file-wide page-latch rank class for
+                                       PageGuard latches (default: node)
 
 Every allow() should carry a justification comment; the suppression is the
 documentation of a deliberate protocol exception.
@@ -94,6 +137,7 @@ documentation of a deliberate protocol exception.
 Usage
 -----
   gistcr_lint.py <path>...          lint .cc/.h files (dirs recursed)
+  gistcr_lint.py --dot FILE <path>  also write the merged lock graph (DOT)
   gistcr_lint.py --self-test <dir>  run the fixture expectations in <dir>:
                                     *_bad.cc must trigger the rule named by
                                     its basename, *_good.cc must be clean
@@ -113,6 +157,10 @@ RULES = (
     "serialize-under-latch",
     "latch-inside-optimistic-section",
     "predicate-attach-on-snapshot-path",
+    "lock-rank-inversion",
+    "lock-order",
+    "stamping-epoch-unclosed",
+    "wal-append-after-unlatch",
 )
 
 # --- directive extraction & source stripping -------------------------------
@@ -245,6 +293,478 @@ def collect_status_names(src_root):
     return status - other
 
 
+# --- lock-hierarchy extraction ---------------------------------------------
+
+# Enum entries in common/lock_rank.h; the trailing `// coupling` comment is
+# the machine-readable same-rank-nesting allowance.
+RANK_ENTRY_RE = re.compile(
+    r"^[ \t]*(k\w+)[ \t]*=[ \t]*(\d+)[ \t]*,?[ \t]*(//\s*coupling)?", re.M)
+# A ranked wrapper declaration: Mutex mu_{GISTCR_LOCK_RANK(kWal, "wal.mu")};
+LOCK_ANNOT_RE = re.compile(
+    r"\b(?:Mutex|SharedMutex)\s+(\w+)\s*\{\s*"
+    r"GISTCR_LOCK_RANK\(\s*(k\w+)\s*,\s*\"([^\"]+)\"\s*\)")
+CLASS_DECL_RE = re.compile(r"\b(?:class|struct)\s+(\w+)\s*(?:final\s*)?"
+                           r"(?::[^{;]*)?\{")
+IMPL_SIG_RE = re.compile(r"^[\w:<>,*&\s\[\]]*?\b(\w+)::~?\w+\s*\(")
+PAGE_CLASS_RE = re.compile(
+    r"gistcr-lint:\s*page-latch-class\((node|meta|bitmap|heap)\)")
+
+# Page-latch rank classes (mirrors deadlock::PageRankFor / ClassName).
+PAGE_CLASS_LOCKS = {
+    "node": ("latch.node", "kNodeLatch"),
+    "meta": ("latch.meta", "kMetaLatch"),
+    "bitmap": ("latch.bitmap", "kBitmapLatch"),
+    "heap": ("latch.heap", "kHeapLatch"),
+}
+
+# Lock footprints of cross-module calls: while the caller's held set is
+# live, the callee transiently acquires (and releases) these locks. The
+# table names receivers, not types — the codebase's naming is uniform
+# enough (pool_/alloc/locks/mvcc_/txns_/log_) for that to be precise.
+CALL_SUMMARIES = (
+    (re.compile(r"(?:\.|->)\s*(?:Fetch|NewPage|Unpin|FlushAllPages)\s*\("),
+     ("bp.shard.mu",)),
+    (re.compile(r"(?:\.|->)\s*FlushPage\s*\("), ("bp.shard.mu", "wal.mu")),
+    (re.compile(r"\bFetchLatched\s*\("), ("bp.shard.mu",)),
+    (re.compile(r"\b(?:log_?|wal_?)(?:\(\))?\s*(?:\.|->)\s*"
+                r"(?:Append\w*|Flush)\s*\("), ("wal.mu",)),
+    (re.compile(r"(?:\.|->)\s*(?:AppendTxnLog|NtaEnd|NtaBegin)\s*\("),
+     ("wal.mu",)),
+    (re.compile(r"\balloc\w*(?:\(\))?\s*(?:\.|->)\s*(?:Allocate|Free)\s*\("),
+     ("alloc.mu", "bp.shard.mu", "latch.bitmap", "wal.mu")),
+    (re.compile(r"\block\w*(?:\(\))?\s*(?:\.|->)\s*(?:Lock|Unlock|"
+                r"WaitForTxn|SignalLock|ReleaseAllFor|"
+                r"ReplicateSharedHolders|CollectWaitsFor)\s*\("),
+     ("lock.shard.mu",)),
+    (re.compile(r"\b(?:Set|Clear)Pending\s*\("), ("lock.pending.mu",)),
+    (re.compile(r"\bpred\w*(?:\(\))?\s*(?:\.|->)\s*Attach\w*\s*\("),
+     ("preds.mu",)),
+    (re.compile(r"\bmvcc\w*(?:\(\))?\s*(?:\.|->)\s*"
+                r"(?:BeginSnapshot|EndSnapshot)\s*\("), ("mvcc.snap.mu",)),
+    (re.compile(r"\bmvcc\w*(?:\(\))?\s*(?:\.|->)\s*"
+                r"(?:BeginStamping|StampCommit|CancelStamping)\s*\("),
+     ("mvcc.stamping.mu", "mvcc.shard.mu")),
+    (re.compile(r"\bmvcc\w*(?:\(\))?\s*(?:\.|->)\s*"
+                r"(?:Visible|Note\w+|OnAbort|Sweep)\s*\("),
+     ("mvcc.shard.mu",)),
+    (re.compile(r"\btxns?\w*(?:\(\))?\s*(?:\.|->)\s*"
+                r"(?:IsActive|ActiveTxns)\s*\("), ("txn.mu",)),
+)
+
+MUTEX_SCOPE_EXPR_RE = re.compile(
+    r"\b(?:MutexLock|SharedLock)\s+(\w+)\s*\(\s*([^;]*?)\s*\)\s*;")
+LOCAL_TYPE_RE = re.compile(r"\b([A-Z]\w*)\s*[&*]+\s*(\w+)\s*=")
+# Members that point at a ranked lock owned elsewhere (eviction writeback
+# re-locks its shard through Frame::shard_mu_).
+MEMBER_LOCK_HINTS = {"shard_mu_": "bp.shard.mu"}
+TREE_LATCH_DECL_RE = re.compile(r"\bTreeLatch\s+(\w+)\s*\(")
+LATCH_VERB_RE = re.compile(
+    r"\b(\w+)\s*(?:\.|->)\s*(WLatch|RLatch|TryWLatch)\s*\(")
+
+
+def parse_lock_ranks(src_root):
+    """Returns ({kName: numeric rank}, {coupling-allowed kNames})."""
+    ranks, coupling = {}, set()
+    if not src_root:
+        return ranks, coupling
+    path = os.path.join(src_root, "common", "lock_rank.h")
+    try:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError:
+        return ranks, coupling
+    for m in RANK_ENTRY_RE.finditer(text):
+        ranks[m.group(1)] = int(m.group(2))
+        if m.group(3):
+            coupling.add(m.group(1))
+    return ranks, coupling
+
+
+def class_stacks_by_line(lines):
+    """For each (0-based) line, the tuple of enclosing class/struct names.
+
+    Nested types report the whole chain (outer first), so a member of
+    LockManager::Shard registers under both names — .cc code resolves
+    `sh.mu` from LockManager method context without knowing Shard.
+    """
+    out = []
+    depth = 0
+    stack = []  # (class name, inside_depth)
+    for line in lines:
+        out.append(tuple(n for (n, _d) in stack))
+        for m in CLASS_DECL_RE.finditer(line):
+            pos = m.end() - 1  # the '{'
+            d_at = depth + line[:pos].count("{") - line[:pos].count("}")
+            stack.append((m.group(1), d_at + 1))
+            out[-1] = tuple(n for (n, _d) in stack)
+        depth += line.count("{") - line.count("}")
+        if depth < 0:
+            depth = 0
+        stack = [(n, d) for (n, d) in stack if depth >= d]
+    return out
+
+
+class LockRegistry:
+    """Declared ranks merged with GISTCR_LOCK_RANK annotations."""
+
+    def __init__(self, ranks, coupling):
+        self.ranks = ranks        # kName -> int
+        self.coupling = coupling  # kNames allowing same-rank nesting
+        self.locks = {}           # lock name -> kName
+        self.members = {}         # (class, member) -> set of lock names
+        self.member_names = {}    # member -> set of lock names
+
+    def rank_of(self, lockname):
+        return self.ranks.get(self.locks.get(lockname, ""), None)
+
+    def allows_coupling(self, lockname):
+        return self.locks.get(lockname, "") in self.coupling
+
+    def add_file(self, path):
+        """Collects annotations (with class context) from one file."""
+        try:
+            with open(path, encoding="utf-8") as fh:
+                raw = fh.read()
+        except OSError:
+            return
+        lines = raw.splitlines()
+        stacks = class_stacks_by_line(strip_code(raw).splitlines())
+        for i, line in enumerate(lines):
+            for m in LOCK_ANNOT_RE.finditer(line):
+                member, rank, lockname = m.groups()
+                self.locks[lockname] = rank
+                ctx = stacks[i] if i < len(stacks) else ()
+                for cls in ctx:
+                    self.members.setdefault(
+                        (cls, member), set()).add(lockname)
+                self.member_names.setdefault(member, set()).add(lockname)
+        # Page-latch class nodes are always present.
+        for _k, (lockname, rank) in PAGE_CLASS_LOCKS.items():
+            self.locks.setdefault(lockname, rank)
+
+    def resolve_member(self, classes, member, receiver_type=None):
+        """Lock name for a member expression's trailing identifier.
+
+        `classes` is the enclosing-class context (innermost last);
+        `receiver_type` narrows nested-struct collisions (LockManager has
+        Shard::mu *and* TxnShard::mu — `sh.mu` vs `ts.mu` resolve through
+        the declared type of the receiver variable).
+        """
+        candidates = set()
+        for cls in reversed(classes):
+            candidates = set(self.members.get((cls, member), set()))
+            if candidates:
+                break
+        if receiver_type is not None:
+            by_type = self.members.get((receiver_type, member), set())
+            narrowed = (candidates & by_type) if candidates else set(by_type)
+            if narrowed:
+                candidates = narrowed
+        if not candidates:
+            candidates = self.member_names.get(member, set())
+        if len(candidates) == 1:
+            return next(iter(candidates))
+        return None  # unknown or ambiguous: invisible to the analysis
+
+
+class LockGraphScanner:
+    """Extracts acquisition events and edges from one file.
+
+    Held state is tracked the same way FileLinter tracks latches: brace
+    depth scoping for RAII scopes (MutexLock/SharedLock/TreeLatch,
+    PageGuard latches) plus explicit Unlock()/Lock() windows. Call
+    summaries contribute transient acquisitions (edge sources only while
+    the call runs). Each blocking acquisition with a non-empty held set
+    is rank-checked and adds held->acquired edges to the merged graph.
+    """
+
+    def __init__(self, path, registry, graph):
+        self.path = path
+        self.registry = registry
+        self.graph = graph  # dict (src, dst) -> (path, line)
+        self.findings = []
+
+    def scan(self):
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                raw = fh.read()
+        except OSError:
+            return []
+        raw_lines = raw.splitlines()
+        per_line_allows, file_allows = collect_directives(raw_lines)
+        lines = strip_code(raw).splitlines()
+        stacks = class_stacks_by_line(lines)
+
+        page_cls = "node"
+        for line in raw_lines:
+            m = PAGE_CLASS_RE.search(line)
+            if m:
+                page_cls = m.group(1)
+        page_lock = PAGE_CLASS_LOCKS[page_cls][0]
+
+        reg = self.registry
+        depth = 0
+        impl_class = None  # Foo from `Ret Foo::Method(...)` definitions
+        # Held entries: [lockname, decl_depth, raii_var|None, held_bool]
+        holds = []
+        guard_decl_depth = {}
+        local_types = {}  # local ref/ptr var -> declared type name
+
+        def context(i):
+            ctx = list(stacks[i]) if i < len(stacks) else []
+            if impl_class and impl_class not in ctx:
+                ctx.insert(0, impl_class)
+            return ctx
+
+        def held_names():
+            return [h[0] for h in holds if h[3]]
+
+        def report(rule, msg, lineno):
+            if rule in file_allows:
+                return
+            if rule in per_line_allows.get(lineno, set()):
+                return
+            self.findings.append((lineno, rule, msg))
+
+        def acquire(lockname, lineno, blocking=True):
+            rank = reg.rank_of(lockname)
+            if rank is None:
+                return
+            held = [(n, reg.rank_of(n)) for n in held_names()]
+            held = [(n, r) for (n, r) in held if r is not None]
+            if blocking and held:
+                top_name, top_rank = max(held, key=lambda h: h[1])
+                if rank < top_rank:
+                    report(
+                        "lock-rank-inversion",
+                        f"acquiring '{lockname}' (rank {rank}) while "
+                        f"holding '{top_name}' (rank {top_rank}); ranks "
+                        "must increase (common/lock_rank.h)", lineno)
+                elif (rank == top_rank and top_name != lockname
+                      and not reg.allows_coupling(lockname)):
+                    report(
+                        "lock-rank-inversion",
+                        f"acquiring '{lockname}' at the same rank as held "
+                        f"'{top_name}' without a coupling allowance",
+                        lineno)
+            for n, _r in held:
+                if n != lockname:
+                    self.graph.setdefault((n, lockname),
+                                          (self.path, lineno))
+
+        for lineno, line in enumerate(lines, start=1):
+            i = lineno - 1
+            if depth <= 2:
+                m = IMPL_SIG_RE.match(line)
+                if m:
+                    impl_class = m.group(1)
+
+            for m in GUARD_DECL_RE.finditer(line):
+                guard_decl_depth[m.group(1)] = depth
+            # Releases before acquisitions (same rationale as FileLinter).
+            for m in LATCH_REL_RE.finditer(line):
+                var = m.group(1)
+                for h in reversed(holds):
+                    if h[2] == var:
+                        holds.remove(h)
+                        break
+            for m in MUTEX_UNLOCK_RE.finditer(line):
+                for h in holds:
+                    if h[2] == m.group(1):
+                        h[3] = False
+            for m in MUTEX_RELOCK_RE.finditer(line):
+                for h in holds:
+                    if h[2] == m.group(1):
+                        h[3] = True
+
+            # Transient callee footprints.
+            for call_re, locknames in CALL_SUMMARIES:
+                if call_re.search(line):
+                    for n in locknames:
+                        acquire(n, lineno)
+
+            # Receiver types for nested-struct disambiguation.
+            for m in LOCAL_TYPE_RE.finditer(line):
+                local_types[m.group(2)] = m.group(1)
+
+            # RAII mutex scopes.
+            for m in MUTEX_SCOPE_EXPR_RE.finditer(line):
+                var, expr = m.groups()
+                em = re.match(
+                    r"(?:\*\s*)?(?:(\w+)\s*(?:\.|->)\s*)?(\w+)$", expr)
+                lockname = None
+                if em:
+                    receiver, member = em.groups()
+                    lockname = MEMBER_LOCK_HINTS.get(member)
+                    if lockname is None:
+                        lockname = reg.resolve_member(
+                            context(i), member,
+                            receiver_type=local_types.get(receiver))
+                if lockname is not None:
+                    acquire(lockname, lineno)
+                    holds.append([lockname, depth, var, True])
+
+            # TreeLatch RAII (argument may continue on the next line).
+            for m in TREE_LATCH_DECL_RE.finditer(line):
+                tail = line[m.end():] + " " + \
+                    (lines[i + 1] if i + 1 < len(lines) else "")
+                em = re.search(r"&\s*(?:\w+(?:\.|->))*(\w+)", tail)
+                lockname = reg.resolve_member(
+                    context(i), em.group(1)) if em else None
+                if lockname is not None:
+                    acquire(lockname, lineno)
+                    holds.append([lockname, depth, m.group(1), True])
+
+            # PageGuard latches -> the file's page class node.
+            for m in LATCH_VERB_RE.finditer(line):
+                var, verb = m.groups()
+                blocking = verb != "TryWLatch"
+                acquire(page_lock, lineno, blocking=blocking)
+                holds.append(
+                    [page_lock, guard_decl_depth.get(var, depth), var, True])
+            for m in ADDR_OF_GUARD_RE.finditer(line):
+                var = m.group(1)
+                if var in guard_decl_depth and \
+                        re.search(r"\bFetchLatched\s*\(|Parent", line):
+                    acquire(page_lock, lineno)
+                    holds.append(
+                        [page_lock, guard_decl_depth[var], var, True])
+            for m in MOVE_FROM_GUARD_RE.finditer(line):
+                dst_deref, dst, _sd, src = m.groups()
+                for h in list(holds):
+                    if h[2] == src and h[0] == page_lock:
+                        if dst_deref:
+                            continue
+                        h[2] = dst
+                        h[1] = guard_decl_depth.get(dst, h[1])
+
+            depth += line.count("{") - line.count("}")
+            if depth < 0:
+                depth = 0
+            holds = [h for h in holds if h[1] <= depth]
+            if depth == 0:
+                holds = []
+                guard_decl_depth = {}
+                local_types = {}
+                impl_class = None
+        return self.findings
+
+
+def detect_cycles(graph, registry):
+    """Findings for every elementary cycle family in the merged graph.
+
+    One finding per strongly-connected component with a cycle; the
+    message walks one representative cycle with per-edge evidence.
+    """
+    adj = {}
+    for (src, dst) in graph:
+        adj.setdefault(src, []).append(dst)
+        adj.setdefault(dst, [])
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    sccs = []
+    counter = [0]
+
+    def strongconnect(v):
+        # Iterative Tarjan (fixture graphs are tiny, src graphs small,
+        # but recursion limits are not worth risking).
+        work = [(v, iter(adj[v]))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(adj[w])))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                low[work[-1][0]] = min(low[work[-1][0]], low[node])
+            if low[node] == index[node]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                sccs.append(comp)
+
+    for v in adj:
+        if v not in index:
+            strongconnect(v)
+
+    findings = []
+    for comp in sccs:
+        comp_set = set(comp)
+        cyclic = len(comp) > 1 or any(
+            (v, v) in graph for v in comp)
+        if not cyclic:
+            continue
+        # Walk one cycle inside the component for the report.
+        start = comp[0]
+        path = [start]
+        seen = {start}
+        cur = start
+        while True:
+            nxt = next((w for w in adj[cur]
+                        if w in comp_set and (w == start or w not in seen)),
+                       None)
+            if nxt is None or nxt == start:
+                break
+            path.append(nxt)
+            seen.add(nxt)
+            cur = nxt
+        legs = []
+        evidence = None
+        for k, src in enumerate(path):
+            dst = path[(k + 1) % len(path)]
+            ev = graph.get((src, dst))
+            if ev and evidence is None:
+                evidence = ev
+            where = f" [{ev[0]}:{ev[1]}]" if ev else ""
+            legs.append(f"{src} -> {dst}{where}")
+        msg = ("lock acquisition cycle (potential ABBA deadlock): "
+               + "; ".join(legs))
+        where = evidence or ("<merged>", 0)
+        findings.append((where[0], where[1], "lock-order", msg))
+    return findings
+
+
+def write_dot(graph, registry, out_path):
+    nodes = {}
+    for (src, dst) in graph:
+        for n in (src, dst):
+            nodes[n] = registry.rank_of(n)
+    lines = ["digraph lock_order {", "  rankdir=LR;",
+             '  node [shape=box, fontname="monospace"];']
+    for n in sorted(nodes, key=lambda x: (nodes[x] or 0, x)):
+        r = nodes[n]
+        label = f"{n}\\nrank {r}" if r is not None else n
+        lines.append(f'  "{n}" [label="{label}"];')
+    for (src, dst), (path, lineno) in sorted(graph.items()):
+        lines.append(
+            f'  "{src}" -> "{dst}" '
+            f'[label="{os.path.basename(path)}:{lineno}", fontsize=9];')
+    lines.append("}")
+    with open(out_path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
 # --- the per-file scanner ---------------------------------------------------
 
 LATCH_ACQ_RE = re.compile(r"\b(\w+)\s*(?:\.|->)\s*(?:WLatch|RLatch|TryWLatch)\s*\(")
@@ -310,6 +830,35 @@ MUTEX_RELOCK_RE = re.compile(r"\b(\w+)\s*\.\s*Lock\s*\(\s*\)")
 SYNC_CALL_RE = re.compile(
     r"\b(?:::\s*)?f(?:data)?sync\s*\(|(?:\.|->)\s*Sync\s*\(")
 
+# stamping-epoch-unclosed: epoch opens on a receiver-qualified
+# BeginStamping call (the definition in mvcc_manager.cc is unqualified and
+# must not count) and closes on any StampCommit/CancelStamping.
+STAMPING_OPEN_RE = re.compile(r"(?:\.|->)\s*BeginStamping\s*\(")
+STAMPING_CLOSE_RE = re.compile(r"\b(?:StampCommit|CancelStamping)\s*\(")
+RETURN_STMT_RE = re.compile(
+    r"^\s*(?:GISTCR_RETURN_IF_ERROR|GISTCR_ASSIGN_OR_RETURN)\b"
+    r"|\breturn\b")
+
+# wal-append-after-unlatch: record types tracked through the standard
+# `rec.type = LogRecordType::k...;` setup idiom; txn-lifecycle records are
+# appended latch-free by design.
+REC_TYPE_RE = re.compile(r"\b(\w+)\s*\.\s*type\s*=\s*LogRecordType::k(\w+)")
+WAL_APPEND_RE = re.compile(
+    r"(?:\.|->)\s*(?:AppendTxnLog|Append)\s*\(\s*(?:\w+\s*,\s*)?&?\s*(\w+)"
+    r"\s*\)")
+LIFECYCLE_LOG_TYPES = {
+    "Begin", "Commit", "Abort", "End", "NtaEnd",
+    "Checkpoint", "CheckpointBegin", "CheckpointEnd",
+}
+
+# latch-inside-optimistic-section, generalized: any blocking mutex
+# acquisition inside the seqlock section is as much a broken promise as a
+# latch — the reader may wait on a thread that is spinning on the
+# reader's validation window.
+OPT_BLOCKING_MUTEX_RE = re.compile(
+    r"\b(?:MutexLock|SharedLock)\s+\w+\s*[({]"
+    r"|(?:\.|->)\s*(?:WaitForTxn|Flush)\s*\(")
+
 CONTROL_KEYWORDS = (
     "if", "while", "for", "switch", "return", "case", "else", "do",
     "sizeof", "new", "delete", "co_return", "co_await",
@@ -343,6 +892,9 @@ class FileLinter:
         mutex_holds = {}  # scoped-lock var -> [decl_depth, currently_held]
         opt_scopes = []  # list of (var, decl_depth) OptimisticReadScope RAIIs
         prev_code = ""  # last non-blank stripped line (statement context)
+        stamping_open = None  # (open line, open depth) of a live epoch
+        release_floors = []  # decl depths of guards released in this scope
+        rec_types = {}  # LogRecord var -> (type name, tracking depth)
 
         for lineno, line in enumerate(lines, start=1):
             for m in GUARD_DECL_RE.finditer(line):
@@ -366,6 +918,8 @@ class FileLinter:
                             break
                     if early_exit:
                         continue
+                if any(v == var for (v, _d) in latches):
+                    release_floors.append(guard_decl_depth.get(var, depth))
                 latches = [(v, d) for (v, d) in latches if v != var]
 
             held = bool(latches)
@@ -421,6 +975,14 @@ class FileLinter:
                     f"'{opt_scopes[-1][0]}' is live; optimistic readers "
                     "must fall back (drop the scope) before latching",
                 )
+            if in_opt and OPT_BLOCKING_MUTEX_RE.search(line):
+                report(
+                    "latch-inside-optimistic-section",
+                    "blocking mutex/wait acquisition while "
+                    f"OptimisticReadScope '{opt_scopes[-1][0]}' is live; "
+                    "no blocking acquire of any kind inside a seqlock "
+                    "section",
+                )
             if held and SERIALIZE_RE.search(line):
                 report(
                     "serialize-under-latch",
@@ -454,6 +1016,38 @@ class FileLinter:
             for m in OPT_SCOPE_DECL_RE.finditer(line):
                 opt_scopes.append((m.group(1), depth))
 
+            # stamping-epoch-unclosed: closes processed before the return
+            # check so `CancelStamping(...); return st;` sequences pass.
+            if stamping_open is not None and STAMPING_CLOSE_RE.search(line):
+                stamping_open = None
+            if stamping_open is not None and RETURN_STMT_RE.search(line):
+                report(
+                    "stamping-epoch-unclosed",
+                    "return while the stamping epoch opened on line "
+                    f"{stamping_open[0]} is still open; every path must "
+                    "run StampCommit or CancelStamping first",
+                )
+            if STAMPING_OPEN_RE.search(line):
+                stamping_open = (lineno, depth)
+
+            # wal-append-after-unlatch: a page-mutation record appended
+            # with no latch held after some latch was released.
+            for m in REC_TYPE_RE.finditer(line):
+                rec_types[m.group(1)] = (m.group(2), depth)
+            if not held and release_floors:
+                am = WAL_APPEND_RE.search(line)
+                if am:
+                    rtype = rec_types.get(am.group(1), (None, 0))[0]
+                    if rtype is not None and \
+                            rtype not in LIFECYCLE_LOG_TYPES:
+                        report(
+                            "wal-append-after-unlatch",
+                            f"WAL append of page-mutation record 'k{rtype}'"
+                            " after latch release with no latch held; the "
+                            "append must run under the latch that covers "
+                            "the page image it stamps",
+                        )
+
             self.check_unchecked_status(line, prev_code, lineno, report)
 
             # Acquisitions after checks: the latched call itself (e.g.
@@ -485,11 +1079,24 @@ class FileLinter:
                 v: s for v, s in mutex_holds.items() if s[0] <= depth
             }
             opt_scopes = [(v, d) for (v, d) in opt_scopes if d <= depth]
+            if stamping_open is not None and depth < stamping_open[1]:
+                report("stamping-epoch-unclosed",
+                       "scope exits with the stamping epoch opened on "
+                       f"line {stamping_open[0]} still open",
+                       _lineno=stamping_open[0])
+                stamping_open = None
+            release_floors = [f for f in release_floors if f <= depth]
+            rec_types = {
+                v: t for v, t in rec_types.items() if t[1] <= depth
+            }
             if depth == 0:
                 latches = []
                 guard_decl_depth = {}
                 mutex_holds = {}
                 opt_scopes = []
+                stamping_open = None
+                release_floors = []
+                rec_types = {}
             if line.strip():
                 prev_code = line.strip()
 
@@ -604,15 +1211,39 @@ def find_src_root(paths):
     return None
 
 
-def run_lint(paths, src_root=None):
+def build_registry(src_root, extra_files=()):
+    ranks, coupling = parse_lock_ranks(src_root)
+    registry = LockRegistry(ranks, coupling)
+    if src_root:
+        for root, _dirs, files in os.walk(src_root):
+            for f in files:
+                if f.endswith(".h"):
+                    registry.add_file(os.path.join(root, f))
+    for path in extra_files:
+        registry.add_file(path)
+    return registry
+
+
+def run_lint(paths, src_root=None, dot_path=None):
     src_root = src_root or find_src_root(paths)
     status_names = collect_status_names(src_root) if src_root else set()
+    files = list(iter_source_files(paths))
+    registry = build_registry(src_root, extra_files=files)
+    graph = {}  # (src lock, dst lock) -> (path, line) first evidence
     findings = []
-    for path in iter_source_files(paths):
+    for path in files:
         findings.extend(
             (path, line, rule, msg)
             for (line, rule, msg) in FileLinter(path, status_names).lint()
         )
+        findings.extend(
+            (path, line, rule, msg)
+            for (line, rule, msg)
+            in LockGraphScanner(path, registry, graph).scan()
+        )
+    findings.extend(detect_cycles(graph, registry))
+    if dot_path:
+        write_dot(graph, registry, dot_path)
     return findings
 
 
@@ -625,7 +1256,17 @@ def self_test(fixture_dir):
         if not f.endswith(".cc"):
             continue
         path = os.path.join(fixture_dir, f)
-        findings = FileLinter(path, status_names).lint()
+        findings = list(FileLinter(path, status_names).lint())
+        # Graph pass per fixture: each fixture is its own closed world
+        # (its annotations merge with the real src/ registry), so a
+        # cycle seeded inside one file must surface from that file alone.
+        registry = build_registry(src_root, extra_files=[path])
+        graph = {}
+        findings.extend(LockGraphScanner(path, registry, graph).scan())
+        findings.extend(
+            (line, rule, msg)
+            for (_p, line, rule, msg) in detect_cycles(graph, registry)
+        )
         rules_hit = {rule for (_l, rule, _m) in findings}
         base = f[:-3]
         if base.endswith("_bad"):
@@ -664,7 +1305,15 @@ def main(argv):
                   file=sys.stderr)
             return 2
         return self_test(args[1])
-    findings = run_lint(args)
+    dot_path = None
+    if args[0] == "--dot":
+        if len(args) < 3:
+            print("usage: gistcr_lint.py --dot FILE <path>...",
+                  file=sys.stderr)
+            return 2
+        dot_path = args[1]
+        args = args[2:]
+    findings = run_lint(args, dot_path=dot_path)
     for path, line, rule, msg in findings:
         print(f"{path}:{line}: [{rule}] {msg}")
     if findings:
