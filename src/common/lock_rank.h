@@ -28,6 +28,7 @@ enum class LockRank : uint16_t {
   // server mutex; a maintenance pass runs under its daemon mutex).
   kServer = 100,
   kDbMaintenance = 150,
+  kDbRecovery = 155,
   kDbWriter = 160,
   kDbIndexes = 170,
 
@@ -56,6 +57,12 @@ enum class LockRank : uint16_t {
   // latches are held (latch-coupling descent pins children), never held
   // across I/O or any other lock.
   kBpShard = 480,
+
+  // Instant-restart recovery gate (DESIGN.md section 16): consulted on
+  // the Fetch return path, i.e. potentially under any page latch but
+  // never under the shard mutex, and never held across the replay itself
+  // (the gate releases its mutex before redoing the claimed page).
+  kRecoveryGate = 490,
 
   // Lock manager: shard mutex first, then the per-txn held-set shard and
   // the pending-wait table (SetPending/ClearPending run under the shard

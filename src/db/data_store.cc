@@ -1,5 +1,7 @@
 #include "db/data_store.h"
 
+#include <algorithm>
+
 #include "wal/log_payloads.h"
 
 // Every PageGuard in this file latches a heap-chain page (kHeapLatch,
@@ -19,8 +21,18 @@ StatusOr<PageId> DataStore::CreateFresh(PageId first_page) {
   return first_page;
 }
 
-Status DataStore::Open(PageId head) {
+Status DataStore::Open(PageId head, PageId tail_hint,
+                       const std::vector<PageId>& doomed) {
   head_ = head;
+  if (tail_hint != kInvalidPageId) {
+    // Instant restart: analysis already followed the chain's
+    // Rightlink-Update records, so trust its tail and touch no pages. A
+    // stale-but-on-chain hint would self-heal (Insert grows past a full
+    // page), but the analysis accounts for every link in the recovered
+    // window, so the hint is exact.
+    tail_ = tail_hint;
+    return Status::OK();
+  }
   PageId cur = head;
   PageId last = head;
   while (cur != kInvalidPageId) {
@@ -31,6 +43,13 @@ Status DataStore::Open(PageId head) {
     HeapPageView hv(guard.view().data());
     last = cur;
     cur = hv.IsFormatted() ? hv.next() : kInvalidPageId;
+    if (cur != kInvalidPageId &&
+        std::find(doomed.begin(), doomed.end(), cur) != doomed.end()) {
+      // The link to this page belongs to a loser whose undo has not run
+      // yet: it will be unlinked and freed. Stop short so no new record
+      // lands there.
+      cur = kInvalidPageId;
+    }
   }
   tail_ = last;
   return Status::OK();

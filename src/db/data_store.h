@@ -2,6 +2,7 @@
 #define GISTCR_DB_DATA_STORE_H_
 
 #include <string>
+#include <vector>
 
 #include "common/mutex.h"
 #include "db/heap_page.h"
@@ -28,8 +29,14 @@ class DataStore {
   StatusOr<PageId> CreateFresh(PageId first_page);
 
   /// Opens an existing store: walks the chain from \p head to find the
-  /// tail.
-  Status Open(PageId head);
+  /// tail. Instant restart passes \p tail_hint (the tail computed by log
+  /// analysis) to skip the walk entirely — fetching every chain page here
+  /// would force their inline redo and defeat the instant open — and
+  /// \p doomed, the page a still-pending loser undo is about to unlink
+  /// from the chain: the walk must stop short of it so no new record
+  /// lands on a page that is about to be freed.
+  Status Open(PageId head, PageId tail_hint = kInvalidPageId,
+              const std::vector<PageId>& doomed = {});
 
   /// Appends a record on behalf of \p txn. Does not lock the Rid (the
   /// Database facade X-locks it *before* initiating the index insertion,
@@ -50,6 +57,12 @@ class DataStore {
                          bool check_page_lsn);
 
   PageId head() const { return head_; }
+  /// Current chain tail (checkpoints persist it as the instant-restart
+  /// tail hint).
+  PageId tail() {
+    MutexLock l(mu_);
+    return tail_;
+  }
 
  private:
   /// Extends the chain with a freshly allocated page (runs as a nested top

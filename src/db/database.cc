@@ -43,7 +43,9 @@ Database::~Database() {
   // Clean shutdown: no crash artifact wanted from here on.
   obs::FlightRecorder::Global().Disarm();
   // Background threads drain before the final flush so no writer pass or
-  // checkpoint races the shutdown I/O.
+  // checkpoint races the shutdown I/O. Recovery first: it behaves like a
+  // user thread (aborts, page fetches) and needs the others alive.
+  StopRecovery();
   StopWriter();
   StopMaintenance();
   if (!crashed_) {
@@ -211,6 +213,12 @@ StatusOr<std::string> Database::InspectJson(const std::string& what) {
             frames, resident, dirty, pinned, evictions);
     return out;
   }
+  if (what == "recovery") {
+    AppendF(&out, "{\"instant_active\":%s,\"pages_pending\":%zu}\n",
+            recovery_->InstantActive() ? "true" : "false",
+            recovery_->PendingPageCount());
+    return out;
+  }
   if (what == "wal") {
     const LogManager::FlusherStats s = log_.GetFlusherStats();
     AppendF(&out,
@@ -282,12 +290,25 @@ StatusOr<std::unique_ptr<Database>> Database::Open(
     const DatabaseOptions& opts) {
   std::unique_ptr<Database> db(new Database(opts));
   GISTCR_RETURN_IF_ERROR(db->InitCommon());
+  const uint64_t t0 = obs::NowNanos();
 
   Lsn ckpt = kInvalidLsn;
   GISTCR_RETURN_IF_ERROR(db->ReadMasterPointer(&ckpt));
-  GISTCR_RETURN_IF_ERROR(db->recovery_->Restart(ckpt));
+  const bool instant =
+      EnvU64("GISTCR_INSTANT_RESTART", opts.instant_restart ? 1 : 0) != 0;
+  if (instant) {
+    // Log-only analysis: builds the per-page redo plans, re-acquires the
+    // losers' locks and arms the buffer-pool hook. No page is redone yet;
+    // everything after this point may touch pages (triggering their
+    // inline redo) but never has to wait for the whole log.
+    GISTCR_RETURN_IF_ERROR(db->recovery_->StartInstant(ckpt));
+  } else {
+    GISTCR_RETURN_IF_ERROR(db->recovery_->Restart(ckpt));
+  }
 
-  // Attach the heap store.
+  // Attach the heap store. Reading the meta page inline-redoes just that
+  // page under instant restart; the analysis-computed tail hint keeps
+  // DataStore::Open from walking (and so redoing) the whole heap chain.
   {
     auto frame_or = db->pool_->Fetch(MetaView::kMetaPageId);
     GISTCR_RETURN_IF_ERROR(frame_or.status());
@@ -298,11 +319,16 @@ StatusOr<std::unique_ptr<Database>> Database::Open(
     const PageId head = meta.heap_head();
     guard.Drop();
     if (head != kInvalidPageId) {
-      GISTCR_RETURN_IF_ERROR(db->data_->Open(head));
+      GISTCR_RETURN_IF_ERROR(db->data_->Open(
+          head, db->recovery_->HeapTailHint(),
+          db->recovery_->DoomedHeapPages()));
     }
   }
+  db->metrics_.GetGauge("recovery.time_to_open_ns")
+      ->Set(static_cast<double>(obs::NowNanos() - t0));
   db->StartMaintenance();
   db->StartWriter();
+  if (instant) db->StartRecovery();
   return db;
 }
 
@@ -343,6 +369,7 @@ Status Database::RunMaintenancePass() {
 
 void Database::PrepareShutdown() {
   shutting_down_.store(true, std::memory_order_release);
+  StopRecovery();
   StopMaintenance();
   StopWriter();
 }
@@ -427,6 +454,39 @@ void Database::StopWriter() {
     writer_cv_.NotifyAll();
   }
   writer_thread_.join();
+}
+
+void Database::StartRecovery() {
+  MutexLock l(recovery_mu_);
+  recovery_done_ = false;
+  recovery_status_ = Status::OK();
+  recovery_stop_.store(false, std::memory_order_release);
+  recovery_thread_ = std::thread([this] {
+    Status st = recovery_->RunInstantBackground(recovery_stop_);
+    MutexLock ll(recovery_mu_);
+    recovery_done_ = true;
+    recovery_status_ = st;
+    recovery_cv_.NotifyAll();
+  });
+}
+
+void Database::StopRecovery() {
+  recovery_stop_.store(true, std::memory_order_release);
+  std::thread t;
+  {
+    MutexLock l(recovery_mu_);
+    if (!recovery_thread_.joinable()) return;
+    t = std::move(recovery_thread_);
+  }
+  t.join();
+}
+
+Status Database::WaitForRecovery() {
+  MutexLock l(recovery_mu_);
+  while (!recovery_done_) {
+    recovery_cv_.Wait(recovery_mu_);
+  }
+  return recovery_status_;
 }
 
 Status Database::CreateIndex(uint32_t index_id, const GistExtension* ext,
@@ -522,6 +582,10 @@ Status Database::Checkpoint() {
   }
   const Lsn oldest = txns_->OldestActiveFirstLsn();
   if (oldest != kInvalidLsn && oldest < keep) keep = oldest;
+  // Instant restart: un-replayed page plans still read the log; never
+  // reclaim below the oldest pending plan.
+  const Lsn pending = recovery_->PendingMinRecLsn();
+  if (pending != kInvalidLsn && pending < keep) keep = pending;
   (void)log_.ReclaimBefore(keep);  // best effort
   return Status::OK();
 }
@@ -533,9 +597,12 @@ Status Database::FlushAll() {
 
 void Database::SimulateCrash() {
   // The writer must stop before volatile state is dropped: a pass holding
-  // pins during DiscardAll would trip its no-pins invariant.
+  // pins during DiscardAll would trip its no-pins invariant. Recovery
+  // first for the same reason (it pins pages while replaying plans).
+  StopRecovery();
   StopWriter();
   StopMaintenance();
+  pool_->DisarmRecoveryHook();
   log_.DiscardTail();
   pool_->DiscardAll();
   crashed_ = true;

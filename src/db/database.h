@@ -1,6 +1,7 @@
 #ifndef GISTCR_DB_DATABASE_H_
 #define GISTCR_DB_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <thread>
@@ -76,6 +77,13 @@ struct DatabaseOptions {
   /// Env GISTCR_WAL_PACE_US / GISTCR_WAL_PACE_MIN_COMMITS override.
   uint64_t wal_pace_wait_us = 0;
   uint64_t wal_pace_min_commits = 0;
+  /// Instant restart (DESIGN.md section 16): Open returns right after log
+  /// analysis — redo happens per page, inline on first touch or from a
+  /// background drainer, and loser undo runs as ordinary aborting
+  /// transactions concurrent with new work. When off, Open runs the
+  /// classic offline analysis/redo/undo sequence with the database closed
+  /// throughout. Env GISTCR_INSTANT_RESTART (0/1) overrides.
+  bool instant_restart = true;
 };
 
 /// The engine facade: wires disk, buffer pool, WAL, transactions, locks,
@@ -133,6 +141,12 @@ class Database {
   /// S-locked the rid via Search for repeatable reads).
   StatusOr<std::string> ReadRecord(Rid rid) { return data_->Read(rid); }
 
+  /// Blocks until background instant recovery (loser undo + page drain)
+  /// has finished and returns its status. Immediate OK when the database
+  /// was opened offline (or recovery already drained). Tests use this to
+  /// compare final states; normal operation never needs to wait.
+  Status WaitForRecovery();
+
   /// Fuzzy checkpoint + master-pointer update.
   Status Checkpoint();
 
@@ -170,7 +184,8 @@ class Database {
   /// Live introspection views (the kInspect wire surface), each a JSON
   /// object/array: "slow" (slow-op ring), "waitgraph" (lock-manager
   /// wait-for edges), "bp" (buffer-pool shard occupancy), "wal" (flusher
-  /// queue depth). InvalidArgument for anything else.
+  /// queue depth), "recovery" (instant-restart drain progress).
+  /// InvalidArgument for anything else.
   StatusOr<std::string> InspectJson(const std::string& what);
 
   /// Writes every buffered trace event as a chrome://tracing JSON array.
@@ -227,6 +242,8 @@ class Database {
   void StopMaintenance();
   void StartWriter();
   void StopWriter();
+  void StartRecovery();
+  void StopRecovery();
 
   Mutex indexes_mu_{GISTCR_LOCK_RANK(kDbIndexes, "db.indexes.mu")};
   std::unordered_map<uint32_t, std::unique_ptr<Gist>> indexes_
@@ -241,6 +258,15 @@ class Database {
   Mutex writer_mu_{GISTCR_LOCK_RANK(kDbWriter, "db.writer.mu")};
   CondVar writer_cv_;
   bool writer_stop_ GISTCR_GUARDED_BY(writer_mu_) = false;
+
+  /// Background instant-recovery thread (loser undo + page drain).
+  std::thread recovery_thread_ GISTCR_GUARDED_BY(recovery_mu_);
+  Mutex recovery_mu_{GISTCR_LOCK_RANK(kDbRecovery, "db.recovery.mu")};
+  CondVar recovery_cv_;
+  /// Starts true so WaitForRecovery is a no-op after an offline Open.
+  bool recovery_done_ GISTCR_GUARDED_BY(recovery_mu_) = true;
+  Status recovery_status_ GISTCR_GUARDED_BY(recovery_mu_);
+  std::atomic<bool> recovery_stop_{false};
   /// One-way latch; set by PrepareShutdown (see above).
   std::atomic<bool> shutting_down_{false};
 

@@ -69,6 +69,12 @@ StatusOr<PageId> PageAllocator::Allocate(Transaction* txn) {
         if (GetBit(payload, bit)) continue;
         const PageId found =
             (bitmap_pid - kFirstBitmapPage) * kBitsPerPage + bit;
+        if (std::find(quarantine_.begin(), quarantine_.end(), found) !=
+            quarantine_.end()) {
+          // Freed by a loser the instant-restart undo has not rolled back
+          // yet; its bit is about to be re-set. Skip it.
+          continue;
+        }
         // Log Get-Page, then apply under the X latch we hold.
         LogRecord rec;
         rec.type = LogRecordType::kGetPage;
@@ -130,6 +136,16 @@ Status PageAllocator::ApplyBit(PageId target, bool set_allocated, Lsn lsn,
   guard.view().set_page_lsn(lsn);
   guard.frame()->MarkDirty(lsn);
   return Status::OK();
+}
+
+void PageAllocator::SetQuarantine(std::vector<PageId> pages) {
+  MutexLock l(mu_);
+  quarantine_ = std::move(pages);
+}
+
+void PageAllocator::ClearQuarantine() {
+  MutexLock l(mu_);
+  quarantine_.clear();
 }
 
 StatusOr<bool> PageAllocator::IsAllocated(PageId page_id) {

@@ -1,6 +1,8 @@
 #ifndef GISTCR_DB_PAGE_ALLOCATOR_H_
 #define GISTCR_DB_PAGE_ALLOCATOR_H_
 
+#include <vector>
+
 #include "common/mutex.h"
 #include "storage/buffer_pool.h"
 #include "txn/transaction_manager.h"
@@ -56,11 +58,19 @@ class PageAllocator {
     return kFirstBitmapPage + target / kBitsPerPage;
   }
 
+  /// Instant restart: pages freed by loser transactions must not be
+  /// handed out again before the concurrent undo re-sets their bits —
+  /// otherwise the same page would briefly have two owners. Analysis
+  /// quarantines them; undo completion clears the set.
+  void SetQuarantine(std::vector<PageId> pages);
+  void ClearQuarantine();
+
  private:
   BufferPool* pool_;
   TransactionManager* txns_;
   Mutex mu_{GISTCR_LOCK_RANK(kAllocator, "alloc.mu")};  ///< Serializes the free-bit search.
   PageId hint_ GISTCR_GUARDED_BY(mu_) = kFirstAllocatablePage;
+  std::vector<PageId> quarantine_ GISTCR_GUARDED_BY(mu_);
 };
 
 }  // namespace gistcr

@@ -94,6 +94,13 @@ struct GistTestHooks {
   /// before its NTA-End aborts the operation mid-structure-modification —
   /// the restart-recovery scenario of paper section 9.
   std::function<Status()> before_split_nta_end;
+  /// Fires inside GrowRoot after the Root-Change record is logged and the
+  /// new root is built, but before the meta page's root pointer moves.
+  /// The meta page is X-latched across the whole window, so a concurrent
+  /// traversal started here blocks on the root pointer instead of pairing
+  /// a fresh memorized NSN with the stale root (the lost-key race the
+  /// root-grow regression test pins).
+  std::function<void()> during_root_grow;
 };
 
 /// Per-tree operation counters. These are views onto "gist.*" counters in

@@ -448,6 +448,40 @@ Status Gist::GrowRoot(Transaction* txn, PageGuard* g) {
     pl.new_nsn = ctx_.nsn->BumpCounter();
   }
 
+  // Allocate and latch the new root before any record is logged, so the
+  // meta page can be latched next (kNodeLatch < kMetaLatch) and held
+  // across the whole growth.
+  auto root_or = ctx_.alloc->Allocate(txn);
+  GISTCR_RETURN_IF_ERROR(root_or.status());
+  const PageId new_root = root_or.value();
+  // GrowRoot: fresh root page materialized while both halves of the old
+  // root stay latched (no disk read, no contention on an unpublished
+  // page). gistcr-lint: allow(io-under-latch)
+  auto root_frame_or = ctx_.pool->NewPage(new_root);
+  GISTCR_RETURN_IF_ERROR(root_frame_or.status());
+  PageGuard rg(ctx_.pool, root_frame_or.value());
+  rg.WLatch();
+
+  // X-latch the meta page BEFORE the NSN-assigning Split record is
+  // appended. Readers memorize the global counter and then read the root
+  // pointer from the meta page; if the Split's LSN were assigned while the
+  // meta page was still readable, a reader could memorize a counter >= the
+  // new NSN yet still descend via the stale root pointer — the strict
+  // `nsn > memorized` test at the shrunken old root would then hide the
+  // moved keys and the reader would never follow the rightlink. Holding
+  // the meta latch from before the append to after SetRoot closes that
+  // window: any root-pointer read completing after the append also sees
+  // the new root.
+  //
+  // The meta page is pinned hot (page 0, touched by every tree open);
+  // fetching it under the node latches cannot block on real I/O, and
+  // node(350) -> meta(400) is rank-increasing.
+  // gistcr-lint: allow(io-under-latch)
+  auto meta_or = ctx_.pool->Fetch(MetaView::kMetaPageId);
+  GISTCR_RETURN_IF_ERROR(meta_or.status());
+  PageGuard mg(ctx_.pool, meta_or.value());
+  mg.WLatch();
+
   LogRecord rec;
   rec.type = LogRecordType::kSplit;
   pl.EncodeTo(&rec.payload);
@@ -485,17 +519,6 @@ Status Gist::GrowRoot(Transaction* txn, PageGuard* g) {
                                      LockName{LockSpace::kNode, sib_pid});
 
   // New root above both.
-  auto root_or = ctx_.alloc->Allocate(txn);
-  GISTCR_RETURN_IF_ERROR(root_or.status());
-  const PageId new_root = root_or.value();
-  // GrowRoot: fresh root page materialized while both halves of the old
-  // root stay latched (no disk read, no contention on an unpublished
-  // page). gistcr-lint: allow(io-under-latch)
-  auto root_frame_or = ctx_.pool->NewPage(new_root);
-  GISTCR_RETURN_IF_ERROR(root_frame_or.status());
-  PageGuard rg(ctx_.pool, root_frame_or.value());
-  rg.WLatch();
-
   RootChangePayload rp;
   rp.meta_page = MetaView::kMetaPageId;
   rp.index_id = opts_.index_id;
@@ -520,22 +543,14 @@ Status Gist::GrowRoot(Transaction* txn, PageGuard* g) {
   rg.view().set_page_lsn(rrec.lsn);
   rg.frame()->MarkDirty(rrec.lsn);
 
-  // New root built and logged; the meta page still points at the old root.
+  // New root built and logged; the meta page still points at the old root
+  // but has been X-latched since before the Split record was appended.
   GISTCR_CRASHPOINT("root.before_meta_update");
-  {
-    // The meta page is pinned hot (page 0, touched by every tree open);
-    // fetching it under the new-root latch cannot block on real I/O, and
-    // the root pointer swap must be atomic with the root's construction.
-    // gistcr-lint: allow(io-under-latch)
-    auto meta_or = ctx_.pool->Fetch(MetaView::kMetaPageId);
-    GISTCR_RETURN_IF_ERROR(meta_or.status());
-    PageGuard mg(ctx_.pool, meta_or.value());
-    mg.WLatch();
-    MetaView meta(mg.view().data());
-    meta.SetRoot(opts_.index_id, new_root);
-    mg.view().set_page_lsn(rrec.lsn);
-    mg.frame()->MarkDirty(rrec.lsn);
-  }
+  if (hooks_.during_root_grow) hooks_.during_root_grow();
+  MetaView meta(mg.view().data());
+  meta.SetRoot(opts_.index_id, new_root);
+  mg.view().set_page_lsn(rrec.lsn);
+  mg.frame()->MarkDirty(rrec.lsn);
   return Status::OK();
 }
 

@@ -72,6 +72,7 @@ enum class InspectKind : uint8_t {
   kWaitGraph = 1,  ///< lock-manager wait-for edges
   kBufferPool = 2, ///< per-shard occupancy
   kWal = 3,        ///< WAL flusher queue depth / durable horizon
+  kRecovery = 4,   ///< instant-restart drain progress (pages pending)
 };
 
 bool IsRequestOpcode(uint8_t op);

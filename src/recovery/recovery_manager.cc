@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_map>
 
 #include "db/heap_page.h"
 #include "db/meta_page.h"
@@ -26,6 +27,114 @@ void Stamp(PageGuard* g, Lsn lsn) {
   g->frame()->MarkDirty(lsn);
 }
 
+/// The single page a CLR's redo mutates. UndoRecord appends leaf-entry
+/// CLRs under the target leaf's X latch with override_page naming it, and
+/// every other undo action is page-local by construction, so kClr always
+/// decomposes to exactly one page in instant-restart plans.
+PageId ClrTargetPage(const ClrPayload& clr) {
+  switch (clr.compensated_type) {
+    case LogRecordType::kAddLeafEntry:
+    case LogRecordType::kMarkLeafEntry: {
+      if (clr.override_page != kInvalidPageId) return clr.override_page;
+      EntryOpPayload pl;
+      return pl.DecodeFrom(clr.original) ? pl.page : kInvalidPageId;
+    }
+    case LogRecordType::kSplit: {
+      SplitPayload pl;
+      return pl.DecodeFrom(clr.original) ? pl.orig_page : kInvalidPageId;
+    }
+    case LogRecordType::kInternalEntryAdd:
+    case LogRecordType::kInternalEntryUpdate:
+    case LogRecordType::kInternalEntryDelete: {
+      EntryOpPayload pl;
+      return pl.DecodeFrom(clr.original) ? pl.page : kInvalidPageId;
+    }
+    case LogRecordType::kGetPage:
+    case LogRecordType::kFreePage: {
+      PageAllocPayload pl;
+      if (!pl.DecodeFrom(clr.original)) return kInvalidPageId;
+      return PageAllocator::BitmapPageFor(pl.target_page);
+    }
+    case LogRecordType::kRightlinkUpdate: {
+      RightlinkUpdatePayload pl;
+      return pl.DecodeFrom(clr.original) ? pl.page : kInvalidPageId;
+    }
+    case LogRecordType::kRootChange: {
+      RootChangePayload pl;
+      return pl.DecodeFrom(clr.original) ? pl.meta_page : kInvalidPageId;
+    }
+    case LogRecordType::kHeapInsert:
+    case LogRecordType::kHeapDelete: {
+      HeapOpPayload pl;
+      return pl.DecodeFrom(clr.original) ? pl.page : kInvalidPageId;
+    }
+    default:
+      return kInvalidPageId;
+  }
+}
+
+/// Appends the ids of every page whose image \p rec's redo mutates —
+/// the per-page decomposition instant restart plans with. Must stay in
+/// lockstep with RedoRecordScoped's `only` checks.
+///
+/// Reads only the fixed leading fields of each payload (every layout in
+/// log_payloads.h puts its page ids first, before any variable-length
+/// data). Analysis calls this once per scanned record, and a full
+/// DecodeFrom — entry lists, predicate strings — would dominate the
+/// instant open. CLRs are the one exception (the target page depends on
+/// the compensated payload) and are rare enough to decode fully.
+void PagesOfRecord(const LogRecord& rec, std::vector<PageId>* out) {
+  const char* p = rec.payload.data();
+  const size_t n = rec.payload.size();
+  switch (rec.type) {
+    case LogRecordType::kSplit:  // {orig_page, new_page, ...}
+      if (n >= 8) {
+        out->push_back(DecodeFixed32(p));
+        out->push_back(DecodeFixed32(p + 4));
+      }
+      return;
+    case LogRecordType::kRootChange:  // {meta_page, index_id, old, new, ...}
+      if (n >= 16) {
+        out->push_back(DecodeFixed32(p + 12));  // new_root
+        out->push_back(DecodeFixed32(p));       // meta_page
+      }
+      return;
+    case LogRecordType::kParentEntryUpdate:  // {child_page, parent_page, ...}
+      if (n >= 8) {
+        out->push_back(DecodeFixed32(p));
+        const PageId parent = DecodeFixed32(p + 4);
+        if (parent != kInvalidPageId) out->push_back(parent);
+      }
+      return;
+    case LogRecordType::kInternalEntryAdd:
+    case LogRecordType::kInternalEntryUpdate:
+    case LogRecordType::kInternalEntryDelete:
+    case LogRecordType::kAddLeafEntry:
+    case LogRecordType::kMarkLeafEntry:
+    case LogRecordType::kGarbageCollection:  // all: {page, ...}
+    case LogRecordType::kRightlinkUpdate:
+    case LogRecordType::kHeapInsert:
+    case LogRecordType::kHeapDelete:
+      if (n >= 4) out->push_back(DecodeFixed32(p));
+      return;
+    case LogRecordType::kGetPage:
+    case LogRecordType::kFreePage:  // {target_page, bitmap_page}
+      if (n >= 4) {
+        out->push_back(PageAllocator::BitmapPageFor(DecodeFixed32(p)));
+      }
+      return;
+    case LogRecordType::kClr: {
+      ClrPayload pl;
+      if (!pl.DecodeFrom(rec.payload)) return;
+      const PageId pid = ClrTargetPage(pl);
+      if (pid != kInvalidPageId) out->push_back(pid);
+      return;
+    }
+    default:
+      return;  // txn control, NTA-End, checkpoint: no page
+  }
+}
+
 }  // namespace
 
 void RecoveryManager::AttachMetrics(obs::MetricsRegistry* reg) {
@@ -39,6 +148,7 @@ void RecoveryManager::AttachMetrics(obs::MetricsRegistry* reg) {
   m_redo_ns_ = reg->GetHistogram("recovery.redo_ns");
   m_undo_ns_ = reg->GetHistogram("recovery.undo_ns");
   m_checkpoint_ns_ = reg->GetHistogram("recovery.checkpoint_ns");
+  gate_.AttachMetrics(reg);
 }
 
 // ---------------------------------------------------------------------
@@ -52,11 +162,28 @@ StatusOr<Lsn> RecoveryManager::Checkpoint() {
   for (auto& [id, last] : txns_->ActiveTxns()) {
     pl.active_txns.push_back({id, last});
   }
+  // DPT = buffer-pool dirt plus any page whose instant-restart plan has
+  // not been replayed yet: such a page's disk image predates its plan
+  // even when no frame is dirty (it may never have been fetched), so a
+  // crash mid-drain must re-plan it from this checkpoint.
+  std::map<PageId, Lsn> dirty;
   for (auto& [pid, rec] : pool_->DirtyPageTable()) {
+    dirty.emplace(pid, rec);
+  }
+  for (auto& [pid, rec] : gate_.PendingPages()) {
+    auto it = dirty.find(pid);
+    if (it == dirty.end()) {
+      dirty.emplace(pid, rec);
+    } else if (it->second == kInvalidLsn || rec < it->second) {
+      it->second = rec;
+    }
+  }
+  for (auto& [pid, rec] : dirty) {
     pl.dirty_pages.push_back({pid, rec});
   }
   pl.next_txn_id = txns_->NextTxnIdForCheckpoint();
   pl.nsn_counter = nsn_->CounterValue();
+  pl.heap_tail = data_->tail();
   LogRecord rec;
   rec.type = LogRecordType::kCheckpoint;
   pl.EncodeTo(&rec.payload);
@@ -162,17 +289,415 @@ Status RecoveryManager::Restart(Lsn checkpoint_lsn) {
 }
 
 // ---------------------------------------------------------------------
+// Instant restart (DESIGN.md section 16)
+// ---------------------------------------------------------------------
+
+Status RecoveryManager::StartInstant(Lsn checkpoint_lsn) {
+  GISTCR_TRACE_SCOPE("recovery.start_instant");
+  const uint64_t t0 = obs::NowNanos();
+
+  // --- Analysis (log-only; no page is touched in this whole function) ---
+  std::map<TxnId, Lsn> att;
+  Lsn redo_start = checkpoint_lsn == kInvalidLsn ? LogManager::kFirstLsn
+                                                 : checkpoint_lsn;
+  TxnId max_txn = 0;
+  PageId heap_tail = kInvalidPageId;
+
+  if (checkpoint_lsn != kInvalidLsn) {
+    LogRecord ckpt;
+    GISTCR_RETURN_IF_ERROR(log_->ReadRecord(checkpoint_lsn, &ckpt));
+    if (ckpt.type != LogRecordType::kCheckpoint) {
+      return Corrupt("master pointer does not reference a checkpoint");
+    }
+    CheckpointPayload pl;
+    if (!pl.DecodeFrom(ckpt.payload)) return Corrupt("bad checkpoint");
+    for (const auto& t : pl.active_txns) {
+      att[t.txn_id] = t.last_lsn;
+      max_txn = std::max(max_txn, t.txn_id);
+    }
+    for (const auto& d : pl.dirty_pages) {
+      if (d.rec_lsn != kInvalidLsn) {
+        redo_start = std::min(redo_start, d.rec_lsn);
+      }
+    }
+    nsn_->EnsureAtLeast(pl.nsn_counter);
+    max_txn = std::max(max_txn, pl.next_txn_id - 1);
+    heap_tail = pl.heap_tail;
+  }
+
+  // One bounded scan over [redo_start, end-of-log] builds everything at
+  // once: the ATT (scanning [redo_start, checkpoint) too is harmless —
+  // every transaction there either reaches its Commit/End in the scan or
+  // is in the checkpoint's ATT anyway), the NSN floor, the per-page redo
+  // plans, and the heap-chain links for the tail hint.
+  const Lsn end_lsn = log_->last_lsn();
+  // Hash-mapped plans with a last-page memo: the scan visits every record
+  // in the redo span, and heap appends arrive in long same-page runs, so
+  // most records hit the memo instead of the hash. (unordered_map keeps
+  // references stable across inserts, so the memo survives growth.)
+  std::unordered_map<PageId, std::vector<Lsn>> plans;
+  plans.reserve(4096);
+  std::vector<Lsn>* memo_plan = nullptr;
+  PageId memo_pid = kInvalidPageId;
+  std::map<PageId, PageId> heap_links;  // grow links: page -> next
+  std::vector<PageId> pages_scratch;
+  // Forward-collected undo footprints: every record the per-loser
+  // backward walk would read inside [redo_start, end] passes through this
+  // scan anyway, so gather rids / freed pages / grow links per active
+  // transaction as we go (winners drop out at Commit/End) instead of
+  // re-reading each loser's chain with one random log read per record.
+  // CLR/NtaEnd truncation mirrors the undo_next jumps that walk takes:
+  // items above undo_next are already compensated or absorbed by a
+  // committed NTA, exactly the records undo will never revisit.
+  struct FootItem {
+    Lsn lsn;
+    LogRecordType type;
+    uint64_t arg;  // packed rid (leaf/heap ops) or page id (free/grow)
+  };
+  struct TxnFoot {
+    Lsn first = kInvalidLsn;  // earliest chain record inside the span
+    Lsn below = kInvalidLsn;  // chain continuation beneath the span
+    std::vector<FootItem> items;
+  };
+  std::unordered_map<TxnId, TxnFoot> feet;
+  Status scan_st = log_->ScanRange(redo_start, end_lsn, [&](
+                                       const LogRecord& rec) {
+    stats_.records_analyzed++;
+    m_analyzed_->Add(1);
+    if (rec.txn_id != kInvalidTxnId) {
+      max_txn = std::max(max_txn, rec.txn_id);
+      switch (rec.type) {
+        case LogRecordType::kCommit:
+        case LogRecordType::kEnd:
+          att.erase(rec.txn_id);
+          feet.erase(rec.txn_id);
+          break;
+        default: {
+          att[rec.txn_id] = rec.lsn;
+          TxnFoot& foot = feet[rec.txn_id];
+          if (foot.first == kInvalidLsn) {
+            foot.first = rec.lsn;
+            foot.below = rec.prev_lsn;
+          }
+          const char* q = rec.payload.data();
+          const size_t qn = rec.payload.size();
+          switch (rec.type) {
+            case LogRecordType::kClr:
+            case LogRecordType::kNtaEnd:
+              while (!foot.items.empty() &&
+                     (rec.undo_next == kInvalidLsn ||
+                      foot.items.back().lsn > rec.undo_next)) {
+                foot.items.pop_back();
+              }
+              if (rec.undo_next == kInvalidLsn) {
+                foot.below = kInvalidLsn;
+              } else if (rec.undo_next < redo_start) {
+                foot.below = rec.undo_next;
+              }
+              break;
+            case LogRecordType::kAddLeafEntry:
+            case LogRecordType::kMarkLeafEntry:
+              // EntryOpPayload: page(4) nsn(8) keylen(4) key value(8) ...
+              if (qn >= 16) {
+                const uint32_t klen = DecodeFixed32(q + 12);
+                if (qn >= 16 + static_cast<size_t>(klen) + 8) {
+                  foot.items.push_back(
+                      {rec.lsn, rec.type, DecodeFixed64(q + 16 + klen)});
+                }
+              }
+              break;
+            case LogRecordType::kHeapInsert:
+            case LogRecordType::kHeapDelete:
+              // HeapOpPayload: page(4) slot(2) ...
+              if (qn >= 6) {
+                Rid rid;
+                rid.page_id = DecodeFixed32(q);
+                rid.slot = DecodeFixed16(q + 4);
+                foot.items.push_back({rec.lsn, rec.type, rid.Pack()});
+              }
+              break;
+            case LogRecordType::kFreePage:
+              if (qn >= 4) {
+                foot.items.push_back(
+                    {rec.lsn, rec.type, DecodeFixed32(q)});
+              }
+              break;
+            case LogRecordType::kRightlinkUpdate:
+              // Un-NtaEnd'd heap grow: undo will unlink new_rightlink.
+              if (qn >= 12 && DecodeFixed32(q + 4) == kInvalidPageId) {
+                foot.items.push_back(
+                    {rec.lsn, rec.type, DecodeFixed32(q + 8)});
+              }
+              break;
+            default:
+              break;
+          }
+          break;
+        }
+      }
+    }
+    if (rec.type == LogRecordType::kSplit) {
+      SplitPayload pl;
+      if (pl.DecodeFrom(rec.payload) && pl.new_nsn != 0) {
+        nsn_->EnsureAtLeast(pl.new_nsn);
+      }
+    } else if (rec.type == LogRecordType::kRightlinkUpdate) {
+      // Heap-chain growth always logs old_rightlink == invalid (the tail
+      // never had a successor); GiST sibling rewires never do.
+      RightlinkUpdatePayload pl;
+      if (pl.DecodeFrom(rec.payload) &&
+          pl.old_rightlink == kInvalidPageId) {
+        heap_links[pl.page] = pl.new_rightlink;
+      }
+    } else if (rec.type == LogRecordType::kClr) {
+      // A previous crashed recovery may already have retracted a grow.
+      ClrPayload clr;
+      RightlinkUpdatePayload pl;
+      if (clr.DecodeFrom(rec.payload) &&
+          clr.compensated_type == LogRecordType::kRightlinkUpdate &&
+          pl.DecodeFrom(clr.original)) {
+        auto it = heap_links.find(pl.page);
+        if (it != heap_links.end() && it->second == pl.new_rightlink) {
+          heap_links.erase(it);
+        }
+      }
+    }
+    pages_scratch.clear();
+    PagesOfRecord(rec, &pages_scratch);
+    for (PageId pid : pages_scratch) {
+      if (pid != memo_pid) {
+        memo_plan = &plans[pid];
+        memo_pid = pid;
+      }
+      memo_plan->push_back(rec.lsn);
+    }
+    return true;
+  });
+  GISTCR_RETURN_IF_ERROR(scan_st);
+  txns_->SetNextTxnId(max_txn + 1);
+  GISTCR_CRASHPOINT("recovery.after_analysis");
+
+  // --- Losers: locks, quarantine, doomed chain links ---------------------
+  // Re-acquire each loser's lock footprint before the database opens —
+  // its uncommitted effects stay blocking for new transactions exactly as
+  // live 2PL had them — and find what its undo will retract: pages it
+  // freed (quarantined until the bits are re-set) and heap-chain links it
+  // will unlink (the data store must not adopt those pages as its tail).
+  // The span-resident part of every chain was collected by the forward
+  // scan; only a chain segment that began before redo_start still needs
+  // the backward walk (the same undo_next jumps Abort will take).
+  losers_.clear();
+  doomed_heap_.clear();
+  std::vector<PageId> quarantine;
+  for (const auto& [id, last] : att) {
+    stats_.loser_txns++;
+    m_losers_->Add(1);
+    Lsn first = last;
+    std::vector<uint64_t> rids;
+    Lsn cur = last;
+    auto fit = feet.find(id);
+    if (fit != feet.end()) {
+      const TxnFoot& foot = fit->second;
+      first = foot.first;
+      for (const FootItem& item : foot.items) {
+        switch (item.type) {
+          case LogRecordType::kAddLeafEntry:
+          case LogRecordType::kMarkLeafEntry:
+          case LogRecordType::kHeapInsert:
+          case LogRecordType::kHeapDelete:
+            rids.push_back(item.arg);
+            break;
+          case LogRecordType::kFreePage:
+            quarantine.push_back(static_cast<PageId>(item.arg));
+            break;
+          case LogRecordType::kRightlinkUpdate:
+            doomed_heap_.push_back(static_cast<PageId>(item.arg));
+            break;
+          default:
+            break;
+        }
+      }
+      cur = foot.below;
+    }
+    while (cur != kInvalidLsn) {
+      LogRecord rec;
+      GISTCR_RETURN_IF_ERROR(log_->ReadRecord(cur, &rec));
+      first = rec.lsn;
+      switch (rec.type) {
+        case LogRecordType::kClr:
+        case LogRecordType::kNtaEnd:
+          cur = rec.undo_next;
+          continue;
+        case LogRecordType::kBegin:
+          cur = kInvalidLsn;
+          continue;
+        case LogRecordType::kAddLeafEntry:
+        case LogRecordType::kMarkLeafEntry: {
+          EntryOpPayload pl;
+          if (pl.DecodeFrom(rec.payload)) rids.push_back(pl.entry.value);
+          break;
+        }
+        case LogRecordType::kHeapInsert:
+        case LogRecordType::kHeapDelete: {
+          HeapOpPayload pl;
+          if (pl.DecodeFrom(rec.payload)) {
+            Rid rid;
+            rid.page_id = pl.page;
+            rid.slot = pl.slot;
+            rids.push_back(rid.Pack());
+          }
+          break;
+        }
+        case LogRecordType::kFreePage: {
+          PageAllocPayload pl;
+          if (pl.DecodeFrom(rec.payload)) {
+            quarantine.push_back(pl.target_page);
+          }
+          break;
+        }
+        case LogRecordType::kRightlinkUpdate: {
+          RightlinkUpdatePayload pl;
+          if (pl.DecodeFrom(rec.payload) &&
+              pl.old_rightlink == kInvalidPageId) {
+            // Un-NtaEnd'd heap grow: undo will unlink this page.
+            doomed_heap_.push_back(pl.new_rightlink);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      cur = rec.prev_lsn;
+    }
+    GISTCR_RETURN_IF_ERROR(txns_->locks()->Lock(
+        id, LockName{LockSpace::kTxn, id}, LockMode::kExclusive));
+    for (uint64_t rid : rids) {
+      GISTCR_RETURN_IF_ERROR(txns_->locks()->Lock(
+          id, LockName{LockSpace::kRecord, rid}, LockMode::kExclusive));
+    }
+    Transaction* txn = txns_->ResurrectForUndo(id, last);
+    txn->set_first_lsn(first);
+    losers_.push_back(txn);
+  }
+  alloc_->SetQuarantine(std::move(quarantine));
+  txns_->SetRecoveryUndoActive(true);
+
+  // --- Heap tail hint: follow the grow links from the checkpoint's tail,
+  // stopping short of any link the pending undo will retract.
+  heap_tail_hint_ = heap_tail;
+  if (heap_tail_hint_ != kInvalidPageId) {
+    size_t hops = 0;
+    for (;;) {
+      auto it = heap_links.find(heap_tail_hint_);
+      if (it == heap_links.end()) break;
+      if (std::find(doomed_heap_.begin(), doomed_heap_.end(), it->second) !=
+          doomed_heap_.end()) {
+        break;
+      }
+      heap_tail_hint_ = it->second;
+      if (++hops > heap_links.size()) {
+        return Corrupt("heap link cycle in analysis");
+      }
+    }
+  }
+
+  // --- Arm the gate: the database opens for business now. ----------------
+  gate_.Arm(std::move(plans),
+            [this](PageId pid, const std::vector<Lsn>& plan) {
+              return ReplayPagePlan(pid, plan);
+            });
+  pool_->SetRecoveryHook(
+      [this](PageId pid) {
+        return gate_.EnsureRecovered(pid, /*inline_caller=*/true);
+      },
+      [this](PageId pid) { gate_.CancelPage(pid); });
+  pool_->ArmRecoveryHook();
+  m_analysis_ns_->Record(obs::NowNanos() - t0);
+  return Status::OK();
+}
+
+Status RecoveryManager::RunInstantBackground(const std::atomic<bool>& stop) {
+  GISTCR_TRACE_SCOPE("recovery.instant_background");
+  // --- Undo of losers: ordinary aborting transactions through the normal
+  // lock/latch protocol, concurrent with new work.
+  uint64_t phase_t0 = obs::NowNanos();
+  Status st;
+  std::vector<Transaction*> losers;
+  losers.swap(losers_);
+  for (Transaction* txn : losers) {
+    if (stop.load(std::memory_order_acquire)) {
+      return Status::Aborted("recovery interrupted");
+    }
+    st = FaultInjector::Global().CheckCrashPoint("instant.undo");
+    if (st.ok()) st = txns_->Abort(txn);
+    if (!st.ok()) return st;  // stay armed: losers keep their locks
+  }
+  // Loser effects are fully retracted: freed pages may circulate again
+  // and snapshot reads no longer risk seeing un-retracted versions.
+  alloc_->ClearQuarantine();
+  txns_->SetRecoveryUndoActive(false);
+  m_undo_ns_->Record(obs::NowNanos() - phase_t0);
+
+  // --- Drain: replay still-pending pages oldest-recLSN first, so the
+  // log-reclaim floor rises steadily even if nothing touches them.
+  phase_t0 = obs::NowNanos();
+  for (PageId pid : gate_.PendingInOrder()) {
+    if (stop.load(std::memory_order_acquire)) {
+      return Status::Aborted("recovery interrupted");
+    }
+    GISTCR_RETURN_IF_ERROR(
+        gate_.EnsureRecovered(pid, /*inline_caller=*/false));
+  }
+  m_redo_ns_->Record(obs::NowNanos() - phase_t0);
+
+  pool_->DisarmRecoveryHook();
+  gate_.Disarm();
+  return Status::OK();
+}
+
+Status RecoveryManager::ReplayPagePlan(PageId pid,
+                                       const std::vector<Lsn>& plan) {
+  GISTCR_TRACE_SCOPE("recovery.replay_page");
+  // Hoisted page-LSN test: everything at or below the on-disk page LSN
+  // already reached this page before the crash, and RedoRecordScoped
+  // would skip it after reading the record. Skipping here instead saves
+  // one log read per pre-flushed record — for hot pages (root, bitmap)
+  // the plan spans the whole redo interval but the page was written back
+  // moments before the crash, so nearly all of it prunes away. A fresh
+  // or never-flushed page reads page_lsn 0 and keeps its full plan.
+  Lsn page_lsn = 0;
+  {
+    PageGuard g;
+    GISTCR_RETURN_IF_ERROR(FetchX(pool_, pid, &g));
+    page_lsn = g.view().page_lsn();
+  }
+  auto it = std::upper_bound(plan.begin(), plan.end(), page_lsn);
+  for (; it != plan.end(); ++it) {
+    LogRecord rec;
+    GISTCR_RETURN_IF_ERROR(log_->ReadRecord(*it, &rec));
+    GISTCR_RETURN_IF_ERROR(RedoRecordScoped(rec, pid));
+    stats_.records_redone++;
+    m_redone_->Add(1);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
 // Redo (page-oriented, page-LSN test)
 // ---------------------------------------------------------------------
 
 Status RecoveryManager::RedoRecord(const LogRecord& rec) {
+  return RedoRecordScoped(rec, kInvalidPageId);
+}
+
+Status RecoveryManager::RedoRecordScoped(const LogRecord& rec, PageId only) {
   const Lsn lsn = rec.lsn;
   switch (rec.type) {
     case LogRecordType::kSplit: {
       SplitPayload pl;
       if (!pl.DecodeFrom(rec.payload)) return Corrupt("split payload");
       const Nsn new_nsn = pl.new_nsn != 0 ? pl.new_nsn : lsn;
-      {
+      if (only == kInvalidPageId || only == pl.orig_page) {
         PageGuard g;
         GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.orig_page, &g));
         if (g.view().page_lsn() < lsn) {
@@ -188,7 +713,7 @@ Status RecoveryManager::RedoRecord(const LogRecord& rec) {
           Stamp(&g, lsn);
         }
       }
-      {
+      if (only == kInvalidPageId || only == pl.new_page) {
         PageGuard g;
         GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.new_page, &g));
         if (g.view().page_lsn() < lsn) {
@@ -208,7 +733,7 @@ Status RecoveryManager::RedoRecord(const LogRecord& rec) {
     case LogRecordType::kRootChange: {
       RootChangePayload pl;
       if (!pl.DecodeFrom(rec.payload)) return Corrupt("rootchange payload");
-      {
+      if (only == kInvalidPageId || only == pl.new_root) {
         PageGuard g;
         GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.new_root, &g));
         if (g.view().page_lsn() < lsn) {
@@ -221,7 +746,7 @@ Status RecoveryManager::RedoRecord(const LogRecord& rec) {
           Stamp(&g, lsn);
         }
       }
-      {
+      if (only == kInvalidPageId || only == pl.meta_page) {
         PageGuard g;
         GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.meta_page, &g));
         if (g.view().page_lsn() < lsn) {
@@ -235,7 +760,7 @@ Status RecoveryManager::RedoRecord(const LogRecord& rec) {
     case LogRecordType::kParentEntryUpdate: {
       ParentEntryUpdatePayload pl;
       if (!pl.DecodeFrom(rec.payload)) return Corrupt("peu payload");
-      {
+      if (only == kInvalidPageId || only == pl.child_page) {
         PageGuard g;
         GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.child_page, &g));
         if (g.view().page_lsn() < lsn) {
@@ -244,7 +769,8 @@ Status RecoveryManager::RedoRecord(const LogRecord& rec) {
           Stamp(&g, lsn);
         }
       }
-      if (pl.parent_page != kInvalidPageId) {
+      if (pl.parent_page != kInvalidPageId &&
+          (only == kInvalidPageId || only == pl.parent_page)) {
         PageGuard g;
         GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.parent_page, &g));
         if (g.view().page_lsn() < lsn) {
@@ -263,6 +789,7 @@ Status RecoveryManager::RedoRecord(const LogRecord& rec) {
     case LogRecordType::kInternalEntryDelete: {
       EntryOpPayload pl;
       if (!pl.DecodeFrom(rec.payload)) return Corrupt("entryop payload");
+      if (only != kInvalidPageId && only != pl.page) return Status::OK();
       PageGuard g;
       GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.page, &g));
       if (g.view().page_lsn() >= lsn) return Status::OK();
@@ -285,6 +812,7 @@ Status RecoveryManager::RedoRecord(const LogRecord& rec) {
     case LogRecordType::kAddLeafEntry: {
       EntryOpPayload pl;
       if (!pl.DecodeFrom(rec.payload)) return Corrupt("addleaf payload");
+      if (only != kInvalidPageId && only != pl.page) return Status::OK();
       PageGuard g;
       GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.page, &g));
       if (g.view().page_lsn() >= lsn) return Status::OK();
@@ -296,6 +824,7 @@ Status RecoveryManager::RedoRecord(const LogRecord& rec) {
     case LogRecordType::kMarkLeafEntry: {
       EntryOpPayload pl;
       if (!pl.DecodeFrom(rec.payload)) return Corrupt("markleaf payload");
+      if (only != kInvalidPageId && only != pl.page) return Status::OK();
       PageGuard g;
       GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.page, &g));
       if (g.view().page_lsn() >= lsn) return Status::OK();
@@ -309,6 +838,7 @@ Status RecoveryManager::RedoRecord(const LogRecord& rec) {
     case LogRecordType::kGarbageCollection: {
       GarbageCollectionPayload pl;
       if (!pl.DecodeFrom(rec.payload)) return Corrupt("gc payload");
+      if (only != kInvalidPageId && only != pl.page) return Status::OK();
       PageGuard g;
       GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.page, &g));
       if (g.view().page_lsn() >= lsn) return Status::OK();
@@ -325,6 +855,10 @@ Status RecoveryManager::RedoRecord(const LogRecord& rec) {
     case LogRecordType::kFreePage: {
       PageAllocPayload pl;
       if (!pl.DecodeFrom(rec.payload)) return Corrupt("alloc payload");
+      if (only != kInvalidPageId &&
+          only != PageAllocator::BitmapPageFor(pl.target_page)) {
+        return Status::OK();
+      }
       return alloc_->ApplyBit(pl.target_page,
                               rec.type == LogRecordType::kGetPage, lsn,
                               /*check_page_lsn=*/true);
@@ -332,6 +866,7 @@ Status RecoveryManager::RedoRecord(const LogRecord& rec) {
     case LogRecordType::kRightlinkUpdate: {
       RightlinkUpdatePayload pl;
       if (!pl.DecodeFrom(rec.payload)) return Corrupt("rightlink payload");
+      if (only != kInvalidPageId && only != pl.page) return Status::OK();
       PageGuard g;
       GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.page, &g));
       if (g.view().page_lsn() >= lsn) return Status::OK();
@@ -348,16 +883,21 @@ Status RecoveryManager::RedoRecord(const LogRecord& rec) {
     case LogRecordType::kHeapInsert: {
       HeapOpPayload pl;
       if (!pl.DecodeFrom(rec.payload)) return Corrupt("heap payload");
+      if (only != kInvalidPageId && only != pl.page) return Status::OK();
       return data_->ApplyInsert(pl.page, pl.slot, pl.record, lsn, true);
     }
     case LogRecordType::kHeapDelete: {
       HeapOpPayload pl;
       if (!pl.DecodeFrom(rec.payload)) return Corrupt("heap payload");
+      if (only != kInvalidPageId && only != pl.page) return Status::OK();
       return data_->ApplyDeleteMark(pl.page, pl.slot, true, lsn, true);
     }
     case LogRecordType::kClr: {
       ClrPayload pl;
       if (!pl.DecodeFrom(rec.payload)) return Corrupt("clr payload");
+      if (only != kInvalidPageId && only != ClrTargetPage(pl)) {
+        return Status::OK();
+      }
       return RedoClrAction(pl.compensated_type, pl.original,
                            pl.override_page, lsn);
     }
@@ -369,27 +909,6 @@ Status RecoveryManager::RedoRecord(const LogRecord& rec) {
 // ---------------------------------------------------------------------
 // Undo (Table 1 right column); shared by live rollback and restart
 // ---------------------------------------------------------------------
-
-StatusOr<PageId> RecoveryManager::LocateLeafForUndo(PageId start, Nsn nsn,
-                                                    const IndexEntry& entry) {
-  PageId pid = start;
-  for (int guard = 0; guard < 1 << 20; guard++) {
-    PageGuard g;
-    GISTCR_RETURN_IF_ERROR(FetchX(pool_, pid, &g));
-    if (g.view().page_type() != PageType::kGistNode) {
-      return Corrupt("logical undo: lost leaf chain");
-    }
-    NodeView node(g.view().data());
-    if (node.FindByKeyValue(entry.key, entry.value) >= 0) {
-      return pid;
-    }
-    if (node.nsn() <= nsn || node.rightlink() == kInvalidPageId) {
-      return Corrupt("logical undo: entry not found");
-    }
-    pid = node.rightlink();
-  }
-  return Corrupt("logical undo: rightlink cycle");
-}
 
 Status RecoveryManager::ApplyRemoveLeafEntry(PageId page,
                                              const EntryOpPayload& pl,
@@ -485,10 +1004,22 @@ Status RecoveryManager::ApplyUndoRightlink(const RightlinkUpdatePayload& pl,
   PageGuard g;
   GISTCR_RETURN_IF_ERROR(FetchX(pool_, pl.page, &g));
   if (check_lsn && g.view().page_lsn() >= lsn) return Status::OK();
+  // Retract only the link this record installed. Under instant restart a
+  // regrow can overwrite a doomed link before the loser's undo reaches it
+  // (DataStore::Open stops the chain short of a doomed page, so a
+  // concurrent Insert re-grows over it); blindly restoring old_rightlink
+  // would then unlink the *live* regrown page. The comparison is
+  // deterministic under per-page LSN-ordered replay, so CLR redo takes the
+  // same branch. Stamp regardless: the page-LSN must advance past every
+  // record whose effect (possibly a no-op) is accounted for.
   if (g.view().page_type() == PageType::kHeap) {
-    HeapPageView(g.view().data()).set_next(pl.old_rightlink);
+    HeapPageView hv(g.view().data());
+    if (hv.next() == pl.new_rightlink) hv.set_next(pl.old_rightlink);
   } else if (g.view().page_type() == PageType::kGistNode) {
-    NodeView(g.view().data()).set_rightlink(pl.old_rightlink);
+    NodeView node(g.view().data());
+    if (node.rightlink() == pl.new_rightlink) {
+      node.set_rightlink(pl.old_rightlink);
+    }
   } else {
     return Corrupt("undo rightlink: unexpected page type");
   }
@@ -585,14 +1116,62 @@ Status RecoveryManager::UndoRecord(Transaction* txn, const LogRecord& rec) {
   clr.override_page = kInvalidPageId;
   clr.original = rec.payload;
 
-  // Logical undo needs the entry's *current* leaf for the CLR.
+  // Logical undo of leaf content: chase the NSN-guided rightlink chain
+  // under X latches until the entry's current leaf is found, then append
+  // the CLR *while still holding that latch* before mutating. Logging
+  // under the latch pins override_page to exactly where the entry is at
+  // the CLR's LSN — instant restart relies on that to attribute the CLR's
+  // redo to a single page plan (the entry cannot migrate between locate
+  // and log, unlike the old locate-log-apply sequence).
+  //
+  // Page first, version record second: while the aborted entry is still
+  // on the leaf its pending version record must exist, or a concurrent
+  // snapshot scan finds no chain, treats the entry as ancient and emits
+  // the dirty insert. Once the entry is off the page (latch dropped,
+  // frame version bumped) the record is unreachable and safe to retract.
   if (rec.type == LogRecordType::kAddLeafEntry ||
       rec.type == LogRecordType::kMarkLeafEntry) {
     EntryOpPayload pl;
     if (!pl.DecodeFrom(rec.payload)) return Corrupt("undo payload");
-    auto where = LocateLeafForUndo(pl.page, pl.nsn, pl.entry);
-    GISTCR_RETURN_IF_ERROR(where.status());
-    clr.override_page = where.value();
+    PageId pid = pl.page;
+    for (int guard = 0; guard < 1 << 20; guard++) {
+      PageGuard g;
+      GISTCR_RETURN_IF_ERROR(FetchX(pool_, pid, &g));
+      if (g.view().page_type() != PageType::kGistNode) {
+        return Corrupt("logical undo: lost leaf chain");
+      }
+      NodeView node(g.view().data());
+      const int idx = node.FindByKeyValue(pl.entry.key, pl.entry.value);
+      if (idx < 0) {
+        if (node.nsn() <= pl.nsn || node.rightlink() == kInvalidPageId) {
+          return Corrupt("logical undo: entry not found");
+        }
+        pid = node.rightlink();
+        continue;
+      }
+      clr.override_page = pid;
+      LogRecord crec;
+      crec.type = LogRecordType::kClr;
+      crec.undo_next = rec.prev_lsn;
+      clr.EncodeTo(&crec.payload);
+      GISTCR_RETURN_IF_ERROR(txns_->AppendTxnLog(txn, &crec));
+      if (rec.type == LogRecordType::kAddLeafEntry) {
+        node.RemoveEntry(static_cast<uint16_t>(idx));
+      } else {
+        node.set_entry_del_txn(static_cast<uint16_t>(idx), kInvalidTxnId);
+      }
+      Stamp(&g, crec.lsn);
+      g.Drop();
+      if (mvcc_ != nullptr) {
+        if (rec.type == LogRecordType::kAddLeafEntry) {
+          mvcc_->UndoInsert(pl.entry.value, rec.txn_id);
+        } else {
+          mvcc_->UndoDelete(pl.entry.value, rec.txn_id);
+        }
+      }
+      return Status::OK();
+    }
+    return Corrupt("logical undo: rightlink cycle");
   }
 
   LogRecord crec;
@@ -604,30 +1183,6 @@ Status RecoveryManager::UndoRecord(Transaction* txn, const LogRecord& rec) {
   // Apply the undo action physically (no page-LSN test on the forward
   // path; the pages are current).
   switch (rec.type) {
-    // Page first, version record second: while the aborted entry is still
-    // on the leaf its pending record must exist, or a concurrent snapshot
-    // scan finds no chain, treats the entry as ancient and emits the dirty
-    // insert. Once ApplyRemoveLeafEntry has taken the entry off the page
-    // (under the X latch, bumping the frame version) the record is
-    // unreachable and safe to retract. Same order for unmark: the pending
-    // delete mark outlives the page mark, and Visible() answers the
-    // intermediate live-page/pending-mark state via the insert stamp.
-    case LogRecordType::kAddLeafEntry: {
-      EntryOpPayload pl;
-      pl.DecodeFrom(rec.payload);
-      Status st = ApplyRemoveLeafEntry(clr.override_page, pl, crec.lsn, false);
-      if (st.ok() && mvcc_ != nullptr)
-        mvcc_->UndoInsert(pl.entry.value, rec.txn_id);
-      return st;
-    }
-    case LogRecordType::kMarkLeafEntry: {
-      EntryOpPayload pl;
-      pl.DecodeFrom(rec.payload);
-      Status st = ApplyUnmarkLeafEntry(clr.override_page, pl, crec.lsn, false);
-      if (st.ok() && mvcc_ != nullptr)
-        mvcc_->UndoDelete(pl.entry.value, rec.txn_id);
-      return st;
-    }
     case LogRecordType::kSplit: {
       SplitPayload pl;
       if (!pl.DecodeFrom(rec.payload)) return Corrupt("undo split payload");

@@ -1,9 +1,14 @@
 #ifndef GISTCR_RECOVERY_RECOVERY_MANAGER_H_
 #define GISTCR_RECOVERY_RECOVERY_MANAGER_H_
 
+#include <atomic>
+#include <map>
+#include <vector>
+
 #include "db/data_store.h"
 #include "db/page_allocator.h"
 #include "gist/nsn.h"
+#include "recovery/recovery_gate.h"
 #include "storage/buffer_pool.h"
 #include "txn/transaction_manager.h"
 #include "util/status.h"
@@ -24,6 +29,16 @@ namespace gistcr {
 /// logged NSN, because the tree may have been restructured since (section
 /// 9.2). The undo machinery is shared with live transaction rollback: this
 /// class is the TransactionManager's UndoApplier.
+///
+/// Two restart modes (DESIGN.md section 16):
+///  - Restart(): the classic offline sequence — analysis, full redo, full
+///    undo — with the database closed throughout.
+///  - StartInstant() + RunInstantBackground(): analysis builds a per-page
+///    redo *plan* and re-acquires the losers' locks, then the database
+///    opens immediately. Redo happens per page — inline on first touch via
+///    the buffer-pool recovery hook, or from the background drainer in
+///    recLSN order — and loser undo runs as ordinary aborting transactions
+///    through the normal lock/latch protocol, concurrent with new work.
 class RecoveryManager : public UndoApplier {
  public:
   RecoveryManager(BufferPool* pool, LogManager* log, TransactionManager* txns,
@@ -43,12 +58,42 @@ class RecoveryManager : public UndoApplier {
   /// rollback keeps the transaction alive, so commit would stamp it).
   void SetMvcc(MvccManager* mvcc) { mvcc_ = mvcc; }
 
-  /// Full restart: analysis from \p checkpoint_lsn (kInvalidLsn: scan from
-  /// the log start), redo, then undo of losers.
+  /// Full offline restart: analysis from \p checkpoint_lsn (kInvalidLsn:
+  /// scan from the log start), redo, then undo of losers.
   Status Restart(Lsn checkpoint_lsn);
 
-  /// Writes a fuzzy checkpoint record (ATT + DPT + NSN counter) and forces
-  /// it. Returns its LSN for the master pointer.
+  /// Instant restart, phase one (offline, log-only): analysis builds the
+  /// per-page redo plans, quarantines loser-freed pages, re-acquires the
+  /// losers' locks and arms the buffer-pool recovery hook. On return the
+  /// database may open for business; no page has been redone yet.
+  Status StartInstant(Lsn checkpoint_lsn);
+
+  /// Instant restart, phase two (background thread): undoes the losers as
+  /// ordinary aborting transactions, drains the remaining pending pages in
+  /// recLSN order, then disarms the hook and the gate. \p stop is polled
+  /// between steps (shutdown / simulated crash).
+  Status RunInstantBackground(const std::atomic<bool>& stop);
+
+  /// True while the gate is armed (pages may still need redo).
+  bool InstantActive() const { return gate_.armed(); }
+
+  /// Pending-page floor for log reclamation (kInvalidLsn when none): a
+  /// checkpoint taken while recovery drains must not let the log punch
+  /// holes below any un-replayed plan.
+  Lsn PendingMinRecLsn() { return gate_.PendingMinRecLsn(); }
+
+  size_t PendingPageCount() { return gate_.pending_count(); }
+
+  /// Heap tail computed by the last StartInstant analysis (kInvalidPageId:
+  /// no checkpoint hint was available; DataStore::Open must walk).
+  PageId HeapTailHint() const { return heap_tail_hint_; }
+
+  /// Heap pages whose chain links belong to losers and will be unlinked by
+  /// the concurrent undo (DataStore::Open stops short of them).
+  const std::vector<PageId>& DoomedHeapPages() const { return doomed_heap_; }
+
+  /// Writes a fuzzy checkpoint record (ATT + DPT + NSN counter + heap
+  /// tail) and forces it. Returns its LSN for the master pointer.
   StatusOr<Lsn> Checkpoint();
 
   /// Page-oriented redo of one record (public for targeted tests).
@@ -58,11 +103,14 @@ class RecoveryManager : public UndoApplier {
   /// CLR. Used both by live aborts and restart undo.
   Status UndoRecord(Transaction* txn, const LogRecord& rec) override;
 
+  /// Restart counters. Plain reads; in instant mode they settle only once
+  /// RunInstantBackground has finished (fields are atomics because inline
+  /// redo on user threads races the background drainer).
   struct RestartStats {
-    uint64_t records_analyzed = 0;
-    uint64_t records_redone = 0;
-    uint64_t loser_txns = 0;
-    uint64_t records_undone = 0;
+    std::atomic<uint64_t> records_analyzed{0};
+    std::atomic<uint64_t> records_redone{0};
+    std::atomic<uint64_t> loser_txns{0};
+    std::atomic<uint64_t> records_undone{0};
   };
   const RestartStats& restart_stats() const { return stats_; }
 
@@ -86,10 +134,16 @@ class RecoveryManager : public UndoApplier {
   Status RedoClrAction(LogRecordType compensated_type, Slice original,
                        PageId override_page, Lsn lsn);
 
-  /// Locates the leaf currently holding (entry.key, entry.value), starting
-  /// at \p start and chasing rightlinks guided by \p nsn (section 9.2).
-  StatusOr<PageId> LocateLeafForUndo(PageId start, Nsn nsn,
-                                     const IndexEntry& entry);
+  /// Redo of one record restricted to the images of page \p only
+  /// (kInvalidPageId: unrestricted — classic full redo). Instant restart
+  /// replays each page's plan with the plan's page as \p only, so a record
+  /// touching two pages (split, root change) is applied once per page,
+  /// each under that page's own plan.
+  Status RedoRecordScoped(const LogRecord& rec, PageId only);
+
+  /// RecoveryGate replay callback: reads each planned record and applies
+  /// it to \p pid. The page-LSN test skips whatever already reached disk.
+  Status ReplayPagePlan(PageId pid, const std::vector<Lsn>& plan);
 
   Status Corrupt(const char* what) {
     return Status::Corruption(std::string("recovery: ") + what);
@@ -103,6 +157,12 @@ class RecoveryManager : public UndoApplier {
   GlobalNsn* nsn_;
   MvccManager* mvcc_ = nullptr;
   RestartStats stats_;
+
+  RecoveryGate gate_;
+  /// Losers resurrected by StartInstant, awaiting their background abort.
+  std::vector<Transaction*> losers_;
+  PageId heap_tail_hint_ = kInvalidPageId;
+  std::vector<PageId> doomed_heap_;
 
   obs::Counter* m_analyzed_ = nullptr;
   obs::Counter* m_redone_ = nullptr;

@@ -342,6 +342,7 @@ Status Session::HandleInspect(const net::Frame& req, Database* db) {
     case net::InspectKind::kWaitGraph: what = "waitgraph"; break;
     case net::InspectKind::kBufferPool: what = "bp"; break;
     case net::InspectKind::kWal: what = "wal"; break;
+    case net::InspectKind::kRecovery: what = "recovery"; break;
   }
   if (what == nullptr) {
     return SendError(req.request_id, ErrorCode::kMalformedPayload,

@@ -235,11 +235,28 @@ StatusOr<Frame*> BufferPool::FetchInternal(PageId page_id, bool fresh) {
 }
 
 StatusOr<Frame*> BufferPool::Fetch(PageId page_id) {
-  return FetchInternal(page_id, /*fresh=*/false);
+  auto frame_or = FetchInternal(page_id, /*fresh=*/false);
+  if (frame_or.ok() &&
+      recovery_hook_armed_.load(std::memory_order_acquire)) {
+    // Instant restart: the frame is pinned but unlatched and no shard
+    // mutex is held, so the hook may replay this page's redo plan
+    // (including re-entrant fetches) before the caller sees the frame.
+    Status st = recovery_on_fetch_(page_id);
+    if (!st.ok()) {
+      Unpin(frame_or.value());
+      return st;
+    }
+  }
+  return frame_or;
 }
 
 StatusOr<Frame*> BufferPool::NewPage(PageId page_id) {
-  return FetchInternal(page_id, /*fresh=*/true);
+  auto frame_or = FetchInternal(page_id, /*fresh=*/true);
+  if (frame_or.ok() &&
+      recovery_hook_armed_.load(std::memory_order_acquire)) {
+    recovery_on_new_(page_id);
+  }
+  return frame_or;
 }
 
 void BufferPool::Unpin(Frame* frame) {

@@ -180,6 +180,30 @@ class BufferPool {
   /// Releases a pin.
   void Unpin(Frame* frame);
 
+  /// Instant-restart integration (DESIGN.md section 16). While the hook
+  /// is armed, every successful Fetch invokes \p on_fetch(page_id) with
+  /// the frame pinned but not latched and no shard mutex held — the hook
+  /// may replay the page's redo plan (latching it, fetching other pages
+  /// re-entrantly) before the caller ever sees the frame. A non-OK return
+  /// unpins the frame and fails the Fetch. NewPage invokes \p on_new
+  /// instead: the page is being re-created from scratch, so any pending
+  /// redo for its previous life is cancelled rather than replayed.
+  /// Install before arming; disarm before tearing the consumer down.
+  void SetRecoveryHook(std::function<Status(PageId)> on_fetch,
+                       std::function<void(PageId)> on_new) {
+    recovery_on_fetch_ = std::move(on_fetch);
+    recovery_on_new_ = std::move(on_new);
+  }
+  void ArmRecoveryHook() {
+    recovery_hook_armed_.store(true, std::memory_order_release);
+  }
+  void DisarmRecoveryHook() {
+    recovery_hook_armed_.store(false, std::memory_order_release);
+  }
+  bool recovery_hook_armed() const {
+    return recovery_hook_armed_.load(std::memory_order_acquire);
+  }
+
   /// Forces the page to disk if resident and dirty (WAL rule applied).
   /// Returns OK (as a no-op) when the page is not resident or not dirty —
   /// including when a concurrent eviction removed it after the caller
@@ -251,6 +275,13 @@ class BufferPool {
 
   DiskManager* disk_;
   WalFlushFn wal_flush_;
+
+  // Instant-restart hook (see SetRecoveryHook). The callbacks are written
+  // before arming and cleared only after disarming, so the armed check
+  // suffices on the hot path.
+  std::function<Status(PageId)> recovery_on_fetch_;
+  std::function<void(PageId)> recovery_on_new_;
+  std::atomic<bool> recovery_hook_armed_{false};
 
   // Registry-owned; stable pointers, updated lock-free on the hot path.
   obs::Counter* m_hits_ = nullptr;

@@ -181,6 +181,9 @@ inline constexpr const char* kCrashPointCatalogue[] = {
     "recovery.after_analysis",      // restart: ATT/DPT built, no redo yet
     "recovery.after_redo",          // restart: redo done, losers not undone
     "recovery.mid_undo",            // restart: mid loser rollback (per record)
+    "instant.inline_redo",          // instant restart: fetch-path page replay
+    "instant.bg_drain",             // instant restart: background drainer
+    "instant.undo",                 // instant restart: concurrent loser undo
 };
 
 }  // namespace gistcr

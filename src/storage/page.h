@@ -18,6 +18,19 @@ enum class PageType : uint16_t {
   kHeap = 4,      ///< Heap data-store page.
 };
 
+/// Instant-restart state of a page (DESIGN.md section 16). Not stored in
+/// the page image: the RecoveryGate keeps the state machine in memory,
+/// seeded from log analysis. A page is kNeedsRedo while its planned redo
+/// records have not been replayed, kRedoing while one thread replays them
+/// (others wait), and kClean — the implicit state of every page the gate
+/// does not track — once the plan has been applied (or the page was never
+/// touched by the recovered log suffix).
+enum class PageRecoveryState : uint8_t {
+  kClean = 0,
+  kNeedsRedo = 1,
+  kRedoing = 2,
+};
+
 /// Every page starts with this 24-byte header:
 ///   [0..7]   page_lsn  - LSN of the last log record applied to the page;
 ///                        drives idempotent page-oriented redo.

@@ -22,8 +22,11 @@ void TransactionManager::AttachMetrics(obs::MetricsRegistry* reg) {
 }
 
 Transaction* TransactionManager::Begin(IsolationLevel iso) {
-  if (iso == IsolationLevel::kSnapshot && mvcc_ == nullptr) {
-    // Snapshot reads disabled: degrade to the full hybrid protocol.
+  if (iso == IsolationLevel::kSnapshot &&
+      (mvcc_ == nullptr || recovery_undo_active())) {
+    // Snapshot reads disabled (or instant-restart undo is still
+    // retracting loser version records): degrade to the full hybrid
+    // protocol, whose locks are consistent with the losers' held locks.
     iso = IsolationLevel::kRepeatableRead;
   }
   TxnId id;

@@ -41,6 +41,18 @@ class TransactionManager {
   /// (Begin(kSnapshot) then falls back to kRepeatableRead).
   void SetMvcc(MvccManager* mvcc) { mvcc_ = mvcc; }
 
+  /// Instant restart: while loser undo is still running concurrently with
+  /// new work, the MVCC version store has not finished retracting the
+  /// losers' version records, so Begin(kSnapshot) degrades to
+  /// kRepeatableRead (which sees only the locked, page-level truth).
+  /// Cleared by the recovery thread once undo completes.
+  void SetRecoveryUndoActive(bool active) {
+    recovery_undo_active_.store(active, std::memory_order_release);
+  }
+  bool recovery_undo_active() const {
+    return recovery_undo_active_.load(std::memory_order_acquire);
+  }
+
   /// Re-points lifecycle metrics at \p reg (null: process fallback). Call
   /// before concurrent use; the Database facade does so at init.
   void AttachMetrics(obs::MetricsRegistry* reg);
@@ -119,6 +131,7 @@ class TransactionManager {
   PredicateManager* preds_;
   UndoApplier* applier_ = nullptr;
   MvccManager* mvcc_ = nullptr;
+  std::atomic<bool> recovery_undo_active_{false};
 
   obs::Counter* m_begins_ = nullptr;
   obs::Counter* m_commits_ = nullptr;

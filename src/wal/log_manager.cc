@@ -156,14 +156,28 @@ void LogManager::Close() {
 }
 
 Status LogManager::Append(LogRecord* rec) {
+  // Serialize outside the mutex (DESIGN.md section 11): the wire form is
+  // LSN-independent (the LSN is the record's file offset, never a field),
+  // so the CRC-stamped image can be built into a per-thread scratch buffer
+  // while other appenders hold mu_, leaving only the byte copy and the
+  // bookkeeping under the lock. The scratch keeps its capacity across
+  // appends, so steady state allocates nothing.
+  static thread_local std::string scratch;
+  scratch.clear();
+  if (scratch.capacity() < rec->SerializedSize()) {
+    scratch.reserve(rec->SerializedSize());
+  }
+  rec->EncodeTo(&scratch);
+  GISTCR_DCHECK(scratch.size() == rec->SerializedSize());
+
   MutexLock l(mu_);
   GISTCR_CHECK(fd_ >= 0);
   rec->lsn = next_lsn_;
-  rec->EncodeTo(&buffer_);
-  next_lsn_ += rec->SerializedSize();
+  buffer_.append(scratch);
+  next_lsn_ += scratch.size();
   last_lsn_.store(rec->lsn, std::memory_order_release);
   m_appends_->Add(1);
-  m_append_bytes_->Add(rec->SerializedSize());
+  m_append_bytes_->Add(scratch.size());
   pending_records_++;
   if (rec->type == LogRecordType::kCommit) pending_commits_++;
   // Appends never wait for I/O; past the flush-ahead cap they nudge the
@@ -449,6 +463,15 @@ Status LogManager::Scan(Lsn from,
     lsn += rec.SerializedSize();
   }
   return Status::OK();
+}
+
+Status LogManager::ScanRange(Lsn from, Lsn upto,
+                             const std::function<bool(const LogRecord&)>& fn) {
+  if (upto == kInvalidLsn) return Scan(from, fn);
+  return Scan(from, [&](const LogRecord& rec) {
+    if (rec.lsn > upto) return false;
+    return fn(rec);
+  });
 }
 
 uint64_t LogManager::TotalBytes() const {

@@ -84,6 +84,14 @@ class LogManager {
   /// corrupt record (the crash-truncated tail).
   Status Scan(Lsn from, const std::function<bool(const LogRecord&)>& fn);
 
+  /// Bounded variant of Scan: stops after the record whose LSN is \p upto
+  /// (inclusive; kInvalidLsn = unbounded, identical to Scan). Instant
+  /// restart uses this to keep per-page redo planning confined to the
+  /// [redo_start, end-of-log-at-analysis] window while new user appends
+  /// extend the log concurrently.
+  Status ScanRange(Lsn from, Lsn upto,
+                   const std::function<bool(const LogRecord&)>& fn);
+
   /// First valid LSN in the log (just past the file magic).
   static constexpr Lsn kFirstLsn = 8;
 

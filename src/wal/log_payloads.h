@@ -240,6 +240,11 @@ struct CheckpointPayload {
   /// Dedicated-counter NSN mode: counter value at checkpoint time, so the
   /// counter is recoverable (the LSN mode needs nothing, section 10.1).
   Nsn nsn_counter = 0;
+  /// Heap-chain tail at checkpoint time. Instant restart combines this
+  /// with the Rightlink-Update records after the checkpoint to compute
+  /// the recovered tail from the log alone, so opening the data store
+  /// does not have to walk (and therefore redo) the whole heap chain.
+  PageId heap_tail = kInvalidPageId;
 
   void EncodeTo(std::string* dst) const {
     PutFixed64(dst, nsn_counter);
@@ -254,6 +259,7 @@ struct CheckpointPayload {
       PutFixed32(dst, p.page_id);
       PutFixed64(dst, p.rec_lsn);
     }
+    PutFixed32(dst, heap_tail);
   }
   bool DecodeFrom(Slice s) {
     Decoder d(s);
@@ -274,6 +280,9 @@ struct CheckpointPayload {
       if (!d.GetFixed32(&p.page_id) || !d.GetFixed64(&p.rec_lsn)) return false;
       dirty_pages.push_back(p);
     }
+    // Absent in records written before the field existed: treat as "no
+    // hint" (instant restart then falls back to walking the chain).
+    if (!d.GetFixed32(&heap_tail)) heap_tail = kInvalidPageId;
     return true;
   }
 };

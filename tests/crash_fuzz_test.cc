@@ -171,6 +171,7 @@ TEST_F(CrashFuzzTest, EveryLogPrefixRecoversConsistently) {
     auto db_or = Database::Open(opts_);
     ASSERT_OK(db_or.status());
     auto db = db_or.MoveValue();
+    ASSERT_OK(db->WaitForRecovery());
     GistOptions gopts;
     gopts.max_entries = 8;
     ASSERT_OK(db->OpenIndex(1, &ext_, gopts));

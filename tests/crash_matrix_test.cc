@@ -328,6 +328,10 @@ TEST(CrashMatrixInflightReaders, CrashAtOptimisticRestartRecovers) {
                                         FaultInjector::CrashAction::kExit);
   DatabaseOptions dopts;
   dopts.path = path;
+  // The offline pass-structure points (after_redo etc.) only exist in the
+  // classic sequence; instant restart's own phases get their instant.*
+  // points in instant_restart_test.cc.
+  dopts.instant_restart = false;
   auto db_or = Database::Open(dopts);
   // Reaching here means the point never fired during restart.
   std::_Exit(db_or.ok() ? 0 : 3);
@@ -341,6 +345,7 @@ std::vector<IndexEntry> DumpSortedEntries(const std::string& path) {
   EXPECT_TRUE(db_or.ok()) << db_or.status().ToString();
   if (!db_or.ok()) return {};
   std::unique_ptr<Database> db = db_or.MoveValue();
+  EXPECT_OK(db->WaitForRecovery());
   GistOptions gopts;
   gopts.index_id = 1;
   gopts.max_entries = 5;

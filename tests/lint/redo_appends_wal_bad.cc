@@ -1,0 +1,34 @@
+// Negative fixture for gistcr_lint rule `redo-appends-wal`: a redo
+// applier that appends a WAL record of its own. Redo replays logged
+// history behind the page-LSN test; an append inside it would assign
+// fresh LSNs during recovery, corrupting the instant-restart plan
+// ordering and making a second recovery of the same log non-idempotent
+// (DESIGN.md section 16.6). Only undo may log — CLRs, from Undo*-named
+// functions.
+//
+// Not compiled; consumed by `gistcr_lint.py --self-test tests/lint`.
+
+#include "storage/buffer_pool.h"
+#include "wal/log_manager.h"
+
+namespace gistcr {
+
+Status RedoEntryInsert(BufferPool* pool, LogManager* log,
+                       const LogRecord& rec, PageId pid) {
+  auto frame_or = pool->Fetch(pid);
+  GISTCR_RETURN_IF_ERROR(frame_or.status());
+  PageGuard guard(pool, frame_or.value());
+  guard.WLatch();
+  if (guard.view().page_lsn() >= rec.lsn) return Status::OK();
+  // ... apply the logged image ...
+  guard.view().set_page_lsn(rec.lsn);
+  guard.frame()->MarkDirty(rec.lsn);
+  // VIOLATION: redo creating new history — a fresh record (and LSN)
+  // appended from inside a redo applier.
+  LogRecord note;
+  note.type = LogRecordType::kEntryInsert;
+  Status st = log->Append(&note);
+  return st;
+}
+
+}  // namespace gistcr

@@ -488,5 +488,155 @@ TEST_F(OptimisticReadTest, OptimisticReadKnobGatesSnapshotPath) {
   EXPECT_GT(gist_->stats().optimistic_visits.load(), 0u);
 }
 
+// ---------------------------------------------------------------------
+// Root-grow publication: the race OptimisticReadTortureVsSplitsDeletesEviction
+// occasionally reproduced under TSan load. GrowRoot appends the NSN-assigning
+// Split record and only later repoints the meta page; a reader that memorized
+// the global NSN counter AFTER the append but read the root pointer BEFORE
+// the repoint would descend into the shrunken old root with memorized >= the
+// new NSN — the strict `nsn > memorized` rightlink test then hides the moved
+// half and the reader loses committed keys. The fix X-latches the meta page
+// across the whole window (append → SetRoot), so any root-pointer read that
+// completes after the append also sees the new root. The `during_root_grow`
+// hook fires inside that window and makes the interleaving deterministic.
+// ---------------------------------------------------------------------
+
+TEST_F(OptimisticReadTest, OptimisticReadRootGrowPublishesNewRoot) {
+  SetUpDb(/*pool_pages=*/512, /*max_entries=*/4);
+
+  std::atomic<bool> fired{false};
+  std::atomic<int64_t> committed{0};
+  std::thread reader;
+  std::atomic<bool> reader_ok{true};
+  std::string reader_msg;
+
+  gist_->test_hooks().during_root_grow = [&] {
+    // First root grow only: the window exists on every grow, but one
+    // deterministic interleaving is all the regression needs.
+    if (fired.exchange(true)) return;
+    reader = std::thread([&] {
+      // Runs strictly inside the window: the Split record (and its NSN) is
+      // already logged, the meta page still points at the old root. The
+      // search memorizes the counter, then blocks on the meta latch until
+      // GrowRoot finishes — and must then see every committed key via the
+      // new root. Pre-fix it read the stale root pointer here and lost the
+      // moved half.
+      const int64_t n = committed.load();
+      Transaction* txn = db_->Begin(IsolationLevel::kReadCommitted);
+      std::vector<SearchResult> results;
+      Status st = gist_->Search(txn, BtreeExtension::MakeRange(0, n - 1),
+                                &results);
+      if (st.ok()) st = db_->Commit(txn);
+      if (!st.ok()) {
+        reader_ok = false;
+        reader_msg = st.ToString();
+        return;
+      }
+      std::set<int64_t> got;
+      for (const auto& res : results) got.insert(BtreeExtension::Lo(res.key));
+      for (int64_t k = 0; k < n; k++) {
+        if (!got.count(k)) {
+          reader_ok = false;
+          reader_msg = "lost key " + std::to_string(k) + " of " +
+                       std::to_string(n) + " across root grow";
+          return;
+        }
+      }
+    });
+    // Give the reader time to memorize the NSN counter and reach the root
+    // pointer read while this thread still holds the meta X-latch.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  };
+
+  // One committed key per transaction until the first root grow fires
+  // (max_entries=4: a handful of inserts suffice).
+  for (int64_t k = 0; k < 64 && !fired.load(); k++) {
+    WithTxnRetry([&](Transaction* txn) {
+      return db_->InsertRecord(txn, gist_, BtreeExtension::MakeKey(k), "v")
+          .status();
+    });
+    committed.store(k + 1);
+  }
+  ASSERT_TRUE(fired.load()) << "root never grew";
+  reader.join();
+  gist_->test_hooks().during_root_grow = nullptr;
+  EXPECT_TRUE(reader_ok.load()) << reader_msg;
+  ASSERT_OK(gist_->CheckInvariants());
+}
+
+// ---------------------------------------------------------------------
+// Root-grow soak: repeated root growth under optimistic readers. Every
+// search over the committed prefix must return it in full — the torture
+// configuration that reproduced the lost-key race, promoted to a focused
+// always-on leg (suite name carries "OptimisticRead" for the TSan regex).
+// ---------------------------------------------------------------------
+
+TEST_F(OptimisticReadTest, OptimisticReadRootGrowSoak) {
+  // max_entries=4 keeps the fanout tiny so the root grows many times as
+  // the key space fills; a modest pool keeps everything resident.
+  SetUpDb(/*pool_pages=*/2048, /*max_entries=*/4);
+  constexpr int64_t kKeys = 1500;
+
+  std::atomic<int64_t> committed{0};
+  std::thread writer([&] {
+    for (int64_t k = 0; k < kKeys;) {
+      const int64_t hi = std::min<int64_t>(k + 5, kKeys);
+      WithTxnRetry([&](Transaction* txn) {
+        for (int64_t o = k; o < hi; o++) {
+          auto rid = db_->InsertRecord(txn, gist_,
+                                       BtreeExtension::MakeKey(o), "v");
+          if (!rid.ok()) return rid.status();
+        }
+        return Status::OK();
+      });
+      k = hi;
+      committed.store(hi);
+    }
+  });
+
+  constexpr int kReaders = 3;
+  std::vector<std::thread> readers;
+  std::atomic<uint64_t> checked{0};
+  for (int r = 0; r < kReaders; r++) {
+    readers.emplace_back([&, r] {
+      Random rng(static_cast<uint64_t>(r) * 31 + 7);
+      while (committed.load() < kKeys) {
+        const int64_t n = committed.load();
+        if (n == 0) continue;
+        // Whole prefix or a window of it — both must come back complete.
+        int64_t a = 0, b = n;
+        if (!rng.OneIn(3) && n > 40) {
+          a = rng.UniformRange(0, n - 40);
+          b = a + 40;
+        }
+        std::vector<SearchResult> results;
+        WithTxnRetry([&](Transaction* txn) {
+          results.clear();
+          return gist_->Search(txn, BtreeExtension::MakeRange(a, b - 1),
+                               &results);
+        });
+        std::set<int64_t> got;
+        for (const auto& res : results) got.insert(BtreeExtension::Lo(res.key));
+        ASSERT_EQ(got.size(), results.size()) << "duplicate entries";
+        for (int64_t k = a; k < b; k++) {
+          ASSERT_TRUE(got.count(k))
+              << "lost key " << k << " (committed=" << n << ")";
+        }
+        checked.fetch_add(1);
+      }
+    });
+  }
+
+  writer.join();
+  for (auto& th : readers) th.join();
+
+  ASSERT_OK(gist_->CheckInvariants());
+  EXPECT_GT(checked.load(), 10u);
+  // The soak is pointless unless the root actually grew repeatedly and the
+  // optimistic path was exercised.
+  EXPECT_GT(gist_->stats().splits.load(), 20u);
+  EXPECT_GT(gist_->stats().optimistic_visits.load(), 0u);
+}
+
 }  // namespace
 }  // namespace gistcr

@@ -41,6 +41,9 @@ class RecoveryTest : public ::testing::Test {
     auto db_or = Database::Open(opts_);
     ASSERT_OK(db_or.status());
     db_ = db_or.MoveValue();
+    // These tests assert the settled post-recovery state (and restart
+    // stats), so drain instant restart's background phase first.
+    ASSERT_OK(db_->WaitForRecovery());
     GistOptions gopts;
     gopts.max_entries = 8;
     ASSERT_OK(db_->OpenIndex(1, &ext_, gopts));
@@ -391,6 +394,7 @@ class CounterNsnRecoveryTest : public RecoveryTest {
     auto db_or = Database::Open(opts_);
     ASSERT_OK(db_or.status());
     db_ = db_or.MoveValue();
+    ASSERT_OK(db_->WaitForRecovery());
     GistOptions gopts;
     gopts.max_entries = 8;
     ASSERT_OK(db_->OpenIndex(1, &ext_, gopts));

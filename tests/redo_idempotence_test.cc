@@ -81,6 +81,7 @@ TEST_F(RedoIdempotenceTest, DoubleRedoConvergesToSameState) {
   auto db_or = Database::Open(opts_);
   ASSERT_OK(db_or.status());
   auto db = db_or.MoveValue();
+  ASSERT_OK(db->WaitForRecovery());
   GistOptions gopts;
   gopts.max_entries = 8;
   ASSERT_OK(db->OpenIndex(1, &ext_, gopts));
@@ -131,6 +132,7 @@ TEST_F(RedoIdempotenceTest, RecoverTwiceWithoutNewWork) {
     auto db_or = Database::Open(opts_);
     ASSERT_OK(db_or.status());
     auto db = db_or.MoveValue();
+    ASSERT_OK(db->WaitForRecovery());
     ASSERT_OK(db->OpenIndex(1, &ext_));
     Gist* gist = db->GetIndex(1).value();
     ASSERT_OK(gist->CheckInvariants());

@@ -122,6 +122,14 @@ Rules
       Abort, End, NTA-End, checkpoints) are latch-free by design and
       exempt.
 
+  redo-appends-wal
+      Redo replays history; it must never create it. A WAL append inside
+      a redo applier (a `Redo*` / `Apply*` / `Replay*` function) would
+      assign fresh LSNs during recovery, corrupting the restart plan
+      ordering and making recovery non-idempotent (DESIGN.md section
+      16.6). Undo is exempt — it logs CLRs by design, and does so from
+      `Undo*`-named functions.
+
 Escape hatches
 --------------
   // gistcr-lint: allow(<rule>)        on the offending line or the line
@@ -161,6 +169,7 @@ RULES = (
     "lock-order",
     "stamping-epoch-unclosed",
     "wal-append-after-unlatch",
+    "redo-appends-wal",
 )
 
 # --- directive extraction & source stripping -------------------------------
@@ -817,6 +826,15 @@ SERIALIZE_RE = re.compile(
 # (`mvcc->BeginSnapshot(...)`) never match.
 SNAPSHOT_SIG_RE = re.compile(
     r"^\s*[\w:<>,*&\s]*?\b(?:\w+::)?(\w*Snapshot\w*)\s*\(")
+
+# redo-appends-wal: redo appliers replay logged history and must not
+# append records of their own (undo logs CLRs, but from Undo*-named
+# functions). `AppendAt` (heap-page slot write) deliberately does not
+# match: the paren must follow Append/AppendTxnLog directly.
+REDO_SIG_RE = re.compile(
+    r"^\s*[\w:<>,*&\s]*?\b(?:\w+::)?((?:Redo|Apply|Replay)\w*)\s*\(")
+REDO_WAL_APPEND_RE = re.compile(
+    r"(?:\.|->)\s*(?:AppendTxnLog|Append)\s*\(")
 PREDICATE_ATTACH_RE = re.compile(
     r"(?:\.|->)\s*Attach(?:AndFindConflicts|Predicate)?\s*\("
     r"|\bSignalLock\s*\(")
@@ -1101,6 +1119,7 @@ class FileLinter:
                 prev_code = line.strip()
 
         self.check_snapshot_paths(lines, per_line_allows, file_allows)
+        self.check_redo_paths(lines, per_line_allows, file_allows)
         return self.findings
 
     def check_snapshot_paths(self, lines, per_line_allows, file_allows):
@@ -1152,6 +1171,55 @@ class FileLinter:
                         f"snapshot read path '{name}'; snapshot readers "
                         "must touch zero lock-manager state "
                         "(DESIGN.md section 14.3)",
+                    ))
+            i = j if j > i else i + 1
+
+    def check_redo_paths(self, lines, per_line_allows, file_allows):
+        """Second pass: redo-appends-wal.
+
+        Finds each Redo*/Apply*/Replay*-named function *definition*,
+        brace-matches its body, and flags WAL appends inside. Same
+        whole-function scoping as check_snapshot_paths.
+        """
+        rule = "redo-appends-wal"
+        i, n = 0, len(lines)
+        while i < n:
+            m = REDO_SIG_RE.match(lines[i])
+            if not m or lines[i][: m.start(1)].strip().endswith(
+                    ("return", "=", ".", "->")):
+                i += 1
+                continue
+            name = m.group(1)
+            # Brace-match from the signature; `;` before any `{` means a
+            # declaration (or call statement), not a body.
+            depth = 0
+            opened = False
+            j = i
+            while j < n:
+                for c in lines[j]:
+                    if c == "{":
+                        depth += 1
+                        opened = True
+                    elif c == "}":
+                        depth -= 1
+                if not opened and ";" in lines[j]:
+                    break
+                j += 1
+                if opened and depth <= 0:
+                    break
+            if not opened:
+                i += 1
+                continue
+            for k in range(i, j):
+                if REDO_WAL_APPEND_RE.search(lines[k]):
+                    if rule in file_allows or \
+                            rule in per_line_allows.get(k + 1, set()):
+                        continue
+                    self.findings.append((
+                        k + 1, rule,
+                        f"WAL append inside redo applier '{name}'; redo "
+                        "replays logged history and must never append "
+                        "records of its own (DESIGN.md section 16.6)",
                     ))
             i = j if j > i else i + 1
 
